@@ -1,0 +1,115 @@
+//! The CPU baseline (§4.6).
+//!
+//! Mirrors the structure of the best-performing CPU implementation the
+//! paper compares against (Bader's `triangle-counting`, via Tom et al.'s
+//! shared-memory optimizations): it *accepts* COO input but internally
+//! converts to CSR before counting with a parallel sorted-adjacency
+//! intersection. The COO→CSR conversion is timed separately because the
+//! paper excludes it from the static comparison (Fig. 6) but includes it
+//! per update in the dynamic comparison (Fig. 7).
+
+use pim_graph::{triangle, CooGraph, CsrGraph};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One measured CPU baseline run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CpuRun {
+    /// Exact triangle count.
+    pub triangles: u64,
+    /// Measured COO→CSR conversion seconds.
+    pub convert_secs: f64,
+    /// Measured counting seconds (CSR resident).
+    pub count_secs: f64,
+}
+
+impl CpuRun {
+    /// Conversion + counting (the dynamic-workload cost per update).
+    pub fn total_secs(&self) -> f64 {
+        self.convert_secs + self.count_secs
+    }
+}
+
+/// Runs the CPU baseline on a COO graph, measuring both phases.
+pub fn cpu_count(g: &CooGraph) -> CpuRun {
+    let t0 = Instant::now();
+    let csr = CsrGraph::from_coo(g);
+    let convert_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let triangles = triangle::count_csr_parallel(&csr);
+    let count_secs = t1.elapsed().as_secs_f64();
+    CpuRun { triangles, convert_secs, count_secs }
+}
+
+/// The degree-ordering variant of the CPU baseline: vertices are
+/// relabeled by ascending degree before building the forward CSR, the
+/// heuristic that gives node-iterator counting its `O(m^{3/2})`-ish
+/// behavior on power-law graphs (Berry et al.; used by Bader's fast TC).
+/// Exposed as an ablation — compare `count_secs` against [`cpu_count`]
+/// on skewed graphs.
+pub fn cpu_count_degree_ordered(g: &CooGraph) -> CpuRun {
+    let t0 = Instant::now();
+    let degrees = g.degrees();
+    // rank[old] = new id, assigned in ascending-degree order.
+    let mut order: Vec<u32> = (0..g.num_nodes()).collect();
+    order.sort_by_key(|&v| degrees[v as usize]);
+    let mut rank = vec![0u32; g.num_nodes() as usize];
+    for (new_id, &old) in order.iter().enumerate() {
+        rank[old as usize] = new_id as u32;
+    }
+    let relabeled = CooGraph::with_num_nodes(
+        g.edges()
+            .iter()
+            .map(|e| pim_graph::Edge::new(rank[e.u as usize], rank[e.v as usize]))
+            .collect(),
+        g.num_nodes(),
+    );
+    let csr = CsrGraph::from_coo(&relabeled);
+    let convert_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let triangles = triangle::count_csr_parallel(&csr);
+    let count_secs = t1.elapsed().as_secs_f64();
+    CpuRun { triangles, convert_secs, count_secs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_graph::gen;
+
+    #[test]
+    fn counts_match_reference() {
+        let g = gen::erdos_renyi(300, 0.05, 3);
+        let run = cpu_count(&g);
+        assert_eq!(run.triangles, triangle::count_exact(&g));
+        assert!(run.convert_secs >= 0.0 && run.count_secs >= 0.0);
+    }
+
+    #[test]
+    fn accepts_raw_unnormalized_coo() {
+        let g = CooGraph::from_pairs([(1, 0), (0, 1), (2, 2), (1, 2), (0, 2)]);
+        assert_eq!(cpu_count(&g).triangles, 1);
+    }
+
+    #[test]
+    fn total_is_sum_of_phases() {
+        let run = CpuRun { triangles: 0, convert_secs: 1.0, count_secs: 2.0 };
+        assert_eq!(run.total_secs(), 3.0);
+    }
+
+    #[test]
+    fn degree_ordered_variant_counts_the_same() {
+        let g = gen::rmat(10, 8, 0.57, 0.19, 0.19, 4);
+        assert_eq!(
+            cpu_count(&g).triangles,
+            cpu_count_degree_ordered(&g).triangles
+        );
+    }
+
+    #[test]
+    fn degree_ordering_handles_degenerate_graphs() {
+        assert_eq!(cpu_count_degree_ordered(&CooGraph::new()).triangles, 0);
+        let g = CooGraph::from_pairs([(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(cpu_count_degree_ordered(&g).triangles, 1);
+    }
+}

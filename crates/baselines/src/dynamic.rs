@@ -1,0 +1,159 @@
+//! Dynamic-graph workload drivers (Fig. 7).
+//!
+//! The paper splits a graph into 10 batches and, after each update,
+//! recounts triangles on everything received so far, accumulating time:
+//!
+//! * **CPU** — must rebuild CSR from the *full* COO (all updates so far)
+//!   before every count; the rebuild is what sinks it.
+//! * **GPU proxy** — appends the batch to its resident representation
+//!   (modeled) and recounts (modeled).
+//! * **PIM** — appends the batch into the per-core samples (a
+//!   [`pim_tc::TcSession`]) and recounts; no rebuild, no re-transfer of
+//!   old edges.
+
+use crate::cpu_csr::cpu_count;
+use crate::gpu_proxy::GpuModel;
+use pim_graph::{CooGraph, Edge};
+use pim_tc::{TcConfig, TcError, TcSession};
+use serde::{Deserialize, Serialize};
+
+/// Per-update timing for one system.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct UpdateTiming {
+    /// Update index (0-based).
+    pub update: usize,
+    /// Seconds for this update (integration + count).
+    pub secs: f64,
+    /// Cumulative seconds including this update.
+    pub cumulative_secs: f64,
+    /// Triangle count (or estimate) after this update.
+    pub triangles: f64,
+}
+
+/// Runs the CPU dynamic workload: full COO accumulation + CSR rebuild +
+/// count per update. Times are measured.
+pub fn cpu_dynamic(batches: &[Vec<Edge>]) -> Vec<UpdateTiming> {
+    let mut graph = CooGraph::new();
+    let mut cumulative = 0.0;
+    let mut out = Vec::with_capacity(batches.len());
+    for (update, batch) in batches.iter().enumerate() {
+        graph.extend_edges(batch);
+        let run = cpu_count(&graph);
+        let secs = run.total_secs();
+        cumulative += secs;
+        out.push(UpdateTiming {
+            update,
+            secs,
+            cumulative_secs: cumulative,
+            triangles: run.triangles as f64,
+        });
+    }
+    out
+}
+
+/// Runs the GPU-proxy dynamic workload: modeled append + modeled count.
+pub fn gpu_dynamic(batches: &[Vec<Edge>], model: &GpuModel) -> Vec<UpdateTiming> {
+    let mut graph = CooGraph::new();
+    let mut cumulative = 0.0;
+    let mut out = Vec::with_capacity(batches.len());
+    for (update, batch) in batches.iter().enumerate() {
+        graph.extend_edges(batch);
+        let update_secs = model.update_cost(batch);
+        let run = model.count(&graph);
+        let secs = update_secs + run.count_secs;
+        cumulative += secs;
+        out.push(UpdateTiming {
+            update,
+            secs,
+            cumulative_secs: cumulative,
+            triangles: run.triangles as f64,
+        });
+    }
+    out
+}
+
+/// Runs the PIM dynamic workload through a [`TcSession`]: per-update
+/// append + recount, with modeled (+ measured host) times taken from the
+/// session's phase clock.
+pub fn pim_dynamic(batches: &[Vec<Edge>], config: &TcConfig) -> Result<Vec<UpdateTiming>, TcError> {
+    let mut session = TcSession::start(config)?;
+    let mut out = Vec::with_capacity(batches.len());
+    let mut prev_total = 0.0;
+    for (update, batch) in batches.iter().enumerate() {
+        session.append(batch)?;
+        let result = session.count()?;
+        // Per-update time = growth of the non-setup clock (setup happens
+        // once and the paper's Fig. 7 accumulates per-update work).
+        let total = result.times.without_setup();
+        let secs = total - prev_total;
+        prev_total = total;
+        out.push(UpdateTiming {
+            update,
+            secs,
+            cumulative_secs: total,
+            triangles: result.estimate,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_graph::{gen, prep, triangle};
+    use pim_sim::PimConfig;
+
+    fn batches() -> (CooGraph, Vec<Vec<Edge>>) {
+        let g = gen::erdos_renyi(150, 0.1, 3);
+        let (g, _) = prep::preprocessed(&g, 0);
+        let b = g.split_batches(5);
+        (g, b)
+    }
+
+    fn pim_config() -> TcConfig {
+        TcConfig::builder()
+            .colors(2)
+            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .stage_edges(256)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_three_systems_agree_on_final_count() {
+        let (g, batches) = batches();
+        let expect = triangle::count_exact(&g) as f64;
+        let cpu = cpu_dynamic(&batches);
+        let gpu = gpu_dynamic(&batches, &GpuModel::default());
+        let pim = pim_dynamic(&batches, &pim_config()).unwrap();
+        assert_eq!(cpu.last().unwrap().triangles, expect);
+        assert_eq!(gpu.last().unwrap().triangles, expect);
+        assert_eq!(pim.last().unwrap().triangles, expect);
+    }
+
+    #[test]
+    fn intermediate_counts_track_the_prefix() {
+        let (_, batches) = batches();
+        let cpu = cpu_dynamic(&batches);
+        let mut prefix = CooGraph::new();
+        for (i, batch) in batches.iter().enumerate() {
+            prefix.extend_edges(batch);
+            assert_eq!(cpu[i].triangles, triangle::count_exact(&prefix) as f64);
+        }
+    }
+
+    #[test]
+    fn cumulative_times_are_monotone() {
+        let (_, batches) = batches();
+        for timings in [
+            cpu_dynamic(&batches),
+            gpu_dynamic(&batches, &GpuModel::default()),
+            pim_dynamic(&batches, &pim_config()).unwrap(),
+        ] {
+            assert_eq!(timings.len(), 5);
+            for w in timings.windows(2) {
+                assert!(w[1].cumulative_secs >= w[0].cumulative_secs);
+            }
+        }
+    }
+}

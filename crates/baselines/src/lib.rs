@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! `pim-baselines` — the comparison systems of the paper's §4.6.
+//!
+//! * [`cpu_csr`] — the state-of-the-art CPU baseline: accepts COO, converts
+//!   to CSR internally, counts with a rayon-parallel sorted-intersection
+//!   node iterator. Times are **measured** wall-clock on the host.
+//! * [`edge_iter`] — a TriCore-style edge-centric counter with per-edge
+//!   binary search, instrumented to report its work volume; it is both an
+//!   ablation baseline and the functional core of the GPU proxy.
+//! * [`gpu_proxy`] — the GPU comparator. No GPU exists here, so the proxy
+//!   runs [`edge_iter`] functionally and converts its measured work volume
+//!   into **modeled** seconds with an A100-class analytic throughput model
+//!   (see DESIGN.md §1 for the substitution rationale).
+//! * [`dynamic`] — drivers for the dynamic-graph experiment (Fig. 7):
+//!   CPU (full CSR rebuild per update), GPU proxy (incremental append),
+//!   and PIM (a [`pim_tc::TcSession`]).
+
+pub mod cpu_csr;
+pub mod dynamic;
+pub mod edge_iter;
+pub mod gpu_proxy;
+
+pub use cpu_csr::{cpu_count, cpu_count_degree_ordered, CpuRun};
+pub use gpu_proxy::{GpuModel, GpuRun};

@@ -1,0 +1,80 @@
+//! End-to-end criterion benchmarks: the whole PIM pipeline against the
+//! CPU baseline and GPU proxy on a small fixed workload, plus the
+//! host-thread ablation for batch creation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pim_baselines::{cpu_count, GpuModel};
+use pim_graph::CooGraph;
+use pim_sim::PimConfig;
+use pim_tc::TcConfig;
+use std::hint::black_box;
+
+fn workload() -> CooGraph {
+    let mut g = pim_graph::gen::rmat(11, 8, 0.57, 0.19, 0.19, 42);
+    g.preprocess(0);
+    g
+}
+
+fn pim_cfg(colors: u32, host_threads: usize) -> TcConfig {
+    TcConfig::builder()
+        .colors(colors)
+        .sample_capacity(40_000)
+        .stage_edges(2048)
+        .pim(PimConfig { host_threads, ..PimConfig::default() })
+        .build()
+        .unwrap()
+}
+
+fn bench_systems(c: &mut Criterion) {
+    let g = workload();
+    let mut group = c.benchmark_group("end_to_end_small_rmat");
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.bench_function("pim_exact_c6", |b| {
+        b.iter(|| pim_tc::count_triangles(black_box(&g), &pim_cfg(6, 4)).unwrap().rounded())
+    });
+    group.bench_function("cpu_baseline", |b| {
+        b.iter(|| cpu_count(black_box(&g)).triangles)
+    });
+    group.bench_function("gpu_proxy_functional", |b| {
+        b.iter(|| GpuModel::default().count(black_box(&g)).triangles)
+    });
+    group.finish();
+}
+
+fn bench_host_threads(c: &mut Criterion) {
+    let g = workload();
+    let mut group = c.benchmark_group("host_batching_threads_ablation");
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("pim_c6", threads), &threads, |b, &t| {
+            b.iter(|| pim_tc::count_triangles(&g, &pim_cfg(6, t)).unwrap().rounded())
+        });
+    }
+    group.finish();
+}
+
+fn bench_uniform_sampling(c: &mut Criterion) {
+    let g = workload();
+    let mut group = c.benchmark_group("uniform_sampling_speedup");
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    for p in [1.0f64, 0.25, 0.01] {
+        group.bench_with_input(BenchmarkId::new("pim_c6_p", p.to_string()), &p, |b, &p| {
+            let cfg = TcConfig::builder()
+                .colors(6)
+                .sample_capacity(40_000)
+                .stage_edges(2048)
+                .uniform_p(p)
+                .build()
+                .unwrap();
+            b.iter(|| pim_tc::count_triangles(&g, &cfg).unwrap().estimate)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_systems, bench_host_threads, bench_uniform_sampling
+}
+criterion_main!(benches);

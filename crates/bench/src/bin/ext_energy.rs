@@ -1,0 +1,86 @@
+//! Extension experiment: modeled energy per exact count.
+//!
+//! The paper reports time only; PIM evaluations conventionally also
+//! report energy, so this extension derives it from the same activity
+//! counters the timing model uses (see `pim_sim::energy` for the
+//! coefficients). For context, CPU and GPU energy is approximated as
+//! `runtime × package power` (two Xeon Silver 4215 ≈ 170 W; A100 ≈
+//! 300 W) — crude, but the comparison the community actually makes.
+
+use pim_baselines::{cpu_count, GpuModel};
+use pim_bench::{pim_config, Harness, MdTable};
+use pim_graph::datasets::DatasetId;
+use serde::Serialize;
+
+const COLORS: u32 = 11;
+const CPU_WATTS: f64 = 170.0;
+const GPU_WATTS: f64 = 300.0;
+
+#[derive(Serialize)]
+struct Row {
+    graph: &'static str,
+    pim_dynamic_j: f64,
+    pim_static_j: f64,
+    pim_total_j: f64,
+    cpu_j: f64,
+    gpu_j: f64,
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = MdTable::new([
+        "Graph",
+        "PIM dynamic (J)",
+        "PIM static (J)",
+        "PIM total (J)",
+        "CPU ~ (J)",
+        "GPU ~ (J)",
+    ]);
+    for id in DatasetId::ALL {
+        let g = harness.dataset(id);
+        let pim = {
+            let config = pim_config(COLORS, &g).build().unwrap();
+            pim_tc::count_triangles(&g, &config).unwrap()
+        };
+        let cpu = cpu_count(&g);
+        let gpu = GpuModel::default().count(&g);
+        let e = pim.energy;
+        let dynamic = e.instr_j + e.dma_j + e.transfer_j;
+        let cpu_j = cpu.total_secs() * CPU_WATTS;
+        let gpu_j = gpu.count_secs * GPU_WATTS;
+        eprintln!(
+            "[energy] {}: PIM {:.4} J, CPU ~{:.4} J, GPU ~{:.4} J",
+            id.name(),
+            e.total_j(),
+            cpu_j,
+            gpu_j
+        );
+        table.row([
+            id.name().to_string(),
+            format!("{dynamic:.4}"),
+            format!("{:.4}", e.static_j),
+            format!("{:.4}", e.total_j()),
+            format!("{cpu_j:.4}"),
+            format!("{gpu_j:.4}"),
+        ]);
+        rows.push(Row {
+            graph: id.name(),
+            pim_dynamic_j: dynamic,
+            pim_static_j: e.static_j,
+            pim_total_j: e.total_j(),
+            cpu_j,
+            gpu_j,
+        });
+    }
+    let md = format!(
+        "# Extension: modeled energy per exact count (C = {COLORS})\n\n\
+         PIM energy comes from the simulator's activity counters\n\
+         (instructions, DMA bytes, transfer bytes, static power x modeled\n\
+         time). CPU/GPU columns are runtime x package power — rough\n\
+         context only.\n\n{}",
+        table.render()
+    );
+    println!("{md}");
+    harness.save("ext_energy", &md, &rows);
+}

@@ -1,0 +1,87 @@
+//! Extension experiment: the cost of local (per-vertex) counting.
+//!
+//! Runs the pipeline with and without the local-counting kernel on every
+//! dataset and reports the count-phase overhead plus the extra PIM→CPU
+//! gather volume — quantifying what TRIÈST-style local estimates cost on
+//! this architecture.
+
+use pim_bench::{fmt_secs, pim_config, Harness, MdTable};
+use pim_graph::datasets::DatasetId;
+use serde::Serialize;
+
+const COLORS: u32 = 8;
+
+#[derive(Serialize)]
+struct Row {
+    graph: &'static str,
+    global_count_secs: f64,
+    local_count_secs: f64,
+    overhead: f64,
+    top_vertex: u32,
+    top_vertex_triangles: f64,
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let mut rows = Vec::new();
+    let mut table = MdTable::new([
+        "Graph",
+        "Global-only count",
+        "With local counts",
+        "Overhead",
+        "Most central vertex (its triangles)",
+    ]);
+    for id in DatasetId::ALL {
+        let g = harness.dataset(id);
+        let global = {
+            let config = pim_config(COLORS, &g).build().unwrap();
+            pim_tc::count_triangles(&g, &config).unwrap()
+        };
+        let local = {
+            let config = pim_config(COLORS, &g)
+                .local_counting(g.num_nodes())
+                .build()
+                .unwrap();
+            pim_tc::count_triangles(&g, &config).unwrap()
+        };
+        assert_eq!(global.rounded(), local.rounded(), "{}", id.name());
+        let counts = local.local_counts.as_ref().unwrap();
+        let (top_vertex, top_count) = counts
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((0, 0.0));
+        let overhead = local.times.triangle_count / global.times.triangle_count;
+        eprintln!(
+            "[ext_local] {}: {} vs {} ({overhead:.2}x)",
+            id.name(),
+            fmt_secs(global.times.triangle_count),
+            fmt_secs(local.times.triangle_count)
+        );
+        table.row([
+            id.name().to_string(),
+            fmt_secs(global.times.triangle_count),
+            fmt_secs(local.times.triangle_count),
+            format!("{overhead:.2}x"),
+            format!("v{top_vertex} ({top_count:.0})"),
+        ]);
+        rows.push(Row {
+            graph: id.name(),
+            global_count_secs: global.times.triangle_count,
+            local_count_secs: local.times.triangle_count,
+            overhead,
+            top_vertex: top_vertex as u32,
+            top_vertex_triangles: top_count,
+        });
+    }
+    let md = format!(
+        "# Extension: local-counting overhead (C = {COLORS}, exact)\n\n\
+         Per-vertex counts via the WRAM write-back cache kernel; the\n\
+         overhead column is the triangle-count phase ratio vs the\n\
+         global-only kernel.\n\n{}",
+        table.render()
+    );
+    println!("{md}");
+    harness.save("ext_local", &md, &rows);
+}

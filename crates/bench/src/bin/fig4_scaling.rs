@@ -1,0 +1,91 @@
+//! Figure 4: scaling with the number of PIM cores.
+//!
+//! Varies the color count `C` (cores = `C(C+2,3)`) and reports per-phase
+//! and total times plus the speedup over the smallest configuration. The
+//! paper's findings to reproduce: more cores generally help, but small
+//! graphs (LiveJournal there, `social-m` here) regress at high core
+//! counts because allocation and transfer overheads outgrow the kernel
+//! win.
+
+use pim_bench::{fmt_secs, pim_config, Harness, MdTable};
+use pim_graph::datasets::DatasetId;
+use serde::Serialize;
+
+const COLOR_SWEEP: [u32; 6] = [4, 6, 8, 11, 16, 23];
+const GRAPHS: [DatasetId; 4] = [
+    DatasetId::KroneckerSmall,
+    DatasetId::SocialModerate,
+    DatasetId::SocialDense,
+    DatasetId::Brain,
+];
+
+#[derive(Serialize)]
+struct Row {
+    graph: &'static str,
+    colors: u32,
+    nr_dpus: usize,
+    setup_secs: f64,
+    sample_secs: f64,
+    count_secs: f64,
+    total_secs: f64,
+    speedup_vs_smallest: f64,
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = MdTable::new([
+        "Graph",
+        "Colors (cores)",
+        "Setup",
+        "Sample creation",
+        "Triangle count",
+        "Total",
+        "Speedup",
+    ]);
+    for id in GRAPHS {
+        let g = harness.dataset(id);
+        let mut baseline_total = None;
+        for colors in COLOR_SWEEP {
+            let config = pim_config(colors, &g).build().unwrap();
+            let r = pim_tc::count_triangles(&g, &config).unwrap();
+            assert!(r.exact, "{} C={colors}: expected exact", id.name());
+            let total = r.times.total();
+            let baseline = *baseline_total.get_or_insert(total);
+            let speedup = baseline / total;
+            eprintln!(
+                "[fig4] {} C={colors} ({} cores): total {:.3}s speedup {speedup:.2}x",
+                id.name(),
+                r.nr_dpus,
+                total
+            );
+            table.row([
+                id.name().to_string(),
+                format!("{colors} ({})", r.nr_dpus),
+                fmt_secs(r.times.setup),
+                fmt_secs(r.times.sample_creation),
+                fmt_secs(r.times.triangle_count),
+                fmt_secs(total),
+                format!("{speedup:.2}x"),
+            ]);
+            rows.push(Row {
+                graph: id.name(),
+                colors,
+                nr_dpus: r.nr_dpus,
+                setup_secs: r.times.setup,
+                sample_secs: r.times.sample_creation,
+                count_secs: r.times.triangle_count,
+                total_secs: total,
+                speedup_vs_smallest: speedup,
+            });
+        }
+    }
+    let md = format!(
+        "# Figure 4: PIM-core scaling (exact counts, per-graph color sweep)\n\n\
+         Speedup is relative to the smallest configuration of the same\n\
+         graph, including setup time (as in the paper's Fig. 4).\n\n{}",
+        table.render()
+    );
+    println!("{md}");
+    harness.save("fig4_scaling", &md, &rows);
+}

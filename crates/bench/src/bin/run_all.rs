@@ -1,0 +1,41 @@
+//! Runs every experiment binary in paper order, collecting all tables and
+//! figures into `results/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 12] = [
+    "table1_2",
+    "fig3_throughput",
+    "fig4_scaling",
+    "fig5_misra_gries",
+    "table3_uniform",
+    "table4_reservoir",
+    "fig6_static",
+    "ext_energy",
+    "ext_ablation_index",
+    "ext_local",
+    "ext_relabel",
+    "ext_estimators",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS.iter().chain(std::iter::once(&"fig7_dynamic")) {
+        eprintln!("==== running {name} ====");
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("!!!! {name} failed with {status}");
+            failed.push(*name);
+        }
+    }
+    if failed.is_empty() {
+        eprintln!("==== all experiments completed; see results/ ====");
+    } else {
+        eprintln!("==== failed: {failed:?} ====");
+        std::process::exit(1);
+    }
+}

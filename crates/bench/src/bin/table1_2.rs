@@ -1,0 +1,64 @@
+//! Tables 1 and 2: characteristics of the evaluation graphs.
+//!
+//! Regenerates, for the seven synthetic stand-ins, the quantities the
+//! paper reports for its datasets: |E|, |V|, exact triangle count
+//! (Table 1), and max degree, average degree, global clustering
+//! coefficient (Table 2).
+
+use pim_bench::{Harness, MdTable};
+use pim_graph::datasets::DatasetId;
+use pim_graph::stats;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: &'static str,
+    proxies_for: &'static str,
+    num_edges: u64,
+    num_nodes: u64,
+    triangles: u64,
+    max_degree: u32,
+    avg_degree: f64,
+    global_clustering: f64,
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let mut rows = Vec::new();
+    let mut t1 = MdTable::new(["Graph", "Proxy for", "|E|", "|V|", "Triangles"]);
+    let mut t2 = MdTable::new(["Graph", "Max degree", "Avg degree", "Global clustering"]);
+    for id in DatasetId::ALL {
+        let g = harness.dataset(id);
+        let s = stats::graph_stats(&g);
+        t1.row([
+            id.name().to_string(),
+            id.proxies_for().to_string(),
+            s.num_edges.to_string(),
+            s.num_nodes.to_string(),
+            s.triangles.to_string(),
+        ]);
+        t2.row([
+            id.name().to_string(),
+            s.max_degree.to_string(),
+            format!("{:.2}", s.avg_degree),
+            format!("{:.3e}", s.global_clustering),
+        ]);
+        rows.push(Row {
+            name: id.name(),
+            proxies_for: id.proxies_for(),
+            num_edges: s.num_edges,
+            num_nodes: s.num_nodes,
+            triangles: s.triangles,
+            max_degree: s.max_degree,
+            avg_degree: s.avg_degree,
+            global_clustering: s.global_clustering,
+        });
+    }
+    let md = format!(
+        "# Table 1: evaluation graphs\n\n{}\n# Table 2: degree and clustering\n\n{}",
+        t1.render(),
+        t2.render()
+    );
+    println!("{md}");
+    harness.save("table1_2", &md, &rows);
+}

@@ -1,0 +1,89 @@
+//! Table 3: relative error under uniform edge sampling, plus the §4.4
+//! speedup observation.
+//!
+//! Keeps each edge with probability `p ∈ {0.5, 0.25, 0.1, 0.01}`,
+//! corrects by `p³`, and reports the relative error against the exact
+//! count, averaged over trials. `roads` (the V1r stand-in, 49 triangles)
+//! is expected to blow up — removing almost any edge kills a visible
+//! fraction of so few triangles.
+
+use pim_bench::{fmt_pct, pim_config, Harness, MdTable};
+use pim_graph::datasets::DatasetId;
+use serde::Serialize;
+
+const COLORS: u32 = 11;
+const P_SWEEP: [f64; 4] = [0.5, 0.25, 0.1, 0.01];
+const TRIALS: u64 = 3;
+
+#[derive(Serialize)]
+struct Row {
+    graph: &'static str,
+    p: f64,
+    mean_relative_error: f64,
+    speedup_vs_exact: f64,
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = MdTable::new(["Graph", "p=0.5", "p=0.25", "p=0.1", "p=0.01", "speedup@0.01"]);
+    for id in DatasetId::ALL {
+        let g = harness.dataset(id);
+        // (graph size available in the saved stats; not needed here)
+        let exact_run = pim_tc::count_triangles(
+            &g,
+            &pim_config(COLORS, &g).build().unwrap(),
+        )
+        .unwrap();
+        assert!(exact_run.exact);
+        let exact = exact_run.rounded();
+        let exact_time = exact_run.times.without_setup();
+        let mut cells = vec![id.name().to_string()];
+        let mut speedup_at_001 = 0.0;
+        for p in P_SWEEP {
+            let mut err_sum = 0.0;
+            let mut time_sum = 0.0;
+            for trial in 0..TRIALS {
+                // Seeded capacity planning: the coloring depends on the
+                // seed, so plan under the same one the run uses (keeps
+                // the reservoir out of the uniform-sampling experiment).
+                let config = pim_bench::pim_config_seeded(COLORS, &g, 0xBEEF + trial)
+                    .uniform_p(p)
+                    .build()
+                    .unwrap();
+                let r = pim_tc::count_triangles(&g, &config).unwrap();
+                err_sum += r.relative_error(exact);
+                time_sum += r.times.without_setup();
+            }
+            let mean_err = err_sum / TRIALS as f64;
+            let mean_time = time_sum / TRIALS as f64;
+            let speedup = exact_time / mean_time;
+            if p == 0.01 {
+                speedup_at_001 = speedup;
+            }
+            eprintln!(
+                "[table3] {} p={p}: err {} speedup {speedup:.1}x",
+                id.name(),
+                fmt_pct(mean_err)
+            );
+            cells.push(fmt_pct(mean_err));
+            rows.push(Row {
+                graph: id.name(),
+                p,
+                mean_relative_error: mean_err,
+                speedup_vs_exact: speedup,
+            });
+        }
+        cells.push(format!("{speedup_at_001:.1}x"));
+        table.row(cells);
+    }
+    let md = format!(
+        "# Table 3: uniform-sampling relative error (C = {COLORS}, {TRIALS} trials)\n\n\
+         Estimates are corrected by p³ (§3.2). The speedup column compares\n\
+         non-setup time at p = 0.01 against the exact run (§4.4 reports up\n\
+         to 80x on billion-edge graphs; smaller graphs amortize less).\n\n{}",
+        table.render()
+    );
+    println!("{md}");
+    harness.save("table3_uniform", &md, &rows);
+}

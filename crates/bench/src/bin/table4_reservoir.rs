@@ -1,0 +1,104 @@
+//! Table 4: relative error under reservoir sampling.
+//!
+//! Limits every core's sample to `p ×` the expected maximum load
+//! `6|E|/C²` (for `p ∈ {0.5, 0.25, 0.1, 0.01}`), forcing the reservoir
+//! path, and reports the relative error of the corrected estimate. Also
+//! records how the time splits between sample creation (rises: edge
+//! replacements) and counting (falls: smaller samples) — the §4.5
+//! trade-off discussion.
+
+use pim_bench::{fmt_pct, fmt_secs, pim_config, Harness, MdTable};
+use pim_graph::datasets::DatasetId;
+use pim_tc::TcConfig;
+use serde::Serialize;
+
+const COLORS: u32 = 11;
+const P_SWEEP: [f64; 4] = [0.5, 0.25, 0.1, 0.01];
+const TRIALS: u64 = 3;
+
+#[derive(Serialize)]
+struct Row {
+    graph: &'static str,
+    p: f64,
+    sample_capacity: u64,
+    mean_relative_error: f64,
+    sample_secs: f64,
+    count_secs: f64,
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = MdTable::new(["Graph", "p=0.5", "p=0.25", "p=0.1", "p=0.01"]);
+    let mut time_table =
+        MdTable::new(["Graph", "p", "Sample creation", "Triangle count"]);
+    for id in DatasetId::ALL {
+        let g = harness.dataset(id);
+        let edges = g.num_edges() as u64;
+        let exact = {
+            let r = pim_tc::count_triangles(&g, &pim_config(COLORS, &g).build().unwrap())
+                .unwrap();
+            assert!(r.exact);
+            r.rounded()
+        };
+        let expected_max =
+            (6.0 * edges as f64 / (COLORS as f64 * COLORS as f64)).ceil() as u64;
+        let mut cells = vec![id.name().to_string()];
+        for p in P_SWEEP {
+            let capacity = ((expected_max as f64 * p).ceil() as u64).max(3);
+            let mut err_sum = 0.0;
+            let mut sample_secs = 0.0;
+            let mut count_secs = 0.0;
+            for trial in 0..TRIALS {
+                let config = TcConfig::builder()
+                    .colors(COLORS)
+                    .sample_capacity(capacity)
+                    .stage_edges(2048)
+                    .seed(0xFEED + trial)
+                    .build()
+                    .unwrap();
+                let r = pim_tc::count_triangles(&g, &config).unwrap();
+                assert!(
+                    r.reservoir_overflowed,
+                    "{} p={p}: reservoir should overflow",
+                    id.name()
+                );
+                err_sum += r.relative_error(exact);
+                sample_secs += r.times.sample_creation;
+                count_secs += r.times.triangle_count;
+            }
+            let mean_err = err_sum / TRIALS as f64;
+            eprintln!(
+                "[table4] {} p={p} (M={capacity}): err {}",
+                id.name(),
+                fmt_pct(mean_err)
+            );
+            cells.push(fmt_pct(mean_err));
+            time_table.row([
+                id.name().to_string(),
+                format!("{p}"),
+                fmt_secs(sample_secs / TRIALS as f64),
+                fmt_secs(count_secs / TRIALS as f64),
+            ]);
+            rows.push(Row {
+                graph: id.name(),
+                p,
+                sample_capacity: capacity,
+                mean_relative_error: mean_err,
+                sample_secs: sample_secs / TRIALS as f64,
+                count_secs: count_secs / TRIALS as f64,
+            });
+        }
+        table.row(cells);
+    }
+    let md = format!(
+        "# Table 4: reservoir-sampling relative error (C = {COLORS}, {TRIALS} trials)\n\n\
+         Sample capacity = p x expected max load 6|E|/C^2; per-core counts\n\
+         corrected by M(M-1)(M-2)/(t(t-1)(t-2)) (§3.3).\n\n{}\n\
+         ## Phase-time trade-off (§4.5)\n\n{}",
+        table.render(),
+        time_table.render()
+    );
+    println!("{md}");
+    harness.save("table4_reservoir", &md, &rows);
+}

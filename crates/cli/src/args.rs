@@ -1,0 +1,135 @@
+//! A small dependency-free argument parser: positional operands plus
+//! `--key value` / `--flag` options.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals in order, options by name.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Option names that take a value; anything else starting with `--` is a
+/// boolean flag.
+const VALUED: &[&str] = &[
+    "colors",
+    "uniform-p",
+    "capacity",
+    "misra-gries",
+    "seed",
+    "scale",
+    "nodes",
+    "avg-degree",
+    "gamma",
+    "edge-factor",
+    "probability",
+    "radius",
+    "batches",
+];
+
+impl Args {
+    /// Parses `argv` (without the program/subcommand names).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if VALUED.contains(&name) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} expects a value"))?;
+                    args.options.insert(name.to_string(), value.clone());
+                } else {
+                    args.flags.push(name.to_string());
+                }
+            } else {
+                args.positional.push(tok.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `i`-th positional operand.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// A boolean flag's presence.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A parsed option value.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("--{name}: cannot parse {raw:?}")),
+        }
+    }
+
+    /// An option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        Ok(self.get(name)?.unwrap_or(default))
+    }
+
+    /// The `--misra-gries K,T` pair.
+    pub fn misra_gries(&self) -> Result<Option<(usize, usize)>, String> {
+        match self.options.get("misra-gries") {
+            None => Ok(None),
+            Some(raw) => {
+                let (k, t) = raw
+                    .split_once(',')
+                    .ok_or_else(|| format!("--misra-gries expects K,T, got {raw:?}"))?;
+                let k = k.trim().parse().map_err(|_| format!("bad K in {raw:?}"))?;
+                let t = t.trim().parse().map_err(|_| format!("bad T in {raw:?}"))?;
+                Ok(Some((k, t)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(toks: &[&str]) -> Args {
+        Args::parse(&toks.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positionals_options_and_flags() {
+        let a = parse(&["graph.txt", "--colors", "8", "--json", "out.txt"]);
+        assert_eq!(a.positional(0), Some("graph.txt"));
+        assert_eq!(a.positional(1), Some("out.txt"));
+        assert_eq!(a.get::<u32>("colors").unwrap(), Some(8));
+        assert!(a.flag("json"));
+        assert!(!a.flag("baseline"));
+    }
+
+    #[test]
+    fn defaults_and_parse_errors() {
+        let a = parse(&[]);
+        assert_eq!(a.get_or("colors", 4u32).unwrap(), 4);
+        let a = parse(&["--colors", "banana"]);
+        assert!(a.get::<u32>("colors").is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let argv = vec!["--colors".to_string()];
+        assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn misra_gries_pair() {
+        let a = parse(&["--misra-gries", "1024,64"]);
+        assert_eq!(a.misra_gries().unwrap(), Some((1024, 64)));
+        let a = parse(&["--misra-gries", "1024"]);
+        assert!(a.misra_gries().is_err());
+    }
+}

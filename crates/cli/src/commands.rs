@@ -1,0 +1,335 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use pim_graph::{gen, io, prep, stats, CooGraph};
+use pim_tc::TcConfig;
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage:
+  pimtc count <graph> [--colors C] [--uniform-p P] [--capacity M]
+              [--misra-gries K,T] [--seed S] [--baseline] [--json]
+      Count triangles on the simulated PIM system. --baseline also runs
+      the measured CPU baseline; --local reports the top triangle-central
+      vertices (per-vertex counting).
+
+  pimtc stats <graph> [--json]
+      Graph characteristics: |V|, |E|, triangles, degrees, clustering.
+
+  pimtc generate <kind> <out> [--seed S] [options]
+      Write a synthetic graph. Kinds and their options:
+        rmat       --scale N (2^N nodes)   --edge-factor F
+        er         --nodes N               --probability P
+        powerlaw   --nodes N --avg-degree D --gamma G
+        grid       --nodes N (rows=cols=sqrt N)
+        geometric  --nodes N --radius R
+
+  pimtc dynamic <graph> [--batches B] [--colors C] [--json]
+      Split the graph into B update batches and recount after each.
+
+  pimtc convert <in> <out>
+      Convert between the text and binary edge-list formats (direction
+      inferred from the .bin extension).
+
+Graphs: text edge lists ('u v' per line, # comments), or binary if the
+path ends in .bin. Output of `generate` follows the same rule.";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "count" => cmd_count(&args),
+        "stats" => cmd_stats(&args),
+        "generate" => cmd_generate(&args),
+        "dynamic" => cmd_dynamic(&args),
+        "convert" => cmd_convert(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<CooGraph, String> {
+    let result = if path.ends_with(".bin") {
+        io::load_binary(path)
+    } else {
+        io::load_text(path)
+    };
+    result.map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn save(g: &CooGraph, path: &str) -> Result<(), String> {
+    let result = if path.ends_with(".bin") {
+        io::save_binary(g, path)
+    } else {
+        io::save_text(g, path)
+    };
+    result.map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn build_config(args: &Args, graph: &CooGraph) -> Result<TcConfig, String> {
+    let colors: u32 = args.get_or("colors", 8)?;
+    let seed: u64 = args.get_or("seed", 0x9E3779B97F4A7C15)?;
+    let mut builder = TcConfig::builder().colors(colors).seed(seed);
+    builder = builder.uniform_p(args.get_or("uniform-p", 1.0)?);
+    if let Some(m) = args.get::<u64>("capacity")? {
+        builder = builder.sample_capacity(m);
+    } else {
+        // Plan capacity from the true per-core loads so exact runs fit
+        // and simulator memory stays bounded.
+        let max_load = pim_tc::host::dpu_loads(graph.edges(), colors, seed)
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        builder = builder.sample_capacity((max_load + 64).max(3));
+    }
+    if let Some((k, t)) = args.misra_gries()? {
+        builder = builder.misra_gries(k, t);
+    }
+    if args.flag("local") {
+        builder = builder.local_counting(graph.num_nodes());
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn cmd_convert(args: &Args) -> Result<(), String> {
+    let input = args.positional(0).ok_or("convert: missing input path")?;
+    let output = args.positional(1).ok_or("convert: missing output path")?;
+    let graph = load(input)?;
+    save(&graph, output)?;
+    println!(
+        "converted {input} -> {output} ({} edges)",
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_count(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("count: missing graph path")?;
+    let mut graph = load(path)?;
+    prep::preprocess(&mut graph, 0);
+    let config = build_config(args, &graph)?;
+    let result = pim_tc::count_triangles(&graph, &config).map_err(|e| e.to_string())?;
+    if args.flag("json") {
+        println!("{}", serde_json::to_string_pretty(&result).unwrap());
+    } else {
+        println!(
+            "{} triangles ({}) on {} PIM cores",
+            result.rounded(),
+            if result.exact { "exact" } else { "estimated" },
+            result.nr_dpus
+        );
+        println!(
+            "modeled time: setup {:.3} ms, sample creation {:.3} ms, count {:.3} ms",
+            result.times.setup * 1e3,
+            result.times.sample_creation * 1e3,
+            result.times.triangle_count * 1e3
+        );
+        println!(
+            "modeled energy: {:.4} J ({} edges routed, max core load {})",
+            result.energy.total_j(),
+            result.edges_routed,
+            result.max_dpu_load
+        );
+        if let Some(local) = &result.local_counts {
+            let mut ranked: Vec<(usize, f64)> = local
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, c)| c > 0.0)
+                .collect();
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            println!("top triangle-central vertices:");
+            for (node, count) in ranked.into_iter().take(5) {
+                println!("  node {node}: {count:.0}");
+            }
+        }
+    }
+    if args.flag("baseline") {
+        let cpu = pim_baselines::cpu_count(&graph);
+        println!(
+            "CPU baseline (measured): {} triangles, convert {:.3} ms + count {:.3} ms",
+            cpu.triangles,
+            cpu.convert_secs * 1e3,
+            cpu.count_secs * 1e3
+        );
+        if cpu.triangles != result.rounded() && result.exact {
+            return Err("exact PIM result disagrees with CPU baseline".into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("stats: missing graph path")?;
+    let mut graph = load(path)?;
+    prep::preprocess(&mut graph, 0);
+    let s = stats::graph_stats(&graph);
+    if args.flag("json") {
+        println!("{}", serde_json::to_string_pretty(&s).unwrap());
+    } else {
+        println!("nodes:               {}", s.num_nodes);
+        println!("edges:               {}", s.num_edges);
+        println!("triangles:           {}", s.triangles);
+        println!("max degree:          {}", s.max_degree);
+        println!("avg degree:          {:.2}", s.avg_degree);
+        println!("global clustering:   {:.6}", s.global_clustering);
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let kind = args.positional(0).ok_or("generate: missing kind")?;
+    let out = args.positional(1).ok_or("generate: missing output path")?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let graph = match kind {
+        "rmat" => {
+            let scale: u32 = args.get_or("scale", 12)?;
+            let ef: u32 = args.get_or("edge-factor", 16)?;
+            gen::rmat(scale, ef, 0.57, 0.19, 0.19, seed)
+        }
+        "er" => {
+            let n: u32 = args.get_or("nodes", 1000)?;
+            let p: f64 = args.get_or("probability", 0.01)?;
+            gen::erdos_renyi(n, p, seed)
+        }
+        "powerlaw" => {
+            let n: u32 = args.get_or("nodes", 10_000)?;
+            let avg: f64 = args.get_or("avg-degree", 10.0)?;
+            let gamma: f64 = args.get_or("gamma", 2.3)?;
+            gen::chung_lu(
+                gen::chung_lu::ChungLuParams {
+                    n,
+                    gamma,
+                    avg_degree: avg,
+                    max_degree_frac: 0.1,
+                },
+                seed,
+            )
+        }
+        "grid" => {
+            let n: u32 = args.get_or("nodes", 10_000)?;
+            let side = (n as f64).sqrt().ceil() as u32;
+            gen::grid2d(side, side, 1.0, 0, seed)
+        }
+        "geometric" => {
+            let n: u32 = args.get_or("nodes", 5_000)?;
+            let r: f64 = args.get_or("radius", 0.03)?;
+            gen::random_geometric(n, r, seed)
+        }
+        other => return Err(format!("unknown generator kind {other:?}")),
+    };
+    save(&graph, out)?;
+    println!(
+        "wrote {} ({} nodes, {} raw edges)",
+        out,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_dynamic(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("dynamic: missing graph path")?;
+    let batches_n: usize = args.get_or("batches", 10)?;
+    let mut graph = load(path)?;
+    prep::preprocess(&mut graph, 0);
+    let config = build_config(args, &graph)?;
+    let batches = graph.split_batches(batches_n);
+    let timings =
+        pim_baselines::dynamic::pim_dynamic(&batches, &config).map_err(|e| e.to_string())?;
+    if args.flag("json") {
+        println!("{}", serde_json::to_string_pretty(&timings).unwrap());
+    } else {
+        println!("update | triangles | cumulative modeled time");
+        for t in &timings {
+            println!(
+                "{:6} | {:9} | {:10.3} ms",
+                t.update + 1,
+                t.triangles.round(),
+                t.cumulative_secs * 1e3
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Exposed for tests: loads-or-fails quickly without touching the PIM path.
+#[allow(dead_code)]
+pub fn graph_exists(path: &str) -> bool {
+    Path::new(path).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &[&str]) -> Result<(), String> {
+        dispatch(&line.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("pimtc_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_stats_count_round_trip() {
+        let path = tmp("g1.txt");
+        run(&["generate", "er", &path, "--nodes", "120", "--probability", "0.1"]).unwrap();
+        run(&["stats", &path]).unwrap();
+        run(&["count", &path, "--colors", "3", "--baseline"]).unwrap();
+    }
+
+    #[test]
+    fn binary_output_works() {
+        let path = tmp("g2.bin");
+        run(&["generate", "rmat", &path, "--scale", "8", "--edge-factor", "4"]).unwrap();
+        run(&["count", &path, "--colors", "2"]).unwrap();
+    }
+
+    #[test]
+    fn dynamic_runs() {
+        let path = tmp("g3.txt");
+        run(&["generate", "powerlaw", &path, "--nodes", "300", "--avg-degree", "6"]).unwrap();
+        run(&["dynamic", &path, "--batches", "3", "--colors", "2"]).unwrap();
+    }
+
+    #[test]
+    fn convert_round_trips() {
+        let txt = tmp("c1.txt");
+        let bin = tmp("c1.bin");
+        let back = tmp("c2.txt");
+        run(&["generate", "er", &txt, "--nodes", "50", "--probability", "0.2"]).unwrap();
+        run(&["convert", &txt, &bin]).unwrap();
+        run(&["convert", &bin, &back]).unwrap();
+        let a = pim_graph::io::load_text(&txt).unwrap();
+        let b = pim_graph::io::load_text(&back).unwrap();
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn local_flag_reports_central_vertices() {
+        let path = tmp("c3.txt");
+        run(&["generate", "er", &path, "--nodes", "60", "--probability", "0.3"]).unwrap();
+        run(&["count", &path, "--colors", "2", "--local"]).unwrap();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&["count"]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["generate", "nope", "/tmp/x"]).is_err());
+        assert!(run(&["count", "/nonexistent/graph.txt"]).is_err());
+    }
+
+    #[test]
+    fn help_prints() {
+        run(&["help"]).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! `pimtc` — the PIM-TC command-line interface.
+//!
+//! ```text
+//! pimtc count <graph> [--colors C] [--uniform-p P] [--capacity M]
+//!             [--misra-gries K,T] [--seed S] [--baseline] [--json]
+//! pimtc stats <graph> [--json]
+//! pimtc generate <kind> <out> [--scale N | --nodes N] [--seed S] ...
+//! ```
+//!
+//! Graphs are text edge lists (`u v` per line, `#` comments — the SNAP
+//! convention) or the compact binary format (`.bin` extension).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Run configuration for the PIM-TC pipeline.
+
+use crate::error::TcError;
+use crate::triplets::nr_triplets;
+use pim_sim::{CostModel, PimConfig};
+use serde::{Deserialize, Serialize};
+
+/// Misra-Gries parameters (§3.5): `k` is the summary capacity per host
+/// thread, `t` the number of top-degree vertices remapped on the DPUs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MisraGriesConfig {
+    /// Summary capacity `K` (per host thread).
+    pub k: usize,
+    /// Number of heavy hitters remapped on the PIM cores.
+    pub t: usize,
+}
+
+/// Full configuration for [`crate::count_triangles`] / [`crate::TcSession`].
+///
+/// Build with [`TcConfig::builder`]; `build` validates cross-field
+/// constraints (core budget, probability ranges, WRAM feasibility).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TcConfig {
+    /// Number of vertex colors `C`; uses `C(C+2,3)` PIM cores.
+    pub colors: u32,
+    /// Master seed for coloring, sampling, and DPU RNG streams.
+    pub seed: u64,
+    /// Host-level uniform sampling keep-probability (§3.2); `1.0` disables
+    /// it (exact mode).
+    pub uniform_p: f64,
+    /// Per-core sample capacity override in edges (§3.3 / §4.5
+    /// experiments). `None` derives the maximum capacity from MRAM.
+    pub sample_capacity: Option<u64>,
+    /// Misra-Gries heavy-hitter remapping; `None` disables it.
+    pub misra_gries: Option<MisraGriesConfig>,
+    /// Local (per-vertex) counting: size of the node-id space to track.
+    /// `None` disables it. Incompatible with `misra_gries` (remapped ids
+    /// leave the tracked space).
+    pub local_nodes: Option<u32>,
+    /// Edges per staging round pushed to each core before the receive
+    /// kernel runs.
+    pub stage_edges: u64,
+    /// Simulated hardware shape.
+    pub pim: PimConfig,
+    /// Simulated timing parameters.
+    pub cost: CostModel,
+}
+
+impl TcConfig {
+    /// Starts a builder with paper-like defaults.
+    pub fn builder() -> TcConfigBuilder {
+        TcConfigBuilder::default()
+    }
+
+    /// PIM cores this configuration will allocate.
+    pub fn nr_dpus(&self) -> usize {
+        nr_triplets(self.colors)
+    }
+
+    /// Validates cross-field constraints.
+    pub fn validate(&self) -> Result<(), TcError> {
+        if self.colors < 1 {
+            return Err(TcError::Config("colors must be >= 1".into()));
+        }
+        let needed = self.nr_dpus();
+        if needed > self.pim.total_dpus {
+            return Err(TcError::Config(format!(
+                "{} colors need {} PIM cores but the system has {}",
+                self.colors, needed, self.pim.total_dpus
+            )));
+        }
+        if !(self.uniform_p > 0.0 && self.uniform_p <= 1.0) {
+            return Err(TcError::Config(format!(
+                "uniform_p must be in (0, 1], got {}",
+                self.uniform_p
+            )));
+        }
+        if self.stage_edges == 0 {
+            return Err(TcError::Config("stage_edges must be positive".into()));
+        }
+        if let Some(mg) = &self.misra_gries {
+            if mg.k == 0 {
+                return Err(TcError::Config("misra_gries.k must be positive".into()));
+            }
+            // The remap table must fit in a tasklet's WRAM share so the
+            // remap kernel can hold it resident (8 bytes per entry, half
+            // the share left for edge buffers).
+            let max_t = self.pim.wram_per_tasklet() / 16;
+            if mg.t > max_t {
+                return Err(TcError::Config(format!(
+                    "misra_gries.t = {} exceeds the WRAM-resident limit {max_t}",
+                    mg.t
+                )));
+            }
+        }
+        if let Some(m) = self.sample_capacity {
+            if m < 3 {
+                return Err(TcError::Config(
+                    "sample_capacity below 3 cannot hold a triangle".into(),
+                ));
+            }
+        }
+        if self.local_nodes.is_some() && self.misra_gries.is_some() {
+            return Err(TcError::Config(
+                "local counting and Misra-Gries remapping are incompatible \
+                 (remapped ids leave the tracked node space)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`TcConfig`].
+#[derive(Clone, Debug)]
+pub struct TcConfigBuilder {
+    config: TcConfig,
+}
+
+impl Default for TcConfigBuilder {
+    fn default() -> Self {
+        TcConfigBuilder {
+            config: TcConfig {
+                colors: 4,
+                seed: 0x9E3779B97F4A7C15,
+                uniform_p: 1.0,
+                sample_capacity: None,
+                misra_gries: None,
+                local_nodes: None,
+                stage_edges: 2048,
+                pim: PimConfig::default(),
+                cost: CostModel::default(),
+            },
+        }
+    }
+}
+
+impl TcConfigBuilder {
+    /// Sets the color count `C` (PIM cores = `C(C+2,3)`).
+    pub fn colors(mut self, colors: u32) -> Self {
+        self.config.colors = colors;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Enables host-level uniform sampling with keep-probability `p`.
+    pub fn uniform_p(mut self, p: f64) -> Self {
+        self.config.uniform_p = p;
+        self
+    }
+
+    /// Caps each core's sample at `m` edges (reservoir experiments).
+    pub fn sample_capacity(mut self, m: u64) -> Self {
+        self.config.sample_capacity = Some(m);
+        self
+    }
+
+    /// Enables Misra-Gries remapping with capacity `k` and top-`t`.
+    pub fn misra_gries(mut self, k: usize, t: usize) -> Self {
+        self.config.misra_gries = Some(MisraGriesConfig { k, t });
+        self
+    }
+
+    /// Enables local (per-vertex) counting over node ids `[0, nodes)`.
+    pub fn local_counting(mut self, nodes: u32) -> Self {
+        self.config.local_nodes = Some(nodes);
+        self
+    }
+
+    /// Sets the staging batch size in edges.
+    pub fn stage_edges(mut self, edges: u64) -> Self {
+        self.config.stage_edges = edges;
+        self
+    }
+
+    /// Overrides the simulated hardware shape.
+    pub fn pim(mut self, pim: PimConfig) -> Self {
+        self.config.pim = pim;
+        self
+    }
+
+    /// Overrides the timing model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.config.cost = cost;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<TcConfig, TcError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        let c = TcConfig::builder().build().unwrap();
+        assert_eq!(c.colors, 4);
+        assert_eq!(c.nr_dpus(), 20);
+        assert!(c.misra_gries.is_none());
+    }
+
+    #[test]
+    fn paper_configuration_fits_the_machine() {
+        let c = TcConfig::builder().colors(23).build().unwrap();
+        assert_eq!(c.nr_dpus(), 2300);
+    }
+
+    #[test]
+    fn too_many_colors_rejected() {
+        // 24 colors → 2600 > 2560 DPUs.
+        let err = TcConfig::builder().colors(24).build().unwrap_err();
+        assert!(matches!(err, TcError::Config(_)));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        assert!(TcConfig::builder().uniform_p(0.0).build().is_err());
+        assert!(TcConfig::builder().uniform_p(1.5).build().is_err());
+        assert!(TcConfig::builder().uniform_p(0.01).build().is_ok());
+    }
+
+    #[test]
+    fn oversized_remap_table_rejected() {
+        // Default WRAM share is 4096 B → limit 256 entries.
+        assert!(TcConfig::builder().misra_gries(1024, 256).build().is_ok());
+        assert!(TcConfig::builder().misra_gries(1024, 257).build().is_err());
+    }
+
+    #[test]
+    fn local_counting_conflicts_with_misra_gries() {
+        assert!(TcConfig::builder()
+            .misra_gries(64, 8)
+            .local_counting(100)
+            .build()
+            .is_err());
+        assert!(TcConfig::builder().local_counting(100).build().is_ok());
+    }
+
+    #[test]
+    fn tiny_sample_capacity_rejected() {
+        assert!(TcConfig::builder().sample_capacity(2).build().is_err());
+        assert!(TcConfig::builder().sample_capacity(3).build().is_ok());
+    }
+}

@@ -1,0 +1,118 @@
+//! Assembling per-core counts into the final estimate.
+//!
+//! Three corrections compose (§3.1–§3.3):
+//!
+//! 1. **Reservoir**: each core's raw count is divided by its own triple
+//!    survival probability `M(M−1)(M−2)/(t(t−1)(t−2))`.
+//! 2. **Redundancy**: monochromatic triangles are counted by exactly `C`
+//!    cores, and the `C` single-color cores count *only* monochromatic
+//!    triangles, so subtracting `(C−1) ×` their (corrected) total removes
+//!    the duplicates in expectation.
+//! 3. **Uniform sampling**: the grand total is divided by `p³`.
+
+use crate::result::DpuReport;
+use pim_stream::estimators::{correct_reservoir, correct_uniform};
+
+/// Outcome of assembling the per-core reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Assembled {
+    /// Final estimate (clamped at zero).
+    pub estimate: f64,
+    /// Sum of raw per-core counts.
+    pub raw_total: u64,
+    /// Whether any core overflowed its reservoir.
+    pub any_overflow: bool,
+}
+
+/// Applies the correction stack. `reports[i].corrected` is filled in as a
+/// side effect so callers can inspect per-core contributions.
+pub fn assemble(reports: &mut [DpuReport], colors: u32, uniform_p: f64) -> Assembled {
+    let mut total = 0.0f64;
+    let mut mono_total = 0.0f64;
+    let mut raw_total = 0u64;
+    let mut any_overflow = false;
+    for r in reports.iter_mut() {
+        r.corrected = correct_reservoir(r.raw, r.capacity, r.seen);
+        any_overflow |= r.overflowed();
+        raw_total += r.raw;
+        total += r.corrected;
+        if r.mono {
+            mono_total += r.corrected;
+        }
+    }
+    let deduped = total - (colors.saturating_sub(1)) as f64 * mono_total;
+    let estimate = correct_uniform(deduped, uniform_p).max(0.0);
+    Assembled { estimate, raw_total, any_overflow }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplets::ColorTriplet;
+
+    fn report(raw: u64, seen: u64, cap: u64, mono: bool) -> DpuReport {
+        DpuReport {
+            dpu: 0,
+            triplet: if mono {
+                ColorTriplet::new(0, 0, 0)
+            } else {
+                ColorTriplet::new(0, 1, 2)
+            },
+            raw,
+            seen,
+            capacity: cap,
+            resident: seen.min(cap),
+            corrected: 0.0,
+            mono,
+        }
+    }
+
+    #[test]
+    fn exact_mode_is_a_plain_dedup_sum() {
+        // C = 2: mono triangles counted twice; mono cores saw 3 of them.
+        let mut reports = vec![
+            report(10, 50, 100, true),  // color 0 mono: 10 (all mono tris)
+            report(5, 50, 100, true),   // color 1 mono: 5
+            report(40, 50, 100, false), // mixed cores
+            report(25, 50, 100, false),
+        ];
+        let a = assemble(&mut reports, 2, 1.0);
+        assert_eq!(a.raw_total, 80);
+        assert!(!a.any_overflow);
+        // total 80 − (2−1)·15 = 65.
+        assert!((a.estimate - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_color_needs_no_dedup() {
+        let mut reports = vec![report(7, 10, 100, true)];
+        let a = assemble(&mut reports, 1, 1.0);
+        assert!((a.estimate - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reservoir_correction_is_per_core() {
+        let mut reports = vec![report(10, 200, 100, false), report(10, 50, 100, false)];
+        let a = assemble(&mut reports, 3, 1.0);
+        assert!(a.any_overflow);
+        // Core 0 scaled up, core 1 untouched.
+        assert!(reports[0].corrected > 10.0);
+        assert_eq!(reports[1].corrected, 10.0);
+        assert!((a.estimate - (reports[0].corrected + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_correction_scales_the_total() {
+        let mut reports = vec![report(8, 10, 100, false)];
+        let a = assemble(&mut reports, 2, 0.5);
+        assert!((a.estimate - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_never_goes_negative() {
+        // Pathological sampling noise: mono counts exceed the total.
+        let mut reports = vec![report(0, 10, 100, false), report(10, 10, 100, true)];
+        let a = assemble(&mut reports, 5, 1.0);
+        assert_eq!(a.estimate, 0.0);
+    }
+}

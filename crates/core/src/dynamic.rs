@@ -1,0 +1,615 @@
+//! Dynamic-graph sessions (§4.6).
+//!
+//! COO's O(1) append is the reason the paper's PIM implementation wins on
+//! dynamic workloads: new edges go straight into the per-core samples (no
+//! CSR rebuild), and counting restarts on the updated samples. A
+//! [`TcSession`] owns the allocated PIM system across updates:
+//!
+//! ```text
+//! let mut s = TcSession::start(&config)?;
+//! s.append(batch_1)?;  let r1 = s.count()?;   // count after update 1
+//! s.append(batch_2)?;  let r2 = s.count()?;   // count after update 2
+//! let final = s.finish()?;                     // last count + release
+//! ```
+//!
+//! [`crate::count_triangles`] is simply a one-append session.
+
+use crate::config::TcConfig;
+use crate::correction;
+use crate::error::TcError;
+use crate::host::{route_edges, RouteParams};
+use crate::kernel::layout::{Header, MramLayout, HDR_REMAP_LEN, HDR_STAGE_LEN};
+use crate::kernel::{count, index, local, receive, remap, rng, sort};
+use crate::result::{DpuReport, TcResult};
+use crate::triplets::TripletAssignment;
+use pim_graph::Edge;
+use pim_sim::system::encode_slice;
+use pim_sim::{HostWrite, Phase, PimSystem};
+use pim_stream::{ColoringHash, MisraGries};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// A live PIM-TC computation: allocated cores, resident edge samples, and
+/// the accumulated sampling state.
+pub struct TcSession {
+    config: TcConfig,
+    assignment: TripletAssignment,
+    coloring: ColoringHash,
+    layout: MramLayout,
+    sys: PimSystem,
+    summary: Option<MisraGries>,
+    /// Stable heavy-hitter assignment: old id → new id. Once assigned, an
+    /// id never changes, so re-remapping resident (already rewritten)
+    /// samples stays consistent across updates.
+    remap_table: Vec<(u32, u32)>,
+    remap_assigned: HashSet<u32>,
+    next_new_id: u32,
+    remap_dirty: bool,
+    offered: u64,
+    kept: u64,
+    append_round: u64,
+}
+
+impl TcSession {
+    /// Allocates the PIM system and initializes every core's bank
+    /// (header, RNG stream, empty sample). Charged to the Setup phase.
+    pub fn start(config: &TcConfig) -> Result<TcSession, TcError> {
+        config.validate()?;
+        let assignment = TripletAssignment::new(config.colors);
+        let coloring = ColoringHash::new(config.colors, config.seed);
+        let remap_cap = config.misra_gries.map(|m| m.t as u64).unwrap_or(0);
+        let layout = MramLayout::compute_with_locals(
+            config.pim.mram_capacity,
+            config.stage_edges,
+            remap_cap,
+            config.local_nodes.map(u64::from).unwrap_or(0),
+            config.sample_capacity,
+        )?;
+        let mut sys = PimSystem::allocate(assignment.nr_dpus(), config.pim, config.cost)?;
+        let writes = (0..assignment.nr_dpus())
+            .map(|dpu| {
+                let hdr = Header {
+                    cap: layout.capacity,
+                    rng: rng::seed_for_dpu(config.seed, dpu),
+                    ..Header::default()
+                };
+                HostWrite { dpu, offset: 0, data: hdr.encode() }
+            })
+            .collect();
+        sys.push(writes)?;
+        Ok(TcSession {
+            config: *config,
+            assignment,
+            coloring,
+            layout,
+            sys,
+            summary: config.misra_gries.map(|m| MisraGries::new(m.k)),
+            remap_table: Vec::new(),
+            remap_assigned: HashSet::new(),
+            next_new_id: u32::MAX,
+            remap_dirty: false,
+            offered: 0,
+            kept: 0,
+            append_round: 0,
+        })
+    }
+
+    /// The number of PIM cores in use.
+    pub fn nr_dpus(&self) -> usize {
+        self.assignment.nr_dpus()
+    }
+
+    /// The per-core MRAM layout in effect.
+    pub fn layout(&self) -> &MramLayout {
+        &self.layout
+    }
+
+    /// Starts recording the simulator's event timeline (see
+    /// [`pim_sim::trace`]); retrieve it with [`TcSession::trace`].
+    pub fn enable_tracing(&mut self) {
+        self.sys.enable_tracing();
+    }
+
+    /// The recorded event timeline (empty unless tracing was enabled).
+    pub fn trace(&self) -> &pim_sim::Trace {
+        self.sys.trace()
+    }
+
+    /// Per-core activity/utilization report (instructions, DMA traffic,
+    /// MRAM usage, imbalance).
+    pub fn system_report(&self) -> pim_sim::SystemReport {
+        pim_sim::SystemReport::capture(&self.sys)
+    }
+
+    /// Streams a batch of edges into the per-core samples (§3.1's batch
+    /// creation + transfer, with reservoir sampling on the cores). O(1)
+    /// per edge on the host side — the COO dynamic-update property.
+    pub fn append(&mut self, edges: &[Edge]) -> Result<(), TcError> {
+        self.sys.set_phase(Phase::SampleCreation);
+        let host_start = Instant::now();
+        let routed = route_edges(
+            edges,
+            RouteParams {
+                assignment: &self.assignment,
+                coloring: &self.coloring,
+                uniform_p: self.config.uniform_p,
+                seed: self.config.seed ^ self.append_round.wrapping_mul(0xA5A5_5A5A),
+                mg_capacity: self.config.misra_gries.map(|m| m.k),
+                threads: self.config.pim.host_threads,
+            },
+        );
+        self.sys.charge_host_seconds(host_start.elapsed().as_secs_f64());
+        self.append_round += 1;
+        self.offered += routed.offered;
+        self.kept += routed.kept;
+        if let (Some(acc), Some(local)) = (self.summary.as_mut(), routed.summary.as_ref()) {
+            acc.merge(local);
+            self.remap_dirty = true;
+        }
+
+        // Push per-core batches through the bounded staging region,
+        // running the receive kernel after each rank-parallel round.
+        let stage = self.layout.stage_edges as usize;
+        let rounds = routed
+            .per_dpu
+            .iter()
+            .map(|b| b.len().div_ceil(stage))
+            .max()
+            .unwrap_or(0);
+        for round in 0..rounds {
+            let mut writes = Vec::new();
+            for (dpu, batch) in routed.per_dpu.iter().enumerate() {
+                let start = round * stage;
+                if start >= batch.len() {
+                    continue;
+                }
+                let chunk = &batch[start..batch.len().min(start + stage)];
+                writes.push(HostWrite {
+                    dpu,
+                    offset: self.layout.staging_off,
+                    data: encode_slice(chunk),
+                });
+                writes.push(HostWrite {
+                    dpu,
+                    offset: HDR_STAGE_LEN,
+                    data: encode_slice(&[chunk.len() as u64]),
+                });
+            }
+            self.sys.push(writes)?;
+            let layout = self.layout;
+            self.sys.execute(move |ctx| receive::receive_kernel(ctx, &layout))?;
+        }
+        Ok(())
+    }
+
+    /// Runs the counting pipeline (remap → sort → index → count → gather
+    /// → correct) on the resident samples and returns the result. Can be
+    /// called repeatedly as more batches are appended.
+    pub fn count(&mut self) -> Result<TcResult, TcError> {
+        self.sys.set_phase(Phase::TriangleCount);
+        let layout = self.layout;
+
+        // Refresh and ship the heavy-hitter table when tracking is on.
+        if self.config.misra_gries.is_some() {
+            self.refresh_remap_assignments();
+            if !self.remap_table.is_empty() {
+                let packed = remap::encode_table(&self.remap_table);
+                self.sys.push(
+                    (0..self.nr_dpus())
+                        .flat_map(|dpu| {
+                            [
+                                HostWrite {
+                                    dpu,
+                                    offset: layout.remap_off,
+                                    data: encode_slice(&packed),
+                                },
+                                HostWrite {
+                                    dpu,
+                                    offset: HDR_REMAP_LEN,
+                                    data: encode_slice(&[packed.len() as u64]),
+                                },
+                            ]
+                        })
+                        .collect(),
+                )?;
+                self.sys.execute(move |ctx| remap::remap_kernel(ctx, &layout))?;
+            }
+        }
+
+        self.sys.execute(move |ctx| sort::sort_kernel(ctx, &layout))?;
+        self.sys.execute(move |ctx| index::index_kernel(ctx, &layout))?;
+        let local_enabled = self.config.local_nodes.is_some();
+        if local_enabled {
+            // Local counts restart from zero on every (re)count.
+            self.sys.execute(move |ctx| local::local_clear_kernel(ctx, &layout))?;
+            self.sys.execute(move |ctx| local::local_count_kernel(ctx, &layout))?;
+        } else {
+            self.sys.execute(move |ctx| count::count_kernel(ctx, &layout))?;
+        }
+
+        // One rank-parallel gather of every core's header.
+        let headers: Vec<Header> = self
+            .sys
+            .gather(0, 64)?
+            .iter()
+            .map(|bytes| Header::decode(bytes))
+            .collect();
+
+        let mut reports: Vec<DpuReport> = headers
+            .iter()
+            .enumerate()
+            .map(|(dpu, h)| {
+                let triplet = self.assignment.triplet_of(dpu);
+                DpuReport {
+                    dpu,
+                    triplet,
+                    raw: h.result,
+                    seen: h.seen,
+                    capacity: h.cap,
+                    resident: h.len,
+                    corrected: 0.0,
+                    mono: triplet.is_mono(),
+                }
+            })
+            .collect();
+        let assembled =
+            correction::assemble(&mut reports, self.config.colors, self.config.uniform_p);
+
+        // Gather and correct per-vertex local counts when enabled: each
+        // core's raw locals scale by its reservoir factor; monochromatic
+        // duplicates are removed via the single-color cores; the uniform
+        // factor applies globally — the same algebra as the global count,
+        // applied slot-wise.
+        let local_counts = if local_enabled {
+            let nodes = u64::from(self.config.local_nodes.unwrap_or(0));
+            let mut totals = vec![0.0f64; nodes as usize];
+            let mut mono_totals = vec![0.0f64; nodes as usize];
+            let regions = self.sys.gather(layout.local_off, nodes * 8)?;
+            for (dpu, bytes) in regions.iter().enumerate() {
+                let raw: Vec<u64> = pim_sim::system::decode_slice(bytes);
+                let report = &reports[dpu];
+                let factor = if report.raw == 0 {
+                    1.0
+                } else {
+                    report.corrected / report.raw as f64
+                };
+                for (node, &count) in raw.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    let corrected = count as f64 * factor;
+                    totals[node] += corrected;
+                    if report.mono {
+                        mono_totals[node] += corrected;
+                    }
+                }
+            }
+            let dedup_c = self.config.colors.saturating_sub(1) as f64;
+            let p3 = self.config.uniform_p.powi(3);
+            for (t, m) in totals.iter_mut().zip(&mono_totals) {
+                *t = ((*t - dedup_c * m) / p3).max(0.0);
+            }
+            Some(totals)
+        } else {
+            None
+        };
+
+        Ok(TcResult {
+            estimate: assembled.estimate,
+            raw_total: assembled.raw_total,
+            exact: self.config.uniform_p >= 1.0 && !assembled.any_overflow,
+            times: self.sys.phase_times(),
+            nr_dpus: self.nr_dpus(),
+            colors: self.config.colors,
+            edges_offered: self.offered,
+            edges_kept: self.kept,
+            edges_routed: headers.iter().map(|h| h.seen).sum(),
+            max_dpu_load: headers.iter().map(|h| h.seen).max().unwrap_or(0),
+            reservoir_overflowed: assembled.any_overflow,
+            energy: self.sys.energy_report(),
+            local_counts,
+            dpu_reports: reports,
+        })
+    }
+
+    /// Counts once more and releases the PIM cores.
+    pub fn finish(mut self) -> Result<TcResult, TcError> {
+        let result = self.count()?;
+        let _times = self.sys.release();
+        Ok(result)
+    }
+
+    /// Assigns new ids to heavy hitters that entered the top-`t` set,
+    /// keeping earlier assignments frozen (consistency with the resident,
+    /// already-rewritten samples).
+    fn refresh_remap_assignments(&mut self) {
+        if !self.remap_dirty {
+            return;
+        }
+        self.remap_dirty = false;
+        let (Some(mg_cfg), Some(summary)) = (self.config.misra_gries, self.summary.as_ref())
+        else {
+            return;
+        };
+        for (node, _count) in summary.top(mg_cfg.t) {
+            if self.remap_table.len() >= mg_cfg.t {
+                break;
+            }
+            if self.remap_assigned.insert(node) {
+                self.remap_table.push((node, self.next_new_id));
+                self.next_new_id -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_graph::{gen, triangle, CooGraph};
+    use pim_sim::PimConfig;
+
+    fn tiny_config(colors: u32) -> TcConfig {
+        TcConfig::builder()
+            .colors(colors)
+            .pim(PimConfig {
+                total_dpus: 512,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            })
+            .stage_edges(256)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_count_on_complete_graph() {
+        let g = gen::simple::complete(20);
+        let r = crate::count_triangles(&g, &tiny_config(3)).unwrap();
+        assert!(r.exact);
+        assert_eq!(r.rounded(), 1140);
+        // Raw total exceeds the estimate by the monochromatic duplicates.
+        assert!(r.raw_total >= r.rounded());
+    }
+
+    #[test]
+    fn exact_count_matches_reference_on_random_graphs() {
+        for (colors, seed) in [(1u32, 0u64), (2, 1), (3, 2), (5, 3)] {
+            let g = gen::erdos_renyi(120, 0.12, seed);
+            let expect = triangle::count_exact(&g);
+            let r = crate::count_triangles(&g, &tiny_config(colors)).unwrap();
+            assert!(r.exact, "C={colors} should be exact");
+            assert_eq!(r.rounded(), expect, "C={colors} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn exact_count_with_clustered_triangles() {
+        // Heavy mono-color pressure: many triangles inside tight blocks.
+        let mut g = gen::planted_cliques(
+            gen::cliques::PlantedCliqueParams {
+                n: 60,
+                communities: 4,
+                community_size: 10,
+                q: 1.0,
+                background_p: 0.05,
+            },
+            5,
+        );
+        // The pipeline requires deduplicated input (§4.1 preprocessing):
+        // the background ER layer can duplicate clique edges.
+        g.preprocess(0);
+        let expect = triangle::count_exact(&g);
+        for colors in [1u32, 2, 4] {
+            let r = crate::count_triangles(&g, &tiny_config(colors)).unwrap();
+            assert_eq!(r.rounded(), expect, "C={colors}");
+        }
+    }
+
+    #[test]
+    fn incremental_session_matches_from_scratch() {
+        let g = gen::erdos_renyi(100, 0.15, 9);
+        let mut pre = g.clone();
+        pre.preprocess(3);
+        let batches = pre.split_batches(4);
+        let mut session = TcSession::start(&tiny_config(3)).unwrap();
+        let mut cumulative = CooGraph::new();
+        for batch in &batches {
+            session.append(batch).unwrap();
+            cumulative.extend_edges(batch);
+            let r = session.count().unwrap();
+            assert_eq!(
+                r.rounded(),
+                triangle::count_exact(&cumulative),
+                "after {} edges",
+                cumulative.num_edges()
+            );
+        }
+    }
+
+    #[test]
+    fn misra_gries_remap_preserves_exactness() {
+        let mut g = gen::chung_lu(
+            gen::chung_lu::ChungLuParams {
+                n: 400,
+                gamma: 2.1,
+                avg_degree: 8.0,
+                max_degree_frac: 0.4,
+            },
+            11,
+        );
+        g.preprocess(0);
+        let expect = triangle::count_exact(&g);
+        let config = TcConfig::builder()
+            .colors(3)
+            .misra_gries(64, 16)
+            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .stage_edges(256)
+            .build()
+            .unwrap();
+        let r = crate::count_triangles(&g, &config).unwrap();
+        assert!(r.exact);
+        assert_eq!(r.rounded(), expect);
+    }
+
+    #[test]
+    fn remap_stays_consistent_across_updates() {
+        let mut g = gen::chung_lu(
+            gen::chung_lu::ChungLuParams {
+                n: 300,
+                gamma: 2.1,
+                avg_degree: 8.0,
+                max_degree_frac: 0.4,
+            },
+            13,
+        );
+        g.preprocess(1);
+        let config = TcConfig::builder()
+            .colors(2)
+            .misra_gries(32, 8)
+            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .stage_edges(128)
+            .build()
+            .unwrap();
+        let mut session = TcSession::start(&config).unwrap();
+        let mut cumulative = CooGraph::new();
+        for batch in g.split_batches(3) {
+            session.append(&batch).unwrap();
+            cumulative.extend_edges(&batch);
+            let r = session.count().unwrap();
+            assert_eq!(r.rounded(), triangle::count_exact(&cumulative));
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_marks_result_approximate() {
+        let g = gen::simple::complete(40);
+        let config = TcConfig::builder()
+            .colors(2)
+            .uniform_p(0.5)
+            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .stage_edges(256)
+            .build()
+            .unwrap();
+        let r = crate::count_triangles(&g, &config).unwrap();
+        assert!(!r.exact);
+        let exact = 40u64 * 39 * 38 / 6;
+        // Loose sanity: within a factor of 2 for a dense graph.
+        assert!(r.estimate > exact as f64 * 0.5 && r.estimate < exact as f64 * 2.0,
+            "estimate {} vs exact {exact}", r.estimate);
+    }
+
+    #[test]
+    fn reservoir_overflow_marks_result_approximate() {
+        let g = gen::simple::complete(40); // 780 edges, 9880 triangles
+        let config = TcConfig::builder()
+            .colors(2)
+            .sample_capacity(120)
+            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .stage_edges(64)
+            .build()
+            .unwrap();
+        let r = crate::count_triangles(&g, &config).unwrap();
+        assert!(r.reservoir_overflowed);
+        assert!(!r.exact);
+        let exact = 9880f64;
+        assert!(r.estimate > exact * 0.3 && r.estimate < exact * 3.0,
+            "estimate {}", r.estimate);
+    }
+
+    #[test]
+    fn phase_times_are_populated() {
+        let g = gen::simple::complete(15);
+        let r = crate::count_triangles(&g, &tiny_config(2)).unwrap();
+        assert!(r.times.setup > 0.0);
+        assert!(r.times.sample_creation > 0.0);
+        assert!(r.times.triangle_count > 0.0);
+    }
+
+    #[test]
+    fn load_distribution_matches_1_3_6_classes() {
+        let g = gen::erdos_renyi(300, 0.2, 21);
+        let config = tiny_config(4);
+        let mut session = TcSession::start(&config).unwrap();
+        session.append(g.edges()).unwrap();
+        let r = session.count().unwrap();
+        // Average load per class should be ~N, ~3N, ~6N (§3.1).
+        let mut class_tot = [0f64; 4];
+        let mut class_n = [0f64; 4];
+        for rep in &r.dpu_reports {
+            let d = rep.triplet.distinct_colors() as usize;
+            class_tot[d] += rep.seen as f64;
+            class_n[d] += 1.0;
+        }
+        let n1 = class_tot[1] / class_n[1];
+        let n2 = class_tot[2] / class_n[2];
+        let n3 = class_tot[3] / class_n[3];
+        assert!((n2 / n1 - 3.0).abs() < 0.8, "3N class: {}", n2 / n1);
+        assert!((n3 / n1 - 6.0).abs() < 1.6, "6N class: {}", n3 / n1);
+    }
+
+    #[test]
+    fn local_counting_matches_reference_across_colors() {
+        let g = gen::erdos_renyi(90, 0.15, 17);
+        let csr = pim_graph::CsrGraph::from_coo(&g);
+        let expect = triangle::local_counts(&csr);
+        for colors in [1u32, 2, 4] {
+            let config = TcConfig::builder()
+                .colors(colors)
+                .local_counting(g.num_nodes())
+                .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+                .stage_edges(256)
+                .build()
+                .unwrap();
+            let r = crate::count_triangles(&g, &config).unwrap();
+            assert!(r.exact);
+            let local = r.local_counts.as_ref().unwrap();
+            assert_eq!(local.len(), g.num_nodes() as usize);
+            for (node, (&got, &want)) in local.iter().zip(&expect).enumerate() {
+                assert!(
+                    (got - want as f64).abs() < 1e-6,
+                    "C={colors} node {node}: got {got}, want {want}"
+                );
+            }
+            // Global consistency: locals sum to 3x the global count.
+            let sum: f64 = local.iter().sum();
+            assert!((sum - 3.0 * r.estimate).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn local_counting_survives_incremental_updates() {
+        let g = gen::erdos_renyi(60, 0.2, 23);
+        let config = TcConfig::builder()
+            .colors(2)
+            .local_counting(g.num_nodes())
+            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .stage_edges(128)
+            .build()
+            .unwrap();
+        let mut session = TcSession::start(&config).unwrap();
+        let mut cumulative = CooGraph::new();
+        for batch in g.split_batches(3) {
+            session.append(&batch).unwrap();
+            cumulative.extend_edges(&batch);
+            let r = session.count().unwrap();
+            let csr = pim_graph::CsrGraph::from_coo(&cumulative);
+            let expect = triangle::local_counts(&csr);
+            let local = r.local_counts.as_ref().unwrap();
+            for (node, &want) in expect.iter().enumerate() {
+                assert!(
+                    (local[node] - want as f64).abs() < 1e-6,
+                    "node {node} after {} edges",
+                    cumulative.num_edges()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_counts_zero() {
+        let r = crate::count_triangles(&CooGraph::new(), &tiny_config(2)).unwrap();
+        assert_eq!(r.rounded(), 0);
+        assert!(r.exact);
+    }
+}

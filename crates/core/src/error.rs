@@ -1,0 +1,52 @@
+//! Error type for the PIM-TC pipeline.
+
+use pim_sim::SimError;
+use std::fmt;
+
+/// Errors from configuration validation or the underlying simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TcError {
+    /// The configuration is internally inconsistent (message explains).
+    Config(String),
+    /// A hardware constraint was violated during execution.
+    Sim(SimError),
+}
+
+impl fmt::Display for TcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            TcError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TcError::Sim(e) => Some(e),
+            TcError::Config(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for TcError {
+    fn from(e: SimError) -> Self {
+        TcError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = TcError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let s = TcError::from(SimError::NoSuchDpu { dpu: 1, allocated: 0 });
+        assert!(s.to_string().contains("DPU"));
+        use std::error::Error;
+        assert!(s.source().is_some());
+    }
+}

@@ -1,0 +1,266 @@
+//! Host-side orchestration: coloring, sampling, and batch creation.
+//!
+//! §3.1: "Each host CPU thread manages an array of edges per PIM core,
+//! which are populated according to the specific triplet assigned to each
+//! PIM core. Once all edges have been processed, each thread transfers its
+//! different batches of edges to all PIM cores in parallel." The routing
+//! below reproduces that pipeline with rayon: the edge stream is split
+//! into chunks, each chunk routed independently (with its own uniform
+//! sampler and Misra-Gries summary), and per-core batches concatenated in
+//! chunk order so results are deterministic for a seed.
+
+use crate::kernel::edge_key;
+use crate::triplets::TripletAssignment;
+use pim_graph::Edge;
+use pim_stream::{ColoringHash, MisraGries, UniformSampler};
+use rayon::prelude::*;
+
+/// The outcome of routing one edge stream.
+#[derive(Debug)]
+pub struct RoutedBatches {
+    /// Packed edge keys per PIM core, in arrival order.
+    pub per_dpu: Vec<Vec<u64>>,
+    /// Edges offered (before uniform sampling; self loops excluded).
+    pub offered: u64,
+    /// Edges kept by uniform sampling.
+    pub kept: u64,
+    /// Merged Misra-Gries summary, when heavy-hitter tracking is enabled.
+    pub summary: Option<MisraGries>,
+}
+
+impl RoutedBatches {
+    /// Total routed edge copies (should be `colors × kept`).
+    pub fn total_routed(&self) -> u64 {
+        self.per_dpu.iter().map(|b| b.len() as u64).sum()
+    }
+}
+
+/// Routing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RouteParams<'a> {
+    /// The triplet → core assignment.
+    pub assignment: &'a TripletAssignment,
+    /// The vertex coloring.
+    pub coloring: &'a ColoringHash,
+    /// Uniform-sampling keep probability (1.0 = keep all).
+    pub uniform_p: f64,
+    /// Seed for the per-chunk samplers.
+    pub seed: u64,
+    /// Misra-Gries capacity per chunk; `None` disables tracking.
+    pub mg_capacity: Option<usize>,
+    /// Host threads (chunks) to use.
+    pub threads: usize,
+}
+
+/// Routes an edge stream to per-core batches.
+///
+/// Edges are normalized (`u < v`) and self loops dropped on the way; each
+/// surviving edge is replicated to the `C` compatible cores (§3.1).
+pub fn route_edges(edges: &[Edge], params: RouteParams<'_>) -> RoutedBatches {
+    let nr_dpus = params.assignment.nr_dpus();
+    let threads = params.threads.max(1);
+    let chunk_size = edges.len().div_ceil(threads).max(1);
+
+    let chunk_results: Vec<ChunkResult> = edges
+        .par_chunks(chunk_size)
+        .enumerate()
+        .map(|(chunk_idx, chunk)| route_chunk(chunk, chunk_idx as u64, nr_dpus, &params))
+        .collect();
+
+    // Deterministic merge in chunk order.
+    let mut per_dpu: Vec<Vec<u64>> = vec![Vec::new(); nr_dpus];
+    let mut offered = 0;
+    let mut kept = 0;
+    let mut summary = params.mg_capacity.map(MisraGries::new);
+    for mut cr in chunk_results {
+        offered += cr.offered;
+        kept += cr.kept;
+        for (dpu, batch) in cr.per_dpu.iter_mut().enumerate() {
+            per_dpu[dpu].append(batch);
+        }
+        if let (Some(acc), Some(local)) = (summary.as_mut(), cr.summary.as_ref()) {
+            acc.merge(local);
+        }
+    }
+    RoutedBatches { per_dpu, offered, kept, summary }
+}
+
+/// Counts how many edges each PIM core would receive under a given color
+/// count and seed, without materializing batches. Used by capacity
+/// planning: the expected-max formula `6|E|/C²` (§3.1) holds for uniform
+/// color-pair distributions, but structured graphs (lattices, hubs) can
+/// skew pairs well past it, so exact-mode runs size the per-core sample
+/// from the true maximum.
+pub fn dpu_loads(edges: &[pim_graph::Edge], colors: u32, seed: u64) -> Vec<u64> {
+    let assignment = TripletAssignment::new(colors);
+    let coloring = ColoringHash::new(colors, seed);
+    let mut loads = vec![0u64; assignment.nr_dpus()];
+    let mut routes = Vec::with_capacity(colors as usize);
+    for e in edges {
+        if e.is_self_loop() {
+            continue;
+        }
+        let n = e.normalized();
+        let (ca, cb) = coloring.edge_colors(n.u, n.v);
+        assignment.dpus_for_edge(ca, cb, &mut routes);
+        for &dpu in &routes {
+            loads[dpu as usize] += 1;
+        }
+    }
+    loads
+}
+
+struct ChunkResult {
+    per_dpu: Vec<Vec<u64>>,
+    offered: u64,
+    kept: u64,
+    summary: Option<MisraGries>,
+}
+
+fn route_chunk(
+    chunk: &[Edge],
+    chunk_idx: u64,
+    nr_dpus: usize,
+    params: &RouteParams<'_>,
+) -> ChunkResult {
+    let mut per_dpu: Vec<Vec<u64>> = vec![Vec::new(); nr_dpus];
+    let mut sampler =
+        UniformSampler::new(params.uniform_p, params.seed ^ chunk_idx.wrapping_mul(0x9E37));
+    let mut summary = params.mg_capacity.map(MisraGries::new);
+    let mut routes = Vec::with_capacity(params.assignment.colors() as usize);
+    let mut offered = 0u64;
+    let mut kept = 0u64;
+    for e in chunk {
+        if e.is_self_loop() {
+            continue;
+        }
+        offered += 1;
+        if !sampler.keep() {
+            continue;
+        }
+        kept += 1;
+        let n = e.normalized();
+        if let Some(mg) = summary.as_mut() {
+            mg.offer_edge(n.u, n.v);
+        }
+        let (ca, cb) = params.coloring.edge_colors(n.u, n.v);
+        params.assignment.dpus_for_edge(ca, cb, &mut routes);
+        let key = edge_key(n.u, n.v);
+        for &dpu in &routes {
+            per_dpu[dpu as usize].push(key);
+        }
+    }
+    ChunkResult { per_dpu, offered, kept, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_graph::CooGraph;
+
+    fn params<'a>(
+        assignment: &'a TripletAssignment,
+        coloring: &'a ColoringHash,
+    ) -> RouteParams<'a> {
+        RouteParams {
+            assignment,
+            coloring,
+            uniform_p: 1.0,
+            seed: 7,
+            mg_capacity: None,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn every_edge_is_replicated_c_times() {
+        let colors = 5;
+        let assignment = TripletAssignment::new(colors);
+        let coloring = ColoringHash::new(colors, 3);
+        let g = pim_graph::gen::erdos_renyi(100, 0.2, 1);
+        let routed = route_edges(g.edges(), params(&assignment, &coloring));
+        assert_eq!(routed.offered, g.num_edges() as u64);
+        assert_eq!(routed.kept, routed.offered);
+        assert_eq!(routed.total_routed(), colors as u64 * routed.kept);
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let assignment = TripletAssignment::new(2);
+        let coloring = ColoringHash::new(2, 3);
+        let g = CooGraph::from_pairs([(1, 1), (2, 2), (1, 2)]);
+        let routed = route_edges(g.edges(), params(&assignment, &coloring));
+        assert_eq!(routed.offered, 1);
+        assert_eq!(routed.total_routed(), 2);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_thread_count_invariant() {
+        let assignment = TripletAssignment::new(4);
+        let coloring = ColoringHash::new(4, 9);
+        let g = pim_graph::gen::erdos_renyi(200, 0.1, 2);
+        let route = |threads: usize| {
+            let p = RouteParams { threads, ..params(&assignment, &coloring) };
+            route_edges(g.edges(), p).per_dpu
+        };
+        assert_eq!(route(1), route(8));
+    }
+
+    #[test]
+    fn uniform_sampling_thins_batches() {
+        let assignment = TripletAssignment::new(3);
+        let coloring = ColoringHash::new(3, 5);
+        let g = pim_graph::gen::erdos_renyi(300, 0.2, 3);
+        let p = RouteParams { uniform_p: 0.25, ..params(&assignment, &coloring) };
+        let routed = route_edges(g.edges(), p);
+        let rate = routed.kept as f64 / routed.offered as f64;
+        assert!((rate - 0.25).abs() < 0.08, "rate {rate}");
+        assert_eq!(routed.total_routed(), 3 * routed.kept);
+    }
+
+    #[test]
+    fn misra_gries_tracks_the_hub() {
+        let assignment = TripletAssignment::new(2);
+        let coloring = ColoringHash::new(2, 5);
+        let g = pim_graph::gen::simple::star(500);
+        let p = RouteParams { mg_capacity: Some(8), ..params(&assignment, &coloring) };
+        let routed = route_edges(g.edges(), p);
+        let mg = routed.summary.unwrap();
+        let top = mg.top(1);
+        assert_eq!(top[0].0, 0, "hub must be the top heavy hitter");
+    }
+
+    #[test]
+    fn batches_only_contain_compatible_edges() {
+        let colors = 3;
+        let assignment = TripletAssignment::new(colors);
+        let coloring = ColoringHash::new(colors, 11);
+        let g = pim_graph::gen::erdos_renyi(80, 0.3, 4);
+        let routed = route_edges(g.edges(), params(&assignment, &coloring));
+        for (dpu, batch) in routed.per_dpu.iter().enumerate() {
+            let t = assignment.triplet_of(dpu);
+            for &key in batch {
+                let (u, v) = crate::kernel::edge_unkey(key);
+                let (ca, cb) = coloring.edge_colors(u, v);
+                // The pair {ca, cb} must embed in the triplet multiset.
+                let mut pool = t.c.to_vec();
+                for c in [ca, cb] {
+                    let pos = pool
+                        .iter()
+                        .position(|&x| x == c)
+                        .unwrap_or_else(|| panic!("dpu {dpu} got incompatible edge"));
+                    pool.remove(pos);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_routes_nothing() {
+        let assignment = TripletAssignment::new(2);
+        let coloring = ColoringHash::new(2, 5);
+        let routed = route_edges(&[], params(&assignment, &coloring));
+        assert_eq!(routed.offered, 0);
+        assert_eq!(routed.total_routed(), 0);
+    }
+}

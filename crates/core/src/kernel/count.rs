@@ -1,0 +1,385 @@
+//! The counting kernel: merge-based edge iteration (§3.4).
+//!
+//! Each tasklet streams blocks of sample edges into WRAM. For an edge
+//! `(u, v)` it binary-searches the region index (in MRAM — charged DMA
+//! probes, exactly the pointer-chasing cost the paper describes) for the
+//! region of `v`, then runs the merge-like comparison: with `(u, w)` from
+//! the edges following the current one and `(v, z)` from `v`'s region,
+//! `w == z` closes a triangle `(u, v, w)` and both sides advance; `w < z`
+//! advances the `u` side; `w > z` advances the `v` side. Since the sample
+//! is sorted and `u < v < w`, every triangle in the subgraph is found
+//! exactly once, at its lexicographically-least edge.
+
+use super::layout::{Header, MramLayout};
+use super::{key_first, key_second};
+use pim_sim::{DpuContext, SimResult, Tasklet};
+
+/// Instructions per merge comparison (two WRAM loads, compare, branch,
+/// cursor bump).
+const MERGE_INSTR_PER_CMP: u64 = 5;
+/// Instructions per binary-search probe beyond the DMA itself.
+const PROBE_INSTR: u64 = 8;
+/// Instructions of per-edge fixed overhead (unpack, loop control).
+const EDGE_INSTR: u64 = 6;
+
+/// How the count kernel locates a node's region in the index table.
+/// `BinarySearch` is the paper's design (§3.4); `LinearScan` is the
+/// ablation baseline showing why the index probes must be logarithmic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionLookup {
+    /// O(log n) MRAM probes per lookup (the paper's design).
+    BinarySearch,
+    /// O(n) buffered streaming scan per lookup (ablation baseline).
+    LinearScan,
+}
+
+/// Counts triangles in the resident (sorted + indexed) sample. Writes the
+/// total into the header and returns it.
+pub fn count_kernel(ctx: &mut DpuContext<'_>, layout: &MramLayout) -> SimResult<u64> {
+    count_kernel_with(ctx, layout, RegionLookup::BinarySearch)
+}
+
+/// [`count_kernel`] with an explicit region-lookup strategy.
+pub fn count_kernel_with(
+    ctx: &mut DpuContext<'_>,
+    layout: &MramLayout,
+    lookup: RegionLookup,
+) -> SimResult<u64> {
+    let hdr = {
+        let mut t0 = ctx.tasklet(0)?;
+        Header::read(&mut t0)?
+    };
+    let len = hdr.len;
+    let index_len = hdr.index_len;
+    let nr_t = ctx.nr_tasklets() as u64;
+    let mut total = 0u64;
+    if len >= 3 && index_len > 0 {
+        let mut partials = vec![0u64; ctx.nr_tasklets()];
+        let mut tasklet_id = 0usize;
+        ctx.for_each_tasklet(|t| {
+            let b = ((t.wram_free() / 8) / 3).max(4);
+            let mut buf_e = t.alloc_wram::<u64>(b)?;
+            let mut buf_u = t.alloc_wram::<u64>(b)?;
+            let mut buf_v = t.alloc_wram::<u64>(b)?;
+            let mut count = 0u64;
+            // Strided blocks of edges per tasklet.
+            let mut block = t.id() as u64;
+            let blocks = len.div_ceil(b as u64);
+            while block < blocks {
+                let start = block * b as u64;
+                let n = (b as u64).min(len - start) as usize;
+                t.mram_read(layout.sample_slot(start), &mut buf_e[..n])?;
+                for i in 0..n {
+                    let g = start + i as u64;
+                    let key = buf_e[i];
+                    let (u, v) = (key_first(key), key_second(key));
+                    t.charge(EDGE_INSTR);
+                    let region = match lookup {
+                        RegionLookup::BinarySearch => {
+                            lookup_region(t, layout, v, index_len, len)?
+                        }
+                        RegionLookup::LinearScan => {
+                            lookup_region_linear(t, layout, v, index_len, len)?
+                        }
+                    };
+                    let Some((v_start, v_end)) = region else {
+                        continue;
+                    };
+                    count += merge_intersect(
+                        t,
+                        layout,
+                        u,
+                        g + 1,
+                        len,
+                        v_start,
+                        v_end,
+                        &mut buf_u,
+                        &mut buf_v,
+                    )?;
+                }
+                block += nr_t;
+            }
+            partials[tasklet_id] = count;
+            tasklet_id += 1;
+            Ok(())
+        })?;
+        total = partials.iter().sum();
+    }
+    let mut t0 = ctx.tasklet(0)?;
+    let mut hdr = Header::read(&mut t0)?;
+    hdr.result = total;
+    hdr.write(&mut t0)?;
+    Ok(total)
+}
+
+/// Binary search of the region index for `node`. Returns the half-open
+/// sample range of edges whose first endpoint is `node`.
+pub(crate) fn lookup_region(
+    t: &mut Tasklet<'_>,
+    layout: &MramLayout,
+    node: u32,
+    index_len: u64,
+    sample_len: u64,
+) -> SimResult<Option<(u64, u64)>> {
+    let (mut lo, mut hi) = (0u64, index_len);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let entry: u64 = t.mram_read_one(layout.index_slot(mid))?;
+        t.charge(PROBE_INSTR);
+        if key_first(entry) < node {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo == index_len {
+        return Ok(None);
+    }
+    let entry: u64 = t.mram_read_one(layout.index_slot(lo))?;
+    t.charge(PROBE_INSTR);
+    if key_first(entry) != node {
+        return Ok(None);
+    }
+    let start = key_second(entry) as u64;
+    let end = if lo + 1 < index_len {
+        let next: u64 = t.mram_read_one(layout.index_slot(lo + 1))?;
+        t.charge(PROBE_INSTR);
+        key_second(next) as u64
+    } else {
+        sample_len
+    };
+    Ok(Some((start, end)))
+}
+
+/// Ablation-baseline lookup: stream the index from the start until the
+/// entry for `node` is found (or passed). One DMA per entry, mirroring
+/// what a naive kernel without binary search would do.
+fn lookup_region_linear(
+    t: &mut Tasklet<'_>,
+    layout: &MramLayout,
+    node: u32,
+    index_len: u64,
+    sample_len: u64,
+) -> SimResult<Option<(u64, u64)>> {
+    let mut i = 0u64;
+    while i < index_len {
+        let entry: u64 = t.mram_read_one(layout.index_slot(i))?;
+        t.charge(PROBE_INSTR);
+        let first = key_first(entry);
+        if first == node {
+            let start = key_second(entry) as u64;
+            let end = if i + 1 < index_len {
+                let next: u64 = t.mram_read_one(layout.index_slot(i + 1))?;
+                t.charge(PROBE_INSTR);
+                key_second(next) as u64
+            } else {
+                sample_len
+            };
+            return Ok(Some((start, end)));
+        }
+        if first > node {
+            return Ok(None);
+        }
+        i += 1;
+    }
+    Ok(None)
+}
+
+/// Streams the `u`-side (edges after the current one while their first
+/// node is still `u`) against the `v` region, counting matching second
+/// nodes. Both sides refill their WRAM buffers from MRAM on demand.
+#[allow(clippy::too_many_arguments)]
+fn merge_intersect(
+    t: &mut Tasklet<'_>,
+    layout: &MramLayout,
+    u: u32,
+    u_from: u64,
+    sample_len: u64,
+    v_start: u64,
+    v_end: u64,
+    buf_u: &mut [u64],
+    buf_v: &mut [u64],
+) -> SimResult<u64> {
+    merge_intersect_cb(
+        t,
+        layout,
+        u,
+        u_from,
+        sample_len,
+        v_start,
+        v_end,
+        buf_u,
+        buf_v,
+        &mut |_t, _w| Ok(()),
+    )
+}
+
+/// [`merge_intersect`] with a per-triangle callback: `on_match` is
+/// invoked with the closing vertex `w` for every triangle found (the
+/// caller knows `u` and `v`). Used by the local-counting extension.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_intersect_cb<F>(
+    t: &mut Tasklet<'_>,
+    layout: &MramLayout,
+    u: u32,
+    u_from: u64,
+    sample_len: u64,
+    v_start: u64,
+    v_end: u64,
+    buf_u: &mut [u64],
+    buf_v: &mut [u64],
+    on_match: &mut F,
+) -> SimResult<u64>
+where
+    F: FnMut(&mut Tasklet<'_>, u32) -> SimResult<()>,
+{
+    let mut count = 0u64;
+    let (mut next_u, mut pos_u, mut len_u) = (u_from, 0usize, 0usize);
+    let (mut next_v, mut pos_v, mut len_v) = (v_start, 0usize, 0usize);
+    let mut u_done = false;
+    loop {
+        if !u_done && pos_u == len_u {
+            if next_u >= sample_len {
+                u_done = true;
+            } else {
+                let n = (buf_u.len() as u64).min(sample_len - next_u) as usize;
+                t.mram_read(layout.sample_slot(next_u), &mut buf_u[..n])?;
+                next_u += n as u64;
+                pos_u = 0;
+                len_u = n;
+            }
+        }
+        if pos_v == len_v {
+            if next_v >= v_end {
+                break; // v side exhausted
+            }
+            let n = (buf_v.len() as u64).min(v_end - next_v) as usize;
+            t.mram_read(layout.sample_slot(next_v), &mut buf_v[..n])?;
+            next_v += n as u64;
+            pos_v = 0;
+            len_v = n;
+        }
+        if u_done || pos_u >= len_u {
+            break;
+        }
+        let ku = buf_u[pos_u];
+        t.charge(MERGE_INSTR_PER_CMP);
+        if key_first(ku) != u {
+            break; // left u's region
+        }
+        let w = key_second(ku);
+        let z = key_second(buf_v[pos_v]);
+        match w.cmp(&z) {
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                on_match(t, w)?;
+                pos_u += 1;
+                pos_v += 1;
+            }
+            std::cmp::Ordering::Less => pos_u += 1,
+            std::cmp::Ordering::Greater => pos_v += 1,
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{edge_key, index::index_kernel, sort::sort_kernel};
+    use pim_graph::{triangle, CooGraph};
+    use pim_sim::system::encode_slice;
+    use pim_sim::{CostModel, HostWrite, PimConfig, PimSystem};
+
+    /// Runs the full sort → index → count pipeline on one DPU holding the
+    /// whole (normalized) graph.
+    fn count_on_dpu(g: &CooGraph, config: PimConfig) -> u64 {
+        let mut edges: Vec<u64> = g
+            .edges()
+            .iter()
+            .filter(|e| !e.is_self_loop())
+            .map(|e| {
+                let n = e.normalized();
+                edge_key(n.u, n.v)
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        // Deliberately deliver unsorted to exercise the sort.
+        edges.reverse();
+        let needed = (edges.len() as u64 * 24 + 4096).next_power_of_two();
+        let config = PimConfig { mram_capacity: config.mram_capacity.max(needed), ..config };
+        let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
+        let layout = MramLayout::compute(
+            config.mram_capacity,
+            8,
+            0,
+            Some((edges.len() as u64).max(3)),
+        )
+        .unwrap();
+        let hdr = Header { cap: layout.capacity, len: edges.len() as u64, ..Header::default() };
+        sys.push(vec![
+            HostWrite { dpu: 0, offset: 0, data: hdr.encode() },
+            HostWrite { dpu: 0, offset: layout.sample_off, data: encode_slice(&edges) },
+        ])
+        .unwrap();
+        sys.execute(|ctx| sort_kernel(ctx, &layout)).unwrap();
+        sys.execute(|ctx| index_kernel(ctx, &layout)).unwrap();
+        sys.execute(|ctx| count_kernel(ctx, &layout)).unwrap()[0]
+    }
+
+    #[test]
+    fn counts_a_single_triangle() {
+        let g = CooGraph::from_pairs([(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(count_on_dpu(&g, PimConfig::tiny()), 1);
+    }
+
+    #[test]
+    fn counts_complete_graphs() {
+        for n in [4u32, 6, 10, 15] {
+            let g = pim_graph::gen::simple::complete(n);
+            let expect = (n as u64) * (n as u64 - 1) * (n as u64 - 2) / 6;
+            assert_eq!(count_on_dpu(&g, PimConfig::tiny()), expect, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs_count_zero() {
+        assert_eq!(count_on_dpu(&pim_graph::gen::simple::star(20), PimConfig::tiny()), 0);
+        assert_eq!(count_on_dpu(&pim_graph::gen::simple::cycle(20), PimConfig::tiny()), 0);
+        assert_eq!(count_on_dpu(&pim_graph::gen::grid2d(8, 8, 1.0, 0, 1), PimConfig::tiny()), 0);
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in 0..5 {
+            let g = pim_graph::gen::erdos_renyi(60, 0.15, seed);
+            assert_eq!(
+                count_on_dpu(&g, PimConfig::tiny()),
+                triangle::count_exact(&g),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_skewed_graph() {
+        let g = pim_graph::gen::rmat(9, 6, 0.57, 0.19, 0.19, 3);
+        assert_eq!(count_on_dpu(&g, PimConfig::tiny()), triangle::count_exact(&g));
+    }
+
+    #[test]
+    fn single_tasklet_agrees_with_many() {
+        let g = pim_graph::gen::erdos_renyi(80, 0.12, 9);
+        let one = PimConfig { nr_tasklets: 1, ..PimConfig::tiny() };
+        let many = PimConfig { nr_tasklets: 8, ..PimConfig::tiny() };
+        assert_eq!(count_on_dpu(&g, one), count_on_dpu(&g, many));
+    }
+
+    #[test]
+    fn empty_and_tiny_samples() {
+        assert_eq!(count_on_dpu(&CooGraph::new(), PimConfig::tiny()), 0);
+        let g = CooGraph::from_pairs([(0, 1)]);
+        assert_eq!(count_on_dpu(&g, PimConfig::tiny()), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The receive kernel: drain the staging buffer into the edge sample.
+//!
+//! §3.1/§3.3: "When a PIM core receives the edges, it copies them to the
+//! correct location in the DRAM bank or applies reservoir sampling if
+//! space is insufficient." While the sample has room, incoming edges are
+//! block-copied by all tasklets in parallel (a DMA-bound memcpy). Once the
+//! sample is full, the stream continues through the sequential reservoir
+//! path: the `t`-th edge replaces a uniform-random resident edge with
+//! probability `M/t`.
+
+use super::layout::{Header, MramLayout};
+use super::rng;
+use pim_sim::{DpuContext, SimResult};
+
+/// Instruction cost of the per-edge reservoir decision (counter update,
+/// compare, branch), excluding RNG draws.
+const RESERVOIR_INSTR_PER_EDGE: u64 = 6;
+/// Instruction cost per edge of the bulk-copy path (index arithmetic of
+/// the copy loop; data movement itself is DMA).
+const COPY_INSTR_PER_EDGE: u64 = 2;
+
+/// Drains the staging region. Returns the number of staged edges
+/// processed.
+pub fn receive_kernel(ctx: &mut DpuContext<'_>, layout: &MramLayout) -> SimResult<u64> {
+    let mut hdr = {
+        let mut t0 = ctx.tasklet(0)?;
+        Header::read(&mut t0)?
+    };
+    let staged = hdr.stage_len;
+    if staged == 0 {
+        return Ok(0);
+    }
+
+    // Phase 1: bulk copy while the sample has room.
+    let room = hdr.cap - hdr.len;
+    let bulk = staged.min(room);
+    if bulk > 0 {
+        let nr_t = ctx.nr_tasklets() as u64;
+        let dst_base = hdr.len;
+        let chunk = chunk_edges(ctx);
+        ctx.for_each_tasklet(|t| {
+            let mut buf = t.alloc_wram::<u64>(chunk as usize)?;
+            // Strided blocks: tasklet i handles blocks i, i+T, i+2T, ...
+            let mut block = t.id() as u64;
+            loop {
+                let start = block * chunk;
+                if start >= bulk {
+                    break;
+                }
+                let n = chunk.min(bulk - start) as usize;
+                t.mram_read(layout.staging_slot(start), &mut buf[..n])?;
+                t.mram_write(layout.sample_slot(dst_base + start), &buf[..n])?;
+                t.charge(n as u64 * COPY_INSTR_PER_EDGE);
+                block += nr_t;
+            }
+            Ok(())
+        })?;
+        hdr.len += bulk;
+        hdr.seen += bulk;
+    }
+
+    // Phase 2: reservoir sampling for the overflow tail (sequential by
+    // nature: each decision depends on the running stream position t).
+    if bulk < staged {
+        let mut t0 = ctx.tasklet(0)?;
+        let chunk = (t0.wram_free() / 8 / 2).max(8) as u64;
+        let mut buf = t0.alloc_wram::<u64>(chunk as usize)?;
+        let mut pos = bulk;
+        let mut state = hdr.rng;
+        while pos < staged {
+            let n = chunk.min(staged - pos) as usize;
+            t0.mram_read(layout.staging_slot(pos), &mut buf[..n])?;
+            for &key in &buf[..n] {
+                hdr.seen += 1;
+                t0.charge(RESERVOIR_INSTR_PER_EDGE);
+                // Heads with probability M/t: keep the edge.
+                if rng::below(&mut t0, &mut state, hdr.seen) < hdr.cap {
+                    let victim = rng::below(&mut t0, &mut state, hdr.len);
+                    t0.mram_write_one(layout.sample_slot(victim), key)?;
+                }
+            }
+            pos += n as u64;
+        }
+        hdr.rng = state;
+    }
+
+    hdr.stage_len = 0;
+    let mut t0 = ctx.tasklet(0)?;
+    hdr.write(&mut t0)?;
+    Ok(staged)
+}
+
+/// Edges per WRAM chunk for bulk copies (half a tasklet's budget).
+fn chunk_edges(ctx: &DpuContext<'_>) -> u64 {
+    ((ctx.wram_per_tasklet() / 8) / 2).max(8) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::edge_key;
+    use pim_sim::system::{decode_slice, encode_slice};
+    use pim_sim::{CostModel, HostWrite, PimConfig, PimSystem};
+
+    fn push_batch(sys: &mut PimSystem, layout: &MramLayout, edges: &[u64]) {
+        assert!(edges.len() as u64 <= layout.stage_edges);
+        let mut writes = vec![HostWrite {
+            dpu: 0,
+            offset: layout.staging_off,
+            data: encode_slice(edges),
+        }];
+        writes.push(HostWrite {
+            dpu: 0,
+            offset: super::super::layout::HDR_STAGE_LEN,
+            data: encode_slice(&[edges.len() as u64]),
+        });
+        sys.push(writes).unwrap();
+    }
+
+    fn setup(capacity: u64) -> (PimSystem, MramLayout) {
+        let config = PimConfig::tiny();
+        let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
+        let layout =
+            MramLayout::compute(config.mram_capacity, 64, 0, Some(capacity)).unwrap();
+        let hdr = Header {
+            cap: capacity,
+            rng: rng::seed_for_dpu(7, 0),
+            ..Header::default()
+        };
+        sys.push(vec![HostWrite { dpu: 0, offset: 0, data: hdr.encode() }])
+            .unwrap();
+        (sys, layout)
+    }
+
+    fn read_sample(sys: &PimSystem, layout: &MramLayout, len: u64) -> Vec<u64> {
+        decode_slice(&sys.dpu(0).unwrap().host_read(layout.sample_off, len * 8).unwrap())
+    }
+
+    fn read_header(sys: &mut PimSystem) -> Header {
+        Header::decode(&sys.gather(0, 64).unwrap()[0])
+    }
+
+    #[test]
+    fn bulk_path_copies_everything_in_order() {
+        let (mut sys, layout) = setup(100);
+        let edges: Vec<u64> = (0..50u32).map(|i| edge_key(i, i + 1)).collect();
+        push_batch(&mut sys, &layout, &edges);
+        sys.execute(|ctx| receive_kernel(ctx, &layout)).unwrap();
+        let hdr = read_header(&mut sys);
+        assert_eq!(hdr.len, 50);
+        assert_eq!(hdr.seen, 50);
+        assert_eq!(hdr.stage_len, 0);
+        assert_eq!(read_sample(&sys, &layout, 50), edges);
+    }
+
+    #[test]
+    fn multiple_batches_accumulate() {
+        let (mut sys, layout) = setup(100);
+        for round in 0..3u32 {
+            let edges: Vec<u64> = (0..20u32).map(|i| edge_key(round * 20 + i, 999)).collect();
+            push_batch(&mut sys, &layout, &edges);
+            sys.execute(|ctx| receive_kernel(ctx, &layout)).unwrap();
+        }
+        let hdr = read_header(&mut sys);
+        assert_eq!(hdr.len, 60);
+        assert_eq!(hdr.seen, 60);
+    }
+
+    #[test]
+    fn overflow_triggers_reservoir() {
+        let (mut sys, layout) = setup(16);
+        // Stream 4 batches of 16 → 64 seen, 16 resident.
+        for round in 0..4u32 {
+            let edges: Vec<u64> =
+                (0..16u32).map(|i| edge_key(round * 16 + i, 77)).collect();
+            push_batch(&mut sys, &layout, &edges);
+            sys.execute(|ctx| receive_kernel(ctx, &layout)).unwrap();
+        }
+        let hdr = read_header(&mut sys);
+        assert_eq!(hdr.len, 16);
+        assert_eq!(hdr.seen, 64);
+        // Sample holds a subset of the stream.
+        let sample = read_sample(&sys, &layout, 16);
+        for key in sample {
+            let (u, v) = crate::kernel::edge_unkey(key);
+            assert!(u < 64 && v == 77);
+        }
+        // RNG state advanced.
+        assert_ne!(hdr.rng, rng::seed_for_dpu(7, 0));
+    }
+
+    #[test]
+    fn reservoir_retention_is_uniform_across_stream() {
+        // Many independent DPoch runs: early items retained ≈ M/t share.
+        let trials = 300u64;
+        let m = 8u64;
+        let stream = 64u32;
+        let mut early = 0u64;
+        for trial in 0..trials {
+            let config = PimConfig::tiny();
+            let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
+            let layout = MramLayout::compute(config.mram_capacity, 64, 0, Some(m)).unwrap();
+            let hdr = Header { cap: m, rng: rng::seed_for_dpu(trial, 0), ..Header::default() };
+            sys.push(vec![HostWrite { dpu: 0, offset: 0, data: hdr.encode() }]).unwrap();
+            let edges: Vec<u64> = (0..stream).map(|i| edge_key(i, 1)).collect();
+            push_batch(&mut sys, &layout, &edges);
+            sys.execute(|ctx| receive_kernel(ctx, &layout)).unwrap();
+            early += read_sample(&sys, &layout, m)
+                .iter()
+                .filter(|&&k| crate::kernel::key_first(k) < stream / 2)
+                .count() as u64;
+        }
+        let expected = trials as f64 * m as f64 / 2.0;
+        let dev = (early as f64 - expected).abs() / expected;
+        assert!(dev < 0.12, "early retention deviates by {dev}");
+    }
+
+    #[test]
+    fn empty_staging_is_a_noop() {
+        let (mut sys, layout) = setup(10);
+        let processed = sys.execute(|ctx| receive_kernel(ctx, &layout)).unwrap()[0];
+        assert_eq!(processed, 0);
+        assert_eq!(read_header(&mut sys).len, 0);
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! `pim-tc` — Triangle Counting on a (simulated) real Processing-in-Memory
+//! system.
+//!
+//! This crate implements the algorithm of *"Accelerating Triangle Counting
+//! with Real Processing-in-Memory Systems"* (IPDPS 2025) on top of the
+//! [`pim_sim`] UPMEM-like simulator:
+//!
+//! * [`triplets`] — the color-triplet partitioning that shards the edge
+//!   stream across PIM cores with zero inter-core communication (§3.1),
+//! * [`host`] — the host orchestrator: multi-threaded batch creation,
+//!   optional uniform sampling and Misra-Gries tracking while reading the
+//!   stream, and rank-parallel transfers (§3.1–§3.2, §3.5),
+//! * [`kernel`] — the DPU-side kernels: reservoir-sampled edge receipt
+//!   (§3.3), high-degree remapping (§3.5), bounded-WRAM merge sort, region
+//!   indexing, and the merge-based counting kernel (§3.4),
+//! * [`correction`] — the statistical corrections assembling per-core
+//!   counts into the final (exact or estimated) triangle count,
+//! * [`dynamic`] — incremental sessions for COO-format dynamic graphs
+//!   (§4.6).
+//!
+//! # Quick start
+//!
+//! ```
+//! use pim_graph::gen::simple;
+//! use pim_tc::{count_triangles, TcConfig};
+//!
+//! let graph = simple::complete(20); // K20: 1140 triangles
+//! let config = TcConfig::builder().colors(3).build().unwrap();
+//! let result = count_triangles(&graph, &config).unwrap();
+//! assert!(result.exact);
+//! assert_eq!(result.estimate.round() as u64, 1140);
+//! ```
+
+pub mod config;
+pub mod correction;
+pub mod dynamic;
+pub mod error;
+pub mod host;
+pub mod kernel;
+pub mod result;
+pub mod triplets;
+
+pub use config::{MisraGriesConfig, TcConfig, TcConfigBuilder};
+pub use dynamic::TcSession;
+pub use error::TcError;
+pub use result::{DpuReport, TcResult};
+pub use triplets::{ColorTriplet, TripletAssignment};
+
+use pim_graph::CooGraph;
+
+/// Counts (or estimates) the triangles of `graph` on the simulated PIM
+/// system, end to end: allocation, coloring, batching, transfer, DPU
+/// kernels, gathering, and statistical correction.
+///
+/// `result.exact` is true iff no sampling affected the run (uniform
+/// sampling disabled *and* no reservoir overflowed), in which case
+/// `result.estimate` equals the true count exactly.
+pub fn count_triangles(graph: &CooGraph, config: &TcConfig) -> Result<TcResult, TcError> {
+    let mut session = TcSession::start(config)?;
+    session.append(graph.edges())?;
+    session.finish()
+}

@@ -1,0 +1,151 @@
+//! Run results and per-core reports.
+
+use crate::triplets::ColorTriplet;
+use pim_sim::PhaseTimes;
+use serde::{Deserialize, Serialize};
+
+/// What one PIM core reported after the count kernel, plus its routing
+/// metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DpuReport {
+    /// PIM core id.
+    pub dpu: usize,
+    /// The color triplet this core owns.
+    pub triplet: ColorTriplet,
+    /// Raw (uncorrected) triangles counted on the core's sample.
+    pub raw: u64,
+    /// Edges routed to the core over the stream's lifetime (`t`).
+    pub seen: u64,
+    /// Sample capacity (`M`).
+    pub capacity: u64,
+    /// Edges resident when counting ran.
+    pub resident: u64,
+    /// The core's reservoir-corrected contribution.
+    pub corrected: f64,
+    /// Whether this is a single-color core (drives the redundancy fix).
+    pub mono: bool,
+}
+
+impl DpuReport {
+    /// True when this core's reservoir overflowed (its count is an
+    /// estimate).
+    pub fn overflowed(&self) -> bool {
+        self.seen > self.capacity
+    }
+}
+
+/// The outcome of one triangle count on the PIM system.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TcResult {
+    /// The (possibly estimated) triangle count after all corrections.
+    pub estimate: f64,
+    /// Sum of raw per-core counts before any correction.
+    pub raw_total: u64,
+    /// True iff no sampling affected the run — `estimate` is then the
+    /// exact count.
+    pub exact: bool,
+    /// Modeled per-phase times (§4.1 breakdown).
+    pub times: PhaseTimes,
+    /// PIM cores used.
+    pub nr_dpus: usize,
+    /// Colors used.
+    pub colors: u32,
+    /// Edges offered to the host pipeline (before uniform sampling).
+    pub edges_offered: u64,
+    /// Edges kept after uniform sampling.
+    pub edges_kept: u64,
+    /// Total routed edge copies across all cores (≈ `C ·` kept).
+    pub edges_routed: u64,
+    /// Largest per-core stream length (load-balance indicator).
+    pub max_dpu_load: u64,
+    /// Whether any core's reservoir overflowed.
+    pub reservoir_overflowed: bool,
+    /// Modeled PIM-side energy (extension; see `pim_sim::energy`).
+    pub energy: pim_sim::EnergyReport,
+    /// Per-vertex local triangle estimates, when local counting was
+    /// enabled (extension; exact in exact mode).
+    pub local_counts: Option<Vec<f64>>,
+    /// Per-core details.
+    pub dpu_reports: Vec<DpuReport>,
+}
+
+impl TcResult {
+    /// The estimate rounded to a whole triangle count.
+    pub fn rounded(&self) -> u64 {
+        self.estimate.round().max(0.0) as u64
+    }
+
+    /// Throughput in edges per millisecond over the non-setup time — the
+    /// metric of the paper's Fig. 3.
+    pub fn throughput_edges_per_ms(&self) -> f64 {
+        let secs = self.times.without_setup();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.edges_kept as f64 / (secs * 1e3)
+    }
+
+    /// Relative error against a known exact count (Tables 3 and 4).
+    pub fn relative_error(&self, exact: u64) -> f64 {
+        pim_stream::estimators::relative_error(self.estimate, exact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_fixture() -> TcResult {
+        TcResult {
+            estimate: 100.4,
+            raw_total: 101,
+            exact: false,
+            times: PhaseTimes { setup: 1.0, sample_creation: 0.5, triangle_count: 0.5 },
+            nr_dpus: 4,
+            colors: 2,
+            edges_offered: 2000,
+            edges_kept: 1000,
+            edges_routed: 2000,
+            max_dpu_load: 600,
+            reservoir_overflowed: false,
+            energy: pim_sim::EnergyReport::default(),
+            local_counts: None,
+            dpu_reports: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn rounding_and_throughput() {
+        let r = result_fixture();
+        assert_eq!(r.rounded(), 100);
+        // 1000 edges over 1 s (non-setup) = 1 edge/ms.
+        assert!((r.throughput_edges_per_ms() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_estimates_round_to_zero() {
+        let r = TcResult { estimate: -0.3, ..result_fixture() };
+        assert_eq!(r.rounded(), 0);
+    }
+
+    #[test]
+    fn relative_error_passthrough() {
+        let r = TcResult { estimate: 90.0, ..result_fixture() };
+        assert!((r.relative_error(100) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_detection() {
+        let d = DpuReport {
+            dpu: 0,
+            triplet: crate::triplets::ColorTriplet::new(0, 0, 0),
+            raw: 5,
+            seen: 100,
+            capacity: 50,
+            resident: 50,
+            corrected: 40.0,
+            mono: true,
+        };
+        assert!(d.overflowed());
+    }
+}

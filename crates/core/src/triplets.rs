@@ -1,0 +1,257 @@
+//! Color-triplet partitioning (§3.1).
+//!
+//! With `C` colors, one PIM core is allocated per *multiset* of three
+//! colors `{c1 ≤ c2 ≤ c3}` — `C(C+2, 3)` cores in total (`C = 23` gives
+//! the paper's 2300). An edge whose endpoints hash to colors `{a, b}` is
+//! routed to every triplet containing the pair, which is exactly the `C`
+//! triplets `{a, b, x}` for `x ∈ [0, C)`; every edge is therefore
+//! duplicated `C` times, and every triangle is counted by exactly one core
+//! — except monochromatic triangles, which are counted by `C` cores and
+//! corrected via the single-color cores' counts (see [`crate::correction`]).
+
+use serde::{Deserialize, Serialize};
+
+/// An ordered color triplet `{c[0] ≤ c[1] ≤ c[2]}` identifying one PIM
+/// core's responsibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColorTriplet {
+    /// The three colors, ascending.
+    pub c: [u32; 3],
+}
+
+impl ColorTriplet {
+    /// Builds a triplet from arbitrary-order colors.
+    pub fn new(a: u32, b: u32, x: u32) -> Self {
+        let mut c = [a, b, x];
+        c.sort_unstable();
+        ColorTriplet { c }
+    }
+
+    /// True when all three colors are equal — the cores whose counts
+    /// drive the redundancy correction.
+    pub fn is_mono(&self) -> bool {
+        self.c[0] == self.c[2]
+    }
+
+    /// Number of distinct colors (1, 2, or 3); determines the expected
+    /// load class (`N`, `3N`, `6N` edges, §3.1 "Uneven Edge Distribution").
+    pub fn distinct_colors(&self) -> u32 {
+        1 + u32::from(self.c[0] != self.c[1]) + u32::from(self.c[1] != self.c[2])
+    }
+}
+
+/// Number of PIM cores needed for `colors` colors: `C(colors + 2, 3)`.
+pub fn nr_triplets(colors: u32) -> usize {
+    let c = colors as u64;
+    ((c + 2) * (c + 1) * c / 6) as usize
+}
+
+/// The full triplet ↔ PIM-core assignment for a given color count, plus
+/// the edge-routing table.
+#[derive(Clone, Debug)]
+pub struct TripletAssignment {
+    colors: u32,
+    triplets: Vec<ColorTriplet>,
+    /// Dense rank table: `(c1 * C + c2) * C + c3 → dpu id` for sorted
+    /// triplets (other slots unused).
+    rank: Vec<u32>,
+}
+
+impl TripletAssignment {
+    /// Enumerates all triplets for `colors ≥ 1` in lexicographic order
+    /// (the DPU id order).
+    pub fn new(colors: u32) -> Self {
+        assert!(colors >= 1, "need at least one color");
+        let c = colors as usize;
+        let mut triplets = Vec::with_capacity(nr_triplets(colors));
+        let mut rank = vec![u32::MAX; c * c * c];
+        for c1 in 0..colors {
+            for c2 in c1..colors {
+                for c3 in c2..colors {
+                    let id = triplets.len() as u32;
+                    triplets.push(ColorTriplet { c: [c1, c2, c3] });
+                    rank[((c1 as usize * c) + c2 as usize) * c + c3 as usize] = id;
+                }
+            }
+        }
+        TripletAssignment { colors, triplets, rank }
+    }
+
+    /// The color count `C`.
+    pub fn colors(&self) -> u32 {
+        self.colors
+    }
+
+    /// Number of PIM cores in the assignment.
+    pub fn nr_dpus(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// The triplet owned by PIM core `dpu`.
+    pub fn triplet_of(&self, dpu: usize) -> ColorTriplet {
+        self.triplets[dpu]
+    }
+
+    /// All triplets in id order.
+    pub fn triplets(&self) -> &[ColorTriplet] {
+        &self.triplets
+    }
+
+    /// PIM core owning a (sorted) triplet.
+    pub fn dpu_of(&self, t: ColorTriplet) -> usize {
+        let c = self.colors as usize;
+        self.rank[((t.c[0] as usize * c) + t.c[1] as usize) * c + t.c[2] as usize] as usize
+    }
+
+    /// The PIM cores an edge with endpoint colors `{a, b}` must reach:
+    /// `{a, b, x}` for every `x` — always exactly `C` distinct cores.
+    /// Results are written into `out` (cleared first) to keep the routing
+    /// hot loop allocation-free.
+    pub fn dpus_for_edge(&self, a: u32, b: u32, out: &mut Vec<u32>) {
+        out.clear();
+        for x in 0..self.colors {
+            let t = ColorTriplet::new(a, b, x);
+            out.push(self.rank
+                [((t.c[0] as usize * self.colors as usize) + t.c[1] as usize)
+                    * self.colors as usize
+                    + t.c[2] as usize]);
+        }
+    }
+
+    /// Ids of the `C` single-color cores (the redundancy-correction set).
+    pub fn mono_dpus(&self) -> Vec<usize> {
+        self.triplets
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_mono())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The paper's §4.5 bound on the *expected* maximum number of edges
+    /// routed to any single core: `(6 / C²) · |E|` (the `6N` class with
+    /// `N = |E| / C²`). Used to size reservoir-sampling experiments.
+    pub fn expected_max_edges(&self, num_edges: u64) -> u64 {
+        (6.0 * num_edges as f64 / (self.colors as f64 * self.colors as f64)).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn triplet_counts_match_binomial() {
+        assert_eq!(nr_triplets(1), 1);
+        assert_eq!(nr_triplets(2), 4);
+        assert_eq!(nr_triplets(3), 10);
+        assert_eq!(nr_triplets(23), 2300); // the paper's configuration
+    }
+
+    #[test]
+    fn enumeration_matches_nr_triplets() {
+        for c in 1..=12 {
+            assert_eq!(TripletAssignment::new(c).nr_dpus(), nr_triplets(c));
+        }
+    }
+
+    #[test]
+    fn dpu_of_inverts_triplet_of() {
+        let a = TripletAssignment::new(6);
+        for dpu in 0..a.nr_dpus() {
+            assert_eq!(a.dpu_of(a.triplet_of(dpu)), dpu);
+        }
+    }
+
+    #[test]
+    fn every_edge_reaches_exactly_c_distinct_cores() {
+        let colors = 5;
+        let a = TripletAssignment::new(colors);
+        let mut out = Vec::new();
+        for ca in 0..colors {
+            for cb in ca..colors {
+                a.dpus_for_edge(ca, cb, &mut out);
+                assert_eq!(out.len(), colors as usize);
+                let distinct: HashSet<u32> = out.iter().copied().collect();
+                assert_eq!(distinct.len(), colors as usize, "edge ({ca},{cb})");
+            }
+        }
+    }
+
+    #[test]
+    fn routed_cores_all_contain_the_color_pair() {
+        let a = TripletAssignment::new(7);
+        let mut out = Vec::new();
+        a.dpus_for_edge(2, 5, &mut out);
+        for &dpu in &out {
+            let t = a.triplet_of(dpu as usize);
+            // Pair {2, 5} must fit inside the triplet multiset.
+            let mut pool: Vec<u32> = t.c.to_vec();
+            for needed in [2u32, 5] {
+                let pos = pool.iter().position(|&x| x == needed).expect("missing color");
+                pool.remove(pos);
+            }
+        }
+    }
+
+    #[test]
+    fn mono_core_per_color() {
+        let a = TripletAssignment::new(8);
+        let mono = a.mono_dpus();
+        assert_eq!(mono.len(), 8);
+        for &d in &mono {
+            assert!(a.triplet_of(d).is_mono());
+        }
+    }
+
+    #[test]
+    fn every_triangle_color_multiset_has_exactly_one_owner_unless_mono() {
+        // For every triangle coloring {x, y, z}, the set of cores that can
+        // see all three edges is exactly: 1 core if not monochromatic,
+        // C cores if monochromatic.
+        let colors = 4;
+        let a = TripletAssignment::new(colors);
+        let mut pair_routes = Vec::new();
+        for x in 0..colors {
+            for y in x..colors {
+                for z in y..colors {
+                    // Edge color pairs of the triangle.
+                    let pairs = [(x, y), (y, z), (x, z)];
+                    let mut owners: Option<HashSet<u32>> = None;
+                    for (pa, pb) in pairs {
+                        a.dpus_for_edge(pa, pb, &mut pair_routes);
+                        let set: HashSet<u32> = pair_routes.iter().copied().collect();
+                        owners = Some(match owners {
+                            None => set,
+                            Some(prev) => prev.intersection(&set).copied().collect(),
+                        });
+                    }
+                    let owners = owners.unwrap();
+                    if x == y && y == z {
+                        assert_eq!(owners.len(), colors as usize, "mono {x}");
+                    } else {
+                        assert_eq!(owners.len(), 1, "triangle {x},{y},{z}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_classes_follow_1_3_6_pattern() {
+        let t1 = ColorTriplet::new(2, 2, 2);
+        let t2 = ColorTriplet::new(2, 2, 3);
+        let t3 = ColorTriplet::new(1, 2, 3);
+        assert_eq!(t1.distinct_colors(), 1);
+        assert_eq!(t2.distinct_colors(), 2);
+        assert_eq!(t3.distinct_colors(), 3);
+        assert!(t1.is_mono() && !t2.is_mono() && !t3.is_mono());
+    }
+
+    #[test]
+    fn expected_max_edges_formula() {
+        let a = TripletAssignment::new(10);
+        assert_eq!(a.expected_max_edges(1000), 60);
+    }
+}

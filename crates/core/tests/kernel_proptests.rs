@@ -1,0 +1,143 @@
+//! Property tests of the DPU kernels under *randomized hardware shapes*:
+//! WRAM sizes, tasklet counts, and MRAM budgets all vary, so buffer-size
+//! arithmetic, strided work division, and ping-pong parity are exercised
+//! far beyond the fixed configs of the unit tests.
+
+use pim_sim::system::{decode_slice, encode_slice};
+use pim_sim::{CostModel, HostWrite, PimConfig, PimSystem};
+use pim_tc::kernel::layout::{Header, MramLayout};
+use pim_tc::kernel::{count, edge_key, index, sort};
+use proptest::prelude::*;
+
+/// A random small hardware shape. WRAM per tasklet stays ≥ 256 B so the
+/// kernels' minimum buffers fit.
+fn hw_shape() -> impl Strategy<Value = PimConfig> {
+    (1usize..=16, 1u32..=6).prop_map(|(tasklets, wram_kb)| PimConfig {
+        total_dpus: 1,
+        mram_capacity: 1 << 22,
+        wram_capacity: (wram_kb as usize) << 10,
+        iram_capacity: 24 << 10,
+        nr_tasklets: tasklets.min((wram_kb as usize) << 2), // ≥256 B/tasklet
+        host_threads: 1,
+    })
+}
+
+fn loaded(keys: &[u64], config: PimConfig) -> (PimSystem, MramLayout) {
+    let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
+    let layout =
+        MramLayout::compute(config.mram_capacity, 8, 0, Some((keys.len() as u64).max(3)))
+            .unwrap();
+    let hdr = Header { cap: layout.capacity, len: keys.len() as u64, ..Header::default() };
+    sys.push(vec![
+        HostWrite { dpu: 0, offset: 0, data: hdr.encode() },
+        HostWrite { dpu: 0, offset: layout.sample_off, data: encode_slice(keys) },
+    ])
+    .unwrap();
+    (sys, layout)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sort_kernel_sorts_under_any_shape(
+        mut keys in prop::collection::vec(any::<u64>(), 0..2000),
+        config in hw_shape(),
+    ) {
+        let (mut sys, layout) = loaded(&keys, config);
+        sys.execute(|ctx| sort::sort_kernel(ctx, &layout)).unwrap();
+        let got: Vec<u64> = decode_slice(
+            &sys.dpu(0).unwrap().host_read(layout.sample_off, keys.len() as u64 * 8).unwrap(),
+        );
+        keys.sort_unstable();
+        prop_assert_eq!(got, keys);
+    }
+
+    #[test]
+    fn index_kernel_matches_host_model(
+        pairs in prop::collection::vec((0u32..50, 0u32..50), 0..300),
+        config in hw_shape(),
+    ) {
+        // Canonical sorted sample.
+        let mut keys: Vec<u64> = pairs
+            .iter()
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| edge_key(u.min(v), u.max(v)))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let (mut sys, layout) = loaded(&keys, config);
+        let entries = sys.execute(|ctx| index::index_kernel(ctx, &layout)).unwrap()[0];
+        let got: Vec<(u32, u32)> = decode_slice::<u64>(
+            &sys.dpu(0).unwrap().host_read(layout.index_off, entries * 8).unwrap(),
+        )
+        .into_iter()
+        .map(pim_tc::kernel::edge_unkey)
+        .collect();
+        // Host model of the region table.
+        let mut expect = Vec::new();
+        let mut prev = None;
+        for (i, &k) in keys.iter().enumerate() {
+            let u = (k >> 32) as u32;
+            if prev != Some(u) {
+                expect.push((u, i as u32));
+                prev = Some(u);
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pipeline_counts_match_reference_under_any_shape(
+        pairs in prop::collection::vec((0u32..40, 0u32..40), 0..200),
+        config in hw_shape(),
+    ) {
+        let g = pim_graph::CooGraph::from_pairs(pairs);
+        let mut keys: Vec<u64> = g
+            .edges()
+            .iter()
+            .filter(|e| !e.is_self_loop())
+            .map(|e| {
+                let n = e.normalized();
+                edge_key(n.u, n.v)
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.reverse(); // deliver unsorted
+        let (mut sys, layout) = loaded(&keys, config);
+        sys.execute(|ctx| sort::sort_kernel(ctx, &layout)).unwrap();
+        sys.execute(|ctx| index::index_kernel(ctx, &layout)).unwrap();
+        let counted = sys.execute(|ctx| count::count_kernel(ctx, &layout)).unwrap()[0];
+        prop_assert_eq!(counted, pim_graph::triangle::count_exact(&g));
+    }
+
+    #[test]
+    fn lookup_strategies_agree(
+        pairs in prop::collection::vec((0u32..30, 0u32..30), 0..150),
+        config in hw_shape(),
+    ) {
+        let g = pim_graph::CooGraph::from_pairs(pairs);
+        let mut keys: Vec<u64> = g
+            .edges()
+            .iter()
+            .filter(|e| !e.is_self_loop())
+            .map(|e| {
+                let n = e.normalized();
+                edge_key(n.u, n.v)
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let run = |lookup| {
+            let (mut sys, layout) = loaded(&keys, config);
+            sys.execute(|ctx| sort::sort_kernel(ctx, &layout)).unwrap();
+            sys.execute(|ctx| index::index_kernel(ctx, &layout)).unwrap();
+            sys.execute(|ctx| count::count_kernel_with(ctx, &layout, lookup)).unwrap()[0]
+        };
+        prop_assert_eq!(
+            run(count::RegionLookup::BinarySearch),
+            run(count::RegionLookup::LinearScan)
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! Coordinate-list (COO) graph representation.
+//!
+//! The paper's host code reads graphs as a stream of `(row, column)` tuples
+//! and ships them to PIM cores in the same format, so COO is the canonical
+//! representation throughout this workspace. Edges are stored as plain
+//! `(u, v)` pairs of [`Node`] ids with no adjacency indexing — appending an
+//! edge is O(1), which is exactly the property that makes COO attractive for
+//! dynamic graphs (§4.6 of the paper).
+
+use crate::Node;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// An undirected, unweighted edge between two vertices.
+///
+/// The struct is `#[repr(C)]` with two `u32` fields so a slice of edges can
+/// be viewed as raw bytes when staged into the simulator's MRAM: this is the
+/// same 8-byte record layout the UPMEM implementation transfers.
+#[repr(C)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    /// First endpoint.
+    pub u: Node,
+    /// Second endpoint.
+    pub v: Node,
+}
+
+impl Edge {
+    /// Creates an edge between `u` and `v` (kept in the given order).
+    #[inline]
+    pub const fn new(u: Node, v: Node) -> Self {
+        Edge { u, v }
+    }
+
+    /// Returns the edge with endpoints ordered so that `u <= v`.
+    ///
+    /// The DPU kernel requires `u < v` for every stored edge (§3.4); host
+    /// preprocessing applies this before deduplication.
+    #[inline]
+    pub fn normalized(self) -> Self {
+        if self.u <= self.v {
+            self
+        } else {
+            Edge { u: self.v, v: self.u }
+        }
+    }
+
+    /// True when both endpoints are the same vertex.
+    #[inline]
+    pub const fn is_self_loop(self) -> bool {
+        self.u == self.v
+    }
+
+    /// The endpoint opposite to `n`, or `None` if `n` is not an endpoint.
+    #[inline]
+    pub fn other(self, n: Node) -> Option<Node> {
+        if self.u == n {
+            Some(self.v)
+        } else if self.v == n {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+}
+
+impl From<(Node, Node)> for Edge {
+    #[inline]
+    fn from((u, v): (Node, Node)) -> Self {
+        Edge { u, v }
+    }
+}
+
+/// A simple, undirected, unweighted graph stored as a COO edge list.
+///
+/// Invariants are *not* enforced on construction: duplicate edges, self
+/// loops, and arbitrary endpoint order are allowed, mirroring raw input
+/// files. Call [`CooGraph::preprocess`] to obtain the canonical form the
+/// paper's pipeline assumes (normalized, deduplicated, self-loop-free,
+/// shuffled).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CooGraph {
+    edges: Vec<Edge>,
+    /// Number of vertices, i.e. one past the maximum id referenced.
+    num_nodes: Node,
+}
+
+impl CooGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a graph from raw edges; `num_nodes` is derived from the
+    /// largest endpoint id.
+    pub fn from_edges<I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        let edges: Vec<Edge> = edges.into_iter().collect();
+        let num_nodes = edges
+            .iter()
+            .map(|e| e.u.max(e.v) + 1)
+            .max()
+            .unwrap_or(0);
+        CooGraph { edges, num_nodes }
+    }
+
+    /// Builds a graph from `(u, v)` tuples.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (Node, Node)>,
+    {
+        Self::from_edges(pairs.into_iter().map(Edge::from))
+    }
+
+    /// Builds a graph with an explicit vertex count (must cover every
+    /// endpoint; ids `>= num_nodes` are a caller bug and will panic in
+    /// debug builds).
+    pub fn with_num_nodes(edges: Vec<Edge>, num_nodes: Node) -> Self {
+        debug_assert!(
+            edges.iter().all(|e| e.u < num_nodes && e.v < num_nodes),
+            "edge endpoint out of range"
+        );
+        CooGraph { edges, num_nodes }
+    }
+
+    /// The edge list.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Mutable access to the edge list (used by in-place preprocessing).
+    #[inline]
+    pub fn edges_mut(&mut self) -> &mut Vec<Edge> {
+        &mut self.edges
+    }
+
+    /// Number of edges currently stored (including any duplicates).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices (one past the largest referenced id).
+    #[inline]
+    pub fn num_nodes(&self) -> Node {
+        self.num_nodes
+    }
+
+    /// Appends an edge, growing the vertex count if needed. O(1) amortized —
+    /// the COO property that the dynamic-graph evaluation (§4.6) relies on.
+    #[inline]
+    pub fn push(&mut self, e: Edge) {
+        self.num_nodes = self.num_nodes.max(e.u.max(e.v) + 1);
+        self.edges.push(e);
+    }
+
+    /// Appends a batch of edges (a dynamic-graph update).
+    pub fn extend_edges(&mut self, batch: &[Edge]) {
+        for &e in batch {
+            self.push(e);
+        }
+    }
+
+    /// Applies the paper's preprocessing (§4.1): normalize endpoint order,
+    /// drop self loops, remove duplicate edges, then shuffle the edge list
+    /// with a seeded RNG (the deterministic stand-in for `shuf`).
+    pub fn preprocess(&mut self, shuffle_seed: u64) {
+        self.normalize();
+        self.dedup();
+        self.shuffle(shuffle_seed);
+    }
+
+    /// Orders every edge's endpoints as `u <= v` and drops self loops.
+    pub fn normalize(&mut self) {
+        self.edges.retain(|e| !e.is_self_loop());
+        for e in &mut self.edges {
+            *e = e.normalized();
+        }
+    }
+
+    /// Sorts the edge list and removes exact duplicates.
+    ///
+    /// Call [`CooGraph::normalize`] first so `(u, v)` and `(v, u)` collapse
+    /// to the same record; [`CooGraph::preprocess`] does both.
+    pub fn dedup(&mut self) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Deterministically shuffles the edge list (ChaCha8 keyed by `seed`).
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        self.edges.shuffle(&mut rng);
+    }
+
+    /// Degree of every vertex. Self loops contribute 2 to their vertex, as
+    /// in the standard undirected convention; preprocessed graphs have none.
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes as usize];
+        for e in &self.edges {
+            deg[e.u as usize] += 1;
+            deg[e.v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Splits the edge list into `k` contiguous batches of near-equal size,
+    /// simulating the incremental updates of the dynamic-graph workload
+    /// (Fig. 7). The final batch absorbs the remainder. Panics if `k == 0`.
+    pub fn split_batches(&self, k: usize) -> Vec<Vec<Edge>> {
+        assert!(k > 0, "cannot split into zero batches");
+        let n = self.edges.len();
+        let base = n / k;
+        let rem = n % k;
+        let mut out = Vec::with_capacity(k);
+        let mut start = 0;
+        for i in 0..k {
+            let len = base + usize::from(i < rem);
+            out.push(self.edges[start..start + len].to_vec());
+            start += len;
+        }
+        out
+    }
+
+    /// True when the edge list is normalized (`u < v`), sorted, and free of
+    /// duplicates — the canonical preprocessed form, ignoring shuffling.
+    pub fn is_canonical_sorted(&self) -> bool {
+        self.edges.windows(2).all(|w| w[0] < w[1]) && self.edges.iter().all(|e| e.u < e.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(pairs: &[(Node, Node)]) -> CooGraph {
+        CooGraph::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn edge_normalization_orders_endpoints() {
+        assert_eq!(Edge::new(5, 2).normalized(), Edge::new(2, 5));
+        assert_eq!(Edge::new(2, 5).normalized(), Edge::new(2, 5));
+        assert_eq!(Edge::new(3, 3).normalized(), Edge::new(3, 3));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(1, 9);
+        assert_eq!(e.other(1), Some(9));
+        assert_eq!(e.other(9), Some(1));
+        assert_eq!(e.other(5), None);
+    }
+
+    #[test]
+    fn from_edges_derives_node_count() {
+        let g = g(&[(0, 3), (2, 1)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_nodes() {
+        let g = CooGraph::new();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn preprocess_removes_self_loops_and_duplicates() {
+        let mut g = g(&[(1, 2), (2, 1), (3, 3), (1, 2), (0, 1)]);
+        g.preprocess(7);
+        assert_eq!(g.num_edges(), 2);
+        let mut edges = g.edges().to_vec();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(1, 2)]);
+    }
+
+    #[test]
+    fn preprocess_is_deterministic_for_a_seed() {
+        let mk = || {
+            let mut g = g(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+            g.preprocess(42);
+            g
+        };
+        assert_eq!(mk().edges(), mk().edges());
+    }
+
+    #[test]
+    fn different_shuffle_seeds_usually_differ() {
+        let base: Vec<(Node, Node)> = (0..64).map(|i| (i, i + 1)).collect();
+        let mut a = g(&base);
+        let mut b = g(&base);
+        a.preprocess(1);
+        b.preprocess(2);
+        assert_ne!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn push_grows_node_count() {
+        let mut g = CooGraph::new();
+        g.push(Edge::new(0, 9));
+        assert_eq!(g.num_nodes(), 10);
+        g.push(Edge::new(4, 2));
+        assert_eq!(g.num_nodes(), 10);
+        g.push(Edge::new(20, 1));
+        assert_eq!(g.num_nodes(), 21);
+    }
+
+    #[test]
+    fn degrees_count_both_endpoints() {
+        let g = g(&[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.degrees(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn split_batches_partitions_all_edges() {
+        let g = g(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        let batches = g.split_batches(3);
+        assert_eq!(batches.len(), 3);
+        let total: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_edges());
+        // Sizes differ by at most one.
+        let (min, max) = (
+            batches.iter().map(Vec::len).min().unwrap(),
+            batches.iter().map(Vec::len).max().unwrap(),
+        );
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero batches")]
+    fn split_batches_rejects_zero() {
+        g(&[(0, 1)]).split_batches(0);
+    }
+
+    #[test]
+    fn canonical_sorted_detection() {
+        let mut g = g(&[(2, 1), (0, 1)]);
+        assert!(!g.is_canonical_sorted());
+        g.normalize();
+        g.dedup();
+        assert!(g.is_canonical_sorted());
+    }
+}

@@ -1,0 +1,187 @@
+//! Compressed sparse row (CSR) adjacency.
+//!
+//! The state-of-the-art CPU baseline the paper compares against accepts COO
+//! input but converts it to CSR internally before counting (§4.6); the same
+//! conversion is implemented here. Neighbor lists are sorted, which the
+//! intersection-based counters rely on.
+
+use crate::{CooGraph, Edge, Node};
+
+/// Sorted-adjacency CSR graph.
+///
+/// For triangle counting only the "forward" orientation matters: every
+/// undirected edge `{u, v}` with `u < v` is stored once, in the adjacency of
+/// `u`. This halves memory and makes each triangle discoverable exactly once
+/// (the standard forward/ordered node-iterator construction).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[u]..offsets[u + 1]` indexes `targets` with the out-neighbors
+    /// of `u` (all greater than `u`), sorted ascending.
+    offsets: Vec<usize>,
+    targets: Vec<Node>,
+    num_nodes: Node,
+}
+
+impl CsrGraph {
+    /// Builds the forward CSR from a COO graph.
+    ///
+    /// Input may be un-normalized: endpoints are ordered, self loops are
+    /// dropped, and duplicate edges are collapsed during construction, so
+    /// the result matches building from a preprocessed graph.
+    pub fn from_coo(g: &CooGraph) -> Self {
+        let mut edges: Vec<Edge> = g
+            .edges()
+            .iter()
+            .filter(|e| !e.is_self_loop())
+            .map(|e| e.normalized())
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        Self::from_canonical_edges(&edges, g.num_nodes())
+    }
+
+    /// Builds the CSR from edges that are already normalized (`u < v`),
+    /// sorted, and deduplicated. Panics in debug builds otherwise.
+    pub fn from_canonical_edges(edges: &[Edge], num_nodes: Node) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(edges.iter().all(|e| e.u < e.v && e.v < num_nodes));
+        let n = num_nodes as usize;
+        let mut offsets = vec![0usize; n + 1];
+        for e in edges {
+            offsets[e.u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<Node> = edges.iter().map(|e| e.v).collect();
+        CsrGraph {
+            offsets,
+            targets,
+            num_nodes,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> Node {
+        self.num_nodes
+    }
+
+    /// Number of (undirected, deduplicated) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted forward neighbors of `u` (all ids greater than `u`).
+    #[inline]
+    pub fn neighbors(&self, u: Node) -> &[Node] {
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Forward out-degree of `u` (neighbors with larger id).
+    #[inline]
+    pub fn forward_degree(&self, u: Node) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Full undirected degrees (forward + backward).
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes as usize];
+        for u in 0..self.num_nodes {
+            deg[u as usize] += self.forward_degree(u) as u32;
+            for &v in self.neighbors(u) {
+                deg[v as usize] += 1;
+            }
+        }
+        deg
+    }
+
+    /// True if the undirected edge `{u, v}` exists (binary search).
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        if u == v || u >= self.num_nodes || v >= self.num_nodes {
+            return false;
+        }
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        self.neighbors(lo).binary_search(&hi).is_ok()
+    }
+
+    /// Reconstructs the canonical COO edge list.
+    pub fn to_coo(&self) -> CooGraph {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_nodes {
+            for &v in self.neighbors(u) {
+                edges.push(Edge::new(u, v));
+            }
+        }
+        CooGraph::with_num_nodes(edges, self.num_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> CooGraph {
+        // 0-1-2 triangle with a tail 2-3.
+        CooGraph::from_pairs([(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn builds_sorted_forward_adjacency() {
+        let csr = CsrGraph::from_coo(&triangle_plus_tail());
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[2]);
+        assert_eq!(csr.neighbors(2), &[3]);
+        assert_eq!(csr.neighbors(3), &[] as &[Node]);
+        assert_eq!(csr.num_edges(), 4);
+    }
+
+    #[test]
+    fn collapses_duplicates_and_reversed_edges() {
+        let g = CooGraph::from_pairs([(1, 0), (0, 1), (0, 1), (1, 1)]);
+        let csr = CsrGraph::from_coo(&g);
+        assert_eq!(csr.num_edges(), 1);
+        assert_eq!(csr.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn degrees_are_undirected() {
+        let csr = CsrGraph::from_coo(&triangle_plus_tail());
+        assert_eq!(csr.degrees(), vec![2, 2, 3, 1]);
+    }
+
+    #[test]
+    fn has_edge_both_orientations() {
+        let csr = CsrGraph::from_coo(&triangle_plus_tail());
+        assert!(csr.has_edge(0, 2));
+        assert!(csr.has_edge(2, 0));
+        assert!(!csr.has_edge(0, 3));
+        assert!(!csr.has_edge(0, 0));
+        assert!(!csr.has_edge(0, 99));
+    }
+
+    #[test]
+    fn coo_round_trip_is_canonical() {
+        let csr = CsrGraph::from_coo(&triangle_plus_tail());
+        let coo = csr.to_coo();
+        assert!(coo.is_canonical_sorted());
+        assert_eq!(coo.num_edges(), 4);
+        assert_eq!(CsrGraph::from_coo(&coo), csr);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = CsrGraph::from_coo(&CooGraph::new());
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_trailing_nodes_are_kept() {
+        let g = CooGraph::with_num_nodes(vec![Edge::new(0, 1)], 5);
+        let csr = CsrGraph::from_coo(&g);
+        assert_eq!(csr.num_nodes(), 5);
+        assert_eq!(csr.neighbors(4), &[] as &[Node]);
+    }
+}

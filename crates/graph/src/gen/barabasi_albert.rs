@@ -1,0 +1,96 @@
+//! Barabási–Albert preferential-attachment generator.
+//!
+//! The third classic power-law family (next to R-MAT and Chung–Lu):
+//! growth + preferential attachment. Included for generator diversity in
+//! tests and ablations — BA graphs have a guaranteed-connected core and a
+//! different (tree-like, lower-clustering) triangle structure than
+//! Chung–Lu at the same degree exponent.
+
+use crate::{CooGraph, Edge, Node};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a Barabási–Albert graph: starts from a small clique of
+/// `m + 1` vertices, then each new vertex attaches to `m` existing
+/// vertices chosen proportionally to their degree (the classic repeated-
+/// endpoint-list trick).
+pub fn barabasi_albert(n: Node, m: u32, seed: u64) -> CooGraph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need more vertices than attachments");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = Vec::with_capacity((n as usize) * m as usize);
+    // Flat list of edge endpoints: sampling uniformly from it is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<Node> = Vec::with_capacity(2 * (n as usize) * m as usize);
+    // Seed clique on vertices 0..=m.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            edges.push(Edge::new(u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for new in (m + 1)..n {
+        let mut chosen = Vec::with_capacity(m as usize);
+        while chosen.len() < m as usize {
+            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for &target in &chosen {
+            edges.push(Edge::new(target, new));
+            endpoints.push(target);
+            endpoints.push(new);
+        }
+    }
+    CooGraph::with_num_nodes(edges, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_is_exact() {
+        let (n, m) = (500u32, 3u32);
+        let g = barabasi_albert(n, m, 1);
+        let clique = (m as usize + 1) * m as usize / 2;
+        let grown = (n - m - 1) as usize * m as usize;
+        assert_eq!(g.num_edges(), clique + grown);
+    }
+
+    #[test]
+    fn no_duplicate_or_self_edges() {
+        let g = barabasi_albert(300, 4, 2);
+        let mut edges: Vec<_> = g.edges().iter().map(|e| e.normalized()).collect();
+        let before = edges.len();
+        edges.sort_unstable();
+        edges.dedup();
+        assert_eq!(edges.len(), before);
+        assert!(g.edges().iter().all(|e| !e.is_self_loop()));
+    }
+
+    #[test]
+    fn degrees_are_skewed_by_preferential_attachment() {
+        let g = barabasi_albert(2000, 2, 3);
+        let deg = g.degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        let avg = deg.iter().map(|&d| d as f64).sum::<f64>() / deg.len() as f64;
+        assert!(max > 8.0 * avg, "max {max} avg {avg}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(
+            barabasi_albert(100, 2, 7).edges(),
+            barabasi_albert(100, 2, 7).edges()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn rejects_tiny_n() {
+        barabasi_albert(3, 3, 0);
+    }
+}

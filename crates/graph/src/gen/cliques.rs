@@ -1,0 +1,102 @@
+//! Planted-clique / community generator.
+//!
+//! Overlays dense communities (cliques with internal edge probability `q`)
+//! on a sparse Erdős–Rényi background. Gives precise analytic control over
+//! triangle counts and locality — used for correctness stress tests of the
+//! partitioner (triangles concentrated inside communities exercise the
+//! monochromatic-correction path heavily when the color count is small).
+
+use crate::{CooGraph, Edge, Node};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for [`planted_cliques`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedCliqueParams {
+    /// Total vertices.
+    pub n: Node,
+    /// Number of planted communities.
+    pub communities: u32,
+    /// Vertices per community (consecutive id blocks).
+    pub community_size: Node,
+    /// Probability of each intra-community edge.
+    pub q: f64,
+    /// Probability of each background edge (applied to all pairs).
+    pub background_p: f64,
+}
+
+/// Generates the planted-community graph described by `params`.
+pub fn planted_cliques(params: PlantedCliqueParams, seed: u64) -> CooGraph {
+    let PlantedCliqueParams {
+        n,
+        communities,
+        community_size,
+        q,
+        background_p,
+    } = params;
+    assert!(communities as u64 * community_size as u64 <= n as u64,
+        "communities exceed vertex budget");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = crate::gen::erdos_renyi(n, background_p, rng.gen());
+    for c in 0..communities {
+        let base = c * community_size;
+        for i in 0..community_size {
+            for j in (i + 1)..community_size {
+                if q >= 1.0 || rng.gen_bool(q) {
+                    g.push(Edge::new(base + i, base + j));
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangle::count_exact;
+
+    fn params() -> PlantedCliqueParams {
+        PlantedCliqueParams {
+            n: 300,
+            communities: 5,
+            community_size: 20,
+            q: 1.0,
+            background_p: 0.0,
+        }
+    }
+
+    #[test]
+    fn pure_cliques_have_binomial_triangles() {
+        let g = planted_cliques(params(), 3);
+        let per = 20u64 * 19 * 18 / 6;
+        assert_eq!(count_exact(&g), 5 * per);
+    }
+
+    #[test]
+    fn background_adds_edges() {
+        let with_bg = planted_cliques(
+            PlantedCliqueParams { background_p: 0.02, ..params() },
+            3,
+        );
+        let without = planted_cliques(params(), 3);
+        assert!(with_bg.num_edges() > without.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex budget")]
+    fn rejects_oversized_communities() {
+        planted_cliques(
+            PlantedCliqueParams { communities: 100, community_size: 100, ..params() },
+            0,
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(
+            planted_cliques(params(), 11).edges(),
+            planted_cliques(params(), 11).edges()
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Erdős–Rényi `G(n, p)` generator.
+//!
+//! Baseline "structureless" random graphs; triangle counts concentrate at
+//! `C(n,3) p^3`, which the approximation tests use as an analytic check.
+
+use crate::{CooGraph, Edge, Node};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Samples `G(n, p)`: each of the `C(n, 2)` possible edges is present
+/// independently with probability `p`.
+///
+/// Uses geometric skipping, so the cost is proportional to the number of
+/// edges generated rather than `n^2`.
+pub fn erdos_renyi(n: Node, p: f64, seed: u64) -> CooGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    if p <= 0.0 || n < 2 {
+        return CooGraph::with_num_nodes(edges, n);
+    }
+    if p >= 1.0 {
+        return crate::gen::simple::complete(n);
+    }
+    // Walk the C(n,2) edge slots in lexicographic order, skipping ahead by
+    // geometric jumps (Batagelj–Brandes).
+    let total: u64 = (n as u64) * (n as u64 - 1) / 2;
+    let log_q = (1.0 - p).ln();
+    let mut slot: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as u64;
+        slot = slot.saturating_add(skip);
+        if slot >= total {
+            break;
+        }
+        edges.push(slot_to_edge(slot, n));
+        slot += 1;
+        if slot >= total {
+            break;
+        }
+    }
+    CooGraph::with_num_nodes(edges, n)
+}
+
+/// Maps a slot index in `[0, C(n,2))` to the corresponding edge `(u, v)`
+/// with `u < v`, in lexicographic order.
+#[inline]
+fn slot_to_edge(slot: u64, n: Node) -> Edge {
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... solve by scanning rows
+    // arithmetically: find largest u with start(u) <= slot.
+    // start(u) = sum_{k<u} (n-1-k) = u*(n-1) - u*(u-1)/2
+    let nf = n as f64;
+    let s = slot as f64;
+    // Invert the quadratic start(u) ≈ s for an initial guess, then adjust.
+    let mut u = ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * s).sqrt()) / 2.0)
+        .floor()
+        .max(0.0) as u64;
+    let start = |u: u64| u * (n as u64 - 1) - u * u.saturating_sub(1) / 2;
+    while u > 0 && start(u) > slot {
+        u -= 1;
+    }
+    while start(u + 1) <= slot {
+        u += 1;
+    }
+    let v = u + 1 + (slot - start(u));
+    Edge::new(u as Node, v as Node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_mapping_is_bijective_for_small_n() {
+        let n = 7;
+        let total = (n as u64) * (n as u64 - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..total {
+            let e = slot_to_edge(s, n);
+            assert!(e.u < e.v && e.v < n, "bad edge {e:?} for slot {s}");
+            assert!(seen.insert(e), "duplicate edge {e:?}");
+        }
+        assert_eq!(seen.len() as u64, total);
+    }
+
+    #[test]
+    fn p_zero_and_one_extremes() {
+        assert_eq!(erdos_renyi(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn edge_count_concentrates_around_mean() {
+        let n = 200u32;
+        let p = 0.1;
+        let g = erdos_renyi(n, p, 9);
+        let mean = (n as f64) * (n as f64 - 1.0) / 2.0 * p;
+        let got = g.num_edges() as f64;
+        assert!((got - mean).abs() < 0.15 * mean, "got {got}, mean {mean}");
+    }
+
+    #[test]
+    fn no_duplicates_or_self_loops_by_construction() {
+        let g = erdos_renyi(100, 0.2, 3);
+        let mut edges = g.edges().to_vec();
+        let before = edges.len();
+        edges.sort_unstable();
+        edges.dedup();
+        assert_eq!(edges.len(), before);
+        assert!(g.edges().iter().all(|e| e.u < e.v));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(
+            erdos_renyi(50, 0.3, 5).edges(),
+            erdos_renyi(50, 0.3, 5).edges()
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Lattice / road-network-like generator.
+//!
+//! The paper's `V1r` input is a road-style network: maximum degree 8,
+//! average degree ~2.2, and essentially no triangles (49 in 232M edges).
+//! A sparse 2-D lattice with random edge deletions reproduces that regime:
+//! bounded degree, long paths, and (with diagonals disabled) zero triangles
+//! except the few injected explicitly.
+
+use crate::{CooGraph, Edge, Node};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a `rows x cols` 4-neighbor lattice, keeping each lattice edge
+/// with probability `keep`, then injecting exactly `extra_triangles`
+/// vertex-disjoint triangles among fresh vertices appended at the end.
+///
+/// With `keep < 1` the lattice itself is triangle-free (4-cycles only), so
+/// the graph's exact triangle count equals `extra_triangles` — matching the
+/// V1r property that a tiny absolute count makes relative error volatile
+/// (Tables 3 and 4).
+pub fn grid2d(rows: Node, cols: Node, keep: f64, extra_triangles: u32, seed: u64) -> CooGraph {
+    assert!(rows >= 1 && cols >= 1);
+    assert!((0.0..=1.0).contains(&keep));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let id = |r: Node, c: Node| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.gen_bool(keep) {
+                edges.push(Edge::new(id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows && rng.gen_bool(keep) {
+                edges.push(Edge::new(id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    let mut next = rows * cols;
+    for _ in 0..extra_triangles {
+        edges.push(Edge::new(next, next + 1));
+        edges.push(Edge::new(next + 1, next + 2));
+        edges.push(Edge::new(next, next + 2));
+        next += 3;
+    }
+    CooGraph::with_num_nodes(edges, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangle::count_exact;
+
+    #[test]
+    fn full_grid_edge_count() {
+        // rows*(cols-1) horizontal + (rows-1)*cols vertical
+        let g = grid2d(4, 5, 1.0, 0, 0);
+        assert_eq!(g.num_edges(), 4 * 4 + 3 * 5);
+        assert_eq!(g.num_nodes(), 20);
+    }
+
+    #[test]
+    fn lattice_is_triangle_free() {
+        assert_eq!(count_exact(&grid2d(30, 30, 1.0, 0, 1)), 0);
+    }
+
+    #[test]
+    fn injected_triangles_are_exact() {
+        assert_eq!(count_exact(&grid2d(20, 20, 0.9, 7, 2)), 7);
+    }
+
+    #[test]
+    fn degree_is_bounded_by_four_in_lattice_part() {
+        let g = grid2d(15, 15, 1.0, 0, 3);
+        assert!(g.degrees().iter().all(|&d| d <= 4));
+    }
+
+    #[test]
+    fn keep_probability_thins_edges() {
+        let full = grid2d(40, 40, 1.0, 0, 1).num_edges() as f64;
+        let half = grid2d(40, 40, 0.5, 0, 1).num_edges() as f64;
+        assert!((half / full - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(grid2d(10, 10, 0.7, 2, 5).edges(), grid2d(10, 10, 0.7, 2, 5).edges());
+    }
+}

@@ -1,0 +1,33 @@
+//! Seeded, deterministic graph generators.
+//!
+//! The paper evaluates on seven real datasets spanning distinct structural
+//! regimes (power-law social networks, Graph500 Kronecker graphs, a road
+//! network, a dense brain network, an extreme-skew hyperlink graph). These
+//! generators produce synthetic graphs covering the same regimes at
+//! configurable scale; [`crate::datasets`] instantiates the specific
+//! stand-ins. All generators take an explicit seed and are deterministic
+//! across runs and platforms (ChaCha8 RNG).
+//!
+//! Generators return *raw* [`CooGraph`]s which may contain duplicate edges
+//! or self loops exactly like real input files; run
+//! [`CooGraph::preprocess`](crate::CooGraph::preprocess) (the experiment
+//! harness always does) before counting.
+
+pub mod barabasi_albert;
+pub mod chung_lu;
+pub mod cliques;
+pub mod erdos_renyi;
+pub mod geometric;
+pub mod grid;
+pub mod rmat;
+pub mod simple;
+pub mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use chung_lu::chung_lu;
+pub use cliques::planted_cliques;
+pub use erdos_renyi::erdos_renyi;
+pub use geometric::random_geometric;
+pub use grid::grid2d;
+pub use rmat::rmat;
+pub use watts_strogatz::watts_strogatz;

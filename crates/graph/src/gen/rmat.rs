@@ -1,0 +1,93 @@
+//! R-MAT / Kronecker generator (Graph500 family).
+//!
+//! The paper's `Kronecker 23` / `Kronecker 24` inputs come from the Graph500
+//! generator, which is an R-MAT process: each edge lands in one of the four
+//! quadrants of the adjacency matrix with probabilities `(a, b, c, d)` and
+//! recurses `scale` times. Graph500 uses `a=0.57, b=0.19, c=0.19, d=0.05`
+//! and edge factor 16; [`crate::datasets`] uses the same constants at a
+//! smaller scale.
+
+use crate::{CooGraph, Edge, Node};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates an R-MAT graph with `2^scale` vertices and
+/// `edge_factor * 2^scale` edge samples.
+///
+/// `a + b + c` must be `< 1` (`d` is implied). Like the Graph500 output,
+/// the raw list may contain duplicates and self loops; preprocessing
+/// removes them, so the deduplicated edge count is somewhat below
+/// `edge_factor * 2^scale`.
+pub fn rmat(scale: u32, edge_factor: u32, a: f64, b: f64, c: f64, seed: u64) -> CooGraph {
+    assert!(scale > 0 && scale < 31, "scale out of supported range");
+    assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "invalid quadrant probabilities");
+    let n: Node = 1 << scale;
+    let m = (edge_factor as usize) << scale;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        edges.push(sample_edge(scale, a, b, c, &mut rng));
+    }
+    CooGraph::with_num_nodes(edges, n)
+}
+
+#[inline]
+fn sample_edge(scale: u32, a: f64, b: f64, c: f64, rng: &mut ChaCha8Rng) -> Edge {
+    let (mut u, mut v) = (0 as Node, 0 as Node);
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.gen();
+        if r < a {
+            // top-left quadrant: no bits set
+        } else if r < a + b {
+            v |= 1;
+        } else if r < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    Edge::new(u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep;
+
+    #[test]
+    fn node_and_sample_counts() {
+        let g = rmat(8, 4, 0.57, 0.19, 0.19, 1);
+        assert_eq!(g.num_nodes(), 256);
+        assert_eq!(g.num_edges(), 4 * 256);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = rmat(8, 4, 0.57, 0.19, 0.19, 42);
+        let b = rmat(8, 4, 0.57, 0.19, 0.19, 42);
+        assert_eq!(a.edges(), b.edges());
+        let c = rmat(8, 4, 0.57, 0.19, 0.19, 43);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn skewed_parameters_produce_skewed_degrees() {
+        let mut g = rmat(12, 8, 0.57, 0.19, 0.19, 7);
+        prep::preprocess(&mut g, 0);
+        let deg = g.degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        let avg = deg.iter().map(|&d| d as f64).sum::<f64>() / deg.len() as f64;
+        // R-MAT with Graph500 constants is strongly skewed: the max degree
+        // is far above the average.
+        assert!(max > 10.0 * avg, "max {max} avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid quadrant")]
+    fn rejects_bad_probabilities() {
+        rmat(4, 2, 0.6, 0.3, 0.3, 0);
+    }
+}

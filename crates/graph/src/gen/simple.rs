@@ -1,0 +1,87 @@
+//! Small deterministic fixture graphs used throughout the test suites.
+
+use crate::{CooGraph, Edge, Node};
+
+/// Complete graph `K_n` on `n` vertices.
+pub fn complete(n: Node) -> CooGraph {
+    let mut edges = Vec::with_capacity((n as usize * (n as usize).saturating_sub(1)) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push(Edge::new(u, v));
+        }
+    }
+    CooGraph::with_num_nodes(edges, n)
+}
+
+/// Simple path `0-1-...-(n-1)`.
+pub fn path(n: Node) -> CooGraph {
+    let edges: Vec<Edge> = (1..n).map(|v| Edge::new(v - 1, v)).collect();
+    CooGraph::with_num_nodes(edges, n.max(0))
+}
+
+/// Cycle on `n >= 3` vertices.
+pub fn cycle(n: Node) -> CooGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut g = path(n);
+    g.push(Edge::new(0, n - 1));
+    g
+}
+
+/// Star: center `0` connected to `1..n`.
+pub fn star(n: Node) -> CooGraph {
+    let edges: Vec<Edge> = (1..n).map(|v| Edge::new(0, v)).collect();
+    CooGraph::with_num_nodes(edges, n.max(1))
+}
+
+/// Two cliques of size `k` sharing a single bridge edge. Useful for
+/// exercising partitioning: all triangles live inside the cliques.
+pub fn barbell(k: Node) -> CooGraph {
+    assert!(k >= 3);
+    let mut edges = Vec::new();
+    for u in 0..k {
+        for v in (u + 1)..k {
+            edges.push(Edge::new(u, v));
+            edges.push(Edge::new(k + u, k + v));
+        }
+    }
+    edges.push(Edge::new(k - 1, k));
+    CooGraph::with_num_nodes(edges, 2 * k)
+}
+
+/// The empty graph on `n` vertices.
+pub fn empty(n: Node) -> CooGraph {
+    CooGraph::with_num_nodes(Vec::new(), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangle::count_exact;
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(complete(1).num_edges(), 0);
+        assert_eq!(complete(0).num_edges(), 0);
+    }
+
+    #[test]
+    fn path_and_cycle_shape() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(5).num_edges(), 4);
+    }
+
+    #[test]
+    fn barbell_triangles_are_two_cliques_worth() {
+        let k = 5u64;
+        let per_clique = k * (k - 1) * (k - 2) / 6;
+        assert_eq!(count_exact(&barbell(5)), 2 * per_clique);
+    }
+
+    #[test]
+    fn empty_graph_counts_zero() {
+        assert_eq!(count_exact(&empty(10)), 0);
+        assert_eq!(empty(10).num_nodes(), 10);
+    }
+}

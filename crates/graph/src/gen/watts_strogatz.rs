@@ -1,0 +1,75 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! Ring lattice with random rewiring: high clustering at low rewiring
+//! probability, decaying as `beta` grows. Used in tests and ablations as a
+//! second high-clustering regime independent of the geometric generator.
+
+use crate::{CooGraph, Edge, Node};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a Watts–Strogatz graph: ring of `n` vertices each connected to
+/// its `k` nearest neighbors (`k` even), each edge rewired with probability
+/// `beta` to a uniform random target (self loops and duplicates may result
+/// and are left for preprocessing, like a raw input file).
+pub fn watts_strogatz(n: Node, k: Node, beta: f64, seed: u64) -> CooGraph {
+    assert!(k % 2 == 0, "k must be even");
+    assert!(k < n, "k must be below n");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n as usize * (k as usize / 2));
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            if beta > 0.0 && rng.gen_bool(beta) {
+                let w = rng.gen_range(0..n);
+                edges.push(Edge::new(u, w));
+            } else {
+                edges.push(Edge::new(u, v));
+            }
+        }
+    }
+    CooGraph::with_num_nodes(edges, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn unrewired_ring_edge_count() {
+        let g = watts_strogatz(20, 4, 0.0, 0);
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    fn unrewired_ring_clustering_matches_theory() {
+        // C = 3(k-2) / (4(k-1)) for the pristine ring lattice.
+        let k = 6u32;
+        let mut g = watts_strogatz(600, k, 0.0, 0);
+        g.preprocess(0);
+        let s = stats::graph_stats(&g);
+        let theory = 3.0 * (k as f64 - 2.0) / (4.0 * (k as f64 - 1.0));
+        assert!((s.global_clustering - theory).abs() < 0.02,
+            "got {} expected {theory}", s.global_clustering);
+    }
+
+    #[test]
+    fn rewiring_reduces_clustering() {
+        let cc = |beta: f64| {
+            let mut g = watts_strogatz(800, 6, beta, 3);
+            g.preprocess(0);
+            stats::graph_stats(&g).global_clustering
+        };
+        assert!(cc(0.0) > 2.0 * cc(0.8));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(
+            watts_strogatz(100, 4, 0.3, 7).edges(),
+            watts_strogatz(100, 4, 0.3, 7).edges()
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Edge-list IO.
+//!
+//! Two formats:
+//! * **Text COO** — one `u v` pair per line, `#`-prefixed comment lines
+//!   ignored (SNAP dataset convention, the format the paper's host reads).
+//! * **Binary COO** — little-endian `u32` pairs behind a small header;
+//!   compact and fast for the bench harness's cached datasets.
+
+use crate::{CooGraph, Edge, Node};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const BINARY_MAGIC: &[u8; 8] = b"PIMTCv1\0";
+
+/// Parses a text edge list from a reader. Lines starting with `#` or `%`
+/// and blank lines are skipped; endpoints may be separated by any
+/// whitespace. Errors on malformed lines.
+pub fn read_text<R: Read>(reader: R) -> io::Result<CooGraph> {
+    let mut edges = Vec::new();
+    let mut line = String::new();
+    let mut buf = BufReader::new(reader);
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<Node> {
+            tok.ok_or_else(|| malformed(lineno, trimmed))?
+                .parse::<Node>()
+                .map_err(|_| malformed(lineno, trimmed))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        edges.push(Edge::new(u, v));
+    }
+    Ok(CooGraph::from_edges(edges))
+}
+
+fn malformed(lineno: usize, line: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge at line {lineno}: {line:?}"),
+    )
+}
+
+/// Writes the text edge-list format.
+pub fn write_text<W: Write>(g: &CooGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# pim-tc edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    for e in g.edges() {
+        writeln!(w, "{} {}", e.u, e.v)?;
+    }
+    w.flush()
+}
+
+/// Reads the text format from a file path.
+pub fn load_text(path: impl AsRef<Path>) -> io::Result<CooGraph> {
+    read_text(std::fs::File::open(path)?)
+}
+
+/// Writes the text format to a file path.
+pub fn save_text(g: &CooGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    write_text(g, std::fs::File::create(path)?)
+}
+
+/// Writes the compact binary format.
+pub fn write_binary<W: Write>(g: &CooGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for e in g.edges() {
+        w.write_all(&e.u.to_le_bytes())?;
+        w.write_all(&e.v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads the compact binary format.
+pub fn read_binary<R: Read>(reader: R) -> io::Result<CooGraph> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let num_nodes = u64::from_le_bytes(u64buf);
+    if num_nodes > u32::MAX as u64 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "node count exceeds u32"));
+    }
+    r.read_exact(&mut u64buf)?;
+    let num_edges = u64::from_le_bytes(u64buf) as usize;
+    let mut edges = Vec::with_capacity(num_edges);
+    let mut pair = [0u8; 8];
+    for _ in 0..num_edges {
+        r.read_exact(&mut pair)?;
+        let u = Node::from_le_bytes(pair[0..4].try_into().unwrap());
+        let v = Node::from_le_bytes(pair[4..8].try_into().unwrap());
+        edges.push(Edge::new(u, v));
+    }
+    Ok(CooGraph::with_num_nodes(edges, num_nodes as Node))
+}
+
+/// Reads the binary format from a file path.
+pub fn load_binary(path: impl AsRef<Path>) -> io::Result<CooGraph> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+/// Writes the binary format to a file path.
+pub fn save_binary(g: &CooGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooGraph {
+        CooGraph::from_pairs([(0, 1), (2, 7), (3, 3)])
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut buf = Vec::new();
+        write_text(&sample(), &mut buf).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(back.edges(), sample().edges());
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let input = "# comment\n\n% also comment\n1 2\n  3\t4  \n";
+        let g = read_text(input.as_bytes()).unwrap();
+        assert_eq!(g.edges(), &[Edge::new(1, 2), Edge::new(3, 4)]);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text("1 banana\n".as_bytes()).is_err());
+        assert!(read_text("1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf[0] ^= 0xFF;
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pim_tc_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.bin");
+        save_binary(&sample(), &p).unwrap();
+        assert_eq!(load_binary(&p).unwrap(), sample());
+        let t = dir.join("g.txt");
+        save_text(&sample(), &t).unwrap();
+        assert_eq!(load_text(&t).unwrap().edges(), sample().edges());
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for the PIM-TC reproduction.
+//!
+//! This crate provides everything the triangle-counting system needs from a
+//! graph library:
+//!
+//! * [`CooGraph`] — the coordinate-list (COO) edge representation the paper
+//!   uses as its wire format between host and PIM cores,
+//! * [`CsrGraph`] — compressed sparse row adjacency, used by the CPU
+//!   baseline and the reference counter,
+//! * [`gen`] — seeded, deterministic graph generators (RMAT/Kronecker,
+//!   Erdős–Rényi, Chung–Lu power law, lattices, geometric, Watts–Strogatz,
+//!   planted cliques, and small fixtures),
+//! * [`stats`] — degree statistics and the global clustering coefficient
+//!   (Table 2 of the paper),
+//! * [`triangle`] — exact reference triangle counting (sequential and
+//!   rayon-parallel), the ground truth for every experiment,
+//! * [`ordering`] — degree and degeneracy orderings plus the forward
+//!   counting algorithm (a third independent reference),
+//! * [`io`] — text and binary edge-list readers/writers,
+//! * [`datasets`] — constructors for the seven synthetic stand-ins for the
+//!   paper's evaluation graphs (Table 1).
+//!
+//! Vertex ids are `u32` ([`Node`]); this matches the 32-bit DPU cores of the
+//! UPMEM system the paper targets and halves memory traffic relative to
+//! `u64`, which matters both for the simulator's MRAM budget and for the
+//! host batching throughput.
+
+pub mod coo;
+pub mod csr;
+pub mod datasets;
+pub mod gen;
+pub mod io;
+pub mod ordering;
+pub mod prep;
+pub mod stats;
+pub mod triangle;
+
+pub use coo::{CooGraph, Edge};
+pub use csr::CsrGraph;
+
+/// Vertex identifier. The paper's DPUs are 32-bit cores; all graphs in the
+/// evaluation fit comfortably in `u32` id space.
+pub type Node = u32;

@@ -1,0 +1,127 @@
+//! Graph statistics (Tables 1 and 2 of the paper).
+//!
+//! Reports edge/vertex/triangle counts, degree extremes, and the global
+//! clustering coefficient `C = 3·triangles / wedges`, the quantities the
+//! paper uses to characterize its evaluation graphs.
+
+use crate::{triangle, CooGraph, CsrGraph};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics for one graph (the union of the paper's Tables 1+2).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Deduplicated undirected edge count.
+    pub num_edges: u64,
+    /// Vertex count (id space size).
+    pub num_nodes: u64,
+    /// Exact triangle count.
+    pub triangles: u64,
+    /// Maximum vertex degree.
+    pub max_degree: u32,
+    /// Average vertex degree (2·|E| / |V|).
+    pub avg_degree: f64,
+    /// Global clustering coefficient: 3·triangles / #wedges.
+    pub global_clustering: f64,
+}
+
+/// Computes [`GraphStats`] for a graph (input may be un-normalized; the
+/// CSR construction canonicalizes it first).
+pub fn graph_stats(g: &CooGraph) -> GraphStats {
+    let csr = CsrGraph::from_coo(g);
+    stats_from_csr(&csr)
+}
+
+/// Computes [`GraphStats`] from a pre-built CSR (avoids re-canonicalizing).
+pub fn stats_from_csr(csr: &CsrGraph) -> GraphStats {
+    let degrees = csr.degrees();
+    let num_nodes = csr.num_nodes() as u64;
+    let num_edges = csr.num_edges() as u64;
+    let triangles = triangle::count_csr_parallel(csr);
+    let max_degree = degrees.iter().copied().max().unwrap_or(0);
+    let avg_degree = if num_nodes == 0 {
+        0.0
+    } else {
+        2.0 * num_edges as f64 / num_nodes as f64
+    };
+    let wedges: u64 = degrees
+        .iter()
+        .map(|&d| {
+            let d = d as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    let global_clustering = if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    };
+    GraphStats {
+        num_edges,
+        num_nodes,
+        triangles,
+        max_degree,
+        avg_degree,
+        global_clustering,
+    }
+}
+
+/// Degree histogram up to (and clamping at) `max_bucket`. Handy for eyeball
+/// checks of generator skew in examples and experiment logs.
+pub fn degree_histogram(g: &CooGraph, max_bucket: usize) -> Vec<u64> {
+    let mut hist = vec![0u64; max_bucket + 1];
+    for d in CsrGraph::from_coo(g).degrees() {
+        hist[(d as usize).min(max_bucket)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::simple;
+
+    #[test]
+    fn complete_graph_clusters_perfectly() {
+        let s = graph_stats(&simple::complete(6));
+        assert_eq!(s.triangles, 20);
+        assert_eq!(s.max_degree, 5);
+        assert!((s.global_clustering - 1.0).abs() < 1e-12);
+        assert!((s.avg_degree - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_wedges_but_no_triangles() {
+        let s = graph_stats(&simple::star(10));
+        assert_eq!(s.triangles, 0);
+        assert_eq!(s.global_clustering, 0.0);
+        assert_eq!(s.max_degree, 9);
+    }
+
+    #[test]
+    fn empty_graph_is_all_zero() {
+        let s = graph_stats(&simple::empty(5));
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.triangles, 0);
+        assert_eq!(s.global_clustering, 0.0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn triangle_graph_full_stats() {
+        let s = graph_stats(&CooGraph::from_pairs([(0, 1), (1, 2), (0, 2)]));
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.num_nodes, 3);
+        assert_eq!(s.triangles, 1);
+        // 3 wedges, 3 closed: clustering 1.
+        assert!((s.global_clustering - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamps() {
+        let hist = degree_histogram(&simple::star(10), 4);
+        // 9 leaves of degree 1, center degree 9 clamped into bucket 4.
+        assert_eq!(hist[1], 9);
+        assert_eq!(hist[4], 1);
+        assert_eq!(hist[0], 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Exact reference triangle counting.
+//!
+//! Ground truth for every experiment in the harness. Two independent
+//! implementations are provided (sorted-intersection node-iterator and a
+//! hash-set edge-iterator) so they can cross-check each other in tests; the
+//! node-iterator also comes in a rayon-parallel flavor used by the CPU
+//! baseline crate.
+
+use crate::{CooGraph, CsrGraph, Node};
+use rayon::prelude::*;
+
+/// Counts the triangles of `g` exactly (sequential node-iterator on forward
+/// CSR). Accepts raw COO input; preprocessing is performed internally by the
+/// CSR construction.
+pub fn count_exact(g: &CooGraph) -> u64 {
+    count_csr(&CsrGraph::from_coo(g))
+}
+
+/// Sequential forward node-iterator count over an existing CSR.
+///
+/// For every directed edge `u -> v` (with `u < v`), intersects the forward
+/// neighbor lists of `u` and `v`; every triangle `{u, v, w}` with
+/// `u < v < w` is found exactly once, at its smallest vertex.
+pub fn count_csr(csr: &CsrGraph) -> u64 {
+    (0..csr.num_nodes())
+        .map(|u| count_at_node(csr, u))
+        .sum()
+}
+
+/// Rayon-parallel forward node-iterator count.
+pub fn count_csr_parallel(csr: &CsrGraph) -> u64 {
+    (0..csr.num_nodes())
+        .into_par_iter()
+        .map(|u| count_at_node(csr, u))
+        .sum()
+}
+
+#[inline]
+fn count_at_node(csr: &CsrGraph, u: Node) -> u64 {
+    let nu = csr.neighbors(u);
+    let mut total = 0u64;
+    for (i, &v) in nu.iter().enumerate() {
+        // Triangles {u, v, w} with w > v appear in both N+(u) (past v) and
+        // N+(v); count with a sorted merge.
+        total += sorted_intersection_count(&nu[i + 1..], csr.neighbors(v));
+    }
+    total
+}
+
+/// Number of common elements of two ascending-sorted slices (merge walk).
+///
+/// This is the same comparison pattern the DPU kernel implements in
+/// `pim-tc` (§3.4: `w == z` count and advance both, `w < z` advance left,
+/// `w > z` advance right), exposed here for reuse and direct unit testing.
+#[inline]
+pub fn sorted_intersection_count(a: &[Node], b: &[Node], ) -> u64 {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            count += 1;
+            i += 1;
+            j += 1;
+        } else if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    count
+}
+
+/// Independent cross-check: hash-set membership edge-iterator.
+///
+/// For every edge `{u, v}` (with `u < v`), counts vertices `w > v` adjacent
+/// to both via hash lookups. Slower, but shares no code with the
+/// merge-based counters.
+pub fn count_hash(g: &CooGraph) -> u64 {
+    use std::collections::HashSet;
+    let csr = CsrGraph::from_coo(g);
+    let edge_set: HashSet<(Node, Node)> = (0..csr.num_nodes())
+        .flat_map(|u| csr.neighbors(u).iter().map(move |&v| (u, v)))
+        .collect();
+    let mut count = 0u64;
+    for u in 0..csr.num_nodes() {
+        let nu = csr.neighbors(u);
+        for (i, &v) in nu.iter().enumerate() {
+            for &w in &nu[i + 1..] {
+                if edge_set.contains(&(v, w)) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Per-node local triangle counts (each triangle increments all three of
+/// its vertices). Used by the clustering-coefficient statistics.
+pub fn local_counts(csr: &CsrGraph) -> Vec<u64> {
+    let n = csr.num_nodes() as usize;
+    let mut local = vec![0u64; n];
+    for u in 0..csr.num_nodes() {
+        let nu = csr.neighbors(u);
+        for (i, &v) in nu.iter().enumerate() {
+            let (mut a, mut b) = (i + 1, 0usize);
+            let nv = csr.neighbors(v);
+            while a < nu.len() && b < nv.len() {
+                let (x, y) = (nu[a], nv[b]);
+                if x == y {
+                    local[u as usize] += 1;
+                    local[v as usize] += 1;
+                    local[x as usize] += 1;
+                    a += 1;
+                    b += 1;
+                } else if x < y {
+                    a += 1;
+                } else {
+                    b += 1;
+                }
+            }
+        }
+    }
+    local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::simple;
+
+    #[test]
+    fn triangle_graph_has_one() {
+        let g = CooGraph::from_pairs([(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count_exact(&g), 1);
+        assert_eq!(count_hash(&g), 1);
+    }
+
+    #[test]
+    fn complete_graph_counts_match_binomial() {
+        for n in [3u32, 4, 5, 8, 12] {
+            let g = simple::complete(n);
+            let expect = (n as u64) * (n as u64 - 1) * (n as u64 - 2) / 6;
+            assert_eq!(count_exact(&g), expect, "K_{n}");
+            assert_eq!(count_hash(&g), expect, "K_{n} hash");
+        }
+    }
+
+    #[test]
+    fn trees_and_cycles_have_no_triangles() {
+        assert_eq!(count_exact(&simple::path(10)), 0);
+        assert_eq!(count_exact(&simple::star(10)), 0);
+        assert_eq!(count_exact(&simple::cycle(10)), 0);
+    }
+
+    #[test]
+    fn three_cycle_is_a_triangle() {
+        assert_eq!(count_exact(&simple::cycle(3)), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = crate::gen::rmat(12, 8, 0.57, 0.19, 0.19, 77);
+        let csr = CsrGraph::from_coo(&g);
+        assert_eq!(count_csr(&csr), count_csr_parallel(&csr));
+    }
+
+    #[test]
+    fn hash_matches_merge_on_random_graph() {
+        let g = crate::gen::erdos_renyi(120, 0.08, 5);
+        assert_eq!(count_exact(&g), count_hash(&g));
+    }
+
+    #[test]
+    fn local_counts_sum_to_three_times_total() {
+        let g = crate::gen::erdos_renyi(80, 0.1, 11);
+        let csr = CsrGraph::from_coo(&g);
+        let local = local_counts(&csr);
+        assert_eq!(local.iter().sum::<u64>(), 3 * count_csr(&csr));
+    }
+
+    #[test]
+    fn intersection_count_basics() {
+        assert_eq!(sorted_intersection_count(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(sorted_intersection_count(&[], &[1]), 0);
+        assert_eq!(sorted_intersection_count(&[5], &[5]), 1);
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 4, 6]), 0);
+    }
+
+    #[test]
+    fn duplicate_and_reversed_input_edges_do_not_overcount() {
+        let g = CooGraph::from_pairs([(0, 1), (1, 0), (1, 2), (2, 0), (0, 2), (2, 1)]);
+        assert_eq!(count_exact(&g), 1);
+    }
+}

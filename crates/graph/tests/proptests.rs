@@ -1,0 +1,100 @@
+//! Property-based tests for the graph substrate.
+
+use pim_graph::{gen, prep, triangle, CooGraph, CsrGraph, Edge, Node};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary small raw edge list (duplicates, self loops, and
+/// arbitrary orientation allowed — like a real input file).
+fn raw_edges(max_node: Node, max_edges: usize) -> impl Strategy<Value = Vec<(Node, Node)>> {
+    prop::collection::vec((0..max_node, 0..max_node), 0..max_edges)
+}
+
+proptest! {
+    #[test]
+    fn csr_round_trips_canonical_coo(pairs in raw_edges(40, 120)) {
+        let g = CooGraph::from_pairs(pairs);
+        let csr = CsrGraph::from_coo(&g);
+        let coo = csr.to_coo();
+        prop_assert!(coo.is_canonical_sorted());
+        prop_assert_eq!(CsrGraph::from_coo(&coo), csr);
+    }
+
+    #[test]
+    fn merge_and_hash_counters_agree(pairs in raw_edges(30, 150)) {
+        let g = CooGraph::from_pairs(pairs);
+        prop_assert_eq!(triangle::count_exact(&g), triangle::count_hash(&g));
+    }
+
+    #[test]
+    fn parallel_counter_matches_sequential(pairs in raw_edges(50, 200)) {
+        let csr = CsrGraph::from_coo(&CooGraph::from_pairs(pairs));
+        prop_assert_eq!(triangle::count_csr(&csr), triangle::count_csr_parallel(&csr));
+    }
+
+    #[test]
+    fn preprocessing_preserves_triangles(pairs in raw_edges(25, 100), seed in any::<u64>()) {
+        let g = CooGraph::from_pairs(pairs);
+        let before = triangle::count_exact(&g);
+        let (pre, _) = prep::preprocessed(&g, seed);
+        prop_assert_eq!(triangle::count_exact(&pre), before);
+    }
+
+    #[test]
+    fn relabeling_preserves_triangles(pairs in raw_edges(25, 80), seed in any::<u64>()) {
+        let g = CooGraph::from_pairs(pairs);
+        let relabeled = prep::relabel_random(&g, seed);
+        prop_assert_eq!(triangle::count_exact(&relabeled), triangle::count_exact(&g));
+    }
+
+    #[test]
+    fn text_io_round_trip(pairs in raw_edges(1000, 60)) {
+        let g = CooGraph::from_pairs(pairs);
+        let mut buf = Vec::new();
+        pim_graph::io::write_text(&g, &mut buf).unwrap();
+        let back = pim_graph::io::read_text(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn binary_io_round_trip(pairs in raw_edges(1000, 60)) {
+        let g = CooGraph::from_pairs(pairs);
+        let mut buf = Vec::new();
+        pim_graph::io::write_binary(&g, &mut buf).unwrap();
+        let back = pim_graph::io::read_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn sorted_intersection_matches_naive(
+        mut a in prop::collection::vec(0u32..60, 0..40),
+        mut b in prop::collection::vec(0u32..60, 0..40),
+    ) {
+        a.sort_unstable(); a.dedup();
+        b.sort_unstable(); b.dedup();
+        let naive = a.iter().filter(|x| b.contains(x)).count() as u64;
+        prop_assert_eq!(triangle::sorted_intersection_count(&a, &b), naive);
+    }
+
+    #[test]
+    fn split_batches_is_a_partition(pairs in raw_edges(40, 100), k in 1usize..12) {
+        let g = CooGraph::from_pairs(pairs);
+        let batches = g.split_batches(k);
+        let mut merged: Vec<Edge> = batches.into_iter().flatten().collect();
+        prop_assert_eq!(merged.len(), g.num_edges());
+        let mut orig = g.edges().to_vec();
+        merged.sort_unstable();
+        orig.sort_unstable();
+        prop_assert_eq!(merged, orig);
+    }
+
+    #[test]
+    fn er_generator_never_duplicates(n in 2u32..80, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let g = gen::erdos_renyi(n, p, seed);
+        let mut edges = g.edges().to_vec();
+        let before = edges.len();
+        edges.sort_unstable();
+        edges.dedup();
+        prop_assert_eq!(edges.len(), before);
+        prop_assert!(g.edges().iter().all(|e| e.u < e.v && e.v < n));
+    }
+}

@@ -1,0 +1,78 @@
+//! Hardware configuration of the simulated PIM system.
+
+use serde::{Deserialize, Serialize};
+
+/// Capacities and core counts of the simulated system. Defaults match the
+/// paper's evaluation platform: 20 P21 DIMMs → 2560 DPUs, each with 64 MB
+/// MRAM, 64 KB WRAM, 24 KB IRAM, and 16 tasklets (§2.2, §4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PimConfig {
+    /// Total PIM cores available in the machine.
+    pub total_dpus: usize,
+    /// MRAM (DRAM bank) capacity per DPU, bytes.
+    pub mram_capacity: u64,
+    /// WRAM (scratchpad) capacity per DPU, bytes.
+    pub wram_capacity: usize,
+    /// Instruction memory per DPU, bytes (tracked for completeness; the
+    /// functional simulator does not store instructions).
+    pub iram_capacity: usize,
+    /// Tasklets (PIM threads) launched per DPU. The paper uses 16.
+    pub nr_tasklets: usize,
+    /// Host CPU threads used for batch creation. The paper uses 32.
+    pub host_threads: usize,
+}
+
+impl Default for PimConfig {
+    fn default() -> Self {
+        PimConfig {
+            total_dpus: 2560,
+            mram_capacity: 64 << 20,
+            wram_capacity: 64 << 10,
+            iram_capacity: 24 << 10,
+            nr_tasklets: 16,
+            host_threads: 32,
+        }
+    }
+}
+
+impl PimConfig {
+    /// A deliberately tiny configuration for unit tests: MRAM small enough
+    /// that reservoir-sampling paths trigger on graphs of a few thousand
+    /// edges, and WRAM small enough that buffer management is exercised.
+    pub fn tiny() -> Self {
+        PimConfig {
+            total_dpus: 64,
+            mram_capacity: 64 << 10,
+            wram_capacity: 2 << 10,
+            iram_capacity: 24 << 10,
+            nr_tasklets: 4,
+            host_threads: 2,
+        }
+    }
+
+    /// WRAM bytes each tasklet can claim under an even split.
+    pub fn wram_per_tasklet(&self) -> usize {
+        self.wram_capacity / self.nr_tasklets.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let c = PimConfig::default();
+        assert_eq!(c.total_dpus, 2560);
+        assert_eq!(c.mram_capacity, 64 * 1024 * 1024);
+        assert_eq!(c.wram_capacity, 64 * 1024);
+        assert_eq!(c.nr_tasklets, 16);
+        assert_eq!(c.host_threads, 32);
+    }
+
+    #[test]
+    fn wram_split_is_even() {
+        let c = PimConfig::default();
+        assert_eq!(c.wram_per_tasklet(), 4096);
+    }
+}

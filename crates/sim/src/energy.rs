@@ -1,0 +1,116 @@
+//! Energy accounting (extension beyond the paper).
+//!
+//! PIM evaluations conventionally report energy next to time; the paper
+//! itself focuses on time, so this module is an *extension* built on the
+//! same counters the timing model uses. Dynamic energy is charged per
+//! retired instruction, per DMA byte, and per host-transfer byte; static
+//! energy is the idle power of the allocated DPUs integrated over the
+//! run's modeled time. Default coefficients are order-of-magnitude
+//! calibrations from UPMEM's published DIMM power (≈23 W per 128-DPU
+//! DIMM) and PrIM's throughput data — suitable for *relative* comparisons
+//! between configurations, which is how the harness uses them.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy coefficients for the simulated PIM system.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Joules per retired DPU instruction.
+    pub j_per_instr: f64,
+    /// Joules per MRAM↔WRAM DMA byte.
+    pub j_per_dma_byte: f64,
+    /// Joules per CPU↔PIM transferred byte.
+    pub j_per_xfer_byte: f64,
+    /// Static (idle) power per allocated DPU, watts.
+    pub static_w_per_dpu: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            // ~30 pJ/instruction for a 350 MHz in-DRAM core.
+            j_per_instr: 30.0e-12,
+            // ~15 pJ/byte for in-die DRAM row-buffer traffic.
+            j_per_dma_byte: 15.0e-12,
+            // ~60 pJ/byte across the DIMM interface + host path.
+            j_per_xfer_byte: 60.0e-12,
+            // 23.22 W / 128 DPUs ≈ 0.18 W, roughly half static.
+            static_w_per_dpu: 0.09,
+        }
+    }
+}
+
+/// Energy totals for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Dynamic energy of DPU instruction execution, joules.
+    pub instr_j: f64,
+    /// Dynamic energy of MRAM↔WRAM DMA traffic, joules.
+    pub dma_j: f64,
+    /// Dynamic energy of CPU↔PIM transfers, joules.
+    pub transfer_j: f64,
+    /// Static energy of the allocated cores over the modeled runtime,
+    /// joules.
+    pub static_j: f64,
+}
+
+impl EnergyReport {
+    /// Total joules.
+    pub fn total_j(&self) -> f64 {
+        self.instr_j + self.dma_j + self.transfer_j + self.static_j
+    }
+}
+
+impl EnergyModel {
+    /// Assembles a report from raw activity counters.
+    pub fn report(
+        &self,
+        instructions: u64,
+        dma_bytes: u64,
+        transfer_bytes: u64,
+        nr_dpus: usize,
+        modeled_seconds: f64,
+    ) -> EnergyReport {
+        EnergyReport {
+            instr_j: instructions as f64 * self.j_per_instr,
+            dma_j: dma_bytes as f64 * self.j_per_dma_byte,
+            transfer_j: transfer_bytes as f64 * self.j_per_xfer_byte,
+            static_j: self.static_w_per_dpu * nr_dpus as f64 * modeled_seconds.max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_components_add_up() {
+        let m = EnergyModel {
+            j_per_instr: 1.0,
+            j_per_dma_byte: 2.0,
+            j_per_xfer_byte: 3.0,
+            static_w_per_dpu: 4.0,
+        };
+        let r = m.report(10, 20, 30, 2, 5.0);
+        assert_eq!(r.instr_j, 10.0);
+        assert_eq!(r.dma_j, 40.0);
+        assert_eq!(r.transfer_j, 90.0);
+        assert_eq!(r.static_j, 40.0);
+        assert_eq!(r.total_j(), 180.0);
+    }
+
+    #[test]
+    fn defaults_are_positive_and_small() {
+        let m = EnergyModel::default();
+        assert!(m.j_per_instr > 0.0 && m.j_per_instr < 1e-9);
+        let r = m.report(1_000_000, 1 << 20, 1 << 20, 64, 0.01);
+        assert!(r.total_j() > 0.0 && r.total_j() < 1.0);
+    }
+
+    #[test]
+    fn negative_time_is_clamped() {
+        let r = EnergyModel::default().report(0, 0, 0, 10, -1.0);
+        assert_eq!(r.static_j, 0.0);
+    }
+}

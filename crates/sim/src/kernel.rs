@@ -1,0 +1,374 @@
+//! The kernel-side programming model: [`DpuContext`] and [`Tasklet`].
+//!
+//! Kernels are Rust closures executed per DPU. Inside a kernel, all data
+//! access must go through a [`Tasklet`], which enforces the two hardware
+//! constraints that shape real DPU code:
+//!
+//! * **MRAM is not directly addressable.** Data must be staged through
+//!   [`Tasklet::mram_read`] / [`Tasklet::mram_write`] DMA transfers, which
+//!   are 8-byte aligned, split into ≤ 2048-byte bursts, and charged
+//!   latency + per-byte cost.
+//! * **WRAM is tiny.** Each tasklet claims buffers from its share of the
+//!   64 KB scratchpad via [`Tasklet::alloc_wram`]; exceeding the budget is
+//!   an error, exactly like overflowing the stack/heap of a real tasklet.
+//!
+//! Tasklets are *simulated sequentially* within a DPU (tasklet `i+1` runs
+//! after tasklet `i` finishes), with per-tasklet cycle counters combined by
+//! the pipeline model in [`crate::CostModel::dpu_cycles`]. Kernels written
+//! for this API must therefore partition work so tasklets do not rely on
+//! concurrent interleaving — the same discipline correct UPMEM kernels
+//! need, since real tasklets interleave nondeterministically.
+
+use crate::config::PimConfig;
+use crate::dpu::Dpu;
+use crate::error::{SimError, SimResult};
+
+/// Maximum bytes a single MRAM↔WRAM DMA burst can move (UPMEM limit).
+pub const MAX_DMA_BYTES: u64 = 2048;
+
+/// Plain-old-data element types that can cross the MRAM↔WRAM boundary.
+///
+/// Implementations define the little-endian wire layout used inside the
+/// simulated MRAM banks, so bank contents are platform-independent.
+pub trait Pod: Copy + Default {
+    /// Size of the encoded element in bytes.
+    const BYTES: usize;
+    /// Encodes `self` at `out[..Self::BYTES]`.
+    fn write_le(self, out: &mut [u8]);
+    /// Decodes an element from `inp[..Self::BYTES]`.
+    fn read_le(inp: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod_int {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_le(self, out: &mut [u8]) {
+                out[..Self::BYTES].copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(inp: &[u8]) -> Self {
+                <$t>::from_le_bytes(inp[..Self::BYTES].try_into().unwrap())
+            }
+        }
+    )*};
+}
+
+impl_pod_int!(u8, u16, u32, u64, i32, i64);
+
+/// Kernel-side view of one DPU.
+pub struct DpuContext<'a> {
+    pub(crate) dpu: &'a mut Dpu,
+    pub(crate) config: &'a PimConfig,
+    pub(crate) cost: &'a crate::cost::CostModel,
+}
+
+impl<'a> DpuContext<'a> {
+    /// Id of the DPU this kernel instance runs on.
+    #[inline]
+    pub fn dpu_id(&self) -> usize {
+        self.dpu.id()
+    }
+
+    /// Number of tasklets launched per DPU.
+    #[inline]
+    pub fn nr_tasklets(&self) -> usize {
+        self.config.nr_tasklets
+    }
+
+    /// Bytes of MRAM currently initialized on this DPU.
+    #[inline]
+    pub fn mram_used(&self) -> u64 {
+        self.dpu.mram_used()
+    }
+
+    /// WRAM bytes each tasklet may claim (the even scratchpad split).
+    #[inline]
+    pub fn wram_per_tasklet(&self) -> usize {
+        self.config.wram_per_tasklet()
+    }
+
+    /// Runs `body` once per tasklet, sequentially, each with a fresh WRAM
+    /// budget of `config.wram_per_tasklet()`. Any tasklet error aborts the
+    /// kernel.
+    pub fn for_each_tasklet<F>(&mut self, mut body: F) -> SimResult<()>
+    where
+        F: FnMut(&mut Tasklet<'_>) -> SimResult<()>,
+    {
+        for id in 0..self.config.nr_tasklets {
+            let mut t = self.tasklet(id)?;
+            body(&mut t)?;
+        }
+        Ok(())
+    }
+
+    /// Borrows a single tasklet (used for single-threaded kernel sections,
+    /// e.g. "tasklet 0 builds the index").
+    pub fn tasklet(&mut self, id: usize) -> SimResult<Tasklet<'_>> {
+        if id >= self.config.nr_tasklets {
+            return Err(SimError::NoSuchDpu {
+                dpu: id,
+                allocated: self.config.nr_tasklets,
+            });
+        }
+        Ok(Tasklet {
+            dpu: self.dpu,
+            id,
+            wram_free: self.config.wram_per_tasklet(),
+            cost: self.cost,
+        })
+    }
+}
+
+/// One simulated PIM thread. All MRAM traffic, WRAM allocation, and
+/// instruction accounting for kernel work happens through this handle.
+pub struct Tasklet<'a> {
+    dpu: &'a mut Dpu,
+    id: usize,
+    wram_free: usize,
+    cost: &'a crate::cost::CostModel,
+}
+
+impl<'a> Tasklet<'a> {
+    /// This tasklet's id within the DPU.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The id of the DPU this tasklet runs on.
+    #[inline]
+    pub fn dpu_id(&self) -> usize {
+        self.dpu.id()
+    }
+
+    /// Remaining WRAM budget in bytes.
+    #[inline]
+    pub fn wram_free(&self) -> usize {
+        self.wram_free
+    }
+
+    /// Charges `n` single-cycle instructions (ALU ops, compares, branches,
+    /// WRAM loads/stores) to this tasklet.
+    #[inline]
+    pub fn charge(&mut self, n: u64) {
+        self.dpu.tasklet_instr[self.id] += n;
+        self.dpu.total_instr += n;
+    }
+
+    /// Charges `n` 32-bit multiply/divide operations (multi-cycle on the
+    /// DPU, which has no hardware 32-bit multiplier).
+    #[inline]
+    pub fn charge_muldiv(&mut self, n: u64) {
+        // Expanded to the model's per-op cycle count by charging the
+        // equivalent number of single-cycle slots.
+        self.charge(n * self.cost.muldiv_cycles);
+    }
+
+    /// Claims a WRAM buffer of `len` elements of `T`, zero-initialized.
+    ///
+    /// The returned buffer is ordinary host memory; what's simulated is the
+    /// *budget*: claims beyond this tasklet's scratchpad share fail with
+    /// [`SimError::WramOverflow`], forcing kernels into the buffered
+    /// streaming style real DPU code uses.
+    pub fn alloc_wram<T: Pod>(&mut self, len: usize) -> SimResult<Vec<T>> {
+        let bytes = len * T::BYTES;
+        if bytes > self.wram_free {
+            return Err(SimError::WramOverflow {
+                dpu: self.dpu.id(),
+                tasklet: self.id,
+                requested: bytes,
+                available: self.wram_free,
+            });
+        }
+        self.wram_free -= bytes;
+        Ok(vec![T::default(); len])
+    }
+
+    /// Returns a previously claimed buffer's bytes to the budget. (Real
+    /// kernels reuse buffers; this exists for phased kernels that need
+    /// different layouts in different phases.)
+    pub fn free_wram<T: Pod>(&mut self, buf: Vec<T>) {
+        self.wram_free += buf.len() * T::BYTES;
+        drop(buf);
+    }
+
+    /// DMA: MRAM `[offset, offset + dst.len()·T::BYTES)` → WRAM `dst`.
+    ///
+    /// The offset must be 8-byte aligned (hardware rule); transfers larger
+    /// than 2048 bytes are split into bursts, each charged setup latency.
+    pub fn mram_read<T: Pod>(&mut self, offset: u64, dst: &mut [T]) -> SimResult<()> {
+        let len = (dst.len() * T::BYTES) as u64;
+        self.check_dma(offset, len)?;
+        let src = self.dpu.mram_slice(offset, len)?;
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = T::read_le(&src[i * T::BYTES..]);
+        }
+        self.charge_dma(len);
+        Ok(())
+    }
+
+    /// DMA: WRAM `src` → MRAM `[offset, offset + src.len()·T::BYTES)`.
+    pub fn mram_write<T: Pod>(&mut self, offset: u64, src: &[T]) -> SimResult<()> {
+        let len = (src.len() * T::BYTES) as u64;
+        self.check_dma(offset, len)?;
+        let dst = self.dpu.mram_slice_mut(offset, len)?;
+        for (i, s) in src.iter().enumerate() {
+            s.write_le(&mut dst[i * T::BYTES..]);
+        }
+        self.charge_dma(len);
+        Ok(())
+    }
+
+    /// Reads a single element (convenience for index structures; charged
+    /// as a minimum-size DMA, which is why kernels should batch instead —
+    /// the cost model makes pointer-chasing expensive, as on real DPUs).
+    pub fn mram_read_one<T: Pod>(&mut self, offset: u64) -> SimResult<T> {
+        let mut buf = [T::default()];
+        self.mram_read(offset, &mut buf)?;
+        Ok(buf[0])
+    }
+
+    /// Writes a single element.
+    pub fn mram_write_one<T: Pod>(&mut self, offset: u64, value: T) -> SimResult<()> {
+        self.mram_write(offset, &[value])
+    }
+
+    #[inline]
+    fn check_dma(&self, offset: u64, len: u64) -> SimResult<()> {
+        if offset % 8 != 0 {
+            return Err(SimError::BadDma {
+                dpu: self.dpu.id(),
+                len,
+                rule: "MRAM DMA offset must be 8-byte aligned",
+            });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn charge_dma(&mut self, bytes: u64) {
+        // Round each burst to the 8-byte transfer granularity and charge
+        // per ≤2048-byte burst.
+        let mut remaining = bytes.div_ceil(8) * 8;
+        loop {
+            let burst = remaining.min(MAX_DMA_BYTES);
+            self.dpu.dma_cycles += self.cost.dma_cycles(burst);
+            self.dpu.total_dma_bytes += burst;
+            if remaining <= MAX_DMA_BYTES {
+                break;
+            }
+            remaining -= burst;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PimConfig;
+
+    fn ctx_fixture(config: &PimConfig) -> Dpu {
+        Dpu::new(0, config.mram_capacity, config.nr_tasklets)
+    }
+
+    const COST: crate::cost::CostModel = crate::cost::CostModel {
+        clock_hz: 350.0e6,
+        pipeline_saturation: 11,
+        dma_setup_cycles: 77,
+        dma_cycles_per_byte: 0.53,
+        muldiv_cycles: 32,
+        xfer_per_dpu_bw: 0.33e9,
+        xfer_aggregate_bw: 6.68e9,
+        xfer_latency: 20.0e-6,
+        setup_fixed: 60.0e-3,
+        setup_per_dpu: 25.0e-6,
+        launch_overhead: 50.0e-6,
+    };
+
+    #[test]
+    fn dma_round_trip_typed() {
+        let config = PimConfig::tiny();
+        let mut dpu = ctx_fixture(&config);
+        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        let mut t = ctx.tasklet(0).unwrap();
+        t.mram_write(0, &[1u32, 2, 3, 4]).unwrap();
+        let mut back = [0u32; 4];
+        t.mram_read(0, &mut back).unwrap();
+        assert_eq!(back, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unaligned_dma_is_rejected() {
+        let config = PimConfig::tiny();
+        let mut dpu = ctx_fixture(&config);
+        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        let mut t = ctx.tasklet(0).unwrap();
+        let err = t.mram_write(4, &[1u32]).unwrap_err();
+        assert!(matches!(err, SimError::BadDma { .. }));
+    }
+
+    #[test]
+    fn wram_budget_is_enforced() {
+        let config = PimConfig::tiny(); // 2 KB WRAM, 4 tasklets → 512 B each
+        let mut dpu = ctx_fixture(&config);
+        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        let mut t = ctx.tasklet(0).unwrap();
+        let buf: Vec<u32> = t.alloc_wram(64).unwrap(); // 256 B
+        assert_eq!(t.wram_free(), 256);
+        assert!(t.alloc_wram::<u32>(128).is_err()); // would need 512 B
+        t.free_wram(buf);
+        assert_eq!(t.wram_free(), 512);
+    }
+
+    #[test]
+    fn charges_accumulate_per_tasklet() {
+        let config = PimConfig::tiny();
+        let mut dpu = ctx_fixture(&config);
+        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        ctx.for_each_tasklet(|t| {
+            t.charge(10);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(dpu.tasklet_instr, vec![10; 4]);
+        assert_eq!(dpu.lifetime_instructions(), 40);
+    }
+
+    #[test]
+    fn dma_charges_split_large_transfers() {
+        let config = PimConfig::default();
+        let mut dpu = ctx_fixture(&config);
+        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        let mut t = ctx.tasklet(0).unwrap();
+        // 4096 bytes = two bursts → two setup charges.
+        let data = vec![0u64; 512];
+        t.mram_write(0, &data).unwrap();
+        let model = crate::cost::CostModel::default();
+        assert_eq!(dpu.dma_cycles, 2 * model.dma_cycles(2048));
+    }
+
+    #[test]
+    fn out_of_range_tasklet_id_fails() {
+        let config = PimConfig::tiny();
+        let mut dpu = ctx_fixture(&config);
+        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        assert!(ctx.tasklet(99).is_err());
+    }
+
+    #[test]
+    fn pod_round_trip_all_types() {
+        fn rt<T: Pod + PartialEq + std::fmt::Debug>(v: T) {
+            let mut buf = vec![0u8; T::BYTES];
+            v.write_le(&mut buf);
+            assert_eq!(T::read_le(&buf), v);
+        }
+        rt(0xABu8);
+        rt(0xABCDu16);
+        rt(0xDEADBEEFu32);
+        rt(0xDEAD_BEEF_CAFE_F00Du64);
+        rt(-123456i32);
+        rt(-1234567890123i64);
+    }
+}

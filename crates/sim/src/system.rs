@@ -1,0 +1,435 @@
+//! The host-side view of the PIM machine: allocation, transfers, kernel
+//! launches, and phase timing.
+
+use crate::config::PimConfig;
+use crate::cost::{CostModel, SimSeconds};
+use crate::dpu::Dpu;
+use crate::error::{SimError, SimResult};
+use crate::kernel::{DpuContext, Pod};
+use crate::phase::{Phase, PhaseTimes};
+use rayon::prelude::*;
+
+/// One host→DPU write request in a parallel transfer batch.
+#[derive(Clone, Debug)]
+pub struct HostWrite {
+    /// Target DPU id.
+    pub dpu: usize,
+    /// Destination MRAM offset (bytes).
+    pub offset: u64,
+    /// Payload.
+    pub data: Vec<u8>,
+}
+
+/// A set of allocated PIM cores plus the machinery to drive them:
+/// rank-parallel transfers, SPMD kernel launches, and per-phase modeled
+/// time (§4.1: Setup / Sample Creation / Triangle Count).
+pub struct PimSystem {
+    config: PimConfig,
+    cost: CostModel,
+    energy: crate::energy::EnergyModel,
+    dpus: Vec<Dpu>,
+    times: PhaseTimes,
+    phase: Phase,
+    transfer_bytes: u64,
+    trace: crate::trace::Trace,
+}
+
+impl PimSystem {
+    /// Allocates `nr_dpus` PIM cores, charging the setup cost (core
+    /// allocation + kernel binary load) to the Setup phase.
+    pub fn allocate(nr_dpus: usize, config: PimConfig, cost: CostModel) -> SimResult<Self> {
+        if nr_dpus > config.total_dpus {
+            return Err(SimError::TooManyDpus {
+                requested: nr_dpus,
+                available: config.total_dpus,
+            });
+        }
+        let dpus = (0..nr_dpus)
+            .map(|id| Dpu::new(id, config.mram_capacity, config.nr_tasklets))
+            .collect();
+        let mut sys = PimSystem {
+            config,
+            cost,
+            energy: crate::energy::EnergyModel::default(),
+            dpus,
+            times: PhaseTimes::default(),
+            phase: Phase::Setup,
+            transfer_bytes: 0,
+            trace: crate::trace::Trace::default(),
+        };
+        let setup = sys.cost.setup_seconds(nr_dpus);
+        sys.times.add(Phase::Setup, setup);
+        sys.trace.record(crate::trace::TraceEvent::Allocate { nr_dpus, seconds: setup });
+        Ok(sys)
+    }
+
+    /// Allocates with default config and cost model.
+    pub fn allocate_default(nr_dpus: usize) -> SimResult<Self> {
+        Self::allocate(nr_dpus, PimConfig::default(), CostModel::default())
+    }
+
+    /// Number of allocated PIM cores.
+    #[inline]
+    pub fn nr_dpus(&self) -> usize {
+        self.dpus.len()
+    }
+
+    /// Hardware configuration in effect.
+    #[inline]
+    pub fn config(&self) -> &PimConfig {
+        &self.config
+    }
+
+    /// Cost model in effect.
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Read-only access to a DPU (host-side inspection; tests and result
+    /// gathering).
+    pub fn dpu(&self, id: usize) -> SimResult<&Dpu> {
+        self.dpus.get(id).ok_or(SimError::NoSuchDpu {
+            dpu: id,
+            allocated: self.dpus.len(),
+        })
+    }
+
+    /// Switches the phase that subsequent costs accrue to.
+    pub fn set_phase(&mut self, phase: Phase) {
+        if self.phase != phase {
+            self.trace.record(crate::trace::TraceEvent::PhaseChange { to: phase });
+        }
+        self.phase = phase;
+    }
+
+    /// Starts recording an event timeline (see [`crate::trace`]).
+    pub fn enable_tracing(&mut self) {
+        self.trace.enable();
+    }
+
+    /// The recorded timeline (empty unless tracing was enabled).
+    pub fn trace(&self) -> &crate::trace::Trace {
+        &self.trace
+    }
+
+    /// Phase currently accruing time.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Modeled per-phase times so far.
+    pub fn phase_times(&self) -> PhaseTimes {
+        self.times
+    }
+
+    /// Folds measured host-side seconds (e.g. batch-creation wall time)
+    /// into the current phase. The paper's timings include host work; the
+    /// simulator cannot model arbitrary host Rust code, so the orchestrator
+    /// measures it and accounts it here.
+    pub fn charge_host_seconds(&mut self, seconds: SimSeconds) {
+        self.times.add(self.phase, seconds);
+        self.trace
+            .record(crate::trace::TraceEvent::HostWork { seconds, phase: self.phase });
+    }
+
+    /// Executes a rank-parallel CPU→PIM transfer batch. Data lands in MRAM
+    /// immediately; modeled time (max per-DPU payload vs. aggregate
+    /// bandwidth cap) accrues to the current phase.
+    pub fn push(&mut self, writes: Vec<HostWrite>) -> SimResult<()> {
+        let mut per_dpu_bytes = vec![0u64; self.dpus.len()];
+        for w in &writes {
+            if w.dpu >= self.dpus.len() {
+                return Err(SimError::NoSuchDpu {
+                    dpu: w.dpu,
+                    allocated: self.dpus.len(),
+                });
+            }
+            per_dpu_bytes[w.dpu] += w.data.len() as u64;
+        }
+        for w in &writes {
+            self.dpus[w.dpu].host_write(w.offset, &w.data)?;
+        }
+        let bytes = per_dpu_bytes.iter().sum::<u64>();
+        self.transfer_bytes += bytes;
+        let seconds = self.cost.transfer_seconds(&per_dpu_bytes);
+        self.times.add(self.phase, seconds);
+        self.trace.record(crate::trace::TraceEvent::Push {
+            writes: writes.len(),
+            bytes,
+            seconds,
+            phase: self.phase,
+        });
+        Ok(())
+    }
+
+    /// Broadcasts the same payload to every DPU at the same offset (UPMEM
+    /// supports this as an optimized parallel transfer; modeled as one
+    /// rank-parallel batch).
+    pub fn broadcast(&mut self, offset: u64, data: &[u8]) -> SimResult<()> {
+        let writes = (0..self.dpus.len())
+            .map(|dpu| HostWrite { dpu, offset, data: data.to_vec() })
+            .collect();
+        self.push(writes)
+    }
+
+    /// Gathers `len` bytes at `offset` from every DPU (PIM→CPU transfer),
+    /// charging one rank-parallel batch.
+    pub fn gather(&mut self, offset: u64, len: u64) -> SimResult<Vec<Vec<u8>>> {
+        let out: SimResult<Vec<Vec<u8>>> = self
+            .dpus
+            .iter()
+            .map(|d| d.host_read(offset, len))
+            .collect();
+        let out = out?;
+        let per_dpu_bytes = vec![len; self.dpus.len()];
+        let bytes = len * self.dpus.len() as u64;
+        self.transfer_bytes += bytes;
+        let seconds = self.cost.transfer_seconds(&per_dpu_bytes);
+        self.times.add(self.phase, seconds);
+        self.trace
+            .record(crate::trace::TraceEvent::Gather { bytes, seconds, phase: self.phase });
+        Ok(out)
+    }
+
+    /// Typed convenience over [`PimSystem::gather`]: one `T` per DPU read
+    /// from the same offset.
+    pub fn gather_one<T: Pod>(&mut self, offset: u64) -> SimResult<Vec<T>> {
+        Ok(self
+            .gather(offset, T::BYTES as u64)?
+            .into_iter()
+            .map(|bytes| T::read_le(&bytes))
+            .collect())
+    }
+
+    /// Launches an SPMD kernel on every allocated DPU (in parallel on the
+    /// host via rayon — DPUs are independent hardware). Returns each DPU's
+    /// result in id order.
+    ///
+    /// Modeled time: `launch_overhead + max over DPUs of dpu_cycles`,
+    /// because the host waits for the slowest PIM core — this is exactly
+    /// the load-imbalance sensitivity the paper's edge-distribution
+    /// analysis (§3.1) is about.
+    pub fn execute<R, K>(&mut self, kernel: K) -> SimResult<Vec<R>>
+    where
+        R: Send,
+        K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
+    {
+        let config = self.config;
+        let cost = self.cost;
+        let results: SimResult<Vec<(R, u64)>> = self
+            .dpus
+            .par_iter_mut()
+            .map(|dpu| {
+                dpu.reset_kernel_counters();
+                let mut ctx = DpuContext { dpu, config: &config, cost: &cost };
+                let r = kernel(&mut ctx)?;
+                let cycles = cost.dpu_cycles(&ctx.dpu.tasklet_instr, ctx.dpu.dma_cycles);
+                Ok((r, cycles))
+            })
+            .collect();
+        let results = results?;
+        let max_cycles = results.iter().map(|(_, c)| *c).max().unwrap_or(0);
+        let seconds = self.cost.launch_overhead + self.cost.cycles_to_seconds(max_cycles);
+        self.times.add(self.phase, seconds);
+        self.trace.record(crate::trace::TraceEvent::Kernel {
+            max_cycles,
+            seconds,
+            phase: self.phase,
+        });
+        Ok(results.into_iter().map(|(r, _)| r).collect())
+    }
+
+    /// Sum of MRAM bytes in use across all DPUs.
+    pub fn total_mram_used(&self) -> u64 {
+        self.dpus.iter().map(Dpu::mram_used).sum()
+    }
+
+    /// Overrides the energy coefficients (defaults are UPMEM-calibrated).
+    pub fn set_energy_model(&mut self, energy: crate::energy::EnergyModel) {
+        self.energy = energy;
+    }
+
+    /// Total CPU<->PIM bytes moved so far.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.transfer_bytes
+    }
+
+    /// Energy totals for everything executed so far, derived from the
+    /// lifetime activity counters and the modeled runtime.
+    pub fn energy_report(&self) -> crate::energy::EnergyReport {
+        let instructions: u64 = self.dpus.iter().map(Dpu::lifetime_instructions).sum();
+        let dma_bytes: u64 = self.dpus.iter().map(Dpu::lifetime_dma_bytes).sum();
+        self.energy.report(
+            instructions,
+            dma_bytes,
+            self.transfer_bytes,
+            self.dpus.len(),
+            self.times.total(),
+        )
+    }
+
+    /// Frees the PIM cores, returning the final phase times. (Dropping the
+    /// system works too; this makes the hand-off explicit in orchestrator
+    /// code, mirroring `dpu_free` in the UPMEM SDK.)
+    pub fn release(self) -> PhaseTimes {
+        self.times
+    }
+}
+
+/// Encodes a typed slice into the little-endian byte layout used in MRAM.
+pub fn encode_slice<T: Pod>(items: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; items.len() * T::BYTES];
+    for (i, item) in items.iter().enumerate() {
+        item.write_le(&mut out[i * T::BYTES..]);
+    }
+    out
+}
+
+/// Decodes MRAM bytes into a typed vector. Panics if `bytes` is not a
+/// multiple of the element size.
+pub fn decode_slice<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    assert_eq!(bytes.len() % T::BYTES, 0, "byte length not element-aligned");
+    bytes.chunks_exact(T::BYTES).map(T::read_le).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system() -> PimSystem {
+        PimSystem::allocate(4, PimConfig::tiny(), CostModel::default()).unwrap()
+    }
+
+    #[test]
+    fn allocation_respects_machine_size() {
+        let cfg = PimConfig::tiny();
+        assert!(PimSystem::allocate(64, cfg, CostModel::default()).is_ok());
+        assert!(matches!(
+            PimSystem::allocate(65, cfg, CostModel::default()),
+            Err(SimError::TooManyDpus { .. })
+        ));
+    }
+
+    #[test]
+    fn allocation_charges_setup() {
+        let sys = small_system();
+        assert!(sys.phase_times().setup > 0.0);
+        assert_eq!(sys.phase_times().sample_creation, 0.0);
+    }
+
+    #[test]
+    fn push_then_kernel_then_gather() {
+        let mut sys = small_system();
+        sys.set_phase(Phase::SampleCreation);
+        // Each DPU gets its id repeated as u32s.
+        let writes = (0..4)
+            .map(|dpu| HostWrite {
+                dpu,
+                offset: 0,
+                data: encode_slice(&[dpu as u32; 8]),
+            })
+            .collect();
+        sys.push(writes).unwrap();
+
+        sys.set_phase(Phase::TriangleCount);
+        // Kernel: every tasklet sums the values, tasklet 0 writes the sum.
+        let results = sys
+            .execute(|ctx| {
+                let mut t = ctx.tasklet(0)?;
+                let mut buf = [0u32; 8];
+                t.mram_read(0, &mut buf)?;
+                t.charge(8);
+                let sum: u32 = buf.iter().sum();
+                t.mram_write_one(64, sum)?;
+                Ok(sum)
+            })
+            .unwrap();
+        assert_eq!(results, vec![0, 8, 16, 24]);
+
+        let gathered: Vec<u32> = sys.gather_one(64).unwrap();
+        assert_eq!(gathered, vec![0, 8, 16, 24]);
+
+        let t = sys.phase_times();
+        assert!(t.sample_creation > 0.0);
+        assert!(t.triangle_count > 0.0);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_dpu() {
+        let mut sys = small_system();
+        sys.broadcast(0, &encode_slice(&[7u32, 9])).unwrap();
+        for id in 0..4 {
+            let bytes = sys.dpu(id).unwrap().host_read(0, 8).unwrap();
+            assert_eq!(decode_slice::<u32>(&bytes), vec![7, 9]);
+        }
+    }
+
+    #[test]
+    fn kernel_error_propagates() {
+        let mut sys = small_system();
+        let err = sys
+            .execute(|ctx| {
+                let mut t = ctx.tasklet(0)?;
+                // Read from uninitialized MRAM.
+                t.mram_read_one::<u64>(1 << 20).map(|_| ())
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::MramOverflow { .. } | SimError::BadAddress { .. }));
+    }
+
+    #[test]
+    fn execute_time_tracks_slowest_dpu() {
+        let mut sys = small_system();
+        sys.set_phase(Phase::TriangleCount);
+        let before = sys.phase_times().triangle_count;
+        sys.execute(|ctx| {
+            // DPU 3 does 100x the work of the others.
+            let work = if ctx.dpu_id() == 3 { 100_000 } else { 1_000 };
+            let mut t = ctx.tasklet(0)?;
+            t.charge(work);
+            Ok(())
+        })
+        .unwrap();
+        let elapsed = sys.phase_times().triangle_count - before;
+        let cost = CostModel::default();
+        let expected = cost.launch_overhead + cost.cycles_to_seconds(100_000 * 11);
+        assert!((elapsed - expected).abs() < 1e-9, "elapsed {elapsed} expected {expected}");
+    }
+
+    #[test]
+    fn push_rejects_unknown_dpu() {
+        let mut sys = small_system();
+        let err = sys
+            .push(vec![HostWrite { dpu: 99, offset: 0, data: vec![0] }])
+            .unwrap_err();
+        assert!(matches!(err, SimError::NoSuchDpu { dpu: 99, .. }));
+    }
+
+    #[test]
+    fn host_seconds_accrue_to_current_phase() {
+        let mut sys = small_system();
+        sys.set_phase(Phase::SampleCreation);
+        sys.charge_host_seconds(1.25);
+        assert_eq!(sys.phase_times().sample_creation, 1.25);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let xs = [1u64, u64::MAX, 42];
+        assert_eq!(decode_slice::<u64>(&encode_slice(&xs)), xs.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "element-aligned")]
+    fn decode_rejects_ragged_bytes() {
+        decode_slice::<u32>(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn release_returns_times() {
+        let sys = small_system();
+        let t = sys.release();
+        assert!(t.setup > 0.0);
+    }
+}

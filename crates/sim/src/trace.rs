@@ -1,0 +1,194 @@
+//! Execution tracing: an event timeline of transfers and kernel launches.
+//!
+//! Disabled by default (zero overhead beyond a branch); enable with
+//! [`crate::PimSystem::enable_tracing`] to capture what the host did to
+//! the PIM system and what each step cost. The harness and examples use
+//! it to explain phase times; it is also the easiest way to see the §4.1
+//! phase structure of a run at a glance via [`Trace::render`].
+
+use crate::cost::SimSeconds;
+use crate::phase::Phase;
+use serde::{Deserialize, Serialize};
+
+/// One recorded simulator event.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// System allocation.
+    Allocate {
+        /// PIM cores allocated.
+        nr_dpus: usize,
+        /// Modeled seconds charged.
+        seconds: SimSeconds,
+    },
+    /// A rank-parallel CPU→PIM transfer batch.
+    Push {
+        /// Individual writes in the batch.
+        writes: usize,
+        /// Total payload bytes.
+        bytes: u64,
+        /// Modeled seconds charged.
+        seconds: SimSeconds,
+        /// Phase the cost accrued to.
+        phase: Phase,
+    },
+    /// A rank-parallel PIM→CPU gather.
+    Gather {
+        /// Total payload bytes.
+        bytes: u64,
+        /// Modeled seconds charged.
+        seconds: SimSeconds,
+        /// Phase the cost accrued to.
+        phase: Phase,
+    },
+    /// An SPMD kernel launch.
+    Kernel {
+        /// Wall cycles of the slowest DPU.
+        max_cycles: u64,
+        /// Modeled seconds charged (launch overhead included).
+        seconds: SimSeconds,
+        /// Phase the cost accrued to.
+        phase: Phase,
+    },
+    /// Measured host-side work folded into the clock.
+    HostWork {
+        /// Measured seconds.
+        seconds: SimSeconds,
+        /// Phase the cost accrued to.
+        phase: Phase,
+    },
+    /// The orchestrator switched phases.
+    PhaseChange {
+        /// New phase.
+        to: Phase,
+    },
+}
+
+impl TraceEvent {
+    /// Seconds this event contributed to the clock (0 for phase changes).
+    pub fn seconds(&self) -> SimSeconds {
+        match self {
+            TraceEvent::Allocate { seconds, .. }
+            | TraceEvent::Push { seconds, .. }
+            | TraceEvent::Gather { seconds, .. }
+            | TraceEvent::Kernel { seconds, .. }
+            | TraceEvent::HostWork { seconds, .. } => *seconds,
+            TraceEvent::PhaseChange { .. } => 0.0,
+        }
+    }
+}
+
+/// A recorded event timeline.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Starts recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total modeled seconds across recorded events.
+    pub fn total_seconds(&self) -> SimSeconds {
+        self.events.iter().map(TraceEvent::seconds).sum()
+    }
+
+    /// Renders a human-readable timeline.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut clock = 0.0f64;
+        for e in &self.events {
+            clock += e.seconds();
+            let _ = match e {
+                TraceEvent::Allocate { nr_dpus, seconds } => writeln!(
+                    out,
+                    "[{clock:>10.6}s] allocate {nr_dpus} DPUs (+{seconds:.6}s)"
+                ),
+                TraceEvent::Push { writes, bytes, seconds, phase } => writeln!(
+                    out,
+                    "[{clock:>10.6}s] push {writes} writes / {bytes} B (+{seconds:.6}s) [{phase:?}]"
+                ),
+                TraceEvent::Gather { bytes, seconds, phase } => writeln!(
+                    out,
+                    "[{clock:>10.6}s] gather {bytes} B (+{seconds:.6}s) [{phase:?}]"
+                ),
+                TraceEvent::Kernel { max_cycles, seconds, phase } => writeln!(
+                    out,
+                    "[{clock:>10.6}s] kernel max {max_cycles} cycles (+{seconds:.6}s) [{phase:?}]"
+                ),
+                TraceEvent::HostWork { seconds, phase } => writeln!(
+                    out,
+                    "[{clock:>10.6}s] host work (+{seconds:.6}s) [{phase:?}]"
+                ),
+                TraceEvent::PhaseChange { to } => {
+                    writeln!(out, "[{clock:>10.6}s] --- phase: {to:?} ---")
+                }
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, HostWrite, PimConfig, PimSystem};
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut sys = PimSystem::allocate(2, PimConfig::tiny(), CostModel::default()).unwrap();
+        sys.push(vec![HostWrite { dpu: 0, offset: 0, data: vec![0; 8] }]).unwrap();
+        assert!(sys.trace().events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_captures_the_pipeline() {
+        let mut sys = PimSystem::allocate(2, PimConfig::tiny(), CostModel::default()).unwrap();
+        sys.enable_tracing();
+        sys.set_phase(crate::Phase::SampleCreation);
+        sys.push(vec![
+            HostWrite { dpu: 0, offset: 0, data: vec![0; 8] },
+            HostWrite { dpu: 1, offset: 0, data: vec![0; 8] },
+        ])
+        .unwrap();
+        sys.set_phase(crate::Phase::TriangleCount);
+        sys.execute(|ctx| {
+            let mut t = ctx.tasklet(0)?;
+            t.charge(10);
+            Ok(())
+        })
+        .unwrap();
+        sys.gather(0, 8).unwrap();
+        let events = sys.trace().events();
+        assert!(matches!(events[0], TraceEvent::PhaseChange { .. }));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::Push { bytes: 16, writes: 2, .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::Kernel { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::Gather { .. })));
+        // Rendered timeline mentions each step.
+        let rendered = sys.trace().render();
+        assert!(rendered.contains("push"));
+        assert!(rendered.contains("kernel"));
+        assert!(rendered.contains("gather"));
+        assert!(sys.trace().total_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Universal-hash vertex coloring (§3.1).
+//!
+//! Nodes are colored by `h_C(u) = ((a·u + b) mod p) mod C` with `p` a large
+//! prime, `a ∈ [1, p)`, `b ∈ [0, p)` drawn at random. This is the classic
+//! Carter–Wegman universal family: colors are near-uniform over the id
+//! space and pairwise independent, which is what the even-edge-distribution
+//! argument in §3.1 needs.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A large prime comfortably above any `u32` vertex id (2^61 − 1, a
+/// Mersenne prime; arithmetic stays within `u128` intermediates).
+pub const HASH_PRIME: u64 = (1 << 61) - 1;
+
+/// A sampled coloring function `h_C`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColoringHash {
+    a: u64,
+    b: u64,
+    colors: u32,
+}
+
+impl ColoringHash {
+    /// Samples a coloring with `colors ≥ 1` colors from the universal
+    /// family, seeded deterministically.
+    pub fn new(colors: u32, seed: u64) -> Self {
+        assert!(colors >= 1, "need at least one color");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        ColoringHash {
+            a: rng.gen_range(1..HASH_PRIME),
+            b: rng.gen_range(0..HASH_PRIME),
+            colors,
+        }
+    }
+
+    /// Number of colors `C`.
+    #[inline]
+    pub fn colors(&self) -> u32 {
+        self.colors
+    }
+
+    /// Color of vertex `u`, in `[0, C)`.
+    #[inline]
+    pub fn color(&self, u: u32) -> u32 {
+        let x = (self.a as u128 * u as u128 + self.b as u128) % HASH_PRIME as u128;
+        (x % self.colors as u128) as u32
+    }
+
+    /// Colors of an edge's endpoints, ordered ascending (the canonical
+    /// form used for triplet routing).
+    #[inline]
+    pub fn edge_colors(&self, u: u32, v: u32) -> (u32, u32) {
+        let (cu, cv) = (self.color(u), self.color(v));
+        if cu <= cv {
+            (cu, cv)
+        } else {
+            (cv, cu)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colors_are_in_range() {
+        let h = ColoringHash::new(7, 3);
+        for u in 0..10_000u32 {
+            assert!(h.color(u) < 7);
+        }
+    }
+
+    #[test]
+    fn single_color_maps_everything_to_zero() {
+        let h = ColoringHash::new(1, 9);
+        for u in [0u32, 1, 99, u32::MAX] {
+            assert_eq!(h.color(u), 0);
+        }
+    }
+
+    #[test]
+    fn distribution_is_near_uniform() {
+        let c = 8u32;
+        let h = ColoringHash::new(c, 1234);
+        let n = 80_000u32;
+        let mut counts = vec![0u64; c as usize];
+        for u in 0..n {
+            counts[h.color(u) as usize] += 1;
+        }
+        let expected = n as f64 / c as f64;
+        for (color, &count) in counts.iter().enumerate() {
+            let dev = (count as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "color {color}: count {count} vs expected {expected}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let h1 = ColoringHash::new(5, 1);
+        let h2 = ColoringHash::new(5, 2);
+        let differs = (0..1000u32).any(|u| h1.color(u) != h2.color(u));
+        assert!(differs);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(ColoringHash::new(5, 42), ColoringHash::new(5, 42));
+    }
+
+    #[test]
+    fn edge_colors_are_sorted() {
+        let h = ColoringHash::new(6, 7);
+        for (u, v) in [(0u32, 1u32), (5, 2), (100, 100)] {
+            let (a, b) = h.edge_colors(u, v);
+            assert!(a <= b);
+            let (c, d) = h.edge_colors(v, u);
+            assert_eq!((a, b), (c, d));
+        }
+    }
+}

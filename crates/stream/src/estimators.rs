@@ -1,0 +1,132 @@
+//! Statistical corrections combining the sampling layers (§3.2, §3.3).
+//!
+//! Each PIM core's raw triangle count passes through up to two divisors:
+//! the reservoir triple-probability of *that core's* stream, and the
+//! global uniform-sampling factor `p³`. The two compose multiplicatively
+//! because host sampling is independent of the per-core reservoir process
+//! (the paper notes the techniques can be applied concurrently).
+
+use crate::reservoir::triple_probability;
+
+/// Corrects one PIM core's raw count for reservoir sampling: `m` is the
+/// core's sample capacity, `t` the edges actually routed to it.
+/// Returns the raw count unchanged when nothing overflowed.
+pub fn correct_reservoir(raw: u64, m: u64, t: u64) -> f64 {
+    let p = triple_probability(m, t);
+    if p <= 0.0 {
+        // A sample that cannot hold a triangle observed none; the unbiased
+        // contribution is simply zero.
+        0.0
+    } else {
+        raw as f64 / p
+    }
+}
+
+/// Corrects an aggregated count for host-level uniform sampling with
+/// keep-probability `p` (§3.2: divide by `p³`).
+pub fn correct_uniform(count: f64, p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    count / (p * p * p)
+}
+
+/// Standard deviation of the DOULION estimator for a graph with `t`
+/// triangles at keep-probability `p`, under the independent-triangles
+/// approximation (Tsourakakis et al., Lemma 1 ignoring shared-edge
+/// covariance): each triangle survives with probability `p³` and is
+/// scaled by `1/p³`, so `Var ≈ t (1 − p³) / p³`. Used by examples and the
+/// harness to sanity-band observed errors.
+pub fn uniform_sampling_stddev(triangles: u64, p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    let p3 = p * p * p;
+    (triangles as f64 * (1.0 - p3) / p3).sqrt()
+}
+
+/// The same band as a *relative* error: `stddev / t = sqrt((1−p³)/(t·p³))`.
+/// Makes the Table 3 pattern quantitative: error stays sub-percent as
+/// long as `t · p³ ≫ 10⁴`, and explodes for triangle-poor graphs (V1r).
+pub fn uniform_sampling_relative_stddev(triangles: u64, p: f64) -> f64 {
+    if triangles == 0 {
+        return f64::INFINITY;
+    }
+    uniform_sampling_stddev(triangles, p) / triangles as f64
+}
+
+/// Relative error of an estimate against the exact value, as the paper
+/// reports it (|est − exact| / exact). Returns 0 when both are zero and
+/// 1 (100%) when the exact value is zero but the estimate is not — the
+/// convention behind the V1r rows of Tables 3 and 4.
+pub fn relative_error(estimate: f64, exact: u64) -> f64 {
+    if exact == 0 {
+        return if estimate == 0.0 { 0.0 } else { 1.0 };
+    }
+    (estimate - exact as f64).abs() / exact as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_correction_identity_when_not_overflowed() {
+        assert_eq!(correct_reservoir(42, 100, 50), 42.0);
+        assert_eq!(correct_reservoir(42, 100, 100), 42.0);
+    }
+
+    #[test]
+    fn reservoir_correction_scales_up() {
+        let corrected = correct_reservoir(10, 10, 20);
+        let p = (10.0 * 9.0 * 8.0) / (20.0 * 19.0 * 18.0);
+        assert!((corrected - 10.0 / p).abs() < 1e-9);
+        assert!(corrected > 10.0);
+    }
+
+    #[test]
+    fn degenerate_sample_contributes_zero() {
+        assert_eq!(correct_reservoir(0, 2, 50), 0.0);
+    }
+
+    #[test]
+    fn uniform_correction_is_p_cubed() {
+        assert!((correct_uniform(1.0, 0.5) - 8.0).abs() < 1e-12);
+        assert_eq!(correct_uniform(7.0, 1.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be")]
+    fn uniform_rejects_zero_p() {
+        correct_uniform(1.0, 0.0);
+    }
+
+    #[test]
+    fn relative_error_conventions() {
+        assert_eq!(relative_error(110.0, 100), 0.1);
+        assert_eq!(relative_error(90.0, 100), 0.1);
+        assert_eq!(relative_error(0.0, 0), 0.0);
+        assert_eq!(relative_error(5.0, 0), 1.0);
+    }
+
+    #[test]
+    fn doulion_variance_shrinks_with_p_and_t() {
+        // Exact mode: zero variance.
+        assert_eq!(uniform_sampling_stddev(1000, 1.0), 0.0);
+        // More aggressive sampling → more variance.
+        assert!(uniform_sampling_stddev(1000, 0.1) > uniform_sampling_stddev(1000, 0.5));
+        // Relative error shrinks with triangle count.
+        assert!(
+            uniform_sampling_relative_stddev(1_000_000, 0.1)
+                < uniform_sampling_relative_stddev(100, 0.1)
+        );
+        // Triangle-poor graphs blow up (the V1r effect, quantified).
+        assert!(uniform_sampling_relative_stddev(49, 0.1) > 1.0);
+        assert!(uniform_sampling_relative_stddev(0, 0.5).is_infinite());
+    }
+
+    #[test]
+    fn corrections_compose() {
+        // 4 triangles observed under reservoir (m=10, t=30) and uniform
+        // sampling p=0.5: estimate = 4 / p_res / p³.
+        let p_res = (10.0 * 9.0 * 8.0) / (30.0 * 29.0 * 28.0);
+        let est = correct_uniform(correct_reservoir(4, 10, 30), 0.5);
+        assert!((est - 4.0 / p_res / 0.125).abs() < 1e-9);
+    }
+}

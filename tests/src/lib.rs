@@ -1,0 +1,1 @@
+//! Integration-test-only package; see the `tests/` directory targets.

@@ -1,0 +1,202 @@
+//! Cross-crate integration tests: the full PIM pipeline against the
+//! baselines on realistic (test-profile) datasets.
+
+use pim_baselines::{cpu_count, GpuModel};
+use pim_graph::datasets::{DatasetId, Profile};
+use pim_graph::triangle;
+use pim_sim::PimConfig;
+use pim_tc::TcConfig;
+
+fn small_pim() -> PimConfig {
+    PimConfig { total_dpus: 512, mram_capacity: 4 << 20, ..PimConfig::tiny() }
+}
+
+fn exact_config(colors: u32) -> TcConfig {
+    TcConfig::builder()
+        .colors(colors)
+        .pim(small_pim())
+        .stage_edges(512)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn all_test_datasets_count_exactly() {
+    for id in DatasetId::ALL {
+        let g = id.build(Profile::Test);
+        let expect = triangle::count_exact(&g);
+        let r = pim_tc::count_triangles(&g, &exact_config(4)).unwrap();
+        assert!(r.exact, "{}: run should be exact", id.name());
+        assert_eq!(r.rounded(), expect, "{}", id.name());
+    }
+}
+
+#[test]
+fn pipeline_agrees_with_all_baselines() {
+    let g = DatasetId::SocialDense.build(Profile::Test);
+    let expect = triangle::count_exact(&g);
+    assert_eq!(cpu_count(&g).triangles, expect);
+    assert_eq!(GpuModel::default().count(&g).triangles, expect);
+    let r = pim_tc::count_triangles(&g, &exact_config(3)).unwrap();
+    assert_eq!(r.rounded(), expect);
+}
+
+#[test]
+fn misra_gries_speeds_up_skewed_graph_and_stays_exact() {
+    let g = DatasetId::HyperlinkSkewed.build(Profile::Test);
+    let expect = triangle::count_exact(&g);
+    let plain = pim_tc::count_triangles(&g, &exact_config(4)).unwrap();
+    let remapped = {
+        let config = TcConfig::builder()
+            .colors(4)
+            .misra_gries(512, 32)
+            .pim(small_pim())
+            .stage_edges(512)
+            .build()
+            .unwrap();
+        pim_tc::count_triangles(&g, &config).unwrap()
+    };
+    assert_eq!(plain.rounded(), expect);
+    assert_eq!(remapped.rounded(), expect);
+    // The hub graph should count faster (modeled) with remapping.
+    assert!(
+        remapped.times.triangle_count < plain.times.triangle_count,
+        "remap {} vs plain {}",
+        remapped.times.triangle_count,
+        plain.times.triangle_count
+    );
+}
+
+#[test]
+fn misra_gries_overhead_on_low_degree_graph() {
+    // The paper's other half of Fig. 5: no benefit on low-degree graphs.
+    let g = DatasetId::Roads.build(Profile::Test);
+    let expect = triangle::count_exact(&g);
+    let config = TcConfig::builder()
+        .colors(4)
+        .misra_gries(512, 32)
+        .pim(small_pim())
+        .stage_edges(512)
+        .build()
+        .unwrap();
+    let r = pim_tc::count_triangles(&g, &config).unwrap();
+    assert_eq!(r.rounded(), expect);
+}
+
+#[test]
+fn uniform_sampling_error_is_small_on_triangle_rich_graphs() {
+    let g = DatasetId::Brain.build(Profile::Test);
+    let exact = triangle::count_exact(&g);
+    let mut total_err = 0.0;
+    let trials = 5;
+    for seed in 0..trials {
+        let config = TcConfig::builder()
+            .colors(4)
+            .uniform_p(0.5)
+            .seed(seed)
+            .pim(small_pim())
+            .stage_edges(512)
+            .build()
+            .unwrap();
+        let r = pim_tc::count_triangles(&g, &config).unwrap();
+        total_err += r.relative_error(exact);
+    }
+    let mean = total_err / trials as f64;
+    assert!(mean < 0.10, "mean relative error {mean}");
+}
+
+#[test]
+fn uniform_sampling_blows_up_on_triangle_poor_graph() {
+    // The V1r effect (Table 3): with 9 triangles, sampling errors are
+    // catastrophic in relative terms.
+    let g = DatasetId::Roads.build(Profile::Test);
+    let exact = triangle::count_exact(&g);
+    assert!(exact < 20);
+    let config = TcConfig::builder()
+        .colors(4)
+        .uniform_p(0.1)
+        .pim(small_pim())
+        .stage_edges(512)
+        .build()
+        .unwrap();
+    let r = pim_tc::count_triangles(&g, &config).unwrap();
+    // Either it misses everything (100%) or the correction overshoots;
+    // on so few triangles the error is essentially never small.
+    assert!(r.relative_error(exact) > 0.2, "error {}", r.relative_error(exact));
+}
+
+#[test]
+fn reservoir_error_is_small_on_triangle_rich_graphs() {
+    let g = DatasetId::SocialDense.build(Profile::Test);
+    let exact = triangle::count_exact(&g);
+    let colors = 4u32;
+    let expected_max =
+        (6.0 * g.num_edges() as f64 / (colors as f64 * colors as f64)).ceil() as u64;
+    let mut total_err = 0.0;
+    let trials = 5;
+    for seed in 0..trials {
+        let config = TcConfig::builder()
+            .colors(colors)
+            .sample_capacity((expected_max / 2).max(3))
+            .seed(seed)
+            .pim(small_pim())
+            .stage_edges(512)
+            .build()
+            .unwrap();
+        let r = pim_tc::count_triangles(&g, &config).unwrap();
+        assert!(r.reservoir_overflowed);
+        total_err += r.relative_error(exact);
+    }
+    let mean = total_err / trials as f64;
+    assert!(mean < 0.15, "mean relative error {mean}");
+}
+
+#[test]
+fn dynamic_session_beats_cpu_rebuild_asymptotically_in_conversions() {
+    // Integration shape-check of Fig. 7's mechanism: the CPU pays a CSR
+    // conversion of the *whole* graph each update; the session never
+    // converts. Here we verify counts track each other across updates.
+    let g = DatasetId::SocialModerate.build(Profile::Test);
+    let batches = g.split_batches(5);
+    let cpu = pim_baselines::dynamic::cpu_dynamic(&batches);
+    let pim = pim_baselines::dynamic::pim_dynamic(&batches, &exact_config(3)).unwrap();
+    for (c, p) in cpu.iter().zip(&pim) {
+        assert_eq!(c.triangles, p.triangles, "update {}", c.update);
+    }
+}
+
+#[test]
+fn tiny_mram_forces_reservoir_on_real_dataset() {
+    // Failure-injection: banks far too small for the stream must still
+    // produce a sane estimate (and flag it) rather than erroring.
+    let g = DatasetId::KroneckerSmall.build(Profile::Test);
+    let exact = triangle::count_exact(&g);
+    let config = TcConfig::builder()
+        .colors(2)
+        .pim(PimConfig { total_dpus: 64, mram_capacity: 96 << 10, ..PimConfig::tiny() })
+        .stage_edges(128)
+        .build()
+        .unwrap();
+    let r = pim_tc::count_triangles(&g, &config).unwrap();
+    assert!(r.reservoir_overflowed);
+    assert!(!r.exact);
+    assert!(r.estimate > 0.0);
+    // Very loose: same order of magnitude.
+    assert!(r.estimate > exact as f64 / 10.0 && r.estimate < exact as f64 * 10.0);
+}
+
+#[test]
+fn simulator_constraint_violations_surface_as_config_errors() {
+    // A machine too small for any sample must fail loudly at start.
+    let outcome = TcConfig::builder()
+        .colors(2)
+        .pim(PimConfig { total_dpus: 64, mram_capacity: 4 << 10, ..PimConfig::tiny() })
+        .stage_edges(512)
+        .build()
+        .and_then(|config| pim_tc::TcSession::start(&config).map(|_| ()));
+    assert!(
+        matches!(outcome, Err(pim_tc::TcError::Config(_))),
+        "expected config error, got {:?}",
+        outcome.as_ref().err()
+    );
+}

@@ -1,0 +1,89 @@
+//! Model-based fuzzing of [`pim_tc::TcSession`]: random interleavings of
+//! `append` and `count` against a host-side model (the reference counter
+//! over the accumulated edges). In exact mode, *every* intermediate count
+//! must equal the model, regardless of batch boundaries, color counts, or
+//! hardware shape.
+
+use pim_graph::{triangle, CooGraph, Edge};
+use pim_sim::PimConfig;
+use pim_tc::{TcConfig, TcSession};
+use proptest::prelude::*;
+
+/// One fuzz operation.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Append a batch of edges (pairs are normalized by the pipeline).
+    Append(Vec<(u16, u16)>),
+    /// Recount and check against the model.
+    Count,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => prop::collection::vec((0u16..60, 0u16..60), 0..60).prop_map(Op::Append),
+        2 => Just(Op::Count),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_session_interleavings_match_the_model(
+        ops in prop::collection::vec(op_strategy(), 1..12),
+        colors in 1u32..5,
+        tasklets in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let config = TcConfig::builder()
+            .colors(colors)
+            .seed(seed)
+            .pim(PimConfig {
+                total_dpus: 256,
+                mram_capacity: 1 << 20,
+                wram_capacity: 2 << 10,
+                iram_capacity: 24 << 10,
+                nr_tasklets: tasklets,
+                host_threads: 2,
+            })
+            .stage_edges(64)
+            .build()
+            .unwrap();
+        let mut session = TcSession::start(&config).unwrap();
+        // The model: accumulated *deduplicated* edges. The pipeline
+        // requires dedup'd input overall, so the fuzzer filters each
+        // batch against everything already sent.
+        let mut sent = std::collections::HashSet::new();
+        let mut accumulated = CooGraph::new();
+        for op in ops {
+            match op {
+                Op::Append(pairs) => {
+                    let mut batch = Vec::new();
+                    for (u, v) in pairs {
+                        if u == v {
+                            continue;
+                        }
+                        let e = Edge::new(u as u32, v as u32).normalized();
+                        if sent.insert((e.u, e.v)) {
+                            batch.push(e);
+                            accumulated.push(e);
+                        }
+                    }
+                    session.append(&batch).unwrap();
+                }
+                Op::Count => {
+                    let r = session.count().unwrap();
+                    prop_assert!(r.exact, "tiny graphs must stay exact");
+                    prop_assert_eq!(
+                        r.rounded(),
+                        triangle::count_exact(&accumulated),
+                        "mismatch after {} edges", accumulated.num_edges()
+                    );
+                }
+            }
+        }
+        // Always end with a checked count.
+        let r = session.finish().unwrap();
+        prop_assert_eq!(r.rounded(), triangle::count_exact(&accumulated));
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration tests of the simulator's timing model through the full
+//! pipeline: the *shape* claims every figure rests on must hold on small
+//! inputs too.
+
+use pim_graph::{gen, prep};
+use pim_sim::{CostModel, PimConfig};
+use pim_tc::TcConfig;
+
+fn pim() -> PimConfig {
+    PimConfig { total_dpus: 2560, mram_capacity: 4 << 20, ..PimConfig::tiny() }
+}
+
+fn config(colors: u32) -> TcConfig {
+    TcConfig::builder()
+        .colors(colors)
+        .pim(pim())
+        .stage_edges(512)
+        .build()
+        .unwrap()
+}
+
+fn workload() -> pim_graph::CooGraph {
+    let g = gen::erdos_renyi(2000, 0.02, 3);
+    prep::preprocessed(&g, 0).0
+}
+
+#[test]
+fn more_cores_reduce_count_time_on_large_enough_graphs() {
+    let g = workload();
+    let few = pim_tc::count_triangles(&g, &config(2)).unwrap();
+    let many = pim_tc::count_triangles(&g, &config(8)).unwrap();
+    assert_eq!(few.rounded(), many.rounded());
+    assert!(
+        many.times.triangle_count < few.times.triangle_count,
+        "C=8 {} vs C=2 {}",
+        many.times.triangle_count,
+        few.times.triangle_count
+    );
+}
+
+#[test]
+fn setup_time_grows_with_core_count() {
+    let g = workload();
+    let few = pim_tc::count_triangles(&g, &config(2)).unwrap();
+    let many = pim_tc::count_triangles(&g, &config(12)).unwrap();
+    assert!(many.times.setup > few.times.setup);
+}
+
+#[test]
+fn uniform_sampling_reduces_modeled_time() {
+    let g = workload();
+    let full = pim_tc::count_triangles(&g, &config(4)).unwrap();
+    let sampled = {
+        let c = TcConfig::builder()
+            .colors(4)
+            .uniform_p(0.1)
+            .pim(pim())
+            .stage_edges(512)
+            .build()
+            .unwrap();
+        pim_tc::count_triangles(&g, &c).unwrap()
+    };
+    assert!(sampled.times.triangle_count < full.times.triangle_count);
+}
+
+#[test]
+fn reservoir_shrinks_count_time_but_not_sample_time() {
+    let g = workload();
+    let full = pim_tc::count_triangles(&g, &config(4)).unwrap();
+    let capped = {
+        let expected = (6.0 * g.num_edges() as f64 / 16.0).ceil() as u64;
+        let c = TcConfig::builder()
+            .colors(4)
+            .sample_capacity((expected / 10).max(3))
+            .pim(pim())
+            .stage_edges(512)
+            .build()
+            .unwrap();
+        pim_tc::count_triangles(&g, &c).unwrap()
+    };
+    // Counting runs on a 10x smaller sample: strictly cheaper.
+    assert!(capped.times.triangle_count < full.times.triangle_count);
+    // Sample creation does not get cheaper (replacement work is added).
+    assert!(capped.times.sample_creation >= full.times.sample_creation * 0.5);
+}
+
+#[test]
+fn slower_clock_means_slower_modeled_kernels() {
+    let g = workload();
+    let fast = pim_tc::count_triangles(&g, &config(4)).unwrap();
+    let slow = {
+        let c = TcConfig::builder()
+            .colors(4)
+            .pim(pim())
+            .stage_edges(512)
+            .cost(CostModel { clock_hz: 35.0e6, ..CostModel::default() })
+            .build()
+            .unwrap();
+        pim_tc::count_triangles(&g, &c).unwrap()
+    };
+    assert_eq!(fast.rounded(), slow.rounded());
+    assert!(slow.times.triangle_count > 5.0 * fast.times.triangle_count);
+}
+
+#[test]
+fn per_dpu_loads_are_reported_and_balanced() {
+    let g = workload();
+    let r = pim_tc::count_triangles(&g, &config(6)).unwrap();
+    assert_eq!(r.dpu_reports.len(), r.nr_dpus);
+    let routed: u64 = r.dpu_reports.iter().map(|d| d.seen).sum();
+    assert_eq!(routed, 6 * r.edges_kept, "each edge lands on C cores");
+    // Load imbalance across 6N-class cores should be mild for ER graphs.
+    let six: Vec<u64> = r
+        .dpu_reports
+        .iter()
+        .filter(|d| d.triplet.distinct_colors() == 3)
+        .map(|d| d.seen)
+        .collect();
+    let avg = six.iter().sum::<u64>() as f64 / six.len() as f64;
+    let max = *six.iter().max().unwrap() as f64;
+    assert!(max < 1.6 * avg, "max {max} avg {avg}");
+}
