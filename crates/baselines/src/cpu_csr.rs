@@ -38,7 +38,11 @@ pub fn cpu_count(g: &CooGraph) -> CpuRun {
     let t1 = Instant::now();
     let triangles = triangle::count_csr_parallel(&csr);
     let count_secs = t1.elapsed().as_secs_f64();
-    CpuRun { triangles, convert_secs, count_secs }
+    CpuRun {
+        triangles,
+        convert_secs,
+        count_secs,
+    }
 }
 
 /// The degree-ordering variant of the CPU baseline: vertices are
@@ -69,7 +73,11 @@ pub fn cpu_count_degree_ordered(g: &CooGraph) -> CpuRun {
     let t1 = Instant::now();
     let triangles = triangle::count_csr_parallel(&csr);
     let count_secs = t1.elapsed().as_secs_f64();
-    CpuRun { triangles, convert_secs, count_secs }
+    CpuRun {
+        triangles,
+        convert_secs,
+        count_secs,
+    }
 }
 
 #[cfg(test)]
@@ -93,7 +101,11 @@ mod tests {
 
     #[test]
     fn total_is_sum_of_phases() {
-        let run = CpuRun { triangles: 0, convert_secs: 1.0, count_secs: 2.0 };
+        let run = CpuRun {
+            triangles: 0,
+            convert_secs: 1.0,
+            count_secs: 2.0,
+        };
         assert_eq!(run.total_secs(), 3.0);
     }
 

@@ -113,7 +113,11 @@ mod tests {
     fn pim_config() -> TcConfig {
         TcConfig::builder()
             .colors(2)
-            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .pim(PimConfig {
+                total_dpus: 512,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            })
             .stage_edges(256)
             .build()
             .unwrap()

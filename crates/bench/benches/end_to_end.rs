@@ -20,7 +20,10 @@ fn pim_cfg(colors: u32, host_threads: usize) -> TcConfig {
         .colors(colors)
         .sample_capacity(40_000)
         .stage_edges(2048)
-        .pim(PimConfig { host_threads, ..PimConfig::default() })
+        .pim(PimConfig {
+            host_threads,
+            ..PimConfig::default()
+        })
         .build()
         .unwrap()
 }
@@ -30,7 +33,11 @@ fn bench_systems(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_small_rmat");
     group.throughput(Throughput::Elements(g.num_edges() as u64));
     group.bench_function("pim_exact_c6", |b| {
-        b.iter(|| pim_tc::count_triangles(black_box(&g), &pim_cfg(6, 4)).unwrap().rounded())
+        b.iter(|| {
+            pim_tc::count_triangles(black_box(&g), &pim_cfg(6, 4))
+                .unwrap()
+                .rounded()
+        })
     });
     group.bench_function("cpu_baseline", |b| {
         b.iter(|| cpu_count(black_box(&g)).triangles)
@@ -47,7 +54,11 @@ fn bench_host_threads(c: &mut Criterion) {
     group.throughput(Throughput::Elements(g.num_edges() as u64));
     for threads in [1usize, 4] {
         group.bench_with_input(BenchmarkId::new("pim_c6", threads), &threads, |b, &t| {
-            b.iter(|| pim_tc::count_triangles(&g, &pim_cfg(6, t)).unwrap().rounded())
+            b.iter(|| {
+                pim_tc::count_triangles(&g, &pim_cfg(6, t))
+                    .unwrap()
+                    .rounded()
+            })
         });
     }
     group.finish();

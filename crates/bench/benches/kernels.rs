@@ -25,12 +25,23 @@ fn loaded_system(keys: &[u64], wram: usize) -> (PimSystem, MramLayout) {
     };
     let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
     let layout =
-        MramLayout::compute(config.mram_capacity, 8, 0, Some((keys.len() as u64).max(3)))
-            .unwrap();
-    let hdr = Header { cap: layout.capacity, len: keys.len() as u64, ..Header::default() };
+        MramLayout::compute(config.mram_capacity, 8, 0, Some((keys.len() as u64).max(3))).unwrap();
+    let hdr = Header {
+        cap: layout.capacity,
+        len: keys.len() as u64,
+        ..Header::default()
+    };
     sys.push(vec![
-        HostWrite { dpu: 0, offset: 0, data: hdr.encode() },
-        HostWrite { dpu: 0, offset: layout.sample_off, data: encode_slice(keys) },
+        HostWrite {
+            dpu: 0,
+            offset: 0,
+            data: hdr.encode(),
+        },
+        HostWrite {
+            dpu: 0,
+            offset: layout.sample_off,
+            data: encode_slice(keys),
+        },
     ])
     .unwrap();
     (sys, layout)
@@ -44,13 +55,17 @@ fn bench_sort_wram(c: &mut Criterion) {
     let keys: Vec<u64> = (0..20_000).map(|_| rng.gen()).collect();
     for wram in [16usize << 10, 64 << 10, 256 << 10] {
         g.throughput(Throughput::Elements(keys.len() as u64));
-        g.bench_with_input(BenchmarkId::new("sort_20k", wram / 1024), &wram, |b, &wram| {
-            b.iter(|| {
-                let (mut sys, layout) = loaded_system(&keys, wram);
-                sys.execute(|ctx| sort::sort_kernel(ctx, &layout)).unwrap();
-                black_box(sys.phase_times().total())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sort_20k", wram / 1024),
+            &wram,
+            |b, &wram| {
+                b.iter(|| {
+                    let (mut sys, layout) = loaded_system(&keys, wram);
+                    sys.execute(|ctx| sort::sort_kernel(ctx, &layout)).unwrap();
+                    black_box(sys.phase_times().total())
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -74,8 +89,10 @@ fn bench_count_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let (mut sys, layout) = loaded_system(&keys, 64 << 10);
             sys.execute(|ctx| sort::sort_kernel(ctx, &layout)).unwrap();
-            sys.execute(|ctx| index::index_kernel(ctx, &layout)).unwrap();
-            sys.execute(|ctx| count::count_kernel(ctx, &layout)).unwrap()[0]
+            sys.execute(|ctx| index::index_kernel(ctx, &layout))
+                .unwrap();
+            sys.execute(|ctx| count::count_kernel(ctx, &layout))
+                .unwrap()[0]
         })
     });
     g.finish();

@@ -31,16 +31,28 @@ fn modeled_count(keys: &[u64], lookup: RegionLookup) -> (u64, f64) {
         ..PimConfig::default()
     };
     let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
-    let layout =
-        MramLayout::compute(config.mram_capacity, 8, 0, Some(keys.len() as u64)).unwrap();
-    let hdr = Header { cap: layout.capacity, len: keys.len() as u64, ..Header::default() };
+    let layout = MramLayout::compute(config.mram_capacity, 8, 0, Some(keys.len() as u64)).unwrap();
+    let hdr = Header {
+        cap: layout.capacity,
+        len: keys.len() as u64,
+        ..Header::default()
+    };
     sys.push(vec![
-        HostWrite { dpu: 0, offset: 0, data: hdr.encode() },
-        HostWrite { dpu: 0, offset: layout.sample_off, data: encode_slice(keys) },
+        HostWrite {
+            dpu: 0,
+            offset: 0,
+            data: hdr.encode(),
+        },
+        HostWrite {
+            dpu: 0,
+            offset: layout.sample_off,
+            data: encode_slice(keys),
+        },
     ])
     .unwrap();
     sys.execute(|ctx| sort::sort_kernel(ctx, &layout)).unwrap();
-    sys.execute(|ctx| index::index_kernel(ctx, &layout)).unwrap();
+    sys.execute(|ctx| index::index_kernel(ctx, &layout))
+        .unwrap();
     let before = sys.phase_times().total();
     let count = sys
         .execute(|ctx| count_kernel_with(ctx, &layout, lookup))
@@ -60,7 +72,11 @@ fn main() {
         "Count w/ linear scan (modeled)",
         "Slowdown",
     ]);
-    for id in [DatasetId::SocialModerate, DatasetId::KroneckerSmall, DatasetId::Brain] {
+    for id in [
+        DatasetId::SocialModerate,
+        DatasetId::KroneckerSmall,
+        DatasetId::Brain,
+    ] {
         let g = id.build(Profile::Test);
         let mut keys: Vec<u64> = g
             .edges()

@@ -40,7 +40,11 @@ fn main() {
         "TRIEST-BASE (central)",
         "TRIEST-IMPR (central)",
     ]);
-    for id in [DatasetId::SocialDense, DatasetId::Brain, DatasetId::KroneckerSmall] {
+    for id in [
+        DatasetId::SocialDense,
+        DatasetId::Brain,
+        DatasetId::KroneckerSmall,
+    ] {
         let g = harness.dataset(id);
         let exact = pim_graph::triangle::count_exact(&g);
         let edges = g.num_edges() as u64;
@@ -50,8 +54,7 @@ fn main() {
             let mut impr_err = 0.0;
             for trial in 0..TRIALS {
                 // PIM: per-core capacity = fraction of the expected max.
-                let expected_max =
-                    (6.0 * edges as f64 / (COLORS as f64 * COLORS as f64)).ceil();
+                let expected_max = (6.0 * edges as f64 / (COLORS as f64 * COLORS as f64)).ceil();
                 let config = TcConfig::builder()
                     .colors(COLORS)
                     .seed(0xE57 + trial)
@@ -71,10 +74,8 @@ fn main() {
                     base.insert(e.u, e.v, &mut rng);
                     impr.insert(e.u, e.v, &mut rng);
                 }
-                base_err +=
-                    pim_stream::estimators::relative_error(base.estimate(), exact);
-                impr_err +=
-                    pim_stream::estimators::relative_error(impr.estimate(), exact);
+                base_err += pim_stream::estimators::relative_error(base.estimate(), exact);
+                impr_err += pim_stream::estimators::relative_error(impr.estimate(), exact);
             }
             let n = TRIALS as f64;
             eprintln!(

@@ -43,12 +43,14 @@ fn main() {
             pim_tc::count_triangles(&g, &config).unwrap()
         };
         let mg = {
-            let config = pim_config(COLORS, &g).misra_gries(1024, 64).build().unwrap();
+            let config = pim_config(COLORS, &g)
+                .misra_gries(1024, 64)
+                .build()
+                .unwrap();
             pim_tc::count_triangles(&g, &config).unwrap()
         };
         let oracle = {
-            let relabeled =
-                ordering::relabel_by_order(&g, &ordering::degree_order(&g));
+            let relabeled = ordering::relabel_by_order(&g, &ordering::degree_order(&g));
             let config = pim_config(COLORS, &relabeled).build().unwrap();
             pim_tc::count_triangles(&relabeled, &config).unwrap()
         };

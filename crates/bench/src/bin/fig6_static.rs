@@ -44,7 +44,15 @@ fn main() {
         let gpu = gpu_model.count(&g);
         let pim = {
             let config = pim_config(COLORS, &g).build().unwrap();
-            pim_tc::count_triangles(&g, &config).unwrap()
+            if harness.emit_profile {
+                // Traced run: same result, plus a per-kernel observability
+                // capture saved next to the experiment's results.
+                let profile = pim_tc::count_triangles_profiled(&g, &config).unwrap();
+                harness.save_profile(&format!("fig6_static_{}", id.name()), &profile);
+                profile.result
+            } else {
+                pim_tc::count_triangles(&g, &config).unwrap()
+            }
         };
         assert!(pim.exact);
         assert_eq!(cpu.triangles, gpu.triangles);

@@ -26,15 +26,19 @@ struct Row {
 fn main() {
     let harness = Harness::from_env();
     let mut rows: Vec<Row> = Vec::new();
-    let mut table = MdTable::new(["Graph", "p=0.5", "p=0.25", "p=0.1", "p=0.01", "speedup@0.01"]);
+    let mut table = MdTable::new([
+        "Graph",
+        "p=0.5",
+        "p=0.25",
+        "p=0.1",
+        "p=0.01",
+        "speedup@0.01",
+    ]);
     for id in DatasetId::ALL {
         let g = harness.dataset(id);
         // (graph size available in the saved stats; not needed here)
-        let exact_run = pim_tc::count_triangles(
-            &g,
-            &pim_config(COLORS, &g).build().unwrap(),
-        )
-        .unwrap();
+        let exact_run =
+            pim_tc::count_triangles(&g, &pim_config(COLORS, &g).build().unwrap()).unwrap();
         assert!(exact_run.exact);
         let exact = exact_run.rounded();
         let exact_time = exact_run.times.without_setup();

@@ -30,19 +30,16 @@ fn main() {
     let harness = Harness::from_env();
     let mut rows: Vec<Row> = Vec::new();
     let mut table = MdTable::new(["Graph", "p=0.5", "p=0.25", "p=0.1", "p=0.01"]);
-    let mut time_table =
-        MdTable::new(["Graph", "p", "Sample creation", "Triangle count"]);
+    let mut time_table = MdTable::new(["Graph", "p", "Sample creation", "Triangle count"]);
     for id in DatasetId::ALL {
         let g = harness.dataset(id);
         let edges = g.num_edges() as u64;
         let exact = {
-            let r = pim_tc::count_triangles(&g, &pim_config(COLORS, &g).build().unwrap())
-                .unwrap();
+            let r = pim_tc::count_triangles(&g, &pim_config(COLORS, &g).build().unwrap()).unwrap();
             assert!(r.exact);
             r.rounded()
         };
-        let expected_max =
-            (6.0 * edges as f64 / (COLORS as f64 * COLORS as f64)).ceil() as u64;
+        let expected_max = (6.0 * edges as f64 / (COLORS as f64 * COLORS as f64)).ceil() as u64;
         let mut cells = vec![id.name().to_string()];
         for p in P_SWEEP {
             let capacity = ((expected_max as f64 * p).ceil() as u64).max(3);

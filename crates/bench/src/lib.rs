@@ -11,6 +11,11 @@
 //! * `PIM_TC_PROFILE` — `paper` (default) or `test` (tiny graphs, for
 //!   smoke-testing the harness itself),
 //! * `PIM_TC_RESULTS` — output directory (default `results/`).
+//!
+//! Passing `--profile` on a binary's command line additionally writes
+//! per-run observability captures (`results/<name>.profile.json`: the
+//! labeled trace, Chrome export, and per-DPU report — see
+//! `docs/OBSERVABILITY.md`) for experiments that support it.
 
 use pim_graph::datasets::{DatasetId, Profile};
 use pim_graph::{stats, CooGraph};
@@ -27,10 +32,13 @@ pub struct Harness {
     pub profile: Profile,
     /// Where result files are written.
     pub results_dir: PathBuf,
+    /// Whether to emit per-run observability captures (`--profile`).
+    pub emit_profile: bool,
 }
 
 impl Harness {
-    /// Builds the harness from the environment (see crate docs).
+    /// Builds the harness from the environment and the process arguments
+    /// (see crate docs).
     pub fn from_env() -> Harness {
         let profile = match std::env::var("PIM_TC_PROFILE").as_deref() {
             Ok("test") => Profile::Test,
@@ -39,7 +47,12 @@ impl Harness {
         let results_dir = std::env::var("PIM_TC_RESULTS")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results"));
-        Harness { profile, results_dir }
+        let emit_profile = std::env::args().any(|a| a == "--profile");
+        Harness {
+            profile,
+            results_dir,
+            emit_profile,
+        }
     }
 
     /// Loads (generates + preprocesses) a dataset at the active profile.
@@ -70,6 +83,29 @@ impl Harness {
         let json = serde_json::to_string_pretty(record).expect("serialize record");
         std::fs::write(&json_path, json).expect("write json");
         eprintln!("[saved {} and {}]", md_path.display(), json_path.display());
+    }
+
+    /// Persists one run's observability capture next to the experiment's
+    /// results as `<name>.profile.json`: the [`pim_tc::RunProfile`]
+    /// (trace + per-DPU report) plus its ready-to-load Chrome export
+    /// under the `"chrome_trace"` key. No-op unless `--profile` was
+    /// passed.
+    pub fn save_profile(&self, name: &str, profile: &pim_tc::RunProfile) {
+        if !self.emit_profile {
+            return;
+        }
+        std::fs::create_dir_all(&self.results_dir).expect("create results dir");
+        let record = serde_json::Value::Object(vec![
+            (
+                "run".to_string(),
+                serde_json::to_value(profile).expect("serialize profile"),
+            ),
+            ("chrome_trace".to_string(), profile.trace.to_chrome_trace()),
+        ]);
+        let path = self.results_dir.join(format!("{name}.profile.json"));
+        let json = serde_json::to_string_pretty(&record).expect("serialize profile");
+        std::fs::write(&path, json).expect("write profile json");
+        eprintln!("[saved {}]", path.display());
     }
 }
 
@@ -146,7 +182,11 @@ impl MdTable {
         let _ = writeln!(
             out,
             "|{}|",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -200,6 +240,37 @@ mod tests {
         // An exact run under this config must never overflow.
         let r = pim_tc::count_triangles(&g, &c).unwrap();
         assert!(r.exact);
+    }
+
+    #[test]
+    fn save_profile_writes_chrome_trace_when_enabled() {
+        let dir = std::env::temp_dir().join("pim_bench_profile_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = pim_graph::gen::erdos_renyi(60, 0.2, 5);
+        let config = pim_config(2, &g).build().unwrap();
+        let profile = pim_tc::count_triangles_profiled(&g, &config).unwrap();
+
+        let harness = Harness {
+            profile: Profile::Test,
+            results_dir: dir.clone(),
+            emit_profile: false,
+        };
+        harness.save_profile("smoke", &profile);
+        assert!(
+            !dir.join("smoke.profile.json").exists(),
+            "disabled => no file"
+        );
+
+        let harness = Harness {
+            emit_profile: true,
+            ..harness
+        };
+        harness.save_profile("smoke", &profile);
+        let text = std::fs::read_to_string(dir.join("smoke.profile.json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(v.get("run").is_some());
+        assert!(v.get("chrome_trace").unwrap().get("traceEvents").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

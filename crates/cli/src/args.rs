@@ -27,6 +27,9 @@ const VALUED: &[&str] = &[
     "probability",
     "radius",
     "batches",
+    "graph",
+    "dpus",
+    "out",
 ];
 
 impl Args {

@@ -28,6 +28,13 @@ usage:
   pimtc dynamic <graph> [--batches B] [--colors C] [--json]
       Split the graph into B update batches and recount after each.
 
+  pimtc profile --graph <path> [--dpus N] [--out trace.json]
+      [--colors C] [--uniform-p P] [--capacity M] [--misra-gries K,T]
+      Run a traced count and write a Chrome trace-event JSON (load it in
+      chrome://tracing or ui.perfetto.dev), plus a per-kernel summary on
+      stdout. --dpus picks the largest color count whose triplet grid
+      fits N cores; --colors overrides it. See docs/OBSERVABILITY.md.
+
   pimtc convert <in> <out>
       Convert between the text and binary edge-list formats (direction
       inferred from the .bin extension).
@@ -44,6 +51,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(&args),
         "generate" => cmd_generate(&args),
         "dynamic" => cmd_dynamic(&args),
+        "profile" => cmd_profile(&args),
         "convert" => cmd_convert(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -72,7 +80,15 @@ fn save(g: &CooGraph, path: &str) -> Result<(), String> {
 }
 
 fn build_config(args: &Args, graph: &CooGraph) -> Result<TcConfig, String> {
-    let colors: u32 = args.get_or("colors", 8)?;
+    build_config_with_default_colors(args, graph, 8)
+}
+
+fn build_config_with_default_colors(
+    args: &Args,
+    graph: &CooGraph,
+    default_colors: u32,
+) -> Result<TcConfig, String> {
+    let colors: u32 = args.get_or("colors", default_colors)?;
     let seed: u64 = args.get_or("seed", 0x9E3779B97F4A7C15)?;
     let mut builder = TcConfig::builder().colors(colors).seed(seed);
     builder = builder.uniform_p(args.get_or("uniform-p", 1.0)?);
@@ -258,6 +274,88 @@ fn cmd_dynamic(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Largest color count whose triplet grid C·(C+1)·(C+2)/6 (§3.1) fits in
+/// `dpus` PIM cores; at least 1.
+fn colors_for_dpus(dpus: usize) -> u32 {
+    let mut c = 1u64;
+    while (c + 1) * (c + 2) * (c + 3) / 6 <= dpus as u64 {
+        c += 1;
+    }
+    c as u32
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let path = args
+        .get::<String>("graph")?
+        .or_else(|| args.positional(0).map(String::from))
+        .ok_or("profile: missing --graph <path>")?;
+    let dpus: usize = args.get_or("dpus", 120)?;
+    let out = args.get_or("out", "trace.json".to_string())?;
+
+    let mut graph = load(&path)?;
+    prep::preprocess(&mut graph, 0);
+    let config = build_config_with_default_colors(args, &graph, colors_for_dpus(dpus))?;
+    let profile = pim_tc::count_triangles_profiled(&graph, &config).map_err(|e| e.to_string())?;
+
+    let chrome = profile.trace.to_chrome_trace();
+    std::fs::write(&out, serde_json::to_string(&chrome).unwrap())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    let result = &profile.result;
+    let report = &profile.report;
+    println!(
+        "{} triangles ({}) on {} PIM cores ({} colors)",
+        result.rounded(),
+        if result.exact { "exact" } else { "estimated" },
+        result.nr_dpus,
+        result.colors
+    );
+    println!(
+        "modeled time: setup {:.3} ms, sample creation {:.3} ms, count {:.3} ms",
+        result.times.setup * 1e3,
+        result.times.sample_creation * 1e3,
+        result.times.triangle_count * 1e3
+    );
+    println!(
+        "transfers: {} B in {:.3} ms ({:.1}% of aggregate bandwidth cap)",
+        report.total_transfer_bytes,
+        report.transfer_seconds * 1e3,
+        report.transfer_bandwidth_utilization * 100.0
+    );
+
+    // One row per kernel label, aggregated over its launches.
+    println!("kernel        launches   time (ms)   max cycles   p99/p50      imbalance");
+    let mut seen: Vec<&str> = Vec::new();
+    for l in &report.launches {
+        if seen.contains(&l.label.as_str()) {
+            continue;
+        }
+        seen.push(&l.label);
+        let group: Vec<_> = report
+            .launches
+            .iter()
+            .filter(|x| x.label == l.label)
+            .collect();
+        let seconds: f64 = group.iter().map(|x| x.seconds).sum();
+        let max_cycles: u64 = group.iter().map(|x| x.max_cycles).max().unwrap_or(0);
+        let p50: u64 = group.iter().map(|x| x.p50_cycles).max().unwrap_or(0);
+        let p99: u64 = group.iter().map(|x| x.p99_cycles).max().unwrap_or(0);
+        let imbalance = group.iter().map(|x| x.imbalance).fold(0.0f64, f64::max);
+        println!(
+            "{:<13} {:>8} {:>11.3} {:>12} {:>7}/{:<7} {:>8.2}x",
+            l.label,
+            group.len(),
+            seconds * 1e3,
+            max_cycles,
+            p99,
+            p50,
+            imbalance
+        );
+    }
+    println!("chrome trace written to {out}");
+    Ok(())
+}
+
 /// Exposed for tests: loads-or-fails quickly without touching the PIM path.
 #[allow(dead_code)]
 pub fn graph_exists(path: &str) -> bool {
@@ -281,7 +379,16 @@ mod tests {
     #[test]
     fn generate_stats_count_round_trip() {
         let path = tmp("g1.txt");
-        run(&["generate", "er", &path, "--nodes", "120", "--probability", "0.1"]).unwrap();
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "120",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
         run(&["stats", &path]).unwrap();
         run(&["count", &path, "--colors", "3", "--baseline"]).unwrap();
     }
@@ -289,14 +396,32 @@ mod tests {
     #[test]
     fn binary_output_works() {
         let path = tmp("g2.bin");
-        run(&["generate", "rmat", &path, "--scale", "8", "--edge-factor", "4"]).unwrap();
+        run(&[
+            "generate",
+            "rmat",
+            &path,
+            "--scale",
+            "8",
+            "--edge-factor",
+            "4",
+        ])
+        .unwrap();
         run(&["count", &path, "--colors", "2"]).unwrap();
     }
 
     #[test]
     fn dynamic_runs() {
         let path = tmp("g3.txt");
-        run(&["generate", "powerlaw", &path, "--nodes", "300", "--avg-degree", "6"]).unwrap();
+        run(&[
+            "generate",
+            "powerlaw",
+            &path,
+            "--nodes",
+            "300",
+            "--avg-degree",
+            "6",
+        ])
+        .unwrap();
         run(&["dynamic", &path, "--batches", "3", "--colors", "2"]).unwrap();
     }
 
@@ -305,7 +430,16 @@ mod tests {
         let txt = tmp("c1.txt");
         let bin = tmp("c1.bin");
         let back = tmp("c2.txt");
-        run(&["generate", "er", &txt, "--nodes", "50", "--probability", "0.2"]).unwrap();
+        run(&[
+            "generate",
+            "er",
+            &txt,
+            "--nodes",
+            "50",
+            "--probability",
+            "0.2",
+        ])
+        .unwrap();
         run(&["convert", &txt, &bin]).unwrap();
         run(&["convert", &bin, &back]).unwrap();
         let a = pim_graph::io::load_text(&txt).unwrap();
@@ -316,8 +450,59 @@ mod tests {
     #[test]
     fn local_flag_reports_central_vertices() {
         let path = tmp("c3.txt");
-        run(&["generate", "er", &path, "--nodes", "60", "--probability", "0.3"]).unwrap();
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "60",
+            "--probability",
+            "0.3",
+        ])
+        .unwrap();
         run(&["count", &path, "--colors", "2", "--local"]).unwrap();
+    }
+
+    #[test]
+    fn colors_for_dpus_picks_largest_fitting_grid() {
+        assert_eq!(colors_for_dpus(0), 1);
+        assert_eq!(colors_for_dpus(1), 1); // C=2 needs 4 DPUs
+        assert_eq!(colors_for_dpus(4), 2);
+        assert_eq!(colors_for_dpus(119), 7); // C=8 needs 120
+        assert_eq!(colors_for_dpus(120), 8);
+        assert_eq!(colors_for_dpus(2560), 23); // C=24 needs 2600
+    }
+
+    #[test]
+    fn profile_writes_a_chrome_trace() {
+        let graph = tmp("p1.txt");
+        let trace = tmp("p1.trace.json");
+        run(&[
+            "generate",
+            "er",
+            &graph,
+            "--nodes",
+            "80",
+            "--probability",
+            "0.15",
+        ])
+        .unwrap();
+        run(&[
+            "profile", "--graph", &graph, "--dpus", "20", "--out", &trace,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| { e.get("name").and_then(|n| n.as_str()) == Some("kernel:count") }));
+    }
+
+    #[test]
+    fn profile_requires_a_graph() {
+        assert!(run(&["profile"]).is_err());
+        assert!(run(&["profile", "--graph", "/nonexistent.txt"]).is_err());
     }
 
     #[test]

@@ -42,7 +42,11 @@ pub fn assemble(reports: &mut [DpuReport], colors: u32, uniform_p: f64) -> Assem
     }
     let deduped = total - (colors.saturating_sub(1)) as f64 * mono_total;
     let estimate = correct_uniform(deduped, uniform_p).max(0.0);
-    Assembled { estimate, raw_total, any_overflow }
+    Assembled {
+        estimate,
+        raw_total,
+        any_overflow,
+    }
 }
 
 #[cfg(test)]

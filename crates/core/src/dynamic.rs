@@ -73,7 +73,11 @@ impl TcSession {
                     rng: rng::seed_for_dpu(config.seed, dpu),
                     ..Header::default()
                 };
-                HostWrite { dpu, offset: 0, data: hdr.encode() }
+                HostWrite {
+                    dpu,
+                    offset: 0,
+                    data: hdr.encode(),
+                }
             })
             .collect();
         sys.push(writes)?;
@@ -138,7 +142,8 @@ impl TcSession {
                 threads: self.config.pim.host_threads,
             },
         );
-        self.sys.charge_host_seconds(host_start.elapsed().as_secs_f64());
+        self.sys
+            .charge_host_seconds_labeled("route_edges", host_start.elapsed().as_secs_f64());
         self.append_round += 1;
         self.offered += routed.offered;
         self.kept += routed.kept;
@@ -177,7 +182,8 @@ impl TcSession {
             }
             self.sys.push(writes)?;
             let layout = self.layout;
-            self.sys.execute(move |ctx| receive::receive_kernel(ctx, &layout))?;
+            self.sys
+                .execute_labeled("receive", move |ctx| receive::receive_kernel(ctx, &layout))?;
         }
         Ok(())
     }
@@ -212,19 +218,27 @@ impl TcSession {
                         })
                         .collect(),
                 )?;
-                self.sys.execute(move |ctx| remap::remap_kernel(ctx, &layout))?;
+                self.sys
+                    .execute_labeled("remap", move |ctx| remap::remap_kernel(ctx, &layout))?;
             }
         }
 
-        self.sys.execute(move |ctx| sort::sort_kernel(ctx, &layout))?;
-        self.sys.execute(move |ctx| index::index_kernel(ctx, &layout))?;
+        self.sys
+            .execute_labeled("sort", move |ctx| sort::sort_kernel(ctx, &layout))?;
+        self.sys
+            .execute_labeled("index", move |ctx| index::index_kernel(ctx, &layout))?;
         let local_enabled = self.config.local_nodes.is_some();
         if local_enabled {
             // Local counts restart from zero on every (re)count.
-            self.sys.execute(move |ctx| local::local_clear_kernel(ctx, &layout))?;
-            self.sys.execute(move |ctx| local::local_count_kernel(ctx, &layout))?;
+            self.sys.execute_labeled("local_clear", move |ctx| {
+                local::local_clear_kernel(ctx, &layout)
+            })?;
+            self.sys.execute_labeled("local_count", move |ctx| {
+                local::local_count_kernel(ctx, &layout)
+            })?;
         } else {
-            self.sys.execute(move |ctx| count::count_kernel(ctx, &layout))?;
+            self.sys
+                .execute_labeled("count", move |ctx| count::count_kernel(ctx, &layout))?;
         }
 
         // One rank-parallel gather of every core's header.
@@ -327,8 +341,7 @@ impl TcSession {
             return;
         }
         self.remap_dirty = false;
-        let (Some(mg_cfg), Some(summary)) = (self.config.misra_gries, self.summary.as_ref())
-        else {
+        let (Some(mg_cfg), Some(summary)) = (self.config.misra_gries, self.summary.as_ref()) else {
             return;
         };
         for (node, _count) in summary.top(mg_cfg.t) {
@@ -443,7 +456,11 @@ mod tests {
         let config = TcConfig::builder()
             .colors(3)
             .misra_gries(64, 16)
-            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .pim(PimConfig {
+                total_dpus: 512,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            })
             .stage_edges(256)
             .build()
             .unwrap();
@@ -467,7 +484,11 @@ mod tests {
         let config = TcConfig::builder()
             .colors(2)
             .misra_gries(32, 8)
-            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .pim(PimConfig {
+                total_dpus: 512,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            })
             .stage_edges(128)
             .build()
             .unwrap();
@@ -487,7 +508,11 @@ mod tests {
         let config = TcConfig::builder()
             .colors(2)
             .uniform_p(0.5)
-            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .pim(PimConfig {
+                total_dpus: 512,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            })
             .stage_edges(256)
             .build()
             .unwrap();
@@ -495,8 +520,11 @@ mod tests {
         assert!(!r.exact);
         let exact = 40u64 * 39 * 38 / 6;
         // Loose sanity: within a factor of 2 for a dense graph.
-        assert!(r.estimate > exact as f64 * 0.5 && r.estimate < exact as f64 * 2.0,
-            "estimate {} vs exact {exact}", r.estimate);
+        assert!(
+            r.estimate > exact as f64 * 0.5 && r.estimate < exact as f64 * 2.0,
+            "estimate {} vs exact {exact}",
+            r.estimate
+        );
     }
 
     #[test]
@@ -505,7 +533,11 @@ mod tests {
         let config = TcConfig::builder()
             .colors(2)
             .sample_capacity(120)
-            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .pim(PimConfig {
+                total_dpus: 512,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            })
             .stage_edges(64)
             .build()
             .unwrap();
@@ -513,8 +545,11 @@ mod tests {
         assert!(r.reservoir_overflowed);
         assert!(!r.exact);
         let exact = 9880f64;
-        assert!(r.estimate > exact * 0.3 && r.estimate < exact * 3.0,
-            "estimate {}", r.estimate);
+        assert!(
+            r.estimate > exact * 0.3 && r.estimate < exact * 3.0,
+            "estimate {}",
+            r.estimate
+        );
     }
 
     #[test]
@@ -557,7 +592,11 @@ mod tests {
             let config = TcConfig::builder()
                 .colors(colors)
                 .local_counting(g.num_nodes())
-                .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+                .pim(PimConfig {
+                    total_dpus: 512,
+                    mram_capacity: 1 << 20,
+                    ..PimConfig::tiny()
+                })
                 .stage_edges(256)
                 .build()
                 .unwrap();
@@ -583,7 +622,11 @@ mod tests {
         let config = TcConfig::builder()
             .colors(2)
             .local_counting(g.num_nodes())
-            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .pim(PimConfig {
+                total_dpus: 512,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            })
             .stage_edges(128)
             .build()
             .unwrap();
@@ -604,6 +647,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn profiled_run_labels_every_launch() {
+        let g = gen::simple::complete(15); // 455 triangles
+        let profile = crate::count_triangles_profiled(&g, &tiny_config(2)).unwrap();
+        assert_eq!(profile.result.rounded(), 455);
+
+        // Every pipeline kernel shows up as a labeled launch profile.
+        let labels: HashSet<&str> = profile
+            .report
+            .launches
+            .iter()
+            .map(|l| l.label.as_str())
+            .collect();
+        for expected in ["receive", "sort", "index", "count"] {
+            assert!(labels.contains(expected), "missing launch label {expected}");
+        }
+        // The host-side routing work is a named span too.
+        assert!(profile.trace.events().iter().any(|e| matches!(
+            e,
+            pim_sim::TraceEvent::HostWork { label, .. } if label == "route_edges"
+        )));
+
+        // The Chrome export covers the entire modeled runtime: summed span
+        // durations equal the phase-time total.
+        let chrome = profile.trace.to_chrome_trace();
+        let span_dur_us: f64 = chrome
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .map(|e| e.get("dur").unwrap().as_f64().unwrap())
+            .sum();
+        let total = profile.result.times.total();
+        assert!(
+            (span_dur_us / 1e6 - total).abs() < 1e-9,
+            "chrome spans {span_dur_us} µs vs phase total {total} s"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ mod tests {
     fn display_and_source() {
         let e = TcError::Config("bad".into());
         assert!(e.to_string().contains("bad"));
-        let s = TcError::from(SimError::NoSuchDpu { dpu: 1, allocated: 0 });
+        let s = TcError::from(SimError::NoSuchDpu {
+            dpu: 1,
+            allocated: 0,
+        });
         assert!(s.to_string().contains("DPU"));
         use std::error::Error;
         assert!(s.source().is_some());

@@ -82,7 +82,12 @@ pub fn route_edges(edges: &[Edge], params: RouteParams<'_>) -> RoutedBatches {
             acc.merge(local);
         }
     }
-    RoutedBatches { per_dpu, offered, kept, summary }
+    RoutedBatches {
+        per_dpu,
+        offered,
+        kept,
+        summary,
+    }
 }
 
 /// Counts how many edges each PIM core would receive under a given color
@@ -124,8 +129,10 @@ fn route_chunk(
     params: &RouteParams<'_>,
 ) -> ChunkResult {
     let mut per_dpu: Vec<Vec<u64>> = vec![Vec::new(); nr_dpus];
-    let mut sampler =
-        UniformSampler::new(params.uniform_p, params.seed ^ chunk_idx.wrapping_mul(0x9E37));
+    let mut sampler = UniformSampler::new(
+        params.uniform_p,
+        params.seed ^ chunk_idx.wrapping_mul(0x9E37),
+    );
     let mut summary = params.mg_capacity.map(MisraGries::new);
     let mut routes = Vec::with_capacity(params.assignment.colors() as usize);
     let mut offered = 0u64;
@@ -150,7 +157,12 @@ fn route_chunk(
             per_dpu[dpu as usize].push(key);
         }
     }
-    ChunkResult { per_dpu, offered, kept, summary }
+    ChunkResult {
+        per_dpu,
+        offered,
+        kept,
+        summary,
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +212,10 @@ mod tests {
         let coloring = ColoringHash::new(4, 9);
         let g = pim_graph::gen::erdos_renyi(200, 0.1, 2);
         let route = |threads: usize| {
-            let p = RouteParams { threads, ..params(&assignment, &coloring) };
+            let p = RouteParams {
+                threads,
+                ..params(&assignment, &coloring)
+            };
             route_edges(g.edges(), p).per_dpu
         };
         assert_eq!(route(1), route(8));
@@ -211,7 +226,10 @@ mod tests {
         let assignment = TripletAssignment::new(3);
         let coloring = ColoringHash::new(3, 5);
         let g = pim_graph::gen::erdos_renyi(300, 0.2, 3);
-        let p = RouteParams { uniform_p: 0.25, ..params(&assignment, &coloring) };
+        let p = RouteParams {
+            uniform_p: 0.25,
+            ..params(&assignment, &coloring)
+        };
         let routed = route_edges(g.edges(), p);
         let rate = routed.kept as f64 / routed.offered as f64;
         assert!((rate - 0.25).abs() < 0.08, "rate {rate}");
@@ -223,7 +241,10 @@ mod tests {
         let assignment = TripletAssignment::new(2);
         let coloring = ColoringHash::new(2, 5);
         let g = pim_graph::gen::simple::star(500);
-        let p = RouteParams { mg_capacity: Some(8), ..params(&assignment, &coloring) };
+        let p = RouteParams {
+            mg_capacity: Some(8),
+            ..params(&assignment, &coloring)
+        };
         let routed = route_edges(g.edges(), p);
         let mg = routed.summary.unwrap();
         let top = mg.top(1);

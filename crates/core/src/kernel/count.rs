@@ -69,15 +69,12 @@ pub fn count_kernel_with(
                 let start = block * b as u64;
                 let n = (b as u64).min(len - start) as usize;
                 t.mram_read(layout.sample_slot(start), &mut buf_e[..n])?;
-                for i in 0..n {
+                for (i, &key) in buf_e.iter().enumerate().take(n) {
                     let g = start + i as u64;
-                    let key = buf_e[i];
                     let (u, v) = (key_first(key), key_second(key));
                     t.charge(EDGE_INSTR);
                     let region = match lookup {
-                        RegionLookup::BinarySearch => {
-                            lookup_region(t, layout, v, index_len, len)?
-                        }
+                        RegionLookup::BinarySearch => lookup_region(t, layout, v, index_len, len)?,
                         RegionLookup::LinearScan => {
                             lookup_region_linear(t, layout, v, index_len, len)?
                         }
@@ -308,7 +305,10 @@ mod tests {
         // Deliberately deliver unsorted to exercise the sort.
         edges.reverse();
         let needed = (edges.len() as u64 * 24 + 4096).next_power_of_two();
-        let config = PimConfig { mram_capacity: config.mram_capacity.max(needed), ..config };
+        let config = PimConfig {
+            mram_capacity: config.mram_capacity.max(needed),
+            ..config
+        };
         let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
         let layout = MramLayout::compute(
             config.mram_capacity,
@@ -317,10 +317,22 @@ mod tests {
             Some((edges.len() as u64).max(3)),
         )
         .unwrap();
-        let hdr = Header { cap: layout.capacity, len: edges.len() as u64, ..Header::default() };
+        let hdr = Header {
+            cap: layout.capacity,
+            len: edges.len() as u64,
+            ..Header::default()
+        };
         sys.push(vec![
-            HostWrite { dpu: 0, offset: 0, data: hdr.encode() },
-            HostWrite { dpu: 0, offset: layout.sample_off, data: encode_slice(&edges) },
+            HostWrite {
+                dpu: 0,
+                offset: 0,
+                data: hdr.encode(),
+            },
+            HostWrite {
+                dpu: 0,
+                offset: layout.sample_off,
+                data: encode_slice(&edges),
+            },
         ])
         .unwrap();
         sys.execute(|ctx| sort_kernel(ctx, &layout)).unwrap();
@@ -345,9 +357,18 @@ mod tests {
 
     #[test]
     fn triangle_free_graphs_count_zero() {
-        assert_eq!(count_on_dpu(&pim_graph::gen::simple::star(20), PimConfig::tiny()), 0);
-        assert_eq!(count_on_dpu(&pim_graph::gen::simple::cycle(20), PimConfig::tiny()), 0);
-        assert_eq!(count_on_dpu(&pim_graph::gen::grid2d(8, 8, 1.0, 0, 1), PimConfig::tiny()), 0);
+        assert_eq!(
+            count_on_dpu(&pim_graph::gen::simple::star(20), PimConfig::tiny()),
+            0
+        );
+        assert_eq!(
+            count_on_dpu(&pim_graph::gen::simple::cycle(20), PimConfig::tiny()),
+            0
+        );
+        assert_eq!(
+            count_on_dpu(&pim_graph::gen::grid2d(8, 8, 1.0, 0, 1), PimConfig::tiny()),
+            0
+        );
     }
 
     #[test]
@@ -365,14 +386,23 @@ mod tests {
     #[test]
     fn matches_reference_on_skewed_graph() {
         let g = pim_graph::gen::rmat(9, 6, 0.57, 0.19, 0.19, 3);
-        assert_eq!(count_on_dpu(&g, PimConfig::tiny()), triangle::count_exact(&g));
+        assert_eq!(
+            count_on_dpu(&g, PimConfig::tiny()),
+            triangle::count_exact(&g)
+        );
     }
 
     #[test]
     fn single_tasklet_agrees_with_many() {
         let g = pim_graph::gen::erdos_renyi(80, 0.12, 9);
-        let one = PimConfig { nr_tasklets: 1, ..PimConfig::tiny() };
-        let many = PimConfig { nr_tasklets: 8, ..PimConfig::tiny() };
+        let one = PimConfig {
+            nr_tasklets: 1,
+            ..PimConfig::tiny()
+        };
+        let many = PimConfig {
+            nr_tasklets: 8,
+            ..PimConfig::tiny()
+        };
         assert_eq!(count_on_dpu(&g, one), count_on_dpu(&g, many));
     }
 

@@ -81,8 +81,16 @@ mod tests {
             ..Header::default()
         };
         sys.push(vec![
-            HostWrite { dpu: 0, offset: 0, data: hdr.encode() },
-            HostWrite { dpu: 0, offset: layout.sample_off, data: encode_slice(sorted_keys) },
+            HostWrite {
+                dpu: 0,
+                offset: 0,
+                data: hdr.encode(),
+            },
+            HostWrite {
+                dpu: 0,
+                offset: layout.sample_off,
+                data: encode_slice(sorted_keys),
+            },
         ])
         .unwrap();
         let entries = sys.execute(|ctx| index_kernel(ctx, &layout)).unwrap()[0];
@@ -91,7 +99,10 @@ mod tests {
             .unwrap()
             .host_read(layout.index_off, entries * 8)
             .unwrap();
-        decode_slice::<u64>(&bytes).into_iter().map(edge_unkey).collect()
+        decode_slice::<u64>(&bytes)
+            .into_iter()
+            .map(edge_unkey)
+            .collect()
     }
 
     #[test]

@@ -292,7 +292,13 @@ mod tests {
     #[test]
     fn slots_are_8_aligned() {
         let l = MramLayout::compute(1 << 20, 100, 7, None).unwrap();
-        for off in [l.staging_off, l.remap_off, l.sample_off, l.scratch_off, l.index_off] {
+        for off in [
+            l.staging_off,
+            l.remap_off,
+            l.sample_off,
+            l.scratch_off,
+            l.index_off,
+        ] {
             assert_eq!(off % 8, 0, "offset {off} unaligned");
         }
     }

@@ -39,16 +39,14 @@ impl LocalCache {
         debug_assert!(slots.is_power_of_two());
         let mut entries = t.alloc_wram::<u64>(slots)?;
         entries.iter_mut().for_each(|e| *e = u64::MAX);
-        Ok(LocalCache { entries, mask: slots - 1 })
+        Ok(LocalCache {
+            entries,
+            mask: slots - 1,
+        })
     }
 
     /// Adds 1 to `node`, evicting a colliding entry to MRAM if needed.
-    fn bump(
-        &mut self,
-        t: &mut Tasklet<'_>,
-        layout: &MramLayout,
-        node: u32,
-    ) -> SimResult<()> {
+    fn bump(&mut self, t: &mut Tasklet<'_>, layout: &MramLayout, node: u32) -> SimResult<()> {
         t.charge(CACHE_INSTR);
         let slot = (node as usize).wrapping_mul(0x9E37_79B9) & self.mask;
         let entry = self.entries[slot];
@@ -148,13 +146,11 @@ pub fn local_count_kernel(ctx: &mut DpuContext<'_>, layout: &MramLayout) -> SimR
                 let start = block * b as u64;
                 let n = (b as u64).min(len - start) as usize;
                 t.mram_read(layout.sample_slot(start), &mut buf_e[..n])?;
-                for i in 0..n {
+                for (i, &key) in buf_e.iter().enumerate().take(n) {
                     let g = start + i as u64;
-                    let key = buf_e[i];
                     let (u, v) = (key_first(key), key_second(key));
                     t.charge(EDGE_INSTR);
-                    let Some((v_start, v_end)) =
-                        lookup_region(t, layout, v, index_len, len)?
+                    let Some((v_start, v_end)) = lookup_region(t, layout, v, index_len, len)?
                     else {
                         continue;
                     };
@@ -227,10 +223,22 @@ mod tests {
             Some((keys.len() as u64).max(3)),
         )
         .unwrap();
-        let hdr = Header { cap: layout.capacity, len: keys.len() as u64, ..Header::default() };
+        let hdr = Header {
+            cap: layout.capacity,
+            len: keys.len() as u64,
+            ..Header::default()
+        };
         sys.push(vec![
-            HostWrite { dpu: 0, offset: 0, data: hdr.encode() },
-            HostWrite { dpu: 0, offset: layout.sample_off, data: encode_slice(&keys) },
+            HostWrite {
+                dpu: 0,
+                offset: 0,
+                data: hdr.encode(),
+            },
+            HostWrite {
+                dpu: 0,
+                offset: layout.sample_off,
+                data: encode_slice(&keys),
+            },
         ])
         .unwrap();
         sys.execute(|ctx| local_clear_kernel(ctx, &layout)).unwrap();

@@ -120,20 +120,28 @@ mod tests {
     fn setup(capacity: u64) -> (PimSystem, MramLayout) {
         let config = PimConfig::tiny();
         let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
-        let layout =
-            MramLayout::compute(config.mram_capacity, 64, 0, Some(capacity)).unwrap();
+        let layout = MramLayout::compute(config.mram_capacity, 64, 0, Some(capacity)).unwrap();
         let hdr = Header {
             cap: capacity,
             rng: rng::seed_for_dpu(7, 0),
             ..Header::default()
         };
-        sys.push(vec![HostWrite { dpu: 0, offset: 0, data: hdr.encode() }])
-            .unwrap();
+        sys.push(vec![HostWrite {
+            dpu: 0,
+            offset: 0,
+            data: hdr.encode(),
+        }])
+        .unwrap();
         (sys, layout)
     }
 
     fn read_sample(sys: &PimSystem, layout: &MramLayout, len: u64) -> Vec<u64> {
-        decode_slice(&sys.dpu(0).unwrap().host_read(layout.sample_off, len * 8).unwrap())
+        decode_slice(
+            &sys.dpu(0)
+                .unwrap()
+                .host_read(layout.sample_off, len * 8)
+                .unwrap(),
+        )
     }
 
     fn read_header(sys: &mut PimSystem) -> Header {
@@ -171,8 +179,7 @@ mod tests {
         let (mut sys, layout) = setup(16);
         // Stream 4 batches of 16 → 64 seen, 16 resident.
         for round in 0..4u32 {
-            let edges: Vec<u64> =
-                (0..16u32).map(|i| edge_key(round * 16 + i, 77)).collect();
+            let edges: Vec<u64> = (0..16u32).map(|i| edge_key(round * 16 + i, 77)).collect();
             push_batch(&mut sys, &layout, &edges);
             sys.execute(|ctx| receive_kernel(ctx, &layout)).unwrap();
         }
@@ -200,8 +207,17 @@ mod tests {
             let config = PimConfig::tiny();
             let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
             let layout = MramLayout::compute(config.mram_capacity, 64, 0, Some(m)).unwrap();
-            let hdr = Header { cap: m, rng: rng::seed_for_dpu(trial, 0), ..Header::default() };
-            sys.push(vec![HostWrite { dpu: 0, offset: 0, data: hdr.encode() }]).unwrap();
+            let hdr = Header {
+                cap: m,
+                rng: rng::seed_for_dpu(trial, 0),
+                ..Header::default()
+            };
+            sys.push(vec![HostWrite {
+                dpu: 0,
+                offset: 0,
+                data: hdr.encode(),
+            }])
+            .unwrap();
             let edges: Vec<u64> = (0..stream).map(|i| edge_key(i, 1)).collect();
             push_batch(&mut sys, &layout, &edges);
             sys.execute(|ctx| receive_kernel(ctx, &layout)).unwrap();

@@ -56,7 +56,11 @@ pub fn remap_kernel(ctx: &mut DpuContext<'_>, layout: &MramLayout) -> SimResult<
                 let (nv, np2) = map(&table, v);
                 probes += np1 + np2;
                 // Re-normalize: remapping can invert the order.
-                *key = if nu <= nv { edge_key(nu, nv) } else { edge_key(nv, nu) };
+                *key = if nu <= nv {
+                    edge_key(nu, nv)
+                } else {
+                    edge_key(nv, nu)
+                };
             }
             t.charge(n as u64 * EDGE_INSTR + probes * LOOKUP_INSTR_PER_PROBE);
             t.mram_write(layout.sample_slot(start), &buf[..n])?;
@@ -120,8 +124,16 @@ mod tests {
             ..Header::default()
         };
         let mut writes = vec![
-            HostWrite { dpu: 0, offset: 0, data: hdr.encode() },
-            HostWrite { dpu: 0, offset: layout.sample_off, data: encode_slice(&keys) },
+            HostWrite {
+                dpu: 0,
+                offset: 0,
+                data: hdr.encode(),
+            },
+            HostWrite {
+                dpu: 0,
+                offset: layout.sample_off,
+                data: encode_slice(&keys),
+            },
         ];
         if !packed.is_empty() {
             writes.push(HostWrite {
@@ -208,8 +220,16 @@ mod tests {
                 ..Header::default()
             };
             let mut writes = vec![
-                HostWrite { dpu: 0, offset: 0, data: hdr.encode() },
-                HostWrite { dpu: 0, offset: layout.sample_off, data: encode_slice(&keys) },
+                HostWrite {
+                    dpu: 0,
+                    offset: 0,
+                    data: hdr.encode(),
+                },
+                HostWrite {
+                    dpu: 0,
+                    offset: layout.sample_off,
+                    data: encode_slice(&keys),
+                },
             ];
             if !table.is_empty() {
                 writes.push(HostWrite {

@@ -201,17 +201,25 @@ mod tests {
             ..config
         };
         let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
-        let layout = MramLayout::compute(
-            config.mram_capacity,
-            8,
-            0,
-            Some((keys.len() as u64).max(3)),
-        )
-        .unwrap();
-        let hdr = Header { cap: layout.capacity, len: keys.len() as u64, ..Header::default() };
+        let layout =
+            MramLayout::compute(config.mram_capacity, 8, 0, Some((keys.len() as u64).max(3)))
+                .unwrap();
+        let hdr = Header {
+            cap: layout.capacity,
+            len: keys.len() as u64,
+            ..Header::default()
+        };
         sys.push(vec![
-            HostWrite { dpu: 0, offset: 0, data: hdr.encode() },
-            HostWrite { dpu: 0, offset: layout.sample_off, data: encode_slice(keys) },
+            HostWrite {
+                dpu: 0,
+                offset: 0,
+                data: hdr.encode(),
+            },
+            HostWrite {
+                dpu: 0,
+                offset: layout.sample_off,
+                data: encode_slice(keys),
+            },
         ])
         .unwrap();
         sys.execute(|ctx| sort_kernel(ctx, &layout)).unwrap();
@@ -258,7 +266,10 @@ mod tests {
 
     #[test]
     fn sorts_with_single_tasklet() {
-        let config = PimConfig { nr_tasklets: 1, ..PimConfig::tiny() };
+        let config = PimConfig {
+            nr_tasklets: 1,
+            ..PimConfig::tiny()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let keys: Vec<u64> = (0..1000).map(|_| rng.gen()).collect();
         check(keys, config);

@@ -49,6 +49,7 @@ pub use result::{DpuReport, TcResult};
 pub use triplets::{ColorTriplet, TripletAssignment};
 
 use pim_graph::CooGraph;
+use serde::{Deserialize, Serialize};
 
 /// Counts (or estimates) the triangles of `graph` on the simulated PIM
 /// system, end to end: allocation, coloring, batching, transfer, DPU
@@ -61,4 +62,37 @@ pub fn count_triangles(graph: &CooGraph, config: &TcConfig) -> Result<TcResult, 
     let mut session = TcSession::start(config)?;
     session.append(graph.edges())?;
     session.finish()
+}
+
+/// Everything a profiled run produces: the counting result plus the full
+/// observability capture (see `docs/OBSERVABILITY.md`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// The counting result, identical to [`count_triangles`]'s.
+    pub result: TcResult,
+    /// The labeled event timeline; export with
+    /// [`pim_sim::Trace::to_chrome_trace`] for `chrome://tracing`.
+    pub trace: pim_sim::Trace,
+    /// Per-DPU attribution: activity counters, per-launch cycle
+    /// distributions, and transfer-bandwidth utilization.
+    pub report: pim_sim::SystemReport,
+}
+
+/// Like [`count_triangles`], but runs with tracing enabled and returns
+/// the event timeline and per-DPU attribution next to the result.
+pub fn count_triangles_profiled(
+    graph: &CooGraph,
+    config: &TcConfig,
+) -> Result<RunProfile, TcError> {
+    let mut session = TcSession::start(config)?;
+    session.enable_tracing();
+    session.append(graph.edges())?;
+    let result = session.count()?;
+    let trace = session.trace().clone();
+    let report = session.system_report();
+    Ok(RunProfile {
+        result,
+        trace,
+        report,
+    })
 }

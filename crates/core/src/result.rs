@@ -100,7 +100,11 @@ mod tests {
             estimate: 100.4,
             raw_total: 101,
             exact: false,
-            times: PhaseTimes { setup: 1.0, sample_creation: 0.5, triangle_count: 0.5 },
+            times: PhaseTimes {
+                setup: 1.0,
+                sample_creation: 0.5,
+                triangle_count: 0.5,
+            },
             nr_dpus: 4,
             colors: 2,
             edges_offered: 2000,
@@ -124,13 +128,19 @@ mod tests {
 
     #[test]
     fn negative_estimates_round_to_zero() {
-        let r = TcResult { estimate: -0.3, ..result_fixture() };
+        let r = TcResult {
+            estimate: -0.3,
+            ..result_fixture()
+        };
         assert_eq!(r.rounded(), 0);
     }
 
     #[test]
     fn relative_error_passthrough() {
-        let r = TcResult { estimate: 90.0, ..result_fixture() };
+        let r = TcResult {
+            estimate: 90.0,
+            ..result_fixture()
+        };
         assert!((r.relative_error(100) - 0.1).abs() < 1e-12);
     }
 

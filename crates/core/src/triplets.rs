@@ -74,7 +74,11 @@ impl TripletAssignment {
                 }
             }
         }
-        TripletAssignment { colors, triplets, rank }
+        TripletAssignment {
+            colors,
+            triplets,
+            rank,
+        }
     }
 
     /// The color count `C`.
@@ -111,10 +115,11 @@ impl TripletAssignment {
         out.clear();
         for x in 0..self.colors {
             let t = ColorTriplet::new(a, b, x);
-            out.push(self.rank
-                [((t.c[0] as usize * self.colors as usize) + t.c[1] as usize)
+            out.push(
+                self.rank[((t.c[0] as usize * self.colors as usize) + t.c[1] as usize)
                     * self.colors as usize
-                    + t.c[2] as usize]);
+                    + t.c[2] as usize],
+            );
         }
     }
 
@@ -189,7 +194,10 @@ mod tests {
             // Pair {2, 5} must fit inside the triplet multiset.
             let mut pool: Vec<u32> = t.c.to_vec();
             for needed in [2u32, 5] {
-                let pos = pool.iter().position(|&x| x == needed).expect("missing color");
+                let pos = pool
+                    .iter()
+                    .position(|&x| x == needed)
+                    .expect("missing color");
                 pool.remove(pos);
             }
         }

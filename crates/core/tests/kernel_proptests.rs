@@ -25,12 +25,23 @@ fn hw_shape() -> impl Strategy<Value = PimConfig> {
 fn loaded(keys: &[u64], config: PimConfig) -> (PimSystem, MramLayout) {
     let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
     let layout =
-        MramLayout::compute(config.mram_capacity, 8, 0, Some((keys.len() as u64).max(3)))
-            .unwrap();
-    let hdr = Header { cap: layout.capacity, len: keys.len() as u64, ..Header::default() };
+        MramLayout::compute(config.mram_capacity, 8, 0, Some((keys.len() as u64).max(3))).unwrap();
+    let hdr = Header {
+        cap: layout.capacity,
+        len: keys.len() as u64,
+        ..Header::default()
+    };
     sys.push(vec![
-        HostWrite { dpu: 0, offset: 0, data: hdr.encode() },
-        HostWrite { dpu: 0, offset: layout.sample_off, data: encode_slice(keys) },
+        HostWrite {
+            dpu: 0,
+            offset: 0,
+            data: hdr.encode(),
+        },
+        HostWrite {
+            dpu: 0,
+            offset: layout.sample_off,
+            data: encode_slice(keys),
+        },
     ])
     .unwrap();
     (sys, layout)

@@ -43,7 +43,10 @@ impl Edge {
         if self.u <= self.v {
             self
         } else {
-            Edge { u: self.v, v: self.u }
+            Edge {
+                u: self.v,
+                v: self.u,
+            }
         }
     }
 
@@ -100,11 +103,7 @@ impl CooGraph {
         I: IntoIterator<Item = Edge>,
     {
         let edges: Vec<Edge> = edges.into_iter().collect();
-        let num_nodes = edges
-            .iter()
-            .map(|e| e.u.max(e.v) + 1)
-            .max()
-            .unwrap_or(0);
+        let num_nodes = edges.iter().map(|e| e.u.max(e.v) + 1).max().unwrap_or(0);
         CooGraph { edges, num_nodes }
     }
 

@@ -89,15 +89,11 @@ impl DatasetId {
             (DatasetId::KroneckerSmall, Profile::Paper) => {
                 gen::rmat(14, 16, 0.57, 0.19, 0.19, seed)
             }
-            (DatasetId::KroneckerSmall, Profile::Test) => {
-                gen::rmat(10, 8, 0.57, 0.19, 0.19, seed)
-            }
+            (DatasetId::KroneckerSmall, Profile::Test) => gen::rmat(10, 8, 0.57, 0.19, 0.19, seed),
             (DatasetId::KroneckerLarge, Profile::Paper) => {
                 gen::rmat(15, 16, 0.57, 0.19, 0.19, seed)
             }
-            (DatasetId::KroneckerLarge, Profile::Test) => {
-                gen::rmat(11, 8, 0.57, 0.19, 0.19, seed)
-            }
+            (DatasetId::KroneckerLarge, Profile::Test) => gen::rmat(11, 8, 0.57, 0.19, 0.19, seed),
             (DatasetId::Roads, Profile::Paper) => gen::grid2d(420, 500, 0.55, 49, seed),
             (DatasetId::Roads, Profile::Test) => gen::grid2d(40, 50, 0.55, 9, seed),
             (DatasetId::SocialModerate, Profile::Paper) => gen::chung_lu(
@@ -205,7 +201,11 @@ mod tests {
     #[test]
     fn brain_proxy_clusters_highly() {
         let s = graph_stats(&DatasetId::Brain.build(Profile::Test));
-        assert!(s.global_clustering > 0.3, "clustering {}", s.global_clustering);
+        assert!(
+            s.global_clustering > 0.3,
+            "clustering {}",
+            s.global_clustering
+        );
         assert!(s.triangles > 1000);
     }
 

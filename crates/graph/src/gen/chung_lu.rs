@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        assert_eq!(chung_lu(params(500), 8).edges(), chung_lu(params(500), 8).edges());
+        assert_eq!(
+            chung_lu(params(500), 8).edges(),
+            chung_lu(params(500), 8).edges()
+        );
     }
 
     #[test]
@@ -119,8 +122,14 @@ mod tests {
 
     #[test]
     fn max_degree_cap_limits_the_hub() {
-        let loose = ChungLuParams { max_degree_frac: 0.5, ..params(2000) };
-        let tight = ChungLuParams { max_degree_frac: 0.01, ..params(2000) };
+        let loose = ChungLuParams {
+            max_degree_frac: 0.5,
+            ..params(2000)
+        };
+        let tight = ChungLuParams {
+            max_degree_frac: 0.01,
+            ..params(2000)
+        };
         let dmax = |p: ChungLuParams| {
             let mut g = chung_lu(p, 6);
             prep::preprocess(&mut g, 0);

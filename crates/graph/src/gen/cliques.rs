@@ -34,8 +34,10 @@ pub fn planted_cliques(params: PlantedCliqueParams, seed: u64) -> CooGraph {
         q,
         background_p,
     } = params;
-    assert!(communities as u64 * community_size as u64 <= n as u64,
-        "communities exceed vertex budget");
+    assert!(
+        communities as u64 * community_size as u64 <= n as u64,
+        "communities exceed vertex budget"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut g = crate::gen::erdos_renyi(n, background_p, rng.gen());
     for c in 0..communities {
@@ -76,7 +78,10 @@ mod tests {
     #[test]
     fn background_adds_edges() {
         let with_bg = planted_cliques(
-            PlantedCliqueParams { background_p: 0.02, ..params() },
+            PlantedCliqueParams {
+                background_p: 0.02,
+                ..params()
+            },
             3,
         );
         let without = planted_cliques(params(), 3);
@@ -87,7 +92,11 @@ mod tests {
     #[should_panic(expected = "vertex budget")]
     fn rejects_oversized_communities() {
         planted_cliques(
-            PlantedCliqueParams { communities: 100, community_size: 100, ..params() },
+            PlantedCliqueParams {
+                communities: 100,
+                community_size: 100,
+                ..params()
+            },
             0,
         );
     }

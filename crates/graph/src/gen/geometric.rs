@@ -18,7 +18,9 @@ pub fn random_geometric(n: Node, radius: f64, seed: u64) -> CooGraph {
     assert!(n >= 1);
     assert!(radius > 0.0 && radius < 1.0);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
 
     // Cell size is at least `radius` so neighbors are confined to the 3x3
     // surrounding cells; resolution is capped near sqrt(n) since finer grids
@@ -54,7 +56,10 @@ pub fn random_geometric(n: Node, radius: f64, seed: u64) -> CooGraph {
             for (dx, dy) in [(1isize, 0isize), (0, 1), (1, 1), (-1, 1)] {
                 let nx = cx as isize + dx;
                 let ny = cy as isize + dy;
-                if nx < 0 || ny < 0 || nx >= cells_per_side as isize || ny >= cells_per_side as isize
+                if nx < 0
+                    || ny < 0
+                    || nx >= cells_per_side as isize
+                    || ny >= cells_per_side as isize
                 {
                     continue;
                 }
@@ -99,7 +104,9 @@ mod tests {
         fast.preprocess(0);
         // Brute force with identical RNG stream for the points.
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let mut brute = Vec::new();
         for u in 0..n as usize {
             for v in (u + 1)..n as usize {
@@ -120,7 +127,11 @@ mod tests {
         g.preprocess(0);
         let s = stats::graph_stats(&g);
         // Theory: RGG global clustering tends to ~0.59 in the plane.
-        assert!(s.global_clustering > 0.3, "clustering {}", s.global_clustering);
+        assert!(
+            s.global_clustering > 0.3,
+            "clustering {}",
+            s.global_clustering
+        );
     }
 
     #[test]

@@ -82,6 +82,9 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        assert_eq!(grid2d(10, 10, 0.7, 2, 5).edges(), grid2d(10, 10, 0.7, 2, 5).edges());
+        assert_eq!(
+            grid2d(10, 10, 0.7, 2, 5).edges(),
+            grid2d(10, 10, 0.7, 2, 5).edges()
+        );
     }
 }

@@ -20,7 +20,10 @@ use rand_chacha::ChaCha8Rng;
 /// `edge_factor * 2^scale`.
 pub fn rmat(scale: u32, edge_factor: u32, a: f64, b: f64, c: f64, seed: u64) -> CooGraph {
     assert!(scale > 0 && scale < 31, "scale out of supported range");
-    assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "invalid quadrant probabilities");
+    assert!(
+        a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0,
+        "invalid quadrant probabilities"
+    );
     let n: Node = 1 << scale;
     let m = (edge_factor as usize) << scale;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);

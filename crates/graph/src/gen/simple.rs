@@ -16,7 +16,7 @@ pub fn complete(n: Node) -> CooGraph {
 /// Simple path `0-1-...-(n-1)`.
 pub fn path(n: Node) -> CooGraph {
     let edges: Vec<Edge> = (1..n).map(|v| Edge::new(v - 1, v)).collect();
-    CooGraph::with_num_nodes(edges, n.max(0))
+    CooGraph::with_num_nodes(edges, n)
 }
 
 /// Cycle on `n >= 3` vertices.

@@ -13,7 +13,7 @@ use rand_chacha::ChaCha8Rng;
 /// `beta` to a uniform random target (self loops and duplicates may result
 /// and are left for preprocessing, like a raw input file).
 pub fn watts_strogatz(n: Node, k: Node, beta: f64, seed: u64) -> CooGraph {
-    assert!(k % 2 == 0, "k must be even");
+    assert!(k.is_multiple_of(2), "k must be even");
     assert!(k < n, "k must be below n");
     assert!((0.0..=1.0).contains(&beta));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -51,8 +51,11 @@ mod tests {
         g.preprocess(0);
         let s = stats::graph_stats(&g);
         let theory = 3.0 * (k as f64 - 2.0) / (4.0 * (k as f64 - 1.0));
-        assert!((s.global_clustering - theory).abs() < 0.02,
-            "got {} expected {theory}", s.global_clustering);
+        assert!(
+            (s.global_clustering - theory).abs() < 0.02,
+            "got {} expected {theory}",
+            s.global_clustering
+        );
     }
 
     #[test]

@@ -53,7 +53,12 @@ fn malformed(lineno: usize, line: &str) -> io::Error {
 /// Writes the text edge-list format.
 pub fn write_text<W: Write>(g: &CooGraph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# pim-tc edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    writeln!(
+        w,
+        "# pim-tc edge list: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    )?;
     for e in g.edges() {
         writeln!(w, "{} {}", e.u, e.v)?;
     }
@@ -95,7 +100,10 @@ pub fn read_binary<R: Read>(reader: R) -> io::Result<CooGraph> {
     r.read_exact(&mut u64buf)?;
     let num_nodes = u64::from_le_bytes(u64buf);
     if num_nodes > u32::MAX as u64 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "node count exceeds u32"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "node count exceeds u32",
+        ));
     }
     r.read_exact(&mut u64buf)?;
     let num_edges = u64::from_le_bytes(u64buf) as usize;

@@ -91,10 +91,7 @@ mod tests {
     fn relabeling_preserves_triangle_count() {
         let g = crate::gen::simple::complete(8);
         let relabeled = relabel_random(&g, 99);
-        assert_eq!(
-            triangle::count_exact(&g),
-            triangle::count_exact(&relabeled)
-        );
+        assert_eq!(triangle::count_exact(&g), triangle::count_exact(&relabeled));
     }
 
     #[test]

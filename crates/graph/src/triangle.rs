@@ -22,9 +22,7 @@ pub fn count_exact(g: &CooGraph) -> u64 {
 /// neighbor lists of `u` and `v`; every triangle `{u, v, w}` with
 /// `u < v < w` is found exactly once, at its smallest vertex.
 pub fn count_csr(csr: &CsrGraph) -> u64 {
-    (0..csr.num_nodes())
-        .map(|u| count_at_node(csr, u))
-        .sum()
+    (0..csr.num_nodes()).map(|u| count_at_node(csr, u)).sum()
 }
 
 /// Rayon-parallel forward node-iterator count.
@@ -53,7 +51,7 @@ fn count_at_node(csr: &CsrGraph, u: Node) -> u64 {
 /// `pim-tc` (§3.4: `w == z` count and advance both, `w < z` advance left,
 /// `w > z` advance right), exposed here for reuse and direct unit testing.
 #[inline]
-pub fn sorted_intersection_count(a: &[Node], b: &[Node], ) -> u64 {
+pub fn sorted_intersection_count(a: &[Node], b: &[Node]) -> u64 {
     let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
     while i < a.len() && j < b.len() {
         let (x, y) = (a[i], b[j]);

@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn dma_adds_on_top() {
         let m = CostModel::default();
-        assert_eq!(m.dpu_cycles(&[10, 10], 500), 20.max(110) + 500);
+        assert_eq!(m.dpu_cycles(&[10, 10], 500), 110 + 500);
     }
 
     #[test]

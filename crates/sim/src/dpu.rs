@@ -17,6 +17,8 @@ pub struct Dpu {
     pub(crate) tasklet_instr: Vec<u64>,
     /// Total DMA cycles accumulated during the current kernel.
     pub(crate) dma_cycles: u64,
+    /// DMA bytes moved during the current kernel.
+    pub(crate) kernel_dma_bytes: u64,
     /// Lifetime counters for reporting.
     pub(crate) total_instr: u64,
     pub(crate) total_dma_bytes: u64,
@@ -31,6 +33,7 @@ impl Dpu {
             mram_capacity,
             tasklet_instr: vec![0; nr_tasklets],
             dma_cycles: 0,
+            kernel_dma_bytes: 0,
             total_instr: 0,
             total_dma_bytes: 0,
         }
@@ -82,7 +85,11 @@ impl Dpu {
             len,
         })?;
         if end > self.mram.len() as u64 {
-            return Err(SimError::BadAddress { dpu: self.id, offset, len });
+            return Err(SimError::BadAddress {
+                dpu: self.id,
+                offset,
+                len,
+            });
         }
         Ok(&self.mram[offset as usize..end as usize])
     }
@@ -102,7 +109,8 @@ impl Dpu {
     /// Host-side write into the bank (a CPU→PIM transfer; the *time* for it
     /// is charged by the system's transfer path, not here).
     pub fn host_write(&mut self, offset: u64, data: &[u8]) -> SimResult<()> {
-        self.mram_slice_mut(offset, data.len() as u64)?.copy_from_slice(data);
+        self.mram_slice_mut(offset, data.len() as u64)?
+            .copy_from_slice(data);
         Ok(())
     }
 
@@ -115,6 +123,7 @@ impl Dpu {
     pub(crate) fn reset_kernel_counters(&mut self) {
         self.tasklet_instr.iter_mut().for_each(|c| *c = 0);
         self.dma_cycles = 0;
+        self.kernel_dma_bytes = 0;
     }
 
     /// Lifetime instruction count (all kernels).

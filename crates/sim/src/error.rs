@@ -99,15 +99,25 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::MramOverflow { dpu: 3, requested: 100, capacity: 64 };
+        let e = SimError::MramOverflow {
+            dpu: 3,
+            requested: 100,
+            capacity: 64,
+        };
         let s = e.to_string();
         assert!(s.contains("DPU 3") && s.contains("100") && s.contains("64"));
     }
 
     #[test]
     fn errors_are_comparable() {
-        let a = SimError::NoSuchDpu { dpu: 1, allocated: 0 };
-        let b = SimError::NoSuchDpu { dpu: 1, allocated: 0 };
+        let a = SimError::NoSuchDpu {
+            dpu: 1,
+            allocated: 0,
+        };
+        let b = SimError::NoSuchDpu {
+            dpu: 1,
+            allocated: 0,
+        };
         assert_eq!(a, b);
     }
 }

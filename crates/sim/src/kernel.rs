@@ -237,7 +237,7 @@ impl<'a> Tasklet<'a> {
 
     #[inline]
     fn check_dma(&self, offset: u64, len: u64) -> SimResult<()> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(SimError::BadDma {
                 dpu: self.dpu.id(),
                 len,
@@ -255,6 +255,7 @@ impl<'a> Tasklet<'a> {
         loop {
             let burst = remaining.min(MAX_DMA_BYTES);
             self.dpu.dma_cycles += self.cost.dma_cycles(burst);
+            self.dpu.kernel_dma_bytes += burst;
             self.dpu.total_dma_bytes += burst;
             if remaining <= MAX_DMA_BYTES {
                 break;
@@ -291,7 +292,11 @@ mod tests {
     fn dma_round_trip_typed() {
         let config = PimConfig::tiny();
         let mut dpu = ctx_fixture(&config);
-        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        let mut ctx = DpuContext {
+            dpu: &mut dpu,
+            config: &config,
+            cost: &COST,
+        };
         let mut t = ctx.tasklet(0).unwrap();
         t.mram_write(0, &[1u32, 2, 3, 4]).unwrap();
         let mut back = [0u32; 4];
@@ -303,7 +308,11 @@ mod tests {
     fn unaligned_dma_is_rejected() {
         let config = PimConfig::tiny();
         let mut dpu = ctx_fixture(&config);
-        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        let mut ctx = DpuContext {
+            dpu: &mut dpu,
+            config: &config,
+            cost: &COST,
+        };
         let mut t = ctx.tasklet(0).unwrap();
         let err = t.mram_write(4, &[1u32]).unwrap_err();
         assert!(matches!(err, SimError::BadDma { .. }));
@@ -313,7 +322,11 @@ mod tests {
     fn wram_budget_is_enforced() {
         let config = PimConfig::tiny(); // 2 KB WRAM, 4 tasklets → 512 B each
         let mut dpu = ctx_fixture(&config);
-        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        let mut ctx = DpuContext {
+            dpu: &mut dpu,
+            config: &config,
+            cost: &COST,
+        };
         let mut t = ctx.tasklet(0).unwrap();
         let buf: Vec<u32> = t.alloc_wram(64).unwrap(); // 256 B
         assert_eq!(t.wram_free(), 256);
@@ -326,7 +339,11 @@ mod tests {
     fn charges_accumulate_per_tasklet() {
         let config = PimConfig::tiny();
         let mut dpu = ctx_fixture(&config);
-        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        let mut ctx = DpuContext {
+            dpu: &mut dpu,
+            config: &config,
+            cost: &COST,
+        };
         ctx.for_each_tasklet(|t| {
             t.charge(10);
             Ok(())
@@ -340,7 +357,11 @@ mod tests {
     fn dma_charges_split_large_transfers() {
         let config = PimConfig::default();
         let mut dpu = ctx_fixture(&config);
-        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        let mut ctx = DpuContext {
+            dpu: &mut dpu,
+            config: &config,
+            cost: &COST,
+        };
         let mut t = ctx.tasklet(0).unwrap();
         // 4096 bytes = two bursts → two setup charges.
         let data = vec![0u64; 512];
@@ -353,7 +374,11 @@ mod tests {
     fn out_of_range_tasklet_id_fails() {
         let config = PimConfig::tiny();
         let mut dpu = ctx_fixture(&config);
-        let mut ctx = DpuContext { dpu: &mut dpu, config: &config, cost: &COST };
+        let mut ctx = DpuContext {
+            dpu: &mut dpu,
+            config: &config,
+            cost: &COST,
+        };
         assert!(ctx.tasklet(99).is_err());
     }
 

@@ -46,6 +46,8 @@ pub use energy::{EnergyModel, EnergyReport};
 pub use error::{SimError, SimResult};
 pub use kernel::{DpuContext, Tasklet};
 pub use phase::{Phase, PhaseTimes};
-pub use stats::{DpuActivity, SystemReport};
-pub use trace::{Trace, TraceEvent};
+pub use stats::{
+    DpuActivity, LaunchProfile, PhaseKernelCycles, SystemReport, CYCLE_HISTOGRAM_BUCKETS,
+};
 pub use system::{HostWrite, PimSystem};
+pub use trace::{Trace, TraceEvent};

@@ -94,8 +94,16 @@ mod tests {
 
     #[test]
     fn merged_sums_elementwise() {
-        let a = PhaseTimes { setup: 1.0, sample_creation: 2.0, triangle_count: 3.0 };
-        let b = PhaseTimes { setup: 0.5, sample_creation: 0.25, triangle_count: 0.125 };
+        let a = PhaseTimes {
+            setup: 1.0,
+            sample_creation: 2.0,
+            triangle_count: 3.0,
+        };
+        let b = PhaseTimes {
+            setup: 0.5,
+            sample_creation: 0.25,
+            triangle_count: 0.125,
+        };
         let m = a.merged(&b);
         assert_eq!(m.setup, 1.5);
         assert_eq!(m.sample_creation, 2.25);

@@ -3,11 +3,18 @@
 //! The paper's load-balancing argument (§3.1) is about keeping PIM cores
 //! evenly busy; this module surfaces the counters to check that claim on
 //! any workload. The experiment harness logs these summaries next to the
-//! timing results.
+//! timing results. When tracing is enabled, the report also attributes
+//! cycles to individual kernel launches ([`LaunchProfile`]) and to the
+//! §4.1 phases ([`PhaseKernelCycles`]).
 
 use crate::dpu::Dpu;
+use crate::phase::Phase;
 use crate::system::PimSystem;
+use crate::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
+
+/// Number of buckets in each launch's cycle histogram.
+pub const CYCLE_HISTOGRAM_BUCKETS: usize = 8;
 
 /// Activity summary of one PIM core.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -22,6 +29,97 @@ pub struct DpuActivity {
     pub mram_used: u64,
 }
 
+/// Per-launch cycle distribution across DPUs, derived from a traced
+/// [`TraceEvent::Kernel`] event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LaunchProfile {
+    /// Orchestrator-assigned launch label.
+    pub label: String,
+    /// Phase the launch billed to.
+    pub phase: Phase,
+    /// Modeled seconds (launch overhead + slowest DPU).
+    pub seconds: f64,
+    /// Wall cycles of the slowest DPU.
+    pub max_cycles: u64,
+    /// Mean wall cycles across DPUs.
+    pub mean_cycles: f64,
+    /// Median (nearest-rank p50) of per-DPU cycles.
+    pub p50_cycles: u64,
+    /// Nearest-rank p99 of per-DPU cycles.
+    pub p99_cycles: u64,
+    /// Max-over-mean cycle imbalance (1.0 = perfectly even).
+    pub imbalance: f64,
+    /// DPU counts in [`CYCLE_HISTOGRAM_BUCKETS`] equal-width buckets over
+    /// `[0, max_cycles]` (the slowest DPU lands in the last bucket).
+    pub cycle_histogram: Vec<usize>,
+}
+
+/// Kernel time attributed to one §4.1 phase.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseKernelCycles {
+    /// The phase.
+    pub phase: Phase,
+    /// Kernel launches billed to this phase.
+    pub launches: usize,
+    /// Sum over launches of the slowest DPU's cycles.
+    pub max_cycles: u64,
+    /// Modeled seconds of those launches (overhead included).
+    pub seconds: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl LaunchProfile {
+    /// Builds the distribution summary for one launch.
+    pub fn from_launch(
+        label: &str,
+        phase: Phase,
+        seconds: f64,
+        per_dpu_cycles: &[u64],
+    ) -> LaunchProfile {
+        let max_cycles = per_dpu_cycles.iter().copied().max().unwrap_or(0);
+        let mean_cycles = if per_dpu_cycles.is_empty() {
+            0.0
+        } else {
+            per_dpu_cycles.iter().sum::<u64>() as f64 / per_dpu_cycles.len() as f64
+        };
+        let mut sorted = per_dpu_cycles.to_vec();
+        sorted.sort_unstable();
+        let mut cycle_histogram = vec![0usize; CYCLE_HISTOGRAM_BUCKETS];
+        for &c in per_dpu_cycles {
+            let bucket = if max_cycles == 0 {
+                0
+            } else {
+                ((c as u128 * CYCLE_HISTOGRAM_BUCKETS as u128 / max_cycles as u128) as usize)
+                    .min(CYCLE_HISTOGRAM_BUCKETS - 1)
+            };
+            cycle_histogram[bucket] += 1;
+        }
+        LaunchProfile {
+            label: label.to_string(),
+            phase,
+            seconds,
+            max_cycles,
+            mean_cycles,
+            p50_cycles: percentile(&sorted, 50.0),
+            p99_cycles: percentile(&sorted, 99.0),
+            imbalance: if mean_cycles > 0.0 {
+                max_cycles as f64 / mean_cycles
+            } else {
+                1.0
+            },
+            cycle_histogram,
+        }
+    }
+}
+
 /// Aggregate activity report for the whole system.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SystemReport {
@@ -33,12 +131,23 @@ pub struct SystemReport {
     pub total_dma_bytes: u64,
     /// Total CPU↔PIM transfer bytes.
     pub total_transfer_bytes: u64,
+    /// Total modeled seconds spent on CPU↔PIM transfers.
+    pub transfer_seconds: f64,
+    /// Achieved transfer bandwidth over the cost model's aggregate cap
+    /// (0.0 when nothing was transferred; ≤ 1.0 plus latency slack).
+    pub transfer_bandwidth_utilization: f64,
     /// Max-over-mean instruction imbalance (1.0 = perfectly even).
     pub instruction_imbalance: f64,
+    /// Per-launch cycle distributions (empty unless tracing was enabled).
+    pub launches: Vec<LaunchProfile>,
+    /// Kernel cycles per phase (empty unless tracing was enabled).
+    pub phase_kernel_cycles: Vec<PhaseKernelCycles>,
 }
 
 impl SystemReport {
-    /// Builds the report from a system's current counters.
+    /// Builds the report from a system's current counters. Launch-level
+    /// attribution requires tracing ([`PimSystem::enable_tracing`]);
+    /// without it only the lifetime aggregates are populated.
     pub fn capture(sys: &PimSystem) -> SystemReport {
         let per_dpu: Vec<DpuActivity> = (0..sys.nr_dpus())
             .map(|id| {
@@ -59,12 +168,62 @@ impl SystemReport {
         } else {
             total_instructions as f64 / per_dpu.len() as f64
         };
+
+        let launches: Vec<LaunchProfile> = sys
+            .trace()
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Kernel {
+                    label,
+                    seconds,
+                    phase,
+                    per_dpu_cycles,
+                    ..
+                } => Some(LaunchProfile::from_launch(
+                    label,
+                    *phase,
+                    *seconds,
+                    per_dpu_cycles,
+                )),
+                _ => None,
+            })
+            .collect();
+
+        let mut phase_kernel_cycles: Vec<PhaseKernelCycles> = Vec::new();
+        for l in &launches {
+            match phase_kernel_cycles.iter_mut().find(|p| p.phase == l.phase) {
+                Some(p) => {
+                    p.launches += 1;
+                    p.max_cycles += l.max_cycles;
+                    p.seconds += l.seconds;
+                }
+                None => phase_kernel_cycles.push(PhaseKernelCycles {
+                    phase: l.phase,
+                    launches: 1,
+                    max_cycles: l.max_cycles,
+                    seconds: l.seconds,
+                }),
+            }
+        }
+
+        let transfer_seconds = sys.total_transfer_seconds();
+        let transfer_bandwidth_utilization = if transfer_seconds > 0.0 {
+            (sys.total_transfer_bytes() as f64 / transfer_seconds) / sys.cost().xfer_aggregate_bw
+        } else {
+            0.0
+        };
+
         SystemReport {
             total_instructions,
             total_dma_bytes,
             total_transfer_bytes: sys.total_transfer_bytes(),
+            transfer_seconds,
+            transfer_bandwidth_utilization,
             instruction_imbalance: if mean > 0.0 { max as f64 / mean } else { 1.0 },
             per_dpu,
+            launches,
+            phase_kernel_cycles,
         }
     }
 }
@@ -74,16 +233,23 @@ mod tests {
     use super::*;
     use crate::{CostModel, PimConfig, PimSystem};
 
-    #[test]
-    fn captures_per_dpu_counters() {
+    fn skewed_system() -> PimSystem {
         let mut sys = PimSystem::allocate(4, PimConfig::tiny(), CostModel::default()).unwrap();
-        sys.execute(|ctx| {
+        sys.enable_tracing();
+        sys.set_phase(Phase::TriangleCount);
+        sys.execute_labeled("skewed", |ctx| {
             let work = (ctx.dpu_id() as u64 + 1) * 100;
             let mut t = ctx.tasklet(0)?;
             t.charge(work);
             Ok(())
         })
         .unwrap();
+        sys
+    }
+
+    #[test]
+    fn captures_per_dpu_counters() {
+        let sys = skewed_system();
         let report = SystemReport::capture(&sys);
         assert_eq!(report.per_dpu.len(), 4);
         assert_eq!(report.total_instructions, 100 + 200 + 300 + 400);
@@ -92,10 +258,82 @@ mod tests {
     }
 
     #[test]
+    fn launch_profile_math_is_exact() {
+        // Hand-computed: single tasklet charging (id+1)*100 instructions
+        // saturates the 11-stage pipeline, so per-DPU cycles are
+        // [1100, 2200, 3300, 4400].
+        let sys = skewed_system();
+        let report = SystemReport::capture(&sys);
+        assert_eq!(report.launches.len(), 1);
+        let l = &report.launches[0];
+        assert_eq!(l.label, "skewed");
+        assert_eq!(l.phase, Phase::TriangleCount);
+        assert_eq!(l.max_cycles, 4400);
+        assert!((l.mean_cycles - 2750.0).abs() < 1e-12);
+        // Nearest-rank percentiles over [1100, 2200, 3300, 4400]:
+        // p50 → rank ceil(0.50·4)=2 → 2200; p99 → rank ceil(0.99·4)=4 → 4400.
+        assert_eq!(l.p50_cycles, 2200);
+        assert_eq!(l.p99_cycles, 4400);
+        assert!((l.imbalance - 1.6).abs() < 1e-12);
+        // Buckets over [0, 4400]: 1100→2, 2200→4, 3300→6, 4400→7 (clamped).
+        assert_eq!(l.cycle_histogram, vec![0, 0, 1, 0, 1, 0, 1, 1]);
+
+        assert_eq!(report.phase_kernel_cycles.len(), 1);
+        let p = &report.phase_kernel_cycles[0];
+        assert_eq!(p.phase, Phase::TriangleCount);
+        assert_eq!(p.launches, 1);
+        assert_eq!(p.max_cycles, 4400);
+        assert!((p.seconds - l.seconds).abs() < 1e-15);
+    }
+
+    #[test]
+    fn transfer_utilization_is_bounded_and_zero_when_idle() {
+        let sys = skewed_system();
+        let report = SystemReport::capture(&sys);
+        // No transfers yet → utilization is exactly 0, not NaN.
+        assert_eq!(report.transfer_bandwidth_utilization, 0.0);
+
+        let mut sys = skewed_system();
+        sys.broadcast(0, &[0u8; 4096]).unwrap();
+        let report = SystemReport::capture(&sys);
+        assert!(report.transfer_seconds > 0.0);
+        assert!(report.transfer_bandwidth_utilization > 0.0);
+        // Fixed per-batch latency means achieved bandwidth stays below cap.
+        assert!(report.transfer_bandwidth_utilization <= 1.0);
+    }
+
+    #[test]
+    fn untraced_systems_report_no_launches() {
+        let mut sys = PimSystem::allocate(2, PimConfig::tiny(), CostModel::default()).unwrap();
+        sys.execute(|ctx| {
+            let mut t = ctx.tasklet(0)?;
+            t.charge(10);
+            Ok(())
+        })
+        .unwrap();
+        let report = SystemReport::capture(&sys);
+        assert!(report.launches.is_empty());
+        assert!(report.phase_kernel_cycles.is_empty());
+        assert_eq!(report.total_instructions, 20);
+    }
+
+    #[test]
+    fn nearest_rank_percentile_edge_cases() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 50.0), 50);
+        assert_eq!(percentile(&xs, 99.0), 99);
+        assert_eq!(percentile(&xs, 100.0), 100);
+    }
+
+    #[test]
     fn empty_system_report_is_sane() {
         let sys = PimSystem::allocate(0, PimConfig::tiny(), CostModel::default()).unwrap();
         let report = SystemReport::capture(&sys);
         assert_eq!(report.total_instructions, 0);
         assert_eq!(report.instruction_imbalance, 1.0);
+        assert_eq!(report.transfer_bandwidth_utilization, 0.0);
     }
 }

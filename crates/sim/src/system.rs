@@ -31,6 +31,7 @@ pub struct PimSystem {
     times: PhaseTimes,
     phase: Phase,
     transfer_bytes: u64,
+    transfer_seconds: SimSeconds,
     trace: crate::trace::Trace,
 }
 
@@ -55,11 +56,15 @@ impl PimSystem {
             times: PhaseTimes::default(),
             phase: Phase::Setup,
             transfer_bytes: 0,
+            transfer_seconds: 0.0,
             trace: crate::trace::Trace::default(),
         };
         let setup = sys.cost.setup_seconds(nr_dpus);
         sys.times.add(Phase::Setup, setup);
-        sys.trace.record(crate::trace::TraceEvent::Allocate { nr_dpus, seconds: setup });
+        sys.trace.record(crate::trace::TraceEvent::Allocate {
+            nr_dpus,
+            seconds: setup,
+        });
         Ok(sys)
     }
 
@@ -98,14 +103,27 @@ impl PimSystem {
     /// Switches the phase that subsequent costs accrue to.
     pub fn set_phase(&mut self, phase: Phase) {
         if self.phase != phase {
-            self.trace.record(crate::trace::TraceEvent::PhaseChange { to: phase });
+            self.trace
+                .record(crate::trace::TraceEvent::PhaseChange { to: phase });
         }
         self.phase = phase;
     }
 
     /// Starts recording an event timeline (see [`crate::trace`]).
+    ///
+    /// If enabled after allocation (the common case — the system records
+    /// its own `Allocate` event only when tracing is already on), the
+    /// time accrued so far is backfilled as one `Allocate` event, so the
+    /// timeline's total always matches [`PimSystem::phase_times`].
     pub fn enable_tracing(&mut self) {
+        let first_enable = !self.trace.is_enabled();
         self.trace.enable();
+        if first_enable && self.trace.events().is_empty() {
+            self.trace.record(crate::trace::TraceEvent::Allocate {
+                nr_dpus: self.dpus.len(),
+                seconds: self.times.total(),
+            });
+        }
     }
 
     /// The recorded timeline (empty unless tracing was enabled).
@@ -128,9 +146,18 @@ impl PimSystem {
     /// simulator cannot model arbitrary host Rust code, so the orchestrator
     /// measures it and accounts it here.
     pub fn charge_host_seconds(&mut self, seconds: SimSeconds) {
+        self.charge_host_seconds_labeled("host", seconds);
+    }
+
+    /// Like [`PimSystem::charge_host_seconds`], but names the span so
+    /// traces show *which* host work the time went to.
+    pub fn charge_host_seconds_labeled(&mut self, label: &str, seconds: SimSeconds) {
         self.times.add(self.phase, seconds);
-        self.trace
-            .record(crate::trace::TraceEvent::HostWork { seconds, phase: self.phase });
+        self.trace.record(crate::trace::TraceEvent::HostWork {
+            label: label.to_string(),
+            seconds,
+            phase: self.phase,
+        });
     }
 
     /// Executes a rank-parallel CPU→PIM transfer batch. Data lands in MRAM
@@ -153,6 +180,7 @@ impl PimSystem {
         let bytes = per_dpu_bytes.iter().sum::<u64>();
         self.transfer_bytes += bytes;
         let seconds = self.cost.transfer_seconds(&per_dpu_bytes);
+        self.transfer_seconds += seconds;
         self.times.add(self.phase, seconds);
         self.trace.record(crate::trace::TraceEvent::Push {
             writes: writes.len(),
@@ -166,29 +194,47 @@ impl PimSystem {
     /// Broadcasts the same payload to every DPU at the same offset (UPMEM
     /// supports this as an optimized parallel transfer; modeled as one
     /// rank-parallel batch).
+    ///
+    /// The payload is shared across DPUs — nothing is cloned per core, so
+    /// broadcasting a large sample to thousands of DPUs costs one write
+    /// per bank, not one allocation per bank. Cost accounting is identical
+    /// to [`PimSystem::push`] with the equivalent per-DPU write batch.
     pub fn broadcast(&mut self, offset: u64, data: &[u8]) -> SimResult<()> {
-        let writes = (0..self.dpus.len())
-            .map(|dpu| HostWrite { dpu, offset, data: data.to_vec() })
-            .collect();
-        self.push(writes)
+        for dpu in &mut self.dpus {
+            dpu.host_write(offset, data)?;
+        }
+        let per_dpu_bytes = vec![data.len() as u64; self.dpus.len()];
+        let bytes = per_dpu_bytes.iter().sum::<u64>();
+        self.transfer_bytes += bytes;
+        let seconds = self.cost.transfer_seconds(&per_dpu_bytes);
+        self.transfer_seconds += seconds;
+        self.times.add(self.phase, seconds);
+        self.trace.record(crate::trace::TraceEvent::Push {
+            writes: self.dpus.len(),
+            bytes,
+            seconds,
+            phase: self.phase,
+        });
+        Ok(())
     }
 
     /// Gathers `len` bytes at `offset` from every DPU (PIM→CPU transfer),
     /// charging one rank-parallel batch.
     pub fn gather(&mut self, offset: u64, len: u64) -> SimResult<Vec<Vec<u8>>> {
-        let out: SimResult<Vec<Vec<u8>>> = self
-            .dpus
-            .iter()
-            .map(|d| d.host_read(offset, len))
-            .collect();
+        let out: SimResult<Vec<Vec<u8>>> =
+            self.dpus.iter().map(|d| d.host_read(offset, len)).collect();
         let out = out?;
         let per_dpu_bytes = vec![len; self.dpus.len()];
         let bytes = len * self.dpus.len() as u64;
         self.transfer_bytes += bytes;
         let seconds = self.cost.transfer_seconds(&per_dpu_bytes);
+        self.transfer_seconds += seconds;
         self.times.add(self.phase, seconds);
-        self.trace
-            .record(crate::trace::TraceEvent::Gather { bytes, seconds, phase: self.phase });
+        self.trace.record(crate::trace::TraceEvent::Gather {
+            bytes,
+            seconds,
+            phase: self.phase,
+        });
         Ok(out)
     }
 
@@ -215,6 +261,17 @@ impl PimSystem {
         R: Send,
         K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
     {
+        self.execute_labeled("kernel", kernel)
+    }
+
+    /// Like [`PimSystem::execute`], but names the launch so traces and
+    /// [`crate::SystemReport`] launch profiles can attribute time to a
+    /// specific kernel (e.g. `"sort"` vs `"count"`).
+    pub fn execute_labeled<R, K>(&mut self, label: &str, kernel: K) -> SimResult<Vec<R>>
+    where
+        R: Send,
+        K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
+    {
         let config = self.config;
         let cost = self.cost;
         let results: SimResult<Vec<(R, u64)>> = self
@@ -222,7 +279,11 @@ impl PimSystem {
             .par_iter_mut()
             .map(|dpu| {
                 dpu.reset_kernel_counters();
-                let mut ctx = DpuContext { dpu, config: &config, cost: &cost };
+                let mut ctx = DpuContext {
+                    dpu,
+                    config: &config,
+                    cost: &cost,
+                };
                 let r = kernel(&mut ctx)?;
                 let cycles = cost.dpu_cycles(&ctx.dpu.tasklet_instr, ctx.dpu.dma_cycles);
                 Ok((r, cycles))
@@ -232,11 +293,23 @@ impl PimSystem {
         let max_cycles = results.iter().map(|(_, c)| *c).max().unwrap_or(0);
         let seconds = self.cost.launch_overhead + self.cost.cycles_to_seconds(max_cycles);
         self.times.add(self.phase, seconds);
-        self.trace.record(crate::trace::TraceEvent::Kernel {
-            max_cycles,
-            seconds,
-            phase: self.phase,
-        });
+        if self.trace.is_enabled() {
+            // The per-kernel counters were reset at launch, so right now
+            // they describe exactly this launch.
+            self.trace.record(crate::trace::TraceEvent::Kernel {
+                label: label.to_string(),
+                max_cycles,
+                seconds,
+                phase: self.phase,
+                per_dpu_cycles: results.iter().map(|(_, c)| *c).collect(),
+                per_dpu_instructions: self
+                    .dpus
+                    .iter()
+                    .map(|d| d.tasklet_instr.iter().sum())
+                    .collect(),
+                per_dpu_dma_bytes: self.dpus.iter().map(|d| d.kernel_dma_bytes).collect(),
+            });
+        }
         Ok(results.into_iter().map(|(r, _)| r).collect())
     }
 
@@ -253,6 +326,14 @@ impl PimSystem {
     /// Total CPU<->PIM bytes moved so far.
     pub fn total_transfer_bytes(&self) -> u64 {
         self.transfer_bytes
+    }
+
+    /// Total modeled seconds spent on CPU<->PIM transfers so far. Together
+    /// with [`PimSystem::total_transfer_bytes`] this gives the achieved
+    /// transfer bandwidth, comparable against the cost model's aggregate
+    /// bandwidth cap.
+    pub fn total_transfer_seconds(&self) -> SimSeconds {
+        self.transfer_seconds
     }
 
     /// Energy totals for everything executed so far, derived from the
@@ -366,6 +447,59 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_matches_equivalent_push_batch() {
+        // The shared-payload broadcast must be observationally identical
+        // to pushing one cloned write per DPU: same MRAM contents, same
+        // modeled time, same byte accounting, same trace event.
+        let payload = encode_slice(&[3u32, 1, 4, 1, 5, 9, 2, 6]);
+
+        let mut via_broadcast = small_system();
+        via_broadcast.enable_tracing();
+        via_broadcast.set_phase(Phase::SampleCreation);
+        via_broadcast.broadcast(16, &payload).unwrap();
+
+        let mut via_push = small_system();
+        via_push.enable_tracing();
+        via_push.set_phase(Phase::SampleCreation);
+        let writes = (0..4)
+            .map(|dpu| HostWrite {
+                dpu,
+                offset: 16,
+                data: payload.clone(),
+            })
+            .collect();
+        via_push.push(writes).unwrap();
+
+        assert_eq!(via_broadcast.phase_times(), via_push.phase_times());
+        assert_eq!(
+            via_broadcast.total_transfer_bytes(),
+            via_push.total_transfer_bytes()
+        );
+        assert_eq!(
+            via_broadcast.total_transfer_seconds(),
+            via_push.total_transfer_seconds()
+        );
+        assert_eq!(via_broadcast.trace(), via_push.trace());
+        for id in 0..4 {
+            assert_eq!(
+                via_broadcast.dpu(id).unwrap().host_read(16, 32).unwrap(),
+                via_push.dpu(id).unwrap().host_read(16, 32).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_seconds_accumulate_across_directions() {
+        let mut sys = small_system();
+        assert_eq!(sys.total_transfer_seconds(), 0.0);
+        sys.broadcast(0, &[0u8; 64]).unwrap();
+        let after_push = sys.total_transfer_seconds();
+        assert!(after_push > 0.0);
+        sys.gather(0, 64).unwrap();
+        assert!(sys.total_transfer_seconds() > after_push);
+    }
+
+    #[test]
     fn kernel_error_propagates() {
         let mut sys = small_system();
         let err = sys
@@ -375,7 +509,10 @@ mod tests {
                 t.mram_read_one::<u64>(1 << 20).map(|_| ())
             })
             .unwrap_err();
-        assert!(matches!(err, SimError::MramOverflow { .. } | SimError::BadAddress { .. }));
+        assert!(matches!(
+            err,
+            SimError::MramOverflow { .. } | SimError::BadAddress { .. }
+        ));
     }
 
     #[test]
@@ -394,14 +531,21 @@ mod tests {
         let elapsed = sys.phase_times().triangle_count - before;
         let cost = CostModel::default();
         let expected = cost.launch_overhead + cost.cycles_to_seconds(100_000 * 11);
-        assert!((elapsed - expected).abs() < 1e-9, "elapsed {elapsed} expected {expected}");
+        assert!(
+            (elapsed - expected).abs() < 1e-9,
+            "elapsed {elapsed} expected {expected}"
+        );
     }
 
     #[test]
     fn push_rejects_unknown_dpu() {
         let mut sys = small_system();
         let err = sys
-            .push(vec![HostWrite { dpu: 99, offset: 0, data: vec![0] }])
+            .push(vec![HostWrite {
+                dpu: 99,
+                offset: 0,
+                data: vec![0],
+            }])
             .unwrap_err();
         assert!(matches!(err, SimError::NoSuchDpu { dpu: 99, .. }));
     }

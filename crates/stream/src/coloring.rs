@@ -93,7 +93,10 @@ mod tests {
         let expected = n as f64 / c as f64;
         for (color, &count) in counts.iter().enumerate() {
             let dev = (count as f64 - expected).abs() / expected;
-            assert!(dev < 0.05, "color {color}: count {count} vs expected {expected}");
+            assert!(
+                dev < 0.05,
+                "color {color}: count {count} vs expected {expected}"
+            );
         }
     }
 

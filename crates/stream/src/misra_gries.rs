@@ -125,7 +125,7 @@ mod tests {
         for i in 0..600u32 {
             stream.push(1000 + i); // distinct light items
         }
-        stream.extend(std::iter::repeat(7).take(400));
+        stream.extend(std::iter::repeat_n(7, 400));
         // Interleave deterministically.
         for (i, &x) in stream.iter().enumerate() {
             let _ = i;

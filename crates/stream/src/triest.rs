@@ -254,9 +254,11 @@ impl TriestFd {
     /// Processes an edge deletion.
     pub fn delete(&mut self, u: u32, v: u32) {
         self.alive -= 1;
-        if let Some(pos) = self.sample.iter().position(|&(a, b)| {
-            (a, b) == (u, v) || (b, a) == (u, v)
-        }) {
+        if let Some(pos) = self
+            .sample
+            .iter()
+            .position(|&(a, b)| (a, b) == (u, v) || (b, a) == (u, v))
+        {
             self.update_counter(u, v, -1.0);
             self.sample.swap_remove(pos);
             self.graph.remove(u, v);
@@ -341,8 +343,14 @@ mod tests {
         }
         let mean_base = sum_base / trials as f64;
         let mean_impr = sum_impr / trials as f64;
-        assert!((mean_base - exact).abs() / exact < 0.25, "base mean {mean_base} vs {exact}");
-        assert!((mean_impr - exact).abs() / exact < 0.15, "impr mean {mean_impr} vs {exact}");
+        assert!(
+            (mean_base - exact).abs() / exact < 0.25,
+            "base mean {mean_base} vs {exact}"
+        );
+        assert!(
+            (mean_impr - exact).abs() / exact < 0.15,
+            "impr mean {mean_impr} vs {exact}"
+        );
     }
 
     #[test]

@@ -12,13 +12,16 @@ fn main() {
     // Load a graph from disk if a path was given; otherwise write one of
     // the bundled dataset proxies to a temp file and read it back — the
     // same text format as SNAP edge lists ("u v" per line, # comments).
-    let path = std::env::args().nth(1).map(std::path::PathBuf::from).unwrap_or_else(|| {
-        let p = std::env::temp_dir().join("pim_tc_custom_graph.txt");
-        let g = datasets::DatasetId::SocialModerate.build(datasets::Profile::Test);
-        io::save_text(&g, &p).expect("write sample graph");
-        println!("no path given; wrote a sample graph to {}", p.display());
-        p
-    });
+    let path = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            let p = std::env::temp_dir().join("pim_tc_custom_graph.txt");
+            let g = datasets::DatasetId::SocialModerate.build(datasets::Profile::Test);
+            io::save_text(&g, &p).expect("write sample graph");
+            println!("no path given; wrote a sample graph to {}", p.display());
+            p
+        });
     let mut graph = io::load_text(&path).expect("readable edge list");
     graph.preprocess(0);
     let s = stats::graph_stats(&graph);

@@ -39,12 +39,19 @@ fn main() {
     );
 
     // Top-5 triangle-central vertices.
-    let mut ranked: Vec<(usize, f64)> =
-        local.iter().copied().enumerate().filter(|&(_, c)| c > 0.0).collect();
+    let mut ranked: Vec<(usize, f64)> = local
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, c)| c > 0.0)
+        .collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("most triangle-central vertices:");
     for &(node, count) in ranked.iter().take(5) {
-        println!("  node {node:5}: {count:8.0} triangles (community {})", node / 40);
+        println!(
+            "  node {node:5}: {count:8.0} triangles (community {})",
+            node / 40
+        );
     }
 
     // Cross-check every vertex against the host reference.
@@ -55,7 +62,10 @@ fn main() {
             "node {node}: PIM {got} vs reference {want}"
         );
     }
-    println!("all {} per-vertex counts match the host reference", reference.len());
+    println!(
+        "all {} per-vertex counts match the host reference",
+        reference.len()
+    );
 
     // Consistency: each triangle contributes to exactly 3 vertices.
     let sum: f64 = local.iter().sum();

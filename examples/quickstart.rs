@@ -48,6 +48,10 @@ fn main() {
 
     // 5. Verify against the reference CPU counter.
     let reference = triangle::count_exact(&graph);
-    assert_eq!(result.rounded(), reference, "PIM result must match reference");
+    assert_eq!(
+        result.rounded(),
+        reference,
+        "PIM result must match reference"
+    );
     println!("reference agrees: {reference} triangles");
 }

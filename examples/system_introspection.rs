@@ -12,7 +12,10 @@ use pim_sim::{CostModel, HostWrite, Phase, PimConfig, PimSystem, SystemReport};
 
 fn main() {
     // A 4-core system with tracing on.
-    let config = PimConfig { total_dpus: 4, ..PimConfig::default() };
+    let config = PimConfig {
+        total_dpus: 4,
+        ..PimConfig::default()
+    };
     let mut sys = PimSystem::allocate(4, config, CostModel::default()).expect("allocate");
     sys.enable_tracing();
 
@@ -22,7 +25,11 @@ fn main() {
     let writes = (0..4)
         .map(|dpu| {
             let values: Vec<u64> = (0..(dpu as u64 + 1) * 1000).collect();
-            HostWrite { dpu, offset: 0, data: encode_slice(&values) }
+            HostWrite {
+                dpu,
+                offset: 0,
+                data: encode_slice(&values),
+            }
         })
         .collect();
     sys.push(writes).expect("transfer");

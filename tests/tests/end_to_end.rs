@@ -8,7 +8,11 @@ use pim_sim::PimConfig;
 use pim_tc::TcConfig;
 
 fn small_pim() -> PimConfig {
-    PimConfig { total_dpus: 512, mram_capacity: 4 << 20, ..PimConfig::tiny() }
+    PimConfig {
+        total_dpus: 512,
+        mram_capacity: 4 << 20,
+        ..PimConfig::tiny()
+    }
 }
 
 fn exact_config(colors: u32) -> TcConfig {
@@ -122,7 +126,11 @@ fn uniform_sampling_blows_up_on_triangle_poor_graph() {
     let r = pim_tc::count_triangles(&g, &config).unwrap();
     // Either it misses everything (100%) or the correction overshoots;
     // on so few triangles the error is essentially never small.
-    assert!(r.relative_error(exact) > 0.2, "error {}", r.relative_error(exact));
+    assert!(
+        r.relative_error(exact) > 0.2,
+        "error {}",
+        r.relative_error(exact)
+    );
 }
 
 #[test]
@@ -130,8 +138,7 @@ fn reservoir_error_is_small_on_triangle_rich_graphs() {
     let g = DatasetId::SocialDense.build(Profile::Test);
     let exact = triangle::count_exact(&g);
     let colors = 4u32;
-    let expected_max =
-        (6.0 * g.num_edges() as f64 / (colors as f64 * colors as f64)).ceil() as u64;
+    let expected_max = (6.0 * g.num_edges() as f64 / (colors as f64 * colors as f64)).ceil() as u64;
     let mut total_err = 0.0;
     let trials = 5;
     for seed in 0..trials {
@@ -173,7 +180,11 @@ fn tiny_mram_forces_reservoir_on_real_dataset() {
     let exact = triangle::count_exact(&g);
     let config = TcConfig::builder()
         .colors(2)
-        .pim(PimConfig { total_dpus: 64, mram_capacity: 96 << 10, ..PimConfig::tiny() })
+        .pim(PimConfig {
+            total_dpus: 64,
+            mram_capacity: 96 << 10,
+            ..PimConfig::tiny()
+        })
         .stage_edges(128)
         .build()
         .unwrap();
@@ -190,7 +201,11 @@ fn simulator_constraint_violations_surface_as_config_errors() {
     // A machine too small for any sample must fail loudly at start.
     let outcome = TcConfig::builder()
         .colors(2)
-        .pim(PimConfig { total_dpus: 64, mram_capacity: 4 << 10, ..PimConfig::tiny() })
+        .pim(PimConfig {
+            total_dpus: 64,
+            mram_capacity: 4 << 10,
+            ..PimConfig::tiny()
+        })
         .stage_edges(512)
         .build()
         .and_then(|config| pim_tc::TcSession::start(&config).map(|_| ()));

@@ -7,7 +7,11 @@ use pim_sim::{CostModel, PimConfig};
 use pim_tc::TcConfig;
 
 fn pim() -> PimConfig {
-    PimConfig { total_dpus: 2560, mram_capacity: 4 << 20, ..PimConfig::tiny() }
+    PimConfig {
+        total_dpus: 2560,
+        mram_capacity: 4 << 20,
+        ..PimConfig::tiny()
+    }
 }
 
 fn config(colors: u32) -> TcConfig {
@@ -93,7 +97,10 @@ fn slower_clock_means_slower_modeled_kernels() {
             .colors(4)
             .pim(pim())
             .stage_edges(512)
-            .cost(CostModel { clock_hz: 35.0e6, ..CostModel::default() })
+            .cost(CostModel {
+                clock_hz: 35.0e6,
+                ..CostModel::default()
+            })
             .build()
             .unwrap();
         pim_tc::count_triangles(&g, &c).unwrap()

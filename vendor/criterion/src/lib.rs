@@ -1,0 +1,270 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the slice of criterion's API the workspace benches use:
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! throughput annotations, `bench_function` / `bench_with_input`, and
+//! `Bencher::iter`. Statistics are intentionally simple — mean wall-clock
+//! time over `sample_size` timed batches — with none of criterion's
+//! outlier analysis, HTML reports, or baseline comparison.
+//!
+//! Like real criterion, running the bench binary *without* the `--bench`
+//! argument (as `cargo test` does for `harness = false` targets) executes
+//! each benchmark body exactly once as a smoke test instead of timing it.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units-of-work annotation echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| routine(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| routine(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            bench_mode: self.criterion.bench_mode,
+            sample_size: self.criterion.sample_size,
+            measurement_time: self.criterion.measurement_time,
+            warm_up_time: self.criterion.warm_up_time,
+            mean: None,
+        };
+        routine(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        match bencher.mean {
+            Some(mean) => {
+                let per_unit = match self.throughput {
+                    Some(Throughput::Elements(n)) if n > 0 => {
+                        format!("  ({:.1} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6)
+                    }
+                    Some(Throughput::Bytes(n)) if n > 0 => {
+                        format!(
+                            "  ({:.1} MiB/s)",
+                            n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                        )
+                    }
+                    _ => String::new(),
+                };
+                println!("{label:<50} {:>12.3?}/iter{per_unit}", mean);
+            }
+            None => println!("{label:<50} ok (test mode)"),
+        }
+    }
+}
+
+/// Timer handle passed to each benchmark body.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`. In test mode (no `--bench` argument) the routine
+    /// runs once, unmeasured, so `cargo test` stays fast.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            black_box(routine());
+            return;
+        }
+
+        // Warm-up: run until the warm-up budget is spent, tracking how
+        // many iterations fit so the sample batches can be sized.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size each batch so all samples roughly fill measurement_time.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+        }
+        self.mean = Some(total / (self.sample_size as u32 * batch as u32));
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_mode_criterion() -> Criterion {
+        Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(1),
+            bench_mode: false,
+        }
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut calls = 0;
+        let mut c = test_mode_criterion();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("once", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_mode_times_the_routine() {
+        let mut c = Criterion {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(4),
+            warm_up_time: Duration::from_millis(1),
+            bench_mode: true,
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("spin", 1), &4u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_param() {
+        assert_eq!(BenchmarkId::new("sort", 20).to_string(), "sort/20");
+    }
+}

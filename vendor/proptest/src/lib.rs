@@ -1,0 +1,153 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The real crate shrinks failing inputs and persists regressions; this
+//! stand-in keeps only what the workspace's property tests rely on:
+//!
+//! * [`strategy::Strategy`] — deterministic sampling of random values,
+//! * range / tuple / `Just` / `any` / `collection::vec` strategies,
+//! * `prop_map` and weighted `prop_oneof!` composition,
+//! * the [`proptest!`] macro, running each property for
+//!   [`test_runner::ProptestConfig::cases`] deterministic cases.
+//!
+//! Sampling is seeded from the test's module path and name, so failures
+//! reproduce exactly on re-run; there is no shrinking, the panic simply
+//! reports the failing case index.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, as with
+/// real proptest) that samples its inputs and runs the body once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let ($($pat,)*) =
+                        ($($crate::strategy::Strategy::sample(&$strategy, &mut rng),)*);
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let ::std::result::Result::Err(payload) = outcome {
+                        eprintln!(
+                            "proptest {}: failed at case {}/{}",
+                            stringify!($name),
+                            case,
+                            config.cases
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let strat = prop::collection::vec(0u32..100, 0..20);
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("bounds");
+        for _ in 0..2000 {
+            let x = (5u32..17).sample(&mut rng);
+            assert!((5..17).contains(&x));
+            let y = (1usize..=4).sample(&mut rng);
+            assert!((1..=4).contains(&y));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_zero_weight() {
+        let strat = prop_oneof![1 => Just(1u8), 0 => Just(2u8)];
+        let mut rng = crate::test_runner::TestRng::for_test("oneof");
+        for _ in 0..200 {
+            assert_eq!(strat.sample(&mut rng), 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_binds_patterns(mut xs in prop::collection::vec(any::<u64>(), 0..8),
+                                (a, b) in (0u16..10, 0u16..10)) {
+            xs.push(a as u64 + b as u64);
+            prop_assert!(!xs.is_empty());
+            prop_assert_eq!(xs.last().copied().unwrap(), a as u64 + b as u64);
+        }
+    }
+}

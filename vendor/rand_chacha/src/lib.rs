@@ -1,0 +1,145 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream
+//! generator implementing the vendored `rand` traits.
+//!
+//! The block function is the standard ChaCha quarter-round construction
+//! (Bernstein), run for 8 double-rounds. Output does NOT bit-match the
+//! real `rand_chacha` crate (different seed expansion and counter
+//! layout), but it is a deterministic, statistically strong stream —
+//! which is the property the graph generators depend on.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// ChaCha8-based generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Cipher state: 4 constant words, 8 key words, counter, 3 nonce words.
+    state: [u32; 16],
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.block.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter across words 12..13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.cursor = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(
+            ChaCha8Rng::seed_from_u64(1).next_u64(),
+            ChaCha8Rng::seed_from_u64(2).next_u64()
+        );
+    }
+
+    #[test]
+    fn stream_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 40_000;
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        let frac = ones as f64 / (1000.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.01, "bit fraction {frac}");
+    }
+
+    #[test]
+    fn blocks_differ() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The container image has no registry access, so this crate provides the
+//! `par_iter` / `par_iter_mut` / `par_chunks` / `into_par_iter` entry
+//! points the workspace uses, returning the corresponding **sequential**
+//! standard-library iterators. Every downstream combinator (`map`,
+//! `enumerate`, `sum`, `collect`, …) then comes from [`std::iter::Iterator`],
+//! so call sites compile unchanged; they simply run on one thread.
+//!
+//! The simulator's *modeled* time is unaffected (DPU parallelism is part
+//! of the cost model, not host execution), and host-side wall-clock terms
+//! remain real measurements — of sequential batching. When a registry
+//! becomes available, deleting the `vendor/` override restores true
+//! host parallelism with no source changes.
+
+/// Sequential drop-ins for the rayon prelude traits.
+pub mod prelude {
+    /// `par_iter` on shared slices and vectors.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The sequential iterator standing in for the parallel one.
+        type Iter: Iterator;
+
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut` on mutable slices and vectors.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The sequential iterator standing in for the parallel one.
+        type Iter: Iterator;
+
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = std::slice::IterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = std::slice::IterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `into_par_iter` on owned iterables (ranges, vectors).
+    pub trait IntoParallelIterator {
+        /// The sequential iterator standing in for the parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+
+        /// Sequential stand-in for `rayon`'s `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: Iterator> IntoParallelIterator for I {
+        type Iter = I;
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// `par_chunks` on shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1u64, 2, 3, 4];
+        let sum: u64 = v.par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1u32, 2, 3];
+        v.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(v, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let total: u64 = (0u64..100).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(total, 9900);
+    }
+
+    #[test]
+    fn par_chunks_covers_slice() {
+        let v: Vec<u32> = (0..10).collect();
+        let chunks: Vec<&[u32]> = v.par_chunks(4).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[2], &[8, 9]);
+    }
+}

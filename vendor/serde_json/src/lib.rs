@@ -1,0 +1,179 @@
+//! Offline stand-in for `serde_json` over the vendored `serde` value
+//! model: compact and pretty writers plus a recursive-descent parser.
+//!
+//! Conventions match real `serde_json` where the workspace depends on
+//! them: object key order is preserved, floats render via Rust's
+//! shortest-round-trip `{:?}` formatting, non-finite floats serialize as
+//! `null`, and integers stay integral in the text form.
+
+pub use serde::value::{Error, Value};
+
+mod parse;
+
+pub use parse::from_str_value;
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::from_str_value(text)?;
+    T::from_value(&value)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::F64(1.5)),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null],"c":1.5}"#);
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("pim\"tc".into())),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::I64(-3), Value::F64(0.25)]),
+            ),
+            ("empty".into(), Value::Object(vec![])),
+        ]);
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"name\""));
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let v = Value::F64(0.1 + 0.2);
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back.as_f64().unwrap(), 0.1 + 0.2);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&Value::F64(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&Value::F64(f64::INFINITY)).unwrap(), "null");
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        let text = to_string(&Value::Str("a\u{1}b\tc".into())).unwrap();
+        assert_eq!(text, "\"a\\u0001b\\tc\"");
+        assert_eq!(
+            from_str::<Value>(&text).unwrap(),
+            Value::Str("a\u{1}b\tc".into())
+        );
+    }
+}
