@@ -14,7 +14,8 @@
 use crate::cpu_csr::cpu_count;
 use crate::gpu_proxy::GpuModel;
 use pim_graph::{CooGraph, Edge};
-use pim_tc::{TcConfig, TcError, TcSession};
+use pim_sim::{FunctionalBackend, PimBackend, TimedBackend};
+use pim_tc::{ExecBackend, TcConfig, TcError, TcSession};
 use serde::{Deserialize, Serialize};
 
 /// Per-update timing for one system.
@@ -74,9 +75,23 @@ pub fn gpu_dynamic(batches: &[Vec<Edge>], model: &GpuModel) -> Vec<UpdateTiming>
 
 /// Runs the PIM dynamic workload through a [`TcSession`]: per-update
 /// append + recount, with modeled (+ measured host) times taken from the
-/// session's phase clock.
+/// session's phase clock. Executes on the engine named by
+/// [`TcConfig::backend`] (functional runs report zero seconds but
+/// identical counts).
 pub fn pim_dynamic(batches: &[Vec<Edge>], config: &TcConfig) -> Result<Vec<UpdateTiming>, TcError> {
-    let mut session = TcSession::start(config)?;
+    match config.backend {
+        ExecBackend::Timed => pim_dynamic_in::<TimedBackend>(batches, config),
+        ExecBackend::Functional => pim_dynamic_in::<FunctionalBackend>(batches, config),
+    }
+}
+
+/// [`pim_dynamic`] on a caller-chosen execution engine, ignoring
+/// [`TcConfig::backend`].
+pub fn pim_dynamic_in<B: PimBackend>(
+    batches: &[Vec<Edge>],
+    config: &TcConfig,
+) -> Result<Vec<UpdateTiming>, TcError> {
+    let mut session = TcSession::<B>::start_with(config)?;
     let mut out = Vec::with_capacity(batches.len());
     let mut prev_total = 0.0;
     for (update, batch) in batches.iter().enumerate() {

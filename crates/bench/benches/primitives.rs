@@ -77,6 +77,7 @@ fn bench_routing(c: &mut Criterion) {
                         coloring: &coloring,
                         uniform_p: 1.0,
                         seed: 9,
+                        base_granule: 0,
                         mg_capacity: None,
                         threads: 1,
                     },

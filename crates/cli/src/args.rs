@@ -30,6 +30,8 @@ const VALUED: &[&str] = &[
     "graph",
     "dpus",
     "out",
+    "backend",
+    "route-chunk",
 ];
 
 impl Args {

@@ -9,10 +9,14 @@ use std::path::Path;
 pub const USAGE: &str = "\
 usage:
   pimtc count <graph> [--colors C] [--uniform-p P] [--capacity M]
-              [--misra-gries K,T] [--seed S] [--baseline] [--json]
+              [--misra-gries K,T] [--seed S] [--backend timed|functional]
+              [--route-chunk E] [--baseline] [--json]
       Count triangles on the simulated PIM system. --baseline also runs
       the measured CPU baseline; --local reports the top triangle-central
-      vertices (per-vertex counting).
+      vertices (per-vertex counting). --backend functional skips all
+      timing/energy modeling (same exact counts, zero clocks);
+      --route-chunk bounds host memory to E input edges per routing
+      chunk. Both also read the PIM_TC_BACKEND environment variable.
 
   pimtc stats <graph> [--json]
       Graph characteristics: |V|, |E|, triangles, degrees, clustering.
@@ -26,10 +30,12 @@ usage:
         geometric  --nodes N --radius R
 
   pimtc dynamic <graph> [--batches B] [--colors C] [--json]
+      [--backend timed|functional] [--route-chunk E]
       Split the graph into B update batches and recount after each.
 
   pimtc profile --graph <path> [--dpus N] [--out trace.json]
       [--colors C] [--uniform-p P] [--capacity M] [--misra-gries K,T]
+      [--backend timed|functional] [--route-chunk E]
       Run a traced count and write a Chrome trace-event JSON (load it in
       chrome://tracing or ui.perfetto.dev), plus a per-kernel summary on
       stdout. --dpus picks the largest color count whose triplet grid
@@ -109,6 +115,12 @@ fn build_config_with_default_colors(
     if args.flag("local") {
         builder = builder.local_counting(graph.num_nodes());
     }
+    if let Some(backend) = args.get::<pim_tc::ExecBackend>("backend")? {
+        builder = builder.backend(backend);
+    }
+    if let Some(chunk) = args.get::<u64>("route-chunk")? {
+        builder = builder.route_chunk_edges(chunk);
+    }
     builder.build().map_err(|e| e.to_string())
 }
 
@@ -139,18 +151,25 @@ fn cmd_count(args: &Args) -> Result<(), String> {
             if result.exact { "exact" } else { "estimated" },
             result.nr_dpus
         );
-        println!(
-            "modeled time: setup {:.3} ms, sample creation {:.3} ms, count {:.3} ms",
-            result.times.setup * 1e3,
-            result.times.sample_creation * 1e3,
-            result.times.triangle_count * 1e3
-        );
-        println!(
-            "modeled energy: {:.4} J ({} edges routed, max core load {})",
-            result.energy.total_j(),
-            result.edges_routed,
-            result.max_dpu_load
-        );
+        if config.backend == pim_tc::ExecBackend::Functional {
+            println!(
+                "functional backend: no modeled time/energy ({} edges routed, max core load {})",
+                result.edges_routed, result.max_dpu_load
+            );
+        } else {
+            println!(
+                "modeled time: setup {:.3} ms, sample creation {:.3} ms, count {:.3} ms",
+                result.times.setup * 1e3,
+                result.times.sample_creation * 1e3,
+                result.times.triangle_count * 1e3
+            );
+            println!(
+                "modeled energy: {:.4} J ({} edges routed, max core load {})",
+                result.energy.total_j(),
+                result.edges_routed,
+                result.max_dpu_load
+            );
+        }
         if let Some(local) = &result.local_counts {
             let mut ranked: Vec<(usize, f64)> = local
                 .iter()
@@ -487,8 +506,18 @@ mod tests {
             "0.15",
         ])
         .unwrap();
+        // Kernel trace events are a timed-backend guarantee; pin it so
+        // the test holds under PIM_TC_BACKEND=functional too.
         run(&[
-            "profile", "--graph", &graph, "--dpus", "20", "--out", &trace,
+            "profile",
+            "--graph",
+            &graph,
+            "--dpus",
+            "20",
+            "--out",
+            &trace,
+            "--backend",
+            "timed",
         ])
         .unwrap();
         let text = std::fs::read_to_string(&trace).unwrap();
@@ -497,6 +526,50 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| { e.get("name").and_then(|n| n.as_str()) == Some("kernel:count") }));
+    }
+
+    #[test]
+    fn backend_flag_selects_engine_without_changing_counts() {
+        let g = pim_graph::gen::erdos_renyi(100, 0.15, 7);
+        let argv = |toks: &[&str]| {
+            Args::parse(&toks.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+        };
+        let timed_cfg = build_config(&argv(&["--colors", "3", "--backend", "timed"]), &g).unwrap();
+        let func_cfg =
+            build_config(&argv(&["--colors", "3", "--backend", "functional"]), &g).unwrap();
+        assert_eq!(func_cfg.backend, pim_tc::ExecBackend::Functional);
+        let timed = pim_tc::count_triangles(&g, &timed_cfg).unwrap();
+        let func = pim_tc::count_triangles(&g, &func_cfg).unwrap();
+        assert_eq!(timed.rounded(), func.rounded());
+        assert!(timed.times.total() > 0.0);
+        assert_eq!(func.times.total(), 0.0);
+    }
+
+    #[test]
+    fn functional_count_and_route_chunk_run_end_to_end() {
+        let path = tmp("g4.txt");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "100",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        run(&[
+            "count",
+            &path,
+            "--colors",
+            "2",
+            "--backend",
+            "functional",
+            "--route-chunk",
+            "500",
+        ])
+        .unwrap();
+        assert!(run(&["count", &path, "--backend", "warp-drive"]).is_err());
     }
 
     #[test]

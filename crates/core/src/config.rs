@@ -5,6 +5,57 @@ use crate::triplets::nr_triplets;
 use pim_sim::{CostModel, PimConfig};
 use serde::{Deserialize, Serialize};
 
+/// Which execution engine runs the pipeline (see `pim_sim::backend`).
+///
+/// `Timed` is the full cycle-accounting simulator; `Functional` executes
+/// the same kernels over the same banks but reports zero time, trace, and
+/// energy — much faster, for correctness testing and exact baselines.
+/// Both produce bit-identical counts and per-DPU samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecBackend {
+    /// Cycle-, DMA-, and energy-accounted simulation (`TimedBackend`).
+    #[default]
+    Timed,
+    /// Functional-only execution (`FunctionalBackend`): no clocks.
+    Functional,
+}
+
+impl ExecBackend {
+    /// Reads the backend from the `PIM_TC_BACKEND` environment variable
+    /// (`timed` / `functional`, case-insensitive), defaulting to `Timed`
+    /// when unset or unrecognized. This is how CI runs the whole test
+    /// suite against the functional engine without touching call sites.
+    pub fn from_env() -> ExecBackend {
+        match std::env::var("PIM_TC_BACKEND") {
+            Ok(v) => v.parse().unwrap_or(ExecBackend::Timed),
+            Err(_) => ExecBackend::Timed,
+        }
+    }
+}
+
+impl std::str::FromStr for ExecBackend {
+    type Err = TcError;
+
+    fn from_str(s: &str) -> Result<Self, TcError> {
+        match s.to_ascii_lowercase().as_str() {
+            "timed" => Ok(ExecBackend::Timed),
+            "functional" => Ok(ExecBackend::Functional),
+            other => Err(TcError::Config(format!(
+                "unknown backend `{other}` (expected `timed` or `functional`)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecBackend::Timed => "timed",
+            ExecBackend::Functional => "functional",
+        })
+    }
+}
+
 /// Misra-Gries parameters (§3.5): `k` is the summary capacity per host
 /// thread, `t` the number of top-degree vertices remapped on the DPUs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,6 +91,14 @@ pub struct TcConfig {
     /// Edges per staging round pushed to each core before the receive
     /// kernel runs.
     pub stage_edges: u64,
+    /// Input edges routed per streaming chunk during `append` (§ bounded
+    /// host memory): the host materializes at most `route_chunk_edges × C`
+    /// routed edge keys at a time instead of the full C-fold duplicated
+    /// batch set. Rounded up to the routing granule internally; results
+    /// are identical for any value.
+    pub route_chunk_edges: u64,
+    /// Execution engine running the pipeline.
+    pub backend: ExecBackend,
     /// Simulated hardware shape.
     pub pim: PimConfig,
     /// Simulated timing parameters.
@@ -77,6 +136,9 @@ impl TcConfig {
         }
         if self.stage_edges == 0 {
             return Err(TcError::Config("stage_edges must be positive".into()));
+        }
+        if self.route_chunk_edges == 0 {
+            return Err(TcError::Config("route_chunk_edges must be positive".into()));
         }
         if let Some(mg) = &self.misra_gries {
             if mg.k == 0 {
@@ -128,6 +190,8 @@ impl Default for TcConfigBuilder {
                 misra_gries: None,
                 local_nodes: None,
                 stage_edges: 2048,
+                route_chunk_edges: 256 * 1024,
+                backend: ExecBackend::from_env(),
                 pim: PimConfig::default(),
                 cost: CostModel::default(),
             },
@@ -175,6 +239,20 @@ impl TcConfigBuilder {
     /// Sets the staging batch size in edges.
     pub fn stage_edges(mut self, edges: u64) -> Self {
         self.config.stage_edges = edges;
+        self
+    }
+
+    /// Sets the streaming route-chunk size in input edges (bounds peak
+    /// host memory during `append`; does not change results).
+    pub fn route_chunk_edges(mut self, edges: u64) -> Self {
+        self.config.route_chunk_edges = edges;
+        self
+    }
+
+    /// Selects the execution engine (overrides the `PIM_TC_BACKEND`
+    /// environment default).
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.config.backend = backend;
         self
     }
 
@@ -244,6 +322,23 @@ mod tests {
             .build()
             .is_err());
         assert!(TcConfig::builder().local_counting(100).build().is_ok());
+    }
+
+    #[test]
+    fn backend_parses_both_engines() {
+        assert_eq!("timed".parse::<ExecBackend>().unwrap(), ExecBackend::Timed);
+        assert_eq!(
+            "Functional".parse::<ExecBackend>().unwrap(),
+            ExecBackend::Functional
+        );
+        assert!("gpu".parse::<ExecBackend>().is_err());
+        assert_eq!(ExecBackend::Functional.to_string(), "functional");
+    }
+
+    #[test]
+    fn zero_route_chunk_rejected() {
+        assert!(TcConfig::builder().route_chunk_edges(0).build().is_err());
+        assert!(TcConfig::builder().route_chunk_edges(1).build().is_ok());
     }
 
     #[test]

@@ -17,26 +17,33 @@
 use crate::config::TcConfig;
 use crate::correction;
 use crate::error::TcError;
-use crate::host::{route_edges, RouteParams};
+use crate::host::{route_edges, RouteParams, ROUTE_GRANULE_EDGES};
 use crate::kernel::layout::{Header, MramLayout, HDR_REMAP_LEN, HDR_STAGE_LEN};
 use crate::kernel::{count, index, local, receive, remap, rng, sort};
 use crate::result::{DpuReport, TcResult};
 use crate::triplets::TripletAssignment;
 use pim_graph::Edge;
 use pim_sim::system::encode_slice;
-use pim_sim::{HostWrite, Phase, PimSystem};
+use pim_sim::{HostWrite, Phase, PimBackend, TimedBackend};
 use pim_stream::{ColoringHash, MisraGries};
 use std::collections::HashSet;
 use std::time::Instant;
 
 /// A live PIM-TC computation: allocated cores, resident edge samples, and
 /// the accumulated sampling state.
-pub struct TcSession {
+///
+/// The session is generic over the execution engine: `B` is any
+/// [`PimBackend`], defaulting to the cycle-accounting [`TimedBackend`].
+/// [`TcSession::start`] builds a timed session;
+/// [`TcSession::start_with`] picks the engine through the type parameter
+/// (e.g. `TcSession::<FunctionalBackend>::start_with(&config)`). The
+/// resident samples and every count are bit-identical across engines.
+pub struct TcSession<B: PimBackend = TimedBackend> {
     config: TcConfig,
     assignment: TripletAssignment,
     coloring: ColoringHash,
     layout: MramLayout,
-    sys: PimSystem,
+    sys: B,
     summary: Option<MisraGries>,
     /// Stable heavy-hitter assignment: old id → new id. Once assigned, an
     /// id never changes, so re-remapping resident (already rewritten)
@@ -47,13 +54,26 @@ pub struct TcSession {
     remap_dirty: bool,
     offered: u64,
     kept: u64,
-    append_round: u64,
+    /// Routing granules consumed so far, across all appends: the sampling
+    /// streams continue where the previous batch left off.
+    route_granules: u64,
+    /// High-water mark of routed edge-key bytes materialized on the host
+    /// at once — the quantity the streaming `append` bounds.
+    peak_routed_bytes: u64,
 }
 
-impl TcSession {
-    /// Allocates the PIM system and initializes every core's bank
+impl TcSession<TimedBackend> {
+    /// Allocates the timed PIM system and initializes every core's bank
     /// (header, RNG stream, empty sample). Charged to the Setup phase.
     pub fn start(config: &TcConfig) -> Result<TcSession, TcError> {
+        Self::start_with(config)
+    }
+}
+
+impl<B: PimBackend> TcSession<B> {
+    /// Like [`TcSession::start`], on the execution engine chosen by the
+    /// type parameter.
+    pub fn start_with(config: &TcConfig) -> Result<TcSession<B>, TcError> {
         config.validate()?;
         let assignment = TripletAssignment::new(config.colors);
         let coloring = ColoringHash::new(config.colors, config.seed);
@@ -65,7 +85,7 @@ impl TcSession {
             config.local_nodes.map(u64::from).unwrap_or(0),
             config.sample_capacity,
         )?;
-        let mut sys = PimSystem::allocate(assignment.nr_dpus(), config.pim, config.cost)?;
+        let mut sys = B::allocate(assignment.nr_dpus(), config.pim, config.cost)?;
         let writes = (0..assignment.nr_dpus())
             .map(|dpu| {
                 let hdr = Header {
@@ -94,7 +114,8 @@ impl TcSession {
             remap_dirty: false,
             offered: 0,
             kept: 0,
-            append_round: 0,
+            route_granules: 0,
+            peak_routed_bytes: 0,
         })
     }
 
@@ -128,42 +149,60 @@ impl TcSession {
     /// Streams a batch of edges into the per-core samples (§3.1's batch
     /// creation + transfer, with reservoir sampling on the cores). O(1)
     /// per edge on the host side — the COO dynamic-update property.
+    ///
+    /// The batch is routed and transferred in bounded chunks of
+    /// [`TcConfig::route_chunk_edges`] input edges (rounded up to the
+    /// routing granule), so peak host memory is O(chunk × C) routed edge
+    /// keys rather than O(|edges| × C). Sampling streams are keyed by
+    /// global granule index, so the result — resident samples, counts,
+    /// Misra-Gries summary — is identical for any chunk size.
     pub fn append(&mut self, edges: &[Edge]) -> Result<(), TcError> {
         self.sys.set_phase(Phase::SampleCreation);
-        let host_start = Instant::now();
-        let routed = route_edges(
-            edges,
-            RouteParams {
-                assignment: &self.assignment,
-                coloring: &self.coloring,
-                uniform_p: self.config.uniform_p,
-                seed: self.config.seed ^ self.append_round.wrapping_mul(0xA5A5_5A5A),
-                mg_capacity: self.config.misra_gries.map(|m| m.k),
-                threads: self.config.pim.host_threads,
-            },
-        );
-        self.sys
-            .charge_host_seconds_labeled("route_edges", host_start.elapsed().as_secs_f64());
-        self.append_round += 1;
-        self.offered += routed.offered;
-        self.kept += routed.kept;
-        if let (Some(acc), Some(local)) = (self.summary.as_mut(), routed.summary.as_ref()) {
-            acc.merge(local);
-            self.remap_dirty = true;
+        let chunk_edges = (self.config.route_chunk_edges as usize)
+            .div_ceil(ROUTE_GRANULE_EDGES)
+            .max(1)
+            * ROUTE_GRANULE_EDGES;
+        for chunk in edges.chunks(chunk_edges) {
+            let host_start = Instant::now();
+            let routed = route_edges(
+                chunk,
+                RouteParams {
+                    assignment: &self.assignment,
+                    coloring: &self.coloring,
+                    uniform_p: self.config.uniform_p,
+                    seed: self.config.seed,
+                    mg_capacity: self.config.misra_gries.map(|m| m.k),
+                    threads: self.config.pim.host_threads,
+                    base_granule: self.route_granules,
+                },
+            );
+            self.sys
+                .charge_host_seconds_labeled("route_edges", host_start.elapsed().as_secs_f64());
+            self.route_granules += RouteParams::granules_in(chunk.len());
+            self.peak_routed_bytes = self.peak_routed_bytes.max(routed.total_routed() * 8);
+            self.offered += routed.offered;
+            self.kept += routed.kept;
+            if let (Some(acc), Some(local)) = (self.summary.as_mut(), routed.summary.as_ref()) {
+                acc.merge(local);
+                self.remap_dirty = true;
+            }
+            self.stage_batches(&routed.per_dpu)?;
         }
+        Ok(())
+    }
 
-        // Push per-core batches through the bounded staging region,
-        // running the receive kernel after each rank-parallel round.
+    /// Pushes per-core batches through the bounded staging region,
+    /// running the receive kernel after each rank-parallel round.
+    fn stage_batches(&mut self, per_dpu: &[Vec<u64>]) -> Result<(), TcError> {
         let stage = self.layout.stage_edges as usize;
-        let rounds = routed
-            .per_dpu
+        let rounds = per_dpu
             .iter()
             .map(|b| b.len().div_ceil(stage))
             .max()
             .unwrap_or(0);
         for round in 0..rounds {
             let mut writes = Vec::new();
-            for (dpu, batch) in routed.per_dpu.iter().enumerate() {
+            for (dpu, batch) in per_dpu.iter().enumerate() {
                 let start = round * stage;
                 if start >= batch.len() {
                     continue;
@@ -186,6 +225,14 @@ impl TcSession {
                 .execute_labeled("receive", move |ctx| receive::receive_kernel(ctx, &layout))?;
         }
         Ok(())
+    }
+
+    /// High-water mark of routed edge-key bytes the host has held at once
+    /// across all appends so far. Bounded by
+    /// `route_chunk_edges` (granule-rounded) `× C × 8` regardless of
+    /// batch size — the streaming-memory guarantee.
+    pub fn peak_routed_bytes(&self) -> u64 {
+        self.peak_routed_bytes
     }
 
     /// Runs the counting pipeline (remap → sort → index → count → gather
@@ -554,11 +601,94 @@ mod tests {
 
     #[test]
     fn phase_times_are_populated() {
+        // Timing is a timed-backend guarantee; pin it so the test stays
+        // meaningful under PIM_TC_BACKEND=functional.
         let g = gen::simple::complete(15);
-        let r = crate::count_triangles(&g, &tiny_config(2)).unwrap();
+        let config = TcConfig {
+            backend: crate::config::ExecBackend::Timed,
+            ..tiny_config(2)
+        };
+        let r = crate::count_triangles(&g, &config).unwrap();
         assert!(r.times.setup > 0.0);
         assert!(r.times.sample_creation > 0.0);
         assert!(r.times.triangle_count > 0.0);
+    }
+
+    #[test]
+    fn functional_backend_matches_timed_counts() {
+        let g = gen::erdos_renyi(120, 0.12, 5);
+        let base = tiny_config(3);
+        let timed = crate::count_triangles_in::<pim_sim::TimedBackend>(&g, &base).unwrap();
+        let func = crate::count_triangles_in::<pim_sim::FunctionalBackend>(&g, &base).unwrap();
+        assert_eq!(timed.estimate, func.estimate);
+        assert_eq!(timed.dpu_reports, func.dpu_reports);
+        assert!(timed.times.total() > 0.0);
+        assert_eq!(func.times.total(), 0.0);
+        assert_eq!(func.energy.total_j(), 0.0);
+    }
+
+    #[test]
+    fn chunked_append_matches_unchunked() {
+        // The streaming-memory tentpole: any route_chunk_edges gives the
+        // same final result, because sampling is keyed by global granule.
+        let g = gen::erdos_renyi(200, 0.15, 31);
+        let expect = {
+            let config = TcConfig {
+                route_chunk_edges: u64::MAX / 2,
+                ..tiny_config(3)
+            };
+            crate::count_triangles(&g, &config).unwrap()
+        };
+        for chunk in [1u64, 1000, 10_000] {
+            let config = TcConfig {
+                route_chunk_edges: chunk,
+                ..tiny_config(3)
+            };
+            let r = crate::count_triangles(&g, &config).unwrap();
+            assert_eq!(r.rounded(), expect.rounded(), "route_chunk_edges={chunk}");
+            assert_eq!(r.edges_kept, expect.edges_kept);
+            assert_eq!(r.dpu_reports, expect.dpu_reports);
+        }
+    }
+
+    #[test]
+    fn streaming_append_bounds_peak_host_memory() {
+        // ~36k edges appended with a 1-granule chunk: the host must never
+        // materialize more than one granule-rounded chunk's C-fold routed
+        // keys, far below the full batch set.
+        let g = gen::erdos_renyi(600, 0.2, 41);
+        let colors = 3u64;
+        let config = TcConfig {
+            route_chunk_edges: 1,
+            ..tiny_config(colors as u32)
+        };
+        let mut session = TcSession::start(&config).unwrap();
+        session.append(g.edges()).unwrap();
+        let bound = ROUTE_GRANULE_EDGES as u64 * colors * 8;
+        assert!(session.peak_routed_bytes() > 0);
+        assert!(
+            session.peak_routed_bytes() <= bound,
+            "peak {} exceeds chunk bound {bound}",
+            session.peak_routed_bytes()
+        );
+
+        // An unbounded chunk materializes the whole batch set at once.
+        let config = TcConfig {
+            route_chunk_edges: u64::MAX / 2,
+            ..tiny_config(colors as u32)
+        };
+        let mut whole = TcSession::start(&config).unwrap();
+        whole.append(g.edges()).unwrap();
+        assert_eq!(
+            whole.peak_routed_bytes(),
+            g.num_edges() as u64 * colors * 8,
+            "unchunked run must hold every routed copy at once"
+        );
+        assert!(whole.peak_routed_bytes() > bound);
+        assert_eq!(
+            whole.count().unwrap().rounded(),
+            session.count().unwrap().rounded()
+        );
     }
 
     #[test]
@@ -652,7 +782,11 @@ mod tests {
     #[test]
     fn profiled_run_labels_every_launch() {
         let g = gen::simple::complete(15); // 455 triangles
-        let profile = crate::count_triangles_profiled(&g, &tiny_config(2)).unwrap();
+        let config = TcConfig {
+            backend: crate::config::ExecBackend::Timed,
+            ..tiny_config(2)
+        };
+        let profile = crate::count_triangles_profiled(&g, &config).unwrap();
         assert_eq!(profile.result.rounded(), 455);
 
         // Every pipeline kernel shows up as a labeled launch profile.

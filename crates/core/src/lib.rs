@@ -42,24 +42,40 @@ pub mod kernel;
 pub mod result;
 pub mod triplets;
 
-pub use config::{MisraGriesConfig, TcConfig, TcConfigBuilder};
+pub use config::{ExecBackend, MisraGriesConfig, TcConfig, TcConfigBuilder};
 pub use dynamic::TcSession;
 pub use error::TcError;
 pub use result::{DpuReport, TcResult};
 pub use triplets::{ColorTriplet, TripletAssignment};
 
 use pim_graph::CooGraph;
+use pim_sim::{FunctionalBackend, PimBackend, TimedBackend};
 use serde::{Deserialize, Serialize};
 
 /// Counts (or estimates) the triangles of `graph` on the simulated PIM
 /// system, end to end: allocation, coloring, batching, transfer, DPU
 /// kernels, gathering, and statistical correction.
 ///
-/// `result.exact` is true iff no sampling affected the run (uniform
-/// sampling disabled *and* no reservoir overflowed), in which case
-/// `result.estimate` equals the true count exactly.
+/// The run executes on the engine named by [`TcConfig::backend`]: the
+/// timed simulator (modeled times, trace, energy) or the functional
+/// engine (same counts, zero clocks). `result.exact` is true iff no
+/// sampling affected the run (uniform sampling disabled *and* no
+/// reservoir overflowed), in which case `result.estimate` equals the true
+/// count exactly.
 pub fn count_triangles(graph: &CooGraph, config: &TcConfig) -> Result<TcResult, TcError> {
-    let mut session = TcSession::start(config)?;
+    match config.backend {
+        ExecBackend::Timed => count_triangles_in::<TimedBackend>(graph, config),
+        ExecBackend::Functional => count_triangles_in::<FunctionalBackend>(graph, config),
+    }
+}
+
+/// [`count_triangles`] on a caller-chosen execution engine, ignoring
+/// [`TcConfig::backend`].
+pub fn count_triangles_in<B: PimBackend>(
+    graph: &CooGraph,
+    config: &TcConfig,
+) -> Result<TcResult, TcError> {
+    let mut session = TcSession::<B>::start_with(config)?;
     session.append(graph.edges())?;
     session.finish()
 }
@@ -80,11 +96,27 @@ pub struct RunProfile {
 
 /// Like [`count_triangles`], but runs with tracing enabled and returns
 /// the event timeline and per-DPU attribution next to the result.
+///
+/// On the functional backend the result and activity counters are
+/// identical, but the trace is empty and every time/energy figure is
+/// zero — that engine produces no timing events.
 pub fn count_triangles_profiled(
     graph: &CooGraph,
     config: &TcConfig,
 ) -> Result<RunProfile, TcError> {
-    let mut session = TcSession::start(config)?;
+    match config.backend {
+        ExecBackend::Timed => count_triangles_profiled_in::<TimedBackend>(graph, config),
+        ExecBackend::Functional => count_triangles_profiled_in::<FunctionalBackend>(graph, config),
+    }
+}
+
+/// [`count_triangles_profiled`] on a caller-chosen execution engine,
+/// ignoring [`TcConfig::backend`].
+pub fn count_triangles_profiled_in<B: PimBackend>(
+    graph: &CooGraph,
+    config: &TcConfig,
+) -> Result<RunProfile, TcError> {
+    let mut session = TcSession::<B>::start_with(config)?;
     session.enable_tracing();
     session.append(graph.edges())?;
     let result = session.count()?;

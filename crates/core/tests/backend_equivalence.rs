@@ -1,0 +1,135 @@
+//! Property-based backend equivalence: the functional and timed engines
+//! must be observationally identical on *data* — triangle counts, per-DPU
+//! reports (raw counts, seen/resident sample sizes), and sampling
+//! statistics — for arbitrary graphs and configurations. Only the clocks
+//! may differ. Also pins the streaming-append guarantee: any
+//! `route_chunk_edges` produces the same final `TcResult`.
+
+use pim_graph::{prep, CooGraph, Node};
+use pim_sim::{FunctionalBackend, PimConfig, TimedBackend};
+use pim_tc::{TcConfig, TcSession};
+use proptest::prelude::*;
+
+fn tiny_config(colors: u32, seed: u64) -> TcConfig {
+    TcConfig::builder()
+        .colors(colors)
+        .seed(seed)
+        .pim(PimConfig {
+            total_dpus: 512,
+            mram_capacity: 1 << 20,
+            ..PimConfig::tiny()
+        })
+        .stage_edges(128)
+        .build()
+        .unwrap()
+}
+
+fn raw_edges(max_node: Node, max_edges: usize) -> impl Strategy<Value = Vec<(Node, Node)>> {
+    prop::collection::vec((0..max_node, 0..max_node), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn backends_are_bit_identical_on_arbitrary_graphs(
+        pairs in raw_edges(40, 150),
+        colors in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let g = CooGraph::from_pairs(pairs);
+        let (g, _) = prep::preprocessed(&g, seed);
+        let config = tiny_config(colors, seed);
+        let timed = pim_tc::count_triangles_in::<TimedBackend>(&g, &config).unwrap();
+        let func = pim_tc::count_triangles_in::<FunctionalBackend>(&g, &config).unwrap();
+        prop_assert_eq!(timed.estimate, func.estimate);
+        prop_assert_eq!(timed.raw_total, func.raw_total);
+        prop_assert_eq!(timed.exact, func.exact);
+        prop_assert_eq!(timed.edges_offered, func.edges_offered);
+        prop_assert_eq!(timed.edges_kept, func.edges_kept);
+        prop_assert_eq!(timed.edges_routed, func.edges_routed);
+        // Per-DPU samples: raw counts, stream positions, and resident
+        // sample sizes must match core by core.
+        prop_assert_eq!(&timed.dpu_reports, &func.dpu_reports);
+        // The engines differ only in clocks.
+        prop_assert!(timed.times.total() > 0.0);
+        prop_assert_eq!(func.times.total(), 0.0);
+        prop_assert_eq!(func.energy.total_j(), 0.0);
+    }
+
+    #[test]
+    fn backends_agree_under_sampling_and_remapping(
+        pairs in raw_edges(30, 120),
+        seed in any::<u64>(),
+        uniform_p in 0.3f64..1.0,
+    ) {
+        // Sampling keeps the same edges on both engines (host RNG and
+        // DPU reservoir streams are backend-independent), so even the
+        // *approximate* results are bit-identical.
+        let g = CooGraph::from_pairs(pairs);
+        let (g, _) = prep::preprocessed(&g, seed);
+        let config = TcConfig::builder()
+            .colors(2)
+            .seed(seed)
+            .uniform_p(uniform_p)
+            .misra_gries(16, 4)
+            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .stage_edges(64)
+            .build()
+            .unwrap();
+        let timed = pim_tc::count_triangles_in::<TimedBackend>(&g, &config).unwrap();
+        let func = pim_tc::count_triangles_in::<FunctionalBackend>(&g, &config).unwrap();
+        prop_assert_eq!(timed.estimate, func.estimate);
+        prop_assert_eq!(timed.edges_kept, func.edges_kept);
+        prop_assert_eq!(&timed.dpu_reports, &func.dpu_reports);
+    }
+
+    #[test]
+    fn chunked_append_is_equivalent_for_any_chunk_size(
+        pairs in raw_edges(35, 150),
+        seed in any::<u64>(),
+        route_chunk in 1u64..20_000,
+        uniform_p in 0.5f64..1.0,
+    ) {
+        // The streaming-memory refactor must be invisible in results:
+        // same final TcResult for any route_chunk_edges, including under
+        // uniform sampling (granule-keyed RNG streams).
+        let g = CooGraph::from_pairs(pairs);
+        let (g, _) = prep::preprocessed(&g, seed);
+        let base = TcConfig::builder()
+            .colors(3)
+            .seed(seed)
+            .uniform_p(uniform_p)
+            .pim(PimConfig { total_dpus: 512, mram_capacity: 1 << 20, ..PimConfig::tiny() })
+            .stage_edges(128)
+            .build()
+            .unwrap();
+        let unchunked = TcConfig { route_chunk_edges: u64::MAX / 2, ..base };
+        let chunked = TcConfig { route_chunk_edges: route_chunk, ..base };
+        let a = pim_tc::count_triangles_in::<FunctionalBackend>(&g, &unchunked).unwrap();
+        let b = pim_tc::count_triangles_in::<FunctionalBackend>(&g, &chunked).unwrap();
+        prop_assert_eq!(a.estimate, b.estimate);
+        prop_assert_eq!(a.edges_kept, b.edges_kept);
+        prop_assert_eq!(&a.dpu_reports, &b.dpu_reports);
+    }
+
+    #[test]
+    fn functional_sessions_support_incremental_updates(
+        pairs in raw_edges(30, 100),
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // The generic session API round-trips on the functional engine:
+        // batched appends equal the one-shot timed run.
+        let g = CooGraph::from_pairs(pairs);
+        let (g, _) = prep::preprocessed(&g, seed);
+        let config = tiny_config(2, seed);
+        let one_shot = pim_tc::count_triangles_in::<TimedBackend>(&g, &config).unwrap();
+        let mut session = TcSession::<FunctionalBackend>::start_with(&config).unwrap();
+        for batch in g.split_batches(k) {
+            session.append(&batch).unwrap();
+        }
+        let incremental = session.finish().unwrap();
+        prop_assert_eq!(incremental.rounded(), one_shot.rounded());
+    }
+}

@@ -8,7 +8,7 @@
 //! stand-ins. All generators take an explicit seed and are deterministic
 //! across runs and platforms (ChaCha8 RNG).
 //!
-//! Generators return *raw* [`CooGraph`]s which may contain duplicate edges
+//! Generators return *raw* [`CooGraph`](crate::CooGraph)s which may contain duplicate edges
 //! or self loops exactly like real input files; run
 //! [`CooGraph::preprocess`](crate::CooGraph::preprocess) (the experiment
 //! harness always does) before counting.

@@ -1,0 +1,521 @@
+//! The execution-backend seam: one host-side API, two engines.
+//!
+//! The PrIM line of work (Gómez-Luna et al., IEEE Access 2022) separates
+//! the *functional* behaviour of UPMEM hardware from its *timing
+//! characterization*; this module exposes the same split for the
+//! simulator. [`PimBackend`] abstracts everything an orchestrator does to
+//! the PIM machine — allocation, rank-parallel `push`/`gather` transfers,
+//! labeled SPMD kernel launches, phase accounting, and trace/report
+//! access — and two engines implement it:
+//!
+//! * [`TimedBackend`] (an alias for [`PimSystem`]): full cycle, DMA,
+//!   transfer-bandwidth, and energy accounting against the
+//!   PrIM-calibrated [`CostModel`]. Use it whenever modeled time matters.
+//! * [`FunctionalBackend`]: executes the *same* kernel closures over the
+//!   same MRAM banks (still via rayon across DPUs), but skips all timing,
+//!   trace, and energy bookkeeping. Phase times, transfer seconds, trace
+//!   events, and energy all report zero. Use it for correctness tests,
+//!   proptests, and exact-count baselines where only functional behaviour
+//!   matters.
+//!
+//! Both backends are bit-identical on *data*: MRAM contents, kernel
+//! results, and gathered bytes never differ (the equivalence proptests in
+//! `pim-tc` pin this). Only the clocks differ.
+
+use crate::config::PimConfig;
+use crate::cost::{CostModel, SimSeconds};
+use crate::dpu::Dpu;
+use crate::energy::EnergyReport;
+use crate::error::{SimError, SimResult};
+use crate::kernel::{DpuContext, Pod};
+use crate::phase::{Phase, PhaseTimes};
+use crate::system::{HostWrite, PimSystem};
+use crate::trace::Trace;
+use rayon::prelude::*;
+
+/// Host-side driver interface for a set of allocated PIM cores.
+///
+/// Orchestrators (e.g. `pim-tc`'s `TcSession`) are written against this
+/// trait so the same pipeline runs on the timed simulator or the
+/// functional engine. Kernel launches are generic over the closure and
+/// its result type, so the trait is used through generics (static
+/// dispatch), not trait objects.
+pub trait PimBackend: Send {
+    /// Allocates `nr_dpus` PIM cores under the given hardware shape and
+    /// cost model. Timed backends charge the setup cost; functional
+    /// backends only build the banks.
+    fn allocate(nr_dpus: usize, config: PimConfig, cost: CostModel) -> SimResult<Self>
+    where
+        Self: Sized;
+
+    /// Number of allocated PIM cores.
+    fn nr_dpus(&self) -> usize;
+
+    /// Hardware configuration in effect.
+    fn config(&self) -> &PimConfig;
+
+    /// Cost model in effect (functional backends hold one for kernel
+    /// bookkeeping interfaces but never convert it into seconds).
+    fn cost(&self) -> &CostModel;
+
+    /// Read-only access to a DPU (host-side inspection; tests and result
+    /// gathering).
+    fn dpu(&self, id: usize) -> SimResult<&Dpu>;
+
+    /// Switches the phase that subsequent costs accrue to.
+    fn set_phase(&mut self, phase: Phase);
+
+    /// Phase currently accruing time.
+    fn phase(&self) -> Phase;
+
+    /// Modeled per-phase times so far (all-zero on functional backends).
+    fn phase_times(&self) -> PhaseTimes;
+
+    /// Starts recording an event timeline. No-op on backends that do not
+    /// produce timing events.
+    fn enable_tracing(&mut self);
+
+    /// The recorded timeline (always empty on functional backends).
+    fn trace(&self) -> &Trace;
+
+    /// Folds measured host-side seconds into the current phase under a
+    /// span label. Functional backends drop the measurement.
+    fn charge_host_seconds_labeled(&mut self, label: &str, seconds: SimSeconds);
+
+    /// Unlabeled convenience over
+    /// [`PimBackend::charge_host_seconds_labeled`].
+    fn charge_host_seconds(&mut self, seconds: SimSeconds) {
+        self.charge_host_seconds_labeled("host", seconds);
+    }
+
+    /// Executes a rank-parallel CPU→PIM transfer batch.
+    fn push(&mut self, writes: Vec<HostWrite>) -> SimResult<()>;
+
+    /// Broadcasts the same payload to every DPU at the same offset.
+    fn broadcast(&mut self, offset: u64, data: &[u8]) -> SimResult<()>;
+
+    /// Gathers `len` bytes at `offset` from every DPU (PIM→CPU transfer).
+    fn gather(&mut self, offset: u64, len: u64) -> SimResult<Vec<Vec<u8>>>;
+
+    /// Typed convenience over [`PimBackend::gather`]: one `T` per DPU
+    /// read from the same offset.
+    fn gather_one<T: Pod>(&mut self, offset: u64) -> SimResult<Vec<T>> {
+        Ok(self
+            .gather(offset, T::BYTES as u64)?
+            .into_iter()
+            .map(|bytes| T::read_le(&bytes))
+            .collect())
+    }
+
+    /// Launches a labeled SPMD kernel on every allocated DPU, returning
+    /// each DPU's result in id order. Timed backends bill
+    /// `launch_overhead + max per-DPU cycles` to the current phase and
+    /// record a trace event; functional backends only run the closures.
+    fn execute_labeled<R, K>(&mut self, label: &str, kernel: K) -> SimResult<Vec<R>>
+    where
+        R: Send,
+        K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
+        Self: Sized;
+
+    /// [`PimBackend::execute_labeled`] under the generic `"kernel"` label.
+    fn execute<R, K>(&mut self, kernel: K) -> SimResult<Vec<R>>
+    where
+        R: Send,
+        K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
+        Self: Sized,
+    {
+        self.execute_labeled("kernel", kernel)
+    }
+
+    /// Sum of MRAM bytes in use across all DPUs.
+    fn total_mram_used(&self) -> u64;
+
+    /// Total CPU↔PIM bytes moved so far (tracked on both backends — it is
+    /// a data quantity, not a time).
+    fn total_transfer_bytes(&self) -> u64;
+
+    /// Total modeled seconds spent on CPU↔PIM transfers (zero on
+    /// functional backends).
+    fn total_transfer_seconds(&self) -> SimSeconds;
+
+    /// Energy totals for everything executed so far (all-zero on
+    /// functional backends).
+    fn energy_report(&self) -> EnergyReport;
+
+    /// Frees the PIM cores, returning the final phase times.
+    fn release(self) -> PhaseTimes
+    where
+        Self: Sized;
+}
+
+/// The timed execution backend: the full cycle-accounting simulator.
+///
+/// `TimedBackend` *is* [`PimSystem`]; the alias names the role it plays
+/// on the [`PimBackend`] seam.
+pub type TimedBackend = PimSystem;
+
+impl PimBackend for PimSystem {
+    fn allocate(nr_dpus: usize, config: PimConfig, cost: CostModel) -> SimResult<Self> {
+        PimSystem::allocate(nr_dpus, config, cost)
+    }
+
+    fn nr_dpus(&self) -> usize {
+        PimSystem::nr_dpus(self)
+    }
+
+    fn config(&self) -> &PimConfig {
+        PimSystem::config(self)
+    }
+
+    fn cost(&self) -> &CostModel {
+        PimSystem::cost(self)
+    }
+
+    fn dpu(&self, id: usize) -> SimResult<&Dpu> {
+        PimSystem::dpu(self, id)
+    }
+
+    fn set_phase(&mut self, phase: Phase) {
+        PimSystem::set_phase(self, phase);
+    }
+
+    fn phase(&self) -> Phase {
+        PimSystem::phase(self)
+    }
+
+    fn phase_times(&self) -> PhaseTimes {
+        PimSystem::phase_times(self)
+    }
+
+    fn enable_tracing(&mut self) {
+        PimSystem::enable_tracing(self);
+    }
+
+    fn trace(&self) -> &Trace {
+        PimSystem::trace(self)
+    }
+
+    fn charge_host_seconds_labeled(&mut self, label: &str, seconds: SimSeconds) {
+        PimSystem::charge_host_seconds_labeled(self, label, seconds);
+    }
+
+    fn push(&mut self, writes: Vec<HostWrite>) -> SimResult<()> {
+        PimSystem::push(self, writes)
+    }
+
+    fn broadcast(&mut self, offset: u64, data: &[u8]) -> SimResult<()> {
+        PimSystem::broadcast(self, offset, data)
+    }
+
+    fn gather(&mut self, offset: u64, len: u64) -> SimResult<Vec<Vec<u8>>> {
+        PimSystem::gather(self, offset, len)
+    }
+
+    fn execute_labeled<R, K>(&mut self, label: &str, kernel: K) -> SimResult<Vec<R>>
+    where
+        R: Send,
+        K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
+    {
+        PimSystem::execute_labeled(self, label, kernel)
+    }
+
+    fn total_mram_used(&self) -> u64 {
+        PimSystem::total_mram_used(self)
+    }
+
+    fn total_transfer_bytes(&self) -> u64 {
+        PimSystem::total_transfer_bytes(self)
+    }
+
+    fn total_transfer_seconds(&self) -> SimSeconds {
+        PimSystem::total_transfer_seconds(self)
+    }
+
+    fn energy_report(&self) -> EnergyReport {
+        PimSystem::energy_report(self)
+    }
+
+    fn release(self) -> PhaseTimes {
+        PimSystem::release(self)
+    }
+}
+
+/// The functional execution backend: same banks, same kernels, no clocks.
+///
+/// Data movement and kernel execution are bit-identical to
+/// [`TimedBackend`]; every time-, trace-, and energy-producing path is a
+/// no-op. Per-DPU activity counters (instructions, DMA bytes) still
+/// accumulate — they are data-derived and cost nothing extra — so
+/// [`crate::SystemReport`] aggregates remain meaningful.
+pub struct FunctionalBackend {
+    config: PimConfig,
+    cost: CostModel,
+    dpus: Vec<Dpu>,
+    phase: Phase,
+    transfer_bytes: u64,
+    /// Always-empty, never-enabled timeline handed out by `trace()`.
+    trace: Trace,
+}
+
+impl FunctionalBackend {
+    /// Allocates `nr_dpus` functional PIM cores with the default hardware
+    /// shape.
+    pub fn allocate_default(nr_dpus: usize) -> SimResult<Self> {
+        <Self as PimBackend>::allocate(nr_dpus, PimConfig::default(), CostModel::default())
+    }
+}
+
+impl PimBackend for FunctionalBackend {
+    fn allocate(nr_dpus: usize, config: PimConfig, cost: CostModel) -> SimResult<Self> {
+        if nr_dpus > config.total_dpus {
+            return Err(SimError::TooManyDpus {
+                requested: nr_dpus,
+                available: config.total_dpus,
+            });
+        }
+        let dpus = (0..nr_dpus)
+            .map(|id| Dpu::new(id, config.mram_capacity, config.nr_tasklets))
+            .collect();
+        Ok(FunctionalBackend {
+            config,
+            cost,
+            dpus,
+            phase: Phase::Setup,
+            transfer_bytes: 0,
+            trace: Trace::default(),
+        })
+    }
+
+    fn nr_dpus(&self) -> usize {
+        self.dpus.len()
+    }
+
+    fn config(&self) -> &PimConfig {
+        &self.config
+    }
+
+    fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn dpu(&self, id: usize) -> SimResult<&Dpu> {
+        self.dpus.get(id).ok_or(SimError::NoSuchDpu {
+            dpu: id,
+            allocated: self.dpus.len(),
+        })
+    }
+
+    fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    fn phase_times(&self) -> PhaseTimes {
+        PhaseTimes::default()
+    }
+
+    fn enable_tracing(&mut self) {
+        // Functional runs produce no timing events; the timeline stays
+        // empty by design (see docs/OBSERVABILITY.md).
+    }
+
+    fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn charge_host_seconds_labeled(&mut self, _label: &str, _seconds: SimSeconds) {}
+
+    fn push(&mut self, writes: Vec<HostWrite>) -> SimResult<()> {
+        for w in &writes {
+            if w.dpu >= self.dpus.len() {
+                return Err(SimError::NoSuchDpu {
+                    dpu: w.dpu,
+                    allocated: self.dpus.len(),
+                });
+            }
+        }
+        for w in &writes {
+            self.dpus[w.dpu].host_write(w.offset, &w.data)?;
+            self.transfer_bytes += w.data.len() as u64;
+        }
+        Ok(())
+    }
+
+    fn broadcast(&mut self, offset: u64, data: &[u8]) -> SimResult<()> {
+        for dpu in &mut self.dpus {
+            dpu.host_write(offset, data)?;
+        }
+        self.transfer_bytes += data.len() as u64 * self.dpus.len() as u64;
+        Ok(())
+    }
+
+    fn gather(&mut self, offset: u64, len: u64) -> SimResult<Vec<Vec<u8>>> {
+        let out: SimResult<Vec<Vec<u8>>> =
+            self.dpus.iter().map(|d| d.host_read(offset, len)).collect();
+        self.transfer_bytes += len * self.dpus.len() as u64;
+        out
+    }
+
+    fn execute_labeled<R, K>(&mut self, _label: &str, kernel: K) -> SimResult<Vec<R>>
+    where
+        R: Send,
+        K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
+    {
+        let config = self.config;
+        let cost = self.cost;
+        self.dpus
+            .par_iter_mut()
+            .map(|dpu| {
+                dpu.reset_kernel_counters();
+                let mut ctx = DpuContext {
+                    dpu,
+                    config: &config,
+                    cost: &cost,
+                };
+                kernel(&mut ctx)
+            })
+            .collect()
+    }
+
+    fn total_mram_used(&self) -> u64 {
+        self.dpus.iter().map(Dpu::mram_used).sum()
+    }
+
+    fn total_transfer_bytes(&self) -> u64 {
+        self.transfer_bytes
+    }
+
+    fn total_transfer_seconds(&self) -> SimSeconds {
+        0.0
+    }
+
+    fn energy_report(&self) -> EnergyReport {
+        EnergyReport {
+            instr_j: 0.0,
+            dma_j: 0.0,
+            transfer_j: 0.0,
+            static_j: 0.0,
+        }
+    }
+
+    fn release(self) -> PhaseTimes {
+        PhaseTimes::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{decode_slice, encode_slice};
+
+    /// The same small pipeline, written once against the trait.
+    fn drive<B: PimBackend>(mut sys: B) -> (Vec<u32>, PhaseTimes, u64) {
+        sys.set_phase(Phase::SampleCreation);
+        let writes = (0..4)
+            .map(|dpu| HostWrite {
+                dpu,
+                offset: 0,
+                data: encode_slice(&[dpu as u32 + 1; 8]),
+            })
+            .collect();
+        sys.push(writes).unwrap();
+        sys.set_phase(Phase::TriangleCount);
+        sys.execute_labeled("sum", |ctx| {
+            let mut t = ctx.tasklet(0)?;
+            let mut buf = [0u32; 8];
+            t.mram_read(0, &mut buf)?;
+            t.charge(8);
+            let sum: u32 = buf.iter().sum();
+            t.mram_write_one(64, sum)?;
+            Ok(())
+        })
+        .unwrap();
+        let out: Vec<u32> = sys.gather_one(64).unwrap();
+        let bytes = sys.total_transfer_bytes();
+        (out, sys.release(), bytes)
+    }
+
+    #[test]
+    fn backends_agree_on_data_and_disagree_on_time() {
+        let timed =
+            <TimedBackend as PimBackend>::allocate(4, PimConfig::tiny(), CostModel::default())
+                .unwrap();
+        let func =
+            <FunctionalBackend as PimBackend>::allocate(4, PimConfig::tiny(), CostModel::default())
+                .unwrap();
+        let (timed_out, timed_times, timed_bytes) = drive(timed);
+        let (func_out, func_times, func_bytes) = drive(func);
+        assert_eq!(timed_out, vec![8, 16, 24, 32]);
+        assert_eq!(timed_out, func_out);
+        assert_eq!(timed_bytes, func_bytes);
+        assert!(timed_times.total() > 0.0);
+        assert_eq!(func_times.total(), 0.0);
+    }
+
+    #[test]
+    fn functional_backend_moves_data_without_charging_time() {
+        let mut sys = FunctionalBackend::allocate_default(2).unwrap();
+        sys.broadcast(0, &encode_slice(&[7u64, 9])).unwrap();
+        for id in 0..2 {
+            let bytes = sys.dpu(id).unwrap().host_read(0, 16).unwrap();
+            assert_eq!(decode_slice::<u64>(&bytes), vec![7, 9]);
+        }
+        assert_eq!(sys.total_transfer_bytes(), 32);
+        assert_eq!(sys.total_transfer_seconds(), 0.0);
+        assert_eq!(sys.phase_times(), PhaseTimes::default());
+        assert_eq!(sys.energy_report().total_j(), 0.0);
+    }
+
+    #[test]
+    fn functional_backend_produces_no_trace_events() {
+        let mut sys = FunctionalBackend::allocate_default(2).unwrap();
+        sys.enable_tracing();
+        sys.set_phase(Phase::SampleCreation);
+        sys.broadcast(0, &[0u8; 64]).unwrap();
+        sys.execute(|ctx| {
+            let mut t = ctx.tasklet(0)?;
+            t.charge(10);
+            Ok(())
+        })
+        .unwrap();
+        assert!(sys.trace().events().is_empty());
+        assert!(!sys.trace().is_enabled());
+    }
+
+    #[test]
+    fn functional_backend_enforces_machine_limits() {
+        let cfg = PimConfig::tiny();
+        assert!(matches!(
+            <FunctionalBackend as PimBackend>::allocate(65, cfg, CostModel::default()),
+            Err(SimError::TooManyDpus { .. })
+        ));
+        let mut sys = FunctionalBackend::allocate_default(1).unwrap();
+        assert!(matches!(
+            sys.push(vec![HostWrite {
+                dpu: 5,
+                offset: 0,
+                data: vec![0],
+            }]),
+            Err(SimError::NoSuchDpu { dpu: 5, .. })
+        ));
+        assert!(sys.dpu(3).is_err());
+    }
+
+    #[test]
+    fn functional_kernel_errors_propagate() {
+        let mut sys = FunctionalBackend::allocate_default(2).unwrap();
+        let err = sys
+            .execute(|ctx| {
+                let mut t = ctx.tasklet(0)?;
+                t.mram_read_one::<u64>(1 << 30).map(|_| ())
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::MramOverflow { .. } | SimError::BadAddress { .. }
+        ));
+    }
+}

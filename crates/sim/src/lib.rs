@@ -28,6 +28,7 @@
 //! closures that account their work through [`Tasklet::charge`] hooks.
 //! DESIGN.md §5 documents the model and its parameters.
 
+pub mod backend;
 pub mod config;
 pub mod cost;
 pub mod dpu;
@@ -39,6 +40,7 @@ pub mod stats;
 pub mod system;
 pub mod trace;
 
+pub use backend::{FunctionalBackend, PimBackend, TimedBackend};
 pub use config::PimConfig;
 pub use cost::CostModel;
 pub use dpu::Dpu;

@@ -7,9 +7,9 @@
 //! cycles to individual kernel launches ([`LaunchProfile`]) and to the
 //! §4.1 phases ([`PhaseKernelCycles`]).
 
+use crate::backend::PimBackend;
 use crate::dpu::Dpu;
 use crate::phase::Phase;
-use crate::system::PimSystem;
 use crate::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 
@@ -145,10 +145,11 @@ pub struct SystemReport {
 }
 
 impl SystemReport {
-    /// Builds the report from a system's current counters. Launch-level
-    /// attribution requires tracing ([`PimSystem::enable_tracing`]);
-    /// without it only the lifetime aggregates are populated.
-    pub fn capture(sys: &PimSystem) -> SystemReport {
+    /// Builds the report from a backend's current counters. Launch-level
+    /// attribution requires tracing ([`PimBackend::enable_tracing`]) on a
+    /// backend that records events; without it only the lifetime
+    /// aggregates are populated.
+    pub fn capture<B: PimBackend>(sys: &B) -> SystemReport {
         let per_dpu: Vec<DpuActivity> = (0..sys.nr_dpus())
             .map(|id| {
                 let d: &Dpu = sys.dpu(id).expect("id in range");
@@ -326,6 +327,25 @@ mod tests {
         assert_eq!(percentile(&xs, 50.0), 50);
         assert_eq!(percentile(&xs, 99.0), 99);
         assert_eq!(percentile(&xs, 100.0), 100);
+    }
+
+    #[test]
+    fn functional_backend_reports_activity_without_time() {
+        use crate::backend::FunctionalBackend;
+        let mut sys = FunctionalBackend::allocate_default(2).unwrap();
+        sys.enable_tracing();
+        sys.execute(|ctx| {
+            let mut t = ctx.tasklet(0)?;
+            t.charge(10);
+            Ok(())
+        })
+        .unwrap();
+        let report = SystemReport::capture(&sys);
+        // Data-derived counters are live; everything timed is absent.
+        assert_eq!(report.total_instructions, 20);
+        assert!(report.launches.is_empty());
+        assert_eq!(report.transfer_seconds, 0.0);
+        assert_eq!(report.transfer_bandwidth_utilization, 0.0);
     }
 
     #[test]

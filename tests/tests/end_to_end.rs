@@ -49,13 +49,23 @@ fn pipeline_agrees_with_all_baselines() {
 fn misra_gries_speeds_up_skewed_graph_and_stays_exact() {
     let g = DatasetId::HyperlinkSkewed.build(Profile::Test);
     let expect = triangle::count_exact(&g);
-    let plain = pim_tc::count_triangles(&g, &exact_config(4)).unwrap();
+    // Pin the timed engine: this test compares modeled kernel times, so it
+    // must ignore any PIM_TC_BACKEND=functional environment override.
+    let timed = pim_tc::ExecBackend::Timed;
+    let plain = {
+        let config = TcConfig {
+            backend: timed,
+            ..exact_config(4)
+        };
+        pim_tc::count_triangles(&g, &config).unwrap()
+    };
     let remapped = {
         let config = TcConfig::builder()
             .colors(4)
             .misra_gries(512, 32)
             .pim(small_pim())
             .stage_edges(512)
+            .backend(timed)
             .build()
             .unwrap();
         pim_tc::count_triangles(&g, &config).unwrap()

@@ -1,10 +1,14 @@
 //! Integration tests of the simulator's timing model through the full
 //! pipeline: the *shape* claims every figure rests on must hold on small
 //! inputs too.
+//!
+//! Every config here pins [`ExecBackend::Timed`]: these tests are *about*
+//! the clock model, so they must not follow a `PIM_TC_BACKEND=functional`
+//! environment override.
 
 use pim_graph::{gen, prep};
 use pim_sim::{CostModel, PimConfig};
-use pim_tc::TcConfig;
+use pim_tc::{ExecBackend, TcConfig};
 
 fn pim() -> PimConfig {
     PimConfig {
@@ -19,6 +23,7 @@ fn config(colors: u32) -> TcConfig {
         .colors(colors)
         .pim(pim())
         .stage_edges(512)
+        .backend(ExecBackend::Timed)
         .build()
         .unwrap()
 }
@@ -60,6 +65,7 @@ fn uniform_sampling_reduces_modeled_time() {
             .uniform_p(0.1)
             .pim(pim())
             .stage_edges(512)
+            .backend(ExecBackend::Timed)
             .build()
             .unwrap();
         pim_tc::count_triangles(&g, &c).unwrap()
@@ -78,6 +84,7 @@ fn reservoir_shrinks_count_time_but_not_sample_time() {
             .sample_capacity((expected / 10).max(3))
             .pim(pim())
             .stage_edges(512)
+            .backend(ExecBackend::Timed)
             .build()
             .unwrap();
         pim_tc::count_triangles(&g, &c).unwrap()
@@ -97,6 +104,7 @@ fn slower_clock_means_slower_modeled_kernels() {
             .colors(4)
             .pim(pim())
             .stage_edges(512)
+            .backend(ExecBackend::Timed)
             .cost(CostModel {
                 clock_hz: 35.0e6,
                 ..CostModel::default()
