@@ -1,0 +1,28 @@
+use pim_sim::PimConfig;
+use pim_tc::{ExecBackend, TcConfig};
+
+fn cfg(chunk: u64) -> TcConfig {
+    TcConfig::builder()
+        .colors(3)
+        .pim(PimConfig {
+            total_dpus: 512,
+            mram_capacity: 1 << 20,
+            ..PimConfig::tiny()
+        })
+        .stage_edges(256)
+        .misra_gries(8, 4)
+        .backend(ExecBackend::Timed)
+        .route_chunk_edges(chunk)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn mg_chunked_vs_unchunked() {
+    // skewed graph: hub-heavy
+    let g = pim_graph::gen::barabasi_albert(30000, 4, 7);
+    let a = pim_tc::count_triangles(&g, &cfg(u64::MAX / 2)).unwrap();
+    let b = pim_tc::count_triangles(&g, &cfg(100)).unwrap();
+    assert_eq!(a.rounded(), b.rounded(), "counts differ");
+    assert_eq!(a.dpu_reports, b.dpu_reports, "dpu reports differ");
+}
