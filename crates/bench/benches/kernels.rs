@@ -22,6 +22,7 @@ fn loaded_system(keys: &[u64], wram: usize) -> (PimSystem, MramLayout) {
         iram_capacity: 24 << 10,
         nr_tasklets: 16,
         host_threads: 1,
+        fault: None,
     };
     let mut sys = PimSystem::allocate(1, config, CostModel::default()).unwrap();
     let layout =

@@ -80,6 +80,7 @@ fn bench_routing(c: &mut Criterion) {
                         base_granule: 0,
                         mg_capacity: None,
                         threads: 1,
+                        track_arrivals: false,
                     },
                 )
                 .total_routed()

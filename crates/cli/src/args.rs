@@ -32,6 +32,9 @@ const VALUED: &[&str] = &[
     "out",
     "backend",
     "route-chunk",
+    "faults",
+    "max-retries",
+    "spares",
 ];
 
 impl Args {

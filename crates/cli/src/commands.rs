@@ -18,6 +18,15 @@ usage:
       --route-chunk bounds host memory to E input edges per routing
       chunk. Both also read the PIM_TC_BACKEND environment variable.
 
+      Robustness (count/dynamic/profile; see docs/ROBUSTNESS.md):
+      --faults SPEC|FILE injects seeded faults into the simulated
+      hardware (grammar: seed=U64,transfer=PPM,corrupt=PPM,launch=PPM,
+      kill=DPU@OP; a path to a file holding one spec also works; the
+      PIM_SIM_FAULTS environment variable is the fallback). --spares N
+      reserves N spare cores for permanent-death failover; --max-retries
+      R bounds consecutive retries of a faulted operation; --hardened
+      forces the checksummed pipeline even without a fault plan.
+
   pimtc stats <graph> [--json]
       Graph characteristics: |V|, |E|, triangles, degrees, clustering.
 
@@ -121,7 +130,34 @@ fn build_config_with_default_colors(
     if let Some(chunk) = args.get::<u64>("route-chunk")? {
         builder = builder.route_chunk_edges(chunk);
     }
+    if let Some(retries) = args.get::<u32>("max-retries")? {
+        builder = builder.max_retries(retries);
+    }
+    if let Some(spares) = args.get::<u32>("spares")? {
+        builder = builder.spare_dpus(spares);
+    }
+    if args.flag("hardened") {
+        builder = builder.hardened(true);
+    }
+    builder = builder.fault_plan(fault_plan(args)?);
     builder.build().map_err(|e| e.to_string())
+}
+
+/// Resolves `--faults` into a plan: an inline spec string, a path to a
+/// file holding one, or (when the option is absent) the PIM_SIM_FAULTS
+/// environment variable.
+fn fault_plan(args: &Args) -> Result<Option<pim_sim::FaultPlan>, String> {
+    let Some(raw) = args.get::<String>("faults")? else {
+        return pim_sim::FaultPlan::from_env().map_err(|e| format!("PIM_SIM_FAULTS: {e}"));
+    };
+    let spec = if Path::new(&raw).exists() {
+        std::fs::read_to_string(&raw).map_err(|e| format!("--faults: cannot read {raw}: {e}"))?
+    } else {
+        raw
+    };
+    pim_sim::FaultPlan::parse(spec.trim())
+        .map(Some)
+        .map_err(|e| format!("--faults: {e}"))
 }
 
 fn cmd_convert(args: &Args) -> Result<(), String> {
@@ -570,6 +606,68 @@ mod tests {
         ])
         .unwrap();
         assert!(run(&["count", &path, "--backend", "warp-drive"]).is_err());
+    }
+
+    #[test]
+    fn fault_injection_flags_run_end_to_end() {
+        let path = tmp("g5.txt");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "100",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        // A seeded mix of transients plus one covered core death.
+        run(&[
+            "count",
+            &path,
+            "--colors",
+            "3",
+            "--faults",
+            "seed=3,transfer=50000,corrupt=50000,kill=2@9",
+            "--spares",
+            "2",
+        ])
+        .unwrap();
+        // Hardened mode and a retry budget work without any fault plan.
+        run(&[
+            "count",
+            &path,
+            "--colors",
+            "2",
+            "--hardened",
+            "--max-retries",
+            "3",
+        ])
+        .unwrap();
+        // Bad specs and impossible recoveries are actionable errors, not
+        // panics.
+        let err = run(&["count", &path, "--faults", "warp=1"]).unwrap_err();
+        assert!(err.contains("--faults"), "got: {err}");
+        let err = run(&["count", &path, "--colors", "3", "--faults", "kill=0@4"]).unwrap_err();
+        assert!(err.contains("no spare"), "got: {err}");
+    }
+
+    #[test]
+    fn faults_can_come_from_a_spec_file() {
+        let path = tmp("g6.txt");
+        let spec = tmp("faults.spec");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "80",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        std::fs::write(&spec, "seed=1,transfer=40000\n").unwrap();
+        run(&["count", &path, "--colors", "2", "--faults", &spec]).unwrap();
     }
 
     #[test]

@@ -99,6 +99,20 @@ pub struct TcConfig {
     pub route_chunk_edges: u64,
     /// Execution engine running the pipeline.
     pub backend: ExecBackend,
+    /// Forces the hardened (fault-tolerant) session path: checksummed
+    /// staging transfers, verified pushes/gathers, bounded retries, and
+    /// spare-core recovery. Implied whenever a fault plan or spare cores
+    /// are configured (see [`TcConfig::effective_hardened`]).
+    pub hardened: bool,
+    /// Consecutive failed attempts tolerated per operation (transient
+    /// transfer/launch faults, detected corruptions) before the run aborts
+    /// with [`TcError::Faulted`].
+    pub max_retries: u32,
+    /// Spare PIM cores allocated beyond the `C(C+2,3)` partitions. When a
+    /// partition's core dies permanently, its sample is reconstructed from
+    /// the survivors' C-fold redundancy onto a spare and the run
+    /// continues. Requires `colors >= 2` and no Misra-Gries remapping.
+    pub spare_dpus: u32,
     /// Simulated hardware shape.
     pub pim: PimConfig,
     /// Simulated timing parameters.
@@ -116,16 +130,35 @@ impl TcConfig {
         nr_triplets(self.colors)
     }
 
+    /// Whether the session runs on the hardened (fault-tolerant) path:
+    /// explicitly requested, or implied by an injected fault plan or by
+    /// spare cores being provisioned.
+    pub fn effective_hardened(&self) -> bool {
+        self.hardened || self.pim.fault.is_some() || self.spare_dpus > 0
+    }
+
     /// Validates cross-field constraints.
     pub fn validate(&self) -> Result<(), TcError> {
         if self.colors < 1 {
             return Err(TcError::Config("colors must be >= 1".into()));
         }
-        let needed = self.nr_dpus();
+        if self.pim.total_dpus == 0 {
+            return Err(TcError::Config(
+                "the PIM system has zero cores (pim.total_dpus = 0); \
+                 nothing can run — configure at least one DPU"
+                    .into(),
+            ));
+        }
+        let needed = self.nr_dpus() + self.spare_dpus as usize;
         if needed > self.pim.total_dpus {
             return Err(TcError::Config(format!(
-                "{} colors need {} PIM cores but the system has {}",
-                self.colors, needed, self.pim.total_dpus
+                "{} colors need {} PIM cores ({} partitions + {} spares) \
+                 but the system has {}",
+                self.colors,
+                needed,
+                self.nr_dpus(),
+                self.spare_dpus,
+                self.pim.total_dpus
             )));
         }
         if !(self.uniform_p > 0.0 && self.uniform_p <= 1.0) {
@@ -169,6 +202,32 @@ impl TcConfig {
                     .into(),
             ));
         }
+        if self.effective_hardened() && self.stage_edges < 2 {
+            return Err(TcError::Config(
+                "hardened sessions need stage_edges >= 2 (one staging slot \
+                 is reserved for the batch checksum)"
+                    .into(),
+            ));
+        }
+        if self.spare_dpus > 0 {
+            if self.colors < 2 {
+                return Err(TcError::Config(
+                    "spare-core recovery needs colors >= 2: with C = 1 \
+                     there is a single partition and no redundant replica \
+                     to reconstruct a lost sample from"
+                        .into(),
+                ));
+            }
+            if self.misra_gries.is_some() {
+                return Err(TcError::Config(
+                    "spare-core recovery and Misra-Gries remapping are \
+                     incompatible: remapped vertex ids hash to different \
+                     colors, so a lost partition cannot be re-derived from \
+                     the survivors' samples"
+                        .into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -192,6 +251,9 @@ impl Default for TcConfigBuilder {
                 stage_edges: 2048,
                 route_chunk_edges: 256 * 1024,
                 backend: ExecBackend::from_env(),
+                hardened: false,
+                max_retries: 8,
+                spare_dpus: 0,
                 pim: PimConfig::default(),
                 cost: CostModel::default(),
             },
@@ -253,6 +315,32 @@ impl TcConfigBuilder {
     /// environment default).
     pub fn backend(mut self, backend: ExecBackend) -> Self {
         self.config.backend = backend;
+        self
+    }
+
+    /// Forces the hardened (fault-tolerant) session path even without a
+    /// fault plan or spares — useful for measuring its overhead.
+    pub fn hardened(mut self, hardened: bool) -> Self {
+        self.config.hardened = hardened;
+        self
+    }
+
+    /// Sets the per-operation retry budget for transient faults.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.config.max_retries = retries;
+        self
+    }
+
+    /// Provisions `n` spare PIM cores for permanent-death recovery.
+    pub fn spare_dpus(mut self, n: u32) -> Self {
+        self.config.spare_dpus = n;
+        self
+    }
+
+    /// Attaches a seeded fault-injection plan to the simulated hardware
+    /// (implies the hardened pipeline; see [`TcConfig::effective_hardened`]).
+    pub fn fault_plan(mut self, plan: Option<pim_sim::FaultPlan>) -> Self {
+        self.config.pim.fault = plan;
         self
     }
 
@@ -345,5 +433,87 @@ mod tests {
     fn tiny_sample_capacity_rejected() {
         assert!(TcConfig::builder().sample_capacity(2).build().is_err());
         assert!(TcConfig::builder().sample_capacity(3).build().is_ok());
+    }
+
+    #[test]
+    fn zero_dpu_system_rejected_with_actionable_message() {
+        let err = TcConfig::builder()
+            .pim(PimConfig {
+                total_dpus: 0,
+                ..PimConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        let TcError::Config(msg) = err else {
+            panic!("expected Config error")
+        };
+        assert!(msg.contains("zero cores"), "message: {msg}");
+    }
+
+    #[test]
+    fn spares_count_against_the_core_budget() {
+        // C = 23 needs all 2300 partitions; 2560 total leaves 260 spares.
+        assert!(TcConfig::builder()
+            .colors(23)
+            .spare_dpus(260)
+            .build()
+            .is_ok());
+        assert!(TcConfig::builder()
+            .colors(23)
+            .spare_dpus(261)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn spares_need_redundancy_and_no_remapping() {
+        assert!(TcConfig::builder().colors(1).spare_dpus(1).build().is_err());
+        assert!(TcConfig::builder().colors(2).spare_dpus(1).build().is_ok());
+        assert!(TcConfig::builder()
+            .colors(2)
+            .spare_dpus(1)
+            .misra_gries(64, 8)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn hardened_mode_is_implied_by_faults_or_spares() {
+        let plain = TcConfig::builder().build().unwrap();
+        assert!(!plain.effective_hardened());
+        assert!(TcConfig::builder()
+            .hardened(true)
+            .build()
+            .unwrap()
+            .effective_hardened());
+        assert!(TcConfig::builder()
+            .spare_dpus(1)
+            .build()
+            .unwrap()
+            .effective_hardened());
+        let faulty = TcConfig::builder()
+            .pim(PimConfig {
+                fault: Some(pim_sim::FaultPlan::parse("seed=1").unwrap()),
+                ..PimConfig::default()
+            })
+            .build()
+            .unwrap();
+        assert!(faulty.effective_hardened());
+    }
+
+    #[test]
+    fn hardened_mode_needs_a_checksum_slot() {
+        assert!(TcConfig::builder()
+            .hardened(true)
+            .stage_edges(1)
+            .build()
+            .is_err());
+        assert!(TcConfig::builder()
+            .hardened(true)
+            .stage_edges(2)
+            .build()
+            .is_ok());
+        // Plain sessions keep the old floor.
+        assert!(TcConfig::builder().stage_edges(1).build().is_ok());
     }
 }

@@ -19,15 +19,20 @@ use crate::correction;
 use crate::error::TcError;
 use crate::host::{route_edges, RouteParams, ROUTE_GRANULE_EDGES};
 use crate::kernel::layout::{Header, MramLayout, HDR_REMAP_LEN, HDR_STAGE_LEN};
-use crate::kernel::{count, index, local, receive, remap, rng, sort};
+use crate::kernel::{checksum, count, edge_unkey, index, local, receive, remap, rng, sort};
 use crate::result::{DpuReport, TcResult};
 use crate::triplets::TripletAssignment;
 use pim_graph::Edge;
-use pim_sim::system::encode_slice;
-use pim_sim::{HostWrite, Phase, PimBackend, TimedBackend};
+use pim_sim::system::{decode_slice, encode_slice};
+use pim_sim::{HostWrite, Phase, PimBackend, SimError, TimedBackend};
 use pim_stream::{ColoringHash, MisraGries};
 use std::collections::HashSet;
 use std::time::Instant;
+
+/// Modeled host seconds charged for the first retry of a failed
+/// operation; each further consecutive failure doubles it (capped at
+/// `2^6` ×), modeling capped exponential backoff.
+const RETRY_BACKOFF_BASE: f64 = 1e-4;
 
 /// A live PIM-TC computation: allocated cores, resident edge samples, and
 /// the accumulated sampling state.
@@ -60,6 +65,21 @@ pub struct TcSession<B: PimBackend = TimedBackend> {
     /// High-water mark of routed edge-key bytes materialized on the host
     /// at once — the quantity the streaming `append` bounds.
     peak_routed_bytes: u64,
+    /// Whether this session runs the hardened pipeline (checksummed
+    /// transfers, bounded retry, spare-core failover). Resolved once at
+    /// start from [`TcConfig::effective_hardened`].
+    hardened: bool,
+    /// `partition → physical DPU` map. Starts as the identity; failover
+    /// repoints a lost partition at a spare core. Plain sessions never
+    /// consult it.
+    partition_home: Vec<usize>,
+    /// Physical ids of allocated-but-idle spare cores, consumed from the
+    /// back on failover.
+    spare_pool: Vec<usize>,
+    /// Edges routed to each partition so far — the completeness oracle
+    /// for reconstruction: survivors must yield exactly this many edges
+    /// for a lost partition, or recovery fails loudly.
+    routed_per_partition: Vec<u64>,
 }
 
 impl TcSession<TimedBackend> {
@@ -85,23 +105,32 @@ impl<B: PimBackend> TcSession<B> {
             config.local_nodes.map(u64::from).unwrap_or(0),
             config.sample_capacity,
         )?;
-        let mut sys = B::allocate(assignment.nr_dpus(), config.pim, config.cost)?;
-        let writes = (0..assignment.nr_dpus())
-            .map(|dpu| {
-                let hdr = Header {
-                    cap: layout.capacity,
-                    rng: rng::seed_for_dpu(config.seed, dpu),
-                    ..Header::default()
-                };
-                HostWrite {
-                    dpu,
-                    offset: 0,
-                    data: hdr.encode(),
-                }
-            })
-            .collect();
-        sys.push(writes)?;
-        Ok(TcSession {
+        let hardened = config.effective_hardened();
+        let spares = if hardened {
+            config.spare_dpus as usize
+        } else {
+            0
+        };
+        let mut sys = B::allocate(assignment.nr_dpus() + spares, config.pim, config.cost)?;
+        if !hardened {
+            let writes = (0..assignment.nr_dpus())
+                .map(|dpu| {
+                    let hdr = Header {
+                        cap: layout.capacity,
+                        rng: rng::seed_for_dpu(config.seed, dpu),
+                        ..Header::default()
+                    };
+                    HostWrite {
+                        dpu,
+                        offset: 0,
+                        data: hdr.encode(),
+                    }
+                })
+                .collect();
+            sys.push(writes)?;
+        }
+        let nr_partitions = assignment.nr_dpus();
+        let mut session = TcSession {
             config: *config,
             assignment,
             coloring,
@@ -116,7 +145,15 @@ impl<B: PimBackend> TcSession<B> {
             kept: 0,
             route_granules: 0,
             peak_routed_bytes: 0,
-        })
+            hardened,
+            partition_home: (0..nr_partitions).collect(),
+            spare_pool: (nr_partitions..nr_partitions + spares).collect(),
+            routed_per_partition: vec![0; nr_partitions],
+        };
+        if hardened {
+            session.init_banks_hardened()?;
+        }
+        Ok(session)
     }
 
     /// The number of PIM cores in use.
@@ -174,6 +211,7 @@ impl<B: PimBackend> TcSession<B> {
                     mg_capacity: self.config.misra_gries.map(|m| m.k),
                     threads: self.config.pim.host_threads,
                     base_granule: self.route_granules,
+                    track_arrivals: self.hardened,
                 },
             );
             self.sys
@@ -186,7 +224,11 @@ impl<B: PimBackend> TcSession<B> {
                 acc.merge(local);
                 self.remap_dirty = true;
             }
-            self.stage_batches(&routed.per_dpu)?;
+            if self.hardened {
+                self.stage_arrivals(&routed.arrivals)?;
+            } else {
+                self.stage_batches(&routed.per_dpu)?;
+            }
         }
         Ok(())
     }
@@ -239,6 +281,9 @@ impl<B: PimBackend> TcSession<B> {
     /// → correct) on the resident samples and returns the result. Can be
     /// called repeatedly as more batches are appended.
     pub fn count(&mut self) -> Result<TcResult, TcError> {
+        if self.hardened {
+            return self.count_hardened();
+        }
         self.sys.set_phase(Phase::TriangleCount);
         let layout = self.layout;
 
@@ -400,6 +445,632 @@ impl<B: PimBackend> TcSession<B> {
                 self.next_new_id -= 1;
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Hardened pipeline: checksummed transfers, bounded retry, and
+    // spare-core failover against the simulator's fault-injection plane
+    // (see docs/ROBUSTNESS.md). Active when the config enables `hardened`
+    // mode, carries a fault plan, or reserves spare cores. The plain
+    // paths above stay byte-identical to a fault-free build.
+    // ------------------------------------------------------------------
+
+    /// Counters of faults the simulator has injected so far (all-zero
+    /// without an active plan).
+    pub fn fault_counters(&self) -> pim_sim::FaultCounters {
+        self.sys.fault_counters()
+    }
+
+    /// Spare cores still available for failover.
+    pub fn spares_left(&self) -> usize {
+        self.spare_pool.len()
+    }
+
+    /// Charges one modeled-backoff retry span to the current phase.
+    fn charge_retry(&mut self, label: &str, attempt: u32) {
+        let backoff = RETRY_BACKOFF_BASE * f64::from(1u32 << attempt.min(6));
+        self.sys
+            .charge_host_seconds_labeled(&format!("retry:{label}"), backoff);
+    }
+
+    /// Fails the session once `failures` consecutive attempts at one
+    /// operation have burned through the retry budget.
+    fn check_retry_budget(&self, label: &str, failures: u32) -> Result<(), TcError> {
+        if failures > self.config.max_retries {
+            return Err(TcError::Faulted(format!(
+                "{failures} consecutive failed attempts at '{label}' exceeded \
+                 max_retries = {}",
+                self.config.max_retries
+            )));
+        }
+        Ok(())
+    }
+
+    /// Push with bounded retry on transient faults. Permanent deaths and
+    /// programming errors propagate to the caller.
+    fn retry_push(&mut self, label: &str, writes: Vec<HostWrite>) -> Result<(), TcError> {
+        let mut failures = 0u32;
+        loop {
+            match self.sys.push(writes.clone()) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() => {
+                    self.charge_retry(label, failures);
+                    failures += 1;
+                    self.check_retry_budget(label, failures)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Gather with bounded retry on transient faults.
+    fn retry_gather(
+        &mut self,
+        label: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<Vec<u8>>, TcError> {
+        let mut failures = 0u32;
+        loop {
+            match self.sys.gather(offset, len) {
+                Ok(out) => return Ok(out),
+                Err(e) if e.is_transient() => {
+                    self.charge_retry(label, failures);
+                    failures += 1;
+                    self.check_retry_budget(label, failures)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Dead-core-tolerant kernel launch with bounded retry on transient
+    /// launch faults.
+    fn retry_execute_masked<R, K>(
+        &mut self,
+        label: &str,
+        kernel: K,
+    ) -> Result<Vec<Option<R>>, TcError>
+    where
+        R: Send,
+        K: Fn(&mut pim_sim::DpuContext<'_>) -> pim_sim::SimResult<R> + Sync,
+    {
+        let mut failures = 0u32;
+        loop {
+            match self.sys.execute_labeled_masked(label, &kernel) {
+                Ok(out) => return Ok(out),
+                Err(e) if e.is_transient() => {
+                    self.charge_retry(label, failures);
+                    failures += 1;
+                    self.check_retry_budget(label, failures)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Push with retry *and* read-back verification through the host
+    /// inspection channel, so a transient corruption of a critical write
+    /// (headers, remap tables, recovery installs) is caught and redone.
+    fn push_verified(&mut self, label: &str, writes: Vec<HostWrite>) -> Result<(), TcError> {
+        let mut failures = 0u32;
+        loop {
+            self.retry_push(label, writes.clone())?;
+            let landed = writes.iter().all(|w| {
+                self.sys
+                    .dpu(w.dpu)
+                    .and_then(|d| d.host_read(w.offset, w.data.len() as u64))
+                    .map(|got| got == w.data)
+                    .unwrap_or(false)
+            });
+            if landed {
+                return Ok(());
+            }
+            self.charge_retry(label, failures);
+            failures += 1;
+            self.check_retry_budget(label, failures)?;
+        }
+    }
+
+    /// Verify-on-gather: every live core seals the region with an FNV
+    /// digest; the host gathers both and re-checks the math, retrying the
+    /// whole round until the partition homes' copies verify.
+    fn gather_verified(
+        &mut self,
+        label: &str,
+        offset: u64,
+        words: u64,
+    ) -> Result<Vec<Vec<u8>>, TcError> {
+        let layout = self.layout;
+        let mut failures = 0u32;
+        loop {
+            self.retry_execute_masked("seal", move |ctx| {
+                checksum::seal_kernel(ctx, offset, words, layout.staging_slot(0))
+            })?;
+            let regions = self.retry_gather(label, offset, words * 8)?;
+            let seals = self.retry_gather("seal", layout.staging_off, 8)?;
+            let ok = self.partition_home.iter().all(|&d| {
+                let sealed = u64::from_le_bytes(seals[d][..8].try_into().unwrap());
+                checksum::fnv1a_words(&decode_slice::<u64>(&regions[d])) == sealed
+            });
+            if ok {
+                return Ok(regions);
+            }
+            self.charge_retry(label, failures);
+            failures += 1;
+            self.check_retry_budget(label, failures)?;
+        }
+    }
+
+    /// Writes every physical core's initial bank (partition headers keyed
+    /// by partition id, zeroed staging region), verifying the writes and
+    /// absorbing cores that die mid-initialization.
+    fn init_banks_hardened(&mut self) -> Result<(), TcError> {
+        loop {
+            let zeros = vec![0u8; (self.layout.stage_edges * 8) as usize];
+            let mut writes = Vec::new();
+            let bank = |dpu: usize, rng_key: usize| {
+                let hdr = Header {
+                    cap: self.layout.capacity,
+                    rng: rng::seed_for_dpu(self.config.seed, rng_key),
+                    ..Header::default()
+                };
+                [
+                    HostWrite {
+                        dpu,
+                        offset: 0,
+                        data: hdr.encode(),
+                    },
+                    HostWrite {
+                        dpu,
+                        offset: self.layout.staging_off,
+                        data: zeros.clone(),
+                    },
+                ]
+            };
+            for t in 0..self.assignment.nr_dpus() {
+                writes.extend(bank(self.partition_home[t], t));
+            }
+            for &s in &self.spare_pool {
+                writes.extend(bank(s, s));
+            }
+            match self.push_verified("init", writes) {
+                Ok(()) => return Ok(()),
+                Err(TcError::Sim(SimError::DpuDead { dpu })) => {
+                    let mut recovered = Vec::new();
+                    self.recover_dpu(dpu, &HashSet::new(), &mut recovered)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Streams routed arrival keys through checksummed staging slices.
+    /// Each slice holds `stage_edges − 1` keys (one slot is the digest);
+    /// per-partition batches are rebuilt from the keys so a slice can be
+    /// replayed from scratch after a failover.
+    fn stage_arrivals(&mut self, arrivals: &[u64]) -> Result<(), TcError> {
+        let slice_cap = (self.layout.stage_edges - 1).max(1) as usize;
+        for slice in arrivals.chunks(slice_cap) {
+            self.stage_slice_hardened(slice)?;
+        }
+        Ok(())
+    }
+
+    /// Pushes one slice's per-partition batches (sealed with an FNV
+    /// digest) and drives the hardened receive kernel until every
+    /// partition has consumed its batch, retrying corrupted transfers and
+    /// failing over dead cores along the way.
+    fn stage_slice_hardened(&mut self, slice: &[u64]) -> Result<(), TcError> {
+        let nr_parts = self.assignment.nr_dpus();
+        let mut batches: Vec<Vec<u64>> = vec![Vec::new(); nr_parts];
+        let mut routes = Vec::new();
+        for &key in slice {
+            let (u, v) = edge_unkey(key);
+            let (ca, cb) = self.coloring.edge_colors(u, v);
+            self.assignment.dpus_for_edge(ca, cb, &mut routes);
+            for &t in &routes {
+                batches[t as usize].push(key);
+            }
+        }
+        let mut done: Vec<bool> = batches.iter().map(Vec::is_empty).collect();
+        let layout = self.layout;
+        let mut failures = 0u32;
+        while done.iter().any(|d| !d) {
+            let mut writes = Vec::new();
+            for (t, batch) in batches.iter().enumerate() {
+                if done[t] {
+                    continue;
+                }
+                let mut payload = batch.clone();
+                payload.push(checksum::fnv1a_words(batch));
+                writes.push(HostWrite {
+                    dpu: self.partition_home[t],
+                    offset: layout.staging_off,
+                    data: encode_slice(&payload),
+                });
+                writes.push(HostWrite {
+                    dpu: self.partition_home[t],
+                    offset: HDR_STAGE_LEN,
+                    data: encode_slice(&[batch.len() as u64]),
+                });
+            }
+            match self.sys.push(writes) {
+                Ok(()) => {}
+                Err(e) if e.is_transient() => {
+                    self.charge_retry("stage_push", failures);
+                    failures += 1;
+                    self.check_retry_budget("stage_push", failures)?;
+                    continue;
+                }
+                Err(SimError::DpuDead { dpu }) => {
+                    self.fail_over(dpu, slice, &batches, &mut done)?;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            }
+            let results = match self.sys.execute_labeled_masked("receive", move |ctx| {
+                receive::receive_kernel_hardened(ctx, &layout)
+            }) {
+                Ok(r) => r,
+                Err(e) if e.is_transient() => {
+                    self.charge_retry("receive", failures);
+                    failures += 1;
+                    self.check_retry_budget("receive", failures)?;
+                    continue;
+                }
+                Err(SimError::DpuDead { dpu }) => {
+                    self.fail_over(dpu, slice, &batches, &mut done)?;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let mut progressed = false;
+            let mut mismatches = 0u32;
+            let mut dead_home = None;
+            for (t, batch_done) in done.iter_mut().enumerate() {
+                if *batch_done {
+                    continue;
+                }
+                match results[self.partition_home[t]] {
+                    Some(checksum::CHECKSUM_MISMATCH) => mismatches += 1,
+                    Some(_) => {
+                        *batch_done = true;
+                        progressed = true;
+                    }
+                    None => dead_home = Some(self.partition_home[t]),
+                }
+            }
+            if let Some(dpu) = dead_home {
+                self.fail_over(dpu, slice, &batches, &mut done)?;
+                continue;
+            }
+            if progressed {
+                failures = 0;
+            }
+            if mismatches > 0 {
+                for _ in 0..mismatches {
+                    self.charge_retry("stage_checksum", failures);
+                }
+                failures += 1;
+                self.check_retry_budget("stage_checksum", failures)?;
+            }
+        }
+        for (t, batch) in batches.iter().enumerate() {
+            self.routed_per_partition[t] += batch.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Handles a core death discovered mid-slice: recover the affected
+    /// partitions (excluding the in-flight slice keys, which are replayed
+    /// afterwards), then mark their batches not-done again.
+    fn fail_over(
+        &mut self,
+        dead: usize,
+        slice: &[u64],
+        batches: &[Vec<u64>],
+        done: &mut [bool],
+    ) -> Result<(), TcError> {
+        let exclude: HashSet<u64> = slice.iter().copied().collect();
+        let mut recovered = Vec::new();
+        self.recover_dpu(dead, &exclude, &mut recovered)?;
+        for t in recovered {
+            done[t] = batches[t].is_empty();
+        }
+        Ok(())
+    }
+
+    /// Replaces a permanently dead core. An idle spare just leaves the
+    /// pool; a partition home is rebuilt from the C-fold redundancy of
+    /// the surviving replicas onto a fresh spare. `exclude` lists edge
+    /// keys in flight (to be replayed by the caller); `recovered`
+    /// collects the partitions that were reinstalled.
+    fn recover_dpu(
+        &mut self,
+        dead: usize,
+        exclude: &HashSet<u64>,
+        recovered: &mut Vec<usize>,
+    ) -> Result<(), TcError> {
+        let start = Instant::now();
+        if let Some(pos) = self.spare_pool.iter().position(|&s| s == dead) {
+            self.spare_pool.remove(pos);
+            return Ok(());
+        }
+        let Some(t) = self.partition_home.iter().position(|&h| h == dead) else {
+            return Ok(()); // Already failed over by a nested recovery.
+        };
+        if self.config.misra_gries.is_some() {
+            return Err(TcError::Faulted(format!(
+                "partition {t} lost while Misra-Gries remapping is active; \
+                 remapped resident samples cannot be reconstructed"
+            )));
+        }
+        if self.config.colors < 2 {
+            return Err(TcError::Faulted(
+                "C = 1 keeps a single replica of every edge; a lost \
+                 partition has no survivors to rebuild from"
+                    .into(),
+            ));
+        }
+        let routed = self.routed_per_partition[t];
+        if routed > self.layout.capacity {
+            return Err(TcError::Faulted(format!(
+                "partition {t} overflowed its reservoir ({routed} edges \
+                 routed > capacity {}); survivors no longer hold every edge",
+                self.layout.capacity
+            )));
+        }
+        let Some(spare) = self.spare_pool.pop() else {
+            return Err(TcError::Faulted(format!(
+                "core {dead} (partition {t}) died with no spare cores left \
+                 (configure spare_dpus)"
+            )));
+        };
+
+        // Reconstruct the lost sample from the survivors: every edge of
+        // partition t lives on C−1 other partitions (first-seen dedup
+        // keeps arrival order, so the rebuilt sample is bit-identical).
+        let mut keys = Vec::new();
+        let mut seen_keys = HashSet::new();
+        let mut routes = Vec::new();
+        for q in 0..self.assignment.nr_dpus() {
+            if q == t {
+                continue;
+            }
+            let home = self.partition_home[q];
+            if self.sys.is_dpu_lost(home) {
+                continue;
+            }
+            // Banks can be unwritten if a death hits during init; an
+            // unreadable survivor contributes nothing and the
+            // completeness check below stays in force.
+            let Ok(hdr_bytes) = self.sys.dpu(home)?.host_read(0, 64) else {
+                continue;
+            };
+            let hdr = Header::decode(&hdr_bytes);
+            if hdr.len == 0 {
+                continue;
+            }
+            let bytes = self
+                .sys
+                .dpu(home)?
+                .host_read(self.layout.sample_off, hdr.len * 8)?;
+            for key in decode_slice::<u64>(&bytes) {
+                if exclude.contains(&key) || seen_keys.contains(&key) {
+                    continue;
+                }
+                let (u, v) = edge_unkey(key);
+                let (ca, cb) = self.coloring.edge_colors(u, v);
+                self.assignment.dpus_for_edge(ca, cb, &mut routes);
+                if routes.contains(&(t as u32)) {
+                    seen_keys.insert(key);
+                    keys.push(key);
+                }
+            }
+        }
+        if keys.len() as u64 != routed {
+            return Err(TcError::Faulted(format!(
+                "reconstructed {} of {routed} edges for partition {t}; the \
+                 surviving replicas are incomplete (overflowed reservoirs \
+                 or duplicated input edges)",
+                keys.len()
+            )));
+        }
+
+        // Install on the spare. The reservoir never overflowed (checked
+        // above), so its RNG stream was never drawn: the pristine
+        // per-partition seed is still the correct state.
+        let hdr = Header {
+            cap: self.layout.capacity,
+            len: keys.len() as u64,
+            seen: routed,
+            rng: rng::seed_for_dpu(self.config.seed, t),
+            ..Header::default()
+        };
+        let mut writes = vec![
+            HostWrite {
+                dpu: spare,
+                offset: 0,
+                data: hdr.encode(),
+            },
+            HostWrite {
+                dpu: spare,
+                offset: self.layout.staging_off,
+                data: vec![0u8; (self.layout.stage_edges * 8) as usize],
+            },
+        ];
+        if !keys.is_empty() {
+            writes.push(HostWrite {
+                dpu: spare,
+                offset: self.layout.sample_off,
+                data: encode_slice(&keys),
+            });
+        }
+        loop {
+            match self.push_verified("recover_install", writes.clone()) {
+                Ok(()) => break,
+                Err(TcError::Sim(SimError::DpuDead { dpu })) if dpu != spare => {
+                    // Another core died mid-install; recover it too (the
+                    // recursion is bounded by the spare pool), then retry.
+                    self.recover_dpu(dpu, exclude, recovered)?;
+                }
+                Err(TcError::Sim(SimError::DpuDead { .. })) => {
+                    return Err(TcError::Faulted(format!(
+                        "replacement core {spare} for partition {t} died \
+                         during recovery"
+                    )));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.partition_home[t] = spare;
+        recovered.push(t);
+        self.sys
+            .charge_host_seconds_labeled("recover", start.elapsed().as_secs_f64());
+        Ok(())
+    }
+
+    /// Hardened counting: runs the verified pipeline, failing over and
+    /// restarting from the top if a core dies mid-count (the pipeline is
+    /// idempotent over the resident samples).
+    fn count_hardened(&mut self) -> Result<TcResult, TcError> {
+        loop {
+            match self.count_hardened_once() {
+                Err(TcError::Sim(SimError::DpuDead { dpu })) => {
+                    let mut recovered = Vec::new();
+                    self.recover_dpu(dpu, &HashSet::new(), &mut recovered)?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One attempt at the counting pipeline with checksummed transfers:
+    /// verified remap pushes, retried kernel launches, and seal-verified
+    /// result gathers. Core deaths surface as `Sim(DpuDead)` for
+    /// [`Self::count_hardened`] to absorb.
+    fn count_hardened_once(&mut self) -> Result<TcResult, TcError> {
+        self.sys.set_phase(Phase::TriangleCount);
+        let layout = self.layout;
+
+        if self.config.misra_gries.is_some() {
+            self.refresh_remap_assignments();
+            if !self.remap_table.is_empty() {
+                let packed = remap::encode_table(&self.remap_table);
+                let writes = self
+                    .partition_home
+                    .iter()
+                    .flat_map(|&dpu| {
+                        [
+                            HostWrite {
+                                dpu,
+                                offset: layout.remap_off,
+                                data: encode_slice(&packed),
+                            },
+                            HostWrite {
+                                dpu,
+                                offset: HDR_REMAP_LEN,
+                                data: encode_slice(&[packed.len() as u64]),
+                            },
+                        ]
+                    })
+                    .collect();
+                self.push_verified("remap_table", writes)?;
+                self.retry_execute_masked("remap", move |ctx| remap::remap_kernel(ctx, &layout))?;
+            }
+        }
+
+        self.retry_execute_masked("sort", move |ctx| sort::sort_kernel(ctx, &layout))?;
+        self.retry_execute_masked("index", move |ctx| index::index_kernel(ctx, &layout))?;
+        let local_enabled = self.config.local_nodes.is_some();
+        if local_enabled {
+            self.retry_execute_masked("local_clear", move |ctx| {
+                local::local_clear_kernel(ctx, &layout)
+            })?;
+            self.retry_execute_masked("local_count", move |ctx| {
+                local::local_count_kernel(ctx, &layout)
+            })?;
+        } else {
+            self.retry_execute_masked("count", move |ctx| count::count_kernel(ctx, &layout))?;
+        }
+
+        let headers: Vec<Header> = self
+            .gather_verified("headers", 0, 8)?
+            .iter()
+            .map(|bytes| Header::decode(bytes))
+            .collect();
+        let home_headers: Vec<Header> = self.partition_home.iter().map(|&d| headers[d]).collect();
+
+        let mut reports: Vec<DpuReport> = home_headers
+            .iter()
+            .enumerate()
+            .map(|(t, h)| {
+                let triplet = self.assignment.triplet_of(t);
+                DpuReport {
+                    dpu: t,
+                    triplet,
+                    raw: h.result,
+                    seen: h.seen,
+                    capacity: h.cap,
+                    resident: h.len,
+                    corrected: 0.0,
+                    mono: triplet.is_mono(),
+                }
+            })
+            .collect();
+        let assembled =
+            correction::assemble(&mut reports, self.config.colors, self.config.uniform_p);
+
+        let local_counts = if local_enabled {
+            let nodes = u64::from(self.config.local_nodes.unwrap_or(0));
+            let mut totals = vec![0.0f64; nodes as usize];
+            let mut mono_totals = vec![0.0f64; nodes as usize];
+            let regions = self.gather_verified("locals", layout.local_off, nodes)?;
+            for (t, report) in reports.iter().enumerate() {
+                let raw: Vec<u64> = decode_slice(&regions[self.partition_home[t]]);
+                let factor = if report.raw == 0 {
+                    1.0
+                } else {
+                    report.corrected / report.raw as f64
+                };
+                for (node, &count) in raw.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    let corrected = count as f64 * factor;
+                    totals[node] += corrected;
+                    if report.mono {
+                        mono_totals[node] += corrected;
+                    }
+                }
+            }
+            let dedup_c = self.config.colors.saturating_sub(1) as f64;
+            let p3 = self.config.uniform_p.powi(3);
+            for (t, m) in totals.iter_mut().zip(&mono_totals) {
+                *t = ((*t - dedup_c * m) / p3).max(0.0);
+            }
+            Some(totals)
+        } else {
+            None
+        };
+
+        Ok(TcResult {
+            estimate: assembled.estimate,
+            raw_total: assembled.raw_total,
+            exact: self.config.uniform_p >= 1.0 && !assembled.any_overflow,
+            times: self.sys.phase_times(),
+            nr_dpus: self.nr_dpus(),
+            colors: self.config.colors,
+            edges_offered: self.offered,
+            edges_kept: self.kept,
+            edges_routed: home_headers.iter().map(|h| h.seen).sum(),
+            max_dpu_load: home_headers.iter().map(|h| h.seen).max().unwrap_or(0),
+            reservoir_overflowed: assembled.any_overflow,
+            energy: self.sys.energy_report(),
+            local_counts,
+            dpu_reports: reports,
+        })
     }
 }
 

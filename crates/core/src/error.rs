@@ -10,13 +10,23 @@ pub enum TcError {
     Config(String),
     /// A hardware constraint was violated during execution.
     Sim(SimError),
+    /// Fault recovery was exhausted: injected faults exceeded what the
+    /// hardened session can absorb (retry budget spent, no spare cores
+    /// left, or a lost partition could not be reconstructed). The message
+    /// names the resource that ran out.
+    Faulted(String),
 }
+
+/// The crate's error type under the name downstream tooling uses when it
+/// talks about PIM-TC failures specifically.
+pub type PimTcError = TcError;
 
 impl fmt::Display for TcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TcError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             TcError::Sim(e) => write!(f, "simulator error: {e}"),
+            TcError::Faulted(msg) => write!(f, "fault recovery exhausted: {msg}"),
         }
     }
 }
@@ -25,7 +35,7 @@ impl std::error::Error for TcError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TcError::Sim(e) => Some(e),
-            TcError::Config(_) => None,
+            TcError::Config(_) | TcError::Faulted(_) => None,
         }
     }
 }
@@ -51,5 +61,8 @@ mod tests {
         assert!(s.to_string().contains("DPU"));
         use std::error::Error;
         assert!(s.source().is_some());
+        let f = TcError::Faulted("no spare PIM cores left".into());
+        assert!(f.to_string().contains("no spare"));
+        assert!(f.source().is_none());
     }
 }

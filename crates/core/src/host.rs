@@ -51,6 +51,11 @@ pub struct RoutedBatches {
     pub kept: u64,
     /// Merged Misra-Gries summary, when heavy-hitter tracking is enabled.
     pub summary: Option<MisraGries>,
+    /// Kept edge keys in global arrival order (one entry per kept edge,
+    /// before C-fold replication). Populated only when
+    /// [`RouteParams::track_arrivals`] is set; hardened sessions slice
+    /// this stream into checksummed, transactional staging rounds.
+    pub arrivals: Vec<u64>,
 }
 
 impl RoutedBatches {
@@ -81,6 +86,10 @@ pub struct RouteParams<'a> {
     /// granules already consumed, which makes the concatenated result
     /// bit-identical to one unchunked call.
     pub base_granule: u64,
+    /// Also record the kept keys in arrival order
+    /// ([`RoutedBatches::arrivals`]). Off by default: the plain pipeline
+    /// never pays for the extra vector.
+    pub track_arrivals: bool,
 }
 
 impl RouteParams<'_> {
@@ -122,12 +131,14 @@ pub fn route_edges(edges: &[Edge], params: RouteParams<'_>) -> RoutedBatches {
     let mut offered = 0;
     let mut kept = 0;
     let mut summary = params.mg_capacity.map(MisraGries::new);
+    let mut arrivals = Vec::new();
     for mut cr in chunk_results {
         offered += cr.offered;
         kept += cr.kept;
         for (dpu, batch) in cr.per_dpu.iter_mut().enumerate() {
             per_dpu[dpu].append(batch);
         }
+        arrivals.append(&mut cr.arrivals);
         if let (Some(acc), Some(local)) = (summary.as_mut(), cr.summary.as_ref()) {
             acc.merge(local);
         }
@@ -137,6 +148,7 @@ pub fn route_edges(edges: &[Edge], params: RouteParams<'_>) -> RoutedBatches {
         offered,
         kept,
         summary,
+        arrivals,
     }
 }
 
@@ -188,6 +200,7 @@ struct ChunkResult {
     offered: u64,
     kept: u64,
     summary: Option<MisraGries>,
+    arrivals: Vec<u64>,
 }
 
 /// Routes one granule-aligned chunk. `first_granule` is the global index
@@ -204,6 +217,7 @@ fn route_chunk(
     let mut routes = Vec::with_capacity(params.assignment.colors() as usize);
     let mut offered = 0u64;
     let mut kept = 0u64;
+    let mut arrivals = Vec::new();
     for (g, granule) in chunk.chunks(ROUTE_GRANULE_EDGES).enumerate() {
         let mut sampler = UniformSampler::new(
             params.uniform_p,
@@ -224,6 +238,9 @@ fn route_chunk(
                 mg.offer_edge(n.u, n.v);
             }
             let key = edge_key(n.u, n.v);
+            if params.track_arrivals {
+                arrivals.push(key);
+            }
             for &dpu in &routes {
                 per_dpu[dpu as usize].push(key);
             }
@@ -234,6 +251,7 @@ fn route_chunk(
         offered,
         kept,
         summary,
+        arrivals,
     }
 }
 
@@ -254,6 +272,7 @@ mod tests {
             mg_capacity: None,
             threads: 4,
             base_granule: 0,
+            track_arrivals: false,
         }
     }
 
@@ -423,6 +442,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tracked_arrivals_regenerate_the_batches() {
+        // The arrival stream plus per-key routing must reproduce exactly
+        // the per-core batches — the invariant hardened staging relies on.
+        let colors = 3;
+        let assignment = TripletAssignment::new(colors);
+        let coloring = ColoringHash::new(colors, 5);
+        let g = pim_graph::gen::erdos_renyi(150, 0.15, 9);
+        let p = RouteParams {
+            uniform_p: 0.6,
+            track_arrivals: true,
+            ..params(&assignment, &coloring)
+        };
+        let routed = route_edges(g.edges(), p);
+        assert_eq!(routed.arrivals.len() as u64, routed.kept);
+        let mut rebuilt: Vec<Vec<u64>> = vec![Vec::new(); assignment.nr_dpus()];
+        let mut routes = Vec::new();
+        for &key in &routed.arrivals {
+            let (u, v) = crate::kernel::edge_unkey(key);
+            let (ca, cb) = coloring.edge_colors(u, v);
+            assignment.dpus_for_edge(ca, cb, &mut routes);
+            for &dpu in &routes {
+                rebuilt[dpu as usize].push(key);
+            }
+        }
+        assert_eq!(rebuilt, routed.per_dpu);
+
+        // Tracking off: no arrivals are recorded.
+        let off = route_edges(g.edges(), params(&assignment, &coloring));
+        assert!(off.arrivals.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! path: the `t`-th edge replaces a uniform-random resident edge with
 //! probability `M/t`.
 
+use super::checksum::{self, CHECKSUM_MISMATCH, FNV_OFFSET};
 use super::layout::{Header, MramLayout};
 use super::rng;
 use pim_sim::{DpuContext, SimResult};
@@ -88,6 +89,53 @@ pub fn receive_kernel(ctx: &mut DpuContext<'_>, layout: &MramLayout) -> SimResul
     let mut t0 = ctx.tasklet(0)?;
     hdr.write(&mut t0)?;
     Ok(staged)
+}
+
+/// Checksummed variant of [`receive_kernel`] for hardened sessions.
+///
+/// The host appends an FNV-1a-64 digest of the staged keys to the
+/// payload (at staging slot `stage_len`, which is why hardened sessions
+/// stage at most `stage_edges - 1` keys per round). Before consuming the
+/// batch, the kernel re-digests the staged keys and compares; on any
+/// mismatch — including a corrupted `stage_len` header word — it leaves
+/// the sample untouched and returns [`CHECKSUM_MISMATCH`], telling the
+/// host to re-push the batch.
+pub fn receive_kernel_hardened(ctx: &mut DpuContext<'_>, layout: &MramLayout) -> SimResult<u64> {
+    let staged = {
+        let mut t0 = ctx.tasklet(0)?;
+        Header::read(&mut t0)?.stage_len
+    };
+    if staged == 0 {
+        return Ok(0);
+    }
+    // A corrupted stage_len can point past the staging region (and past
+    // the seal slot): reject before reading out of bounds.
+    if staged >= layout.stage_edges {
+        return Ok(CHECKSUM_MISMATCH);
+    }
+    let ok = {
+        let mut t0 = ctx.tasklet(0)?;
+        let chunk = ((t0.wram_free() / 8) / 2).max(8) as u64;
+        let mut buf = t0.alloc_wram::<u64>(chunk as usize)?;
+        let mut acc = FNV_OFFSET;
+        let mut pos = 0u64;
+        while pos < staged {
+            let n = chunk.min(staged - pos) as usize;
+            t0.mram_read(layout.staging_slot(pos), &mut buf[..n])?;
+            for &w in &buf[..n] {
+                acc = checksum::fnv1a_u64(acc, w);
+            }
+            t0.charge(n as u64 * 24);
+            pos += n as u64;
+        }
+        let expect = t0.mram_read_one::<u64>(layout.staging_slot(staged))?;
+        t0.charge(4);
+        acc == expect
+    };
+    if !ok {
+        return Ok(CHECKSUM_MISMATCH);
+    }
+    receive_kernel(ctx, layout)
 }
 
 /// Edges per WRAM chunk for bulk copies (half a tasklet's budget).
@@ -236,6 +284,93 @@ mod tests {
         let (mut sys, layout) = setup(10);
         let processed = sys.execute(|ctx| receive_kernel(ctx, &layout)).unwrap()[0];
         assert_eq!(processed, 0);
+        assert_eq!(read_header(&mut sys).len, 0);
+    }
+
+    /// Pushes a sealed batch (keys + FNV digest) the hardened kernel way.
+    fn push_sealed(sys: &mut PimSystem, layout: &MramLayout, edges: &[u64]) {
+        assert!((edges.len() as u64) < layout.stage_edges);
+        let mut payload = edges.to_vec();
+        payload.push(crate::kernel::checksum::fnv1a_words(edges));
+        sys.push(vec![
+            HostWrite {
+                dpu: 0,
+                offset: layout.staging_off,
+                data: encode_slice(&payload),
+            },
+            HostWrite {
+                dpu: 0,
+                offset: super::super::layout::HDR_STAGE_LEN,
+                data: encode_slice(&[edges.len() as u64]),
+            },
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn hardened_receive_accepts_a_sealed_batch() {
+        let (mut sys, layout) = setup(100);
+        let edges: Vec<u64> = (0..40u32).map(|i| edge_key(i, i + 1)).collect();
+        push_sealed(&mut sys, &layout, &edges);
+        let processed = sys
+            .execute(|ctx| receive_kernel_hardened(ctx, &layout))
+            .unwrap()[0];
+        assert_eq!(processed, 40);
+        let hdr = read_header(&mut sys);
+        assert_eq!(hdr.len, 40);
+        assert_eq!(hdr.stage_len, 0);
+        assert_eq!(read_sample(&sys, &layout, 40), edges);
+    }
+
+    #[test]
+    fn hardened_receive_rejects_a_corrupted_batch() {
+        let (mut sys, layout) = setup(100);
+        let edges: Vec<u64> = (0..40u32).map(|i| edge_key(i, i + 1)).collect();
+        push_sealed(&mut sys, &layout, &edges);
+        // Flip one byte of a staged key behind the checksum's back.
+        let bank = sys
+            .dpu(0)
+            .unwrap()
+            .host_read(layout.staging_slot(7), 1)
+            .unwrap();
+        sys.push(vec![HostWrite {
+            dpu: 0,
+            offset: layout.staging_slot(7),
+            data: vec![bank[0] ^ 0xA5],
+        }])
+        .unwrap();
+        let processed = sys
+            .execute(|ctx| receive_kernel_hardened(ctx, &layout))
+            .unwrap()[0];
+        assert_eq!(processed, crate::kernel::checksum::CHECKSUM_MISMATCH);
+        // The sample was not touched: the batch can be re-pushed cleanly.
+        let hdr = read_header(&mut sys);
+        assert_eq!(hdr.len, 0);
+        assert_eq!(hdr.seen, 0);
+        push_sealed(&mut sys, &layout, &edges);
+        let processed = sys
+            .execute(|ctx| receive_kernel_hardened(ctx, &layout))
+            .unwrap()[0];
+        assert_eq!(processed, 40);
+        assert_eq!(read_sample(&sys, &layout, 40), edges);
+    }
+
+    #[test]
+    fn hardened_receive_rejects_a_corrupted_stage_len() {
+        let (mut sys, layout) = setup(100);
+        let edges: Vec<u64> = (0..8u32).map(|i| edge_key(i, 9)).collect();
+        push_sealed(&mut sys, &layout, &edges);
+        // Corrupt the stage_len header word to an out-of-range count.
+        sys.push(vec![HostWrite {
+            dpu: 0,
+            offset: super::super::layout::HDR_STAGE_LEN,
+            data: encode_slice(&[layout.stage_edges + 100]),
+        }])
+        .unwrap();
+        let processed = sys
+            .execute(|ctx| receive_kernel_hardened(ctx, &layout))
+            .unwrap()[0];
+        assert_eq!(processed, crate::kernel::checksum::CHECKSUM_MISMATCH);
         assert_eq!(read_header(&mut sys).len, 0);
     }
 }

@@ -44,7 +44,7 @@ pub mod triplets;
 
 pub use config::{ExecBackend, MisraGriesConfig, TcConfig, TcConfigBuilder};
 pub use dynamic::TcSession;
-pub use error::TcError;
+pub use error::{PimTcError, TcError};
 pub use result::{DpuReport, TcResult};
 pub use triplets::{ColorTriplet, TripletAssignment};
 

@@ -19,6 +19,7 @@ fn hw_shape() -> impl Strategy<Value = PimConfig> {
         iram_capacity: 24 << 10,
         nr_tasklets: tasklets.min((wram_kb as usize) << 2), // ≥256 B/tasklet
         host_threads: 1,
+        fault: None,
     })
 }
 

@@ -27,9 +27,10 @@ use crate::cost::{CostModel, SimSeconds};
 use crate::dpu::Dpu;
 use crate::energy::EnergyReport;
 use crate::error::{SimError, SimResult};
+use crate::fault::{FaultCounters, FaultDecision, FaultState, OpKind};
 use crate::kernel::{DpuContext, Pod};
 use crate::phase::{Phase, PhaseTimes};
-use crate::system::{HostWrite, PimSystem};
+use crate::system::{HostWrite, PimSystem, CORRUPT_MASK};
 use crate::trace::Trace;
 use rayon::prelude::*;
 
@@ -127,6 +128,34 @@ pub trait PimBackend: Send {
         self.execute_labeled("kernel", kernel)
     }
 
+    /// Like [`PimBackend::execute_labeled`], but tolerant of permanently
+    /// dead DPUs (see [`crate::fault`]): their slots come back as `None`
+    /// instead of failing the launch. The default implementation assumes a
+    /// fault-free machine where every slot is `Some`.
+    fn execute_labeled_masked<R, K>(&mut self, label: &str, kernel: K) -> SimResult<Vec<Option<R>>>
+    where
+        R: Send,
+        K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
+        Self: Sized,
+    {
+        Ok(self
+            .execute_labeled(label, kernel)?
+            .into_iter()
+            .map(Some)
+            .collect())
+    }
+
+    /// Whether the fault plan has permanently killed `dpu`. Always false
+    /// without an active plan.
+    fn is_dpu_lost(&self, _dpu: usize) -> bool {
+        false
+    }
+
+    /// Counters of faults injected so far (all-zero without a plan).
+    fn fault_counters(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
+
     /// Sum of MRAM bytes in use across all DPUs.
     fn total_mram_used(&self) -> u64;
 
@@ -219,6 +248,22 @@ impl PimBackend for PimSystem {
         PimSystem::execute_labeled(self, label, kernel)
     }
 
+    fn execute_labeled_masked<R, K>(&mut self, label: &str, kernel: K) -> SimResult<Vec<Option<R>>>
+    where
+        R: Send,
+        K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
+    {
+        PimSystem::execute_labeled_masked(self, label, kernel)
+    }
+
+    fn is_dpu_lost(&self, dpu: usize) -> bool {
+        PimSystem::is_dpu_lost(self, dpu)
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        PimSystem::fault_counters(self)
+    }
+
     fn total_mram_used(&self) -> u64 {
         PimSystem::total_mram_used(self)
     }
@@ -255,6 +300,7 @@ pub struct FunctionalBackend {
     transfer_bytes: u64,
     /// Always-empty, never-enabled timeline handed out by `trace()`.
     trace: Trace,
+    fault: FaultState,
 }
 
 impl FunctionalBackend {
@@ -283,6 +329,7 @@ impl PimBackend for FunctionalBackend {
             phase: Phase::Setup,
             transfer_bytes: 0,
             trace: Trace::default(),
+            fault: FaultState::new(config.fault, nr_dpus),
         })
     }
 
@@ -336,48 +383,148 @@ impl PimBackend for FunctionalBackend {
                     allocated: self.dpus.len(),
                 });
             }
+            if self.fault.is_dead(w.dpu) {
+                return Err(SimError::DpuDead { dpu: w.dpu });
+            }
+        }
+        let decision = self.fault.decide(OpKind::Transfer);
+        match decision {
+            FaultDecision::Kill { dpu, .. } => return Err(SimError::DpuDead { dpu }),
+            FaultDecision::Fail { op } => return Err(SimError::FaultTransfer { op }),
+            FaultDecision::None | FaultDecision::Corrupt { .. } => {}
         }
         for w in &writes {
             self.dpus[w.dpu].host_write(w.offset, &w.data)?;
             self.transfer_bytes += w.data.len() as u64;
         }
+        if let FaultDecision::Corrupt { salt, .. } = decision {
+            let victims: Vec<usize> = (0..writes.len())
+                .filter(|&i| !writes[i].data.is_empty())
+                .collect();
+            if !victims.is_empty() {
+                let w = &writes[victims[salt as usize % victims.len()]];
+                let byte = (salt >> 8) % w.data.len() as u64;
+                let flipped = w.data[byte as usize] ^ CORRUPT_MASK;
+                self.dpus[w.dpu].host_write(w.offset + byte, &[flipped])?;
+                self.fault.count_corruption();
+            }
+        }
         Ok(())
     }
 
     fn broadcast(&mut self, offset: u64, data: &[u8]) -> SimResult<()> {
-        for dpu in &mut self.dpus {
-            dpu.host_write(offset, data)?;
+        let decision = self.fault.decide(OpKind::Transfer);
+        match decision {
+            FaultDecision::Kill { dpu, .. } => return Err(SimError::DpuDead { dpu }),
+            FaultDecision::Fail { op } => return Err(SimError::FaultTransfer { op }),
+            FaultDecision::None | FaultDecision::Corrupt { .. } => {}
         }
-        self.transfer_bytes += data.len() as u64 * self.dpus.len() as u64;
+        let mut live_count = 0u64;
+        for dpu in &mut self.dpus {
+            if !self.fault.is_dead(dpu.id()) {
+                dpu.host_write(offset, data)?;
+                live_count += 1;
+            }
+        }
+        self.transfer_bytes += data.len() as u64 * live_count;
+        if let FaultDecision::Corrupt { salt, .. } = decision {
+            let victims: Vec<usize> = (0..self.dpus.len())
+                .filter(|&d| !self.fault.is_dead(d))
+                .collect();
+            if !victims.is_empty() && !data.is_empty() {
+                let d = victims[salt as usize % victims.len()];
+                let byte = (salt >> 8) % data.len() as u64;
+                let flipped = data[byte as usize] ^ CORRUPT_MASK;
+                self.dpus[d].host_write(offset + byte, &[flipped])?;
+                self.fault.count_corruption();
+            }
+        }
         Ok(())
     }
 
     fn gather(&mut self, offset: u64, len: u64) -> SimResult<Vec<Vec<u8>>> {
-        let out: SimResult<Vec<Vec<u8>>> =
-            self.dpus.iter().map(|d| d.host_read(offset, len)).collect();
+        let decision = self.fault.decide(OpKind::Transfer);
+        match decision {
+            FaultDecision::Kill { dpu, .. } => return Err(SimError::DpuDead { dpu }),
+            FaultDecision::Fail { op } => return Err(SimError::FaultTransfer { op }),
+            FaultDecision::None | FaultDecision::Corrupt { .. } => {}
+        }
+        let out: SimResult<Vec<Vec<u8>>> = self
+            .dpus
+            .iter()
+            .map(|d| {
+                if self.fault.is_dead(d.id()) {
+                    Ok(vec![0u8; len as usize])
+                } else {
+                    d.host_read(offset, len)
+                }
+            })
+            .collect();
+        let mut out = out?;
+        if let FaultDecision::Corrupt { salt, .. } = decision {
+            let victims: Vec<usize> = (0..out.len())
+                .filter(|&d| !self.fault.is_dead(d) && !out[d].is_empty())
+                .collect();
+            if !victims.is_empty() {
+                let d = victims[salt as usize % victims.len()];
+                let byte = (salt >> 8) as usize % out[d].len();
+                out[d][byte] ^= CORRUPT_MASK;
+                self.fault.count_corruption();
+            }
+        }
         self.transfer_bytes += len * self.dpus.len() as u64;
-        out
+        Ok(out)
     }
 
-    fn execute_labeled<R, K>(&mut self, _label: &str, kernel: K) -> SimResult<Vec<R>>
+    fn execute_labeled<R, K>(&mut self, label: &str, kernel: K) -> SimResult<Vec<R>>
     where
         R: Send,
         K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
     {
+        let results = self.execute_labeled_masked(label, kernel)?;
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(dpu, r)| r.ok_or(SimError::DpuDead { dpu }))
+            .collect()
+    }
+
+    fn execute_labeled_masked<R, K>(&mut self, _label: &str, kernel: K) -> SimResult<Vec<Option<R>>>
+    where
+        R: Send,
+        K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
+    {
+        match self.fault.decide(OpKind::Launch) {
+            FaultDecision::Kill { dpu, .. } => return Err(SimError::DpuDead { dpu }),
+            FaultDecision::Fail { op } => return Err(SimError::FaultLaunch { op }),
+            FaultDecision::None | FaultDecision::Corrupt { .. } => {}
+        }
         let config = self.config;
         let cost = self.cost;
+        let dead: Vec<bool> = self.fault.dead_flags().to_vec();
         self.dpus
             .par_iter_mut()
             .map(|dpu| {
+                if dead.get(dpu.id()).copied().unwrap_or(false) {
+                    return Ok(None);
+                }
                 dpu.reset_kernel_counters();
                 let mut ctx = DpuContext {
                     dpu,
                     config: &config,
                     cost: &cost,
                 };
-                kernel(&mut ctx)
+                kernel(&mut ctx).map(Some)
             })
             .collect()
+    }
+
+    fn is_dpu_lost(&self, dpu: usize) -> bool {
+        self.fault.is_dead(dpu)
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.fault.counters()
     }
 
     fn total_mram_used(&self) -> u64 {

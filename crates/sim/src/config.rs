@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
+
 /// Capacities and core counts of the simulated system. Defaults match the
 /// paper's evaluation platform: 20 P21 DIMMs → 2560 DPUs, each with 64 MB
 /// MRAM, 64 KB WRAM, 24 KB IRAM, and 16 tasklets (§2.2, §4.1).
@@ -20,6 +22,9 @@ pub struct PimConfig {
     pub nr_tasklets: usize,
     /// Host CPU threads used for batch creation. The paper uses 32.
     pub host_threads: usize,
+    /// Optional deterministic fault-injection plan. `None` (the default)
+    /// simulates a fault-free machine with zero overhead.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for PimConfig {
@@ -31,6 +36,7 @@ impl Default for PimConfig {
             iram_capacity: 24 << 10,
             nr_tasklets: 16,
             host_threads: 32,
+            fault: None,
         }
     }
 }
@@ -47,6 +53,7 @@ impl PimConfig {
             iram_capacity: 24 << 10,
             nr_tasklets: 4,
             host_threads: 2,
+            fault: None,
         }
     }
 

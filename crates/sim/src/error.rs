@@ -59,6 +59,32 @@ pub enum SimError {
         /// DPUs available.
         available: usize,
     },
+    /// The fault plan failed a transfer op transiently; nothing was applied.
+    FaultTransfer {
+        /// Operation index the fault fired at.
+        op: u64,
+    },
+    /// The fault plan failed a kernel launch transiently; no tasklet ran.
+    FaultLaunch {
+        /// Operation index the fault fired at.
+        op: u64,
+    },
+    /// The addressed DPU has died permanently under the fault plan.
+    DpuDead {
+        /// The dead DPU.
+        dpu: usize,
+    },
+}
+
+impl SimError {
+    /// True for injected faults that a retry can clear (transfer/launch
+    /// failures). Permanent deaths and programming errors are not transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::FaultTransfer { .. } | SimError::FaultLaunch { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -83,6 +109,15 @@ impl fmt::Display for SimError {
             }
             SimError::TooManyDpus { requested, available } => {
                 write!(f, "requested {requested} DPUs, system has {available}")
+            }
+            SimError::FaultTransfer { op } => {
+                write!(f, "injected transient transfer fault at op {op}")
+            }
+            SimError::FaultLaunch { op } => {
+                write!(f, "injected transient kernel-launch fault at op {op}")
+            }
+            SimError::DpuDead { dpu } => {
+                write!(f, "DPU {dpu} has died permanently (injected fault)")
             }
         }
     }

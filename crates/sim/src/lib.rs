@@ -34,6 +34,7 @@ pub mod cost;
 pub mod dpu;
 pub mod energy;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod phase;
 pub mod stats;
@@ -46,6 +47,7 @@ pub use cost::CostModel;
 pub use dpu::Dpu;
 pub use energy::{EnergyModel, EnergyReport};
 pub use error::{SimError, SimResult};
+pub use fault::{DpuKill, FaultCounters, FaultPlan};
 pub use kernel::{DpuContext, Tasklet};
 pub use phase::{Phase, PhaseTimes};
 pub use stats::{

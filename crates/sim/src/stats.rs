@@ -9,6 +9,7 @@
 
 use crate::backend::PimBackend;
 use crate::dpu::Dpu;
+use crate::fault::FaultCounters;
 use crate::phase::Phase;
 use crate::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
@@ -142,6 +143,9 @@ pub struct SystemReport {
     pub launches: Vec<LaunchProfile>,
     /// Kernel cycles per phase (empty unless tracing was enabled).
     pub phase_kernel_cycles: Vec<PhaseKernelCycles>,
+    /// Faults injected by the system's [`crate::fault::FaultPlan`]
+    /// (all-zero on fault-free runs).
+    pub fault_counters: FaultCounters,
 }
 
 impl SystemReport {
@@ -225,6 +229,7 @@ impl SystemReport {
             per_dpu,
             launches,
             phase_kernel_cycles,
+            fault_counters: sys.fault_counters(),
         }
     }
 }

@@ -5,9 +5,13 @@ use crate::config::PimConfig;
 use crate::cost::{CostModel, SimSeconds};
 use crate::dpu::Dpu;
 use crate::error::{SimError, SimResult};
+use crate::fault::{FaultCounters, FaultDecision, FaultState, OpKind};
 use crate::kernel::{DpuContext, Pod};
 use crate::phase::{Phase, PhaseTimes};
 use rayon::prelude::*;
+
+/// XOR mask applied to the victim byte of a corrupted payload.
+pub(crate) const CORRUPT_MASK: u8 = 0xA5;
 
 /// One host→DPU write request in a parallel transfer batch.
 #[derive(Clone, Debug)]
@@ -33,6 +37,7 @@ pub struct PimSystem {
     transfer_bytes: u64,
     transfer_seconds: SimSeconds,
     trace: crate::trace::Trace,
+    fault: FaultState,
 }
 
 impl PimSystem {
@@ -58,6 +63,7 @@ impl PimSystem {
             transfer_bytes: 0,
             transfer_seconds: 0.0,
             trace: crate::trace::Trace::default(),
+            fault: FaultState::new(config.fault, nr_dpus),
         };
         let setup = sys.cost.setup_seconds(nr_dpus);
         sys.times.add(Phase::Setup, setup);
@@ -172,10 +178,42 @@ impl PimSystem {
                     allocated: self.dpus.len(),
                 });
             }
+            if self.fault.is_dead(w.dpu) {
+                return Err(SimError::DpuDead { dpu: w.dpu });
+            }
             per_dpu_bytes[w.dpu] += w.data.len() as u64;
+        }
+        let decision = self.fault.decide(OpKind::Transfer);
+        match decision {
+            FaultDecision::Kill { dpu, op } => {
+                self.record_fault("kill", op, Some(dpu));
+                return Err(SimError::DpuDead { dpu });
+            }
+            FaultDecision::Fail { op } => {
+                // The bus time is wasted even though nothing lands.
+                let seconds = self.cost.transfer_seconds(&per_dpu_bytes);
+                self.transfer_seconds += seconds;
+                self.times.add(self.phase, seconds);
+                self.record_fault("transfer_fail", op, None);
+                return Err(SimError::FaultTransfer { op });
+            }
+            FaultDecision::None | FaultDecision::Corrupt { .. } => {}
         }
         for w in &writes {
             self.dpus[w.dpu].host_write(w.offset, &w.data)?;
+        }
+        if let FaultDecision::Corrupt { salt, op } = decision {
+            let victims: Vec<usize> = (0..writes.len())
+                .filter(|&i| !writes[i].data.is_empty())
+                .collect();
+            if !victims.is_empty() {
+                let w = &writes[victims[salt as usize % victims.len()]];
+                let byte = (salt >> 8) % w.data.len() as u64;
+                let flipped = w.data[byte as usize] ^ CORRUPT_MASK;
+                self.dpus[w.dpu].host_write(w.offset + byte, &[flipped])?;
+                self.fault.count_corruption();
+                self.record_fault("corrupt", op, Some(w.dpu));
+            }
         }
         let bytes = per_dpu_bytes.iter().sum::<u64>();
         self.transfer_bytes += bytes;
@@ -191,6 +229,27 @@ impl PimSystem {
         Ok(())
     }
 
+    /// Records a fault event on the trace.
+    fn record_fault(&mut self, kind: &str, op: u64, dpu: Option<usize>) {
+        self.trace.record(crate::trace::TraceEvent::Fault {
+            kind: kind.to_string(),
+            op,
+            dpu,
+            phase: self.phase,
+        });
+    }
+
+    /// Whether the fault plan has permanently killed `dpu`. Always false on
+    /// a fault-free system.
+    pub fn is_dpu_lost(&self, dpu: usize) -> bool {
+        self.fault.is_dead(dpu)
+    }
+
+    /// Counters of faults injected so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault.counters()
+    }
+
     /// Broadcasts the same payload to every DPU at the same offset (UPMEM
     /// supports this as an optimized parallel transfer; modeled as one
     /// rank-parallel batch).
@@ -200,10 +259,44 @@ impl PimSystem {
     /// per bank, not one allocation per bank. Cost accounting is identical
     /// to [`PimSystem::push`] with the equivalent per-DPU write batch.
     pub fn broadcast(&mut self, offset: u64, data: &[u8]) -> SimResult<()> {
-        for dpu in &mut self.dpus {
-            dpu.host_write(offset, data)?;
+        let decision = self.fault.decide(OpKind::Transfer);
+        let live: Vec<bool> = (0..self.dpus.len())
+            .map(|d| !self.fault.is_dead(d))
+            .collect();
+        let per_dpu_bytes: Vec<u64> = live
+            .iter()
+            .map(|&alive| if alive { data.len() as u64 } else { 0 })
+            .collect();
+        match decision {
+            FaultDecision::Kill { dpu, op } => {
+                self.record_fault("kill", op, Some(dpu));
+                return Err(SimError::DpuDead { dpu });
+            }
+            FaultDecision::Fail { op } => {
+                let seconds = self.cost.transfer_seconds(&per_dpu_bytes);
+                self.transfer_seconds += seconds;
+                self.times.add(self.phase, seconds);
+                self.record_fault("transfer_fail", op, None);
+                return Err(SimError::FaultTransfer { op });
+            }
+            FaultDecision::None | FaultDecision::Corrupt { .. } => {}
         }
-        let per_dpu_bytes = vec![data.len() as u64; self.dpus.len()];
+        for dpu in &mut self.dpus {
+            if live[dpu.id()] {
+                dpu.host_write(offset, data)?;
+            }
+        }
+        if let FaultDecision::Corrupt { salt, op } = decision {
+            let victims: Vec<usize> = (0..self.dpus.len()).filter(|&d| live[d]).collect();
+            if !victims.is_empty() && !data.is_empty() {
+                let d = victims[salt as usize % victims.len()];
+                let byte = (salt >> 8) % data.len() as u64;
+                let flipped = data[byte as usize] ^ CORRUPT_MASK;
+                self.dpus[d].host_write(offset + byte, &[flipped])?;
+                self.fault.count_corruption();
+                self.record_fault("corrupt", op, Some(d));
+            }
+        }
         let bytes = per_dpu_bytes.iter().sum::<u64>();
         self.transfer_bytes += bytes;
         let seconds = self.cost.transfer_seconds(&per_dpu_bytes);
@@ -221,9 +314,47 @@ impl PimSystem {
     /// Gathers `len` bytes at `offset` from every DPU (PIM→CPU transfer),
     /// charging one rank-parallel batch.
     pub fn gather(&mut self, offset: u64, len: u64) -> SimResult<Vec<Vec<u8>>> {
-        let out: SimResult<Vec<Vec<u8>>> =
-            self.dpus.iter().map(|d| d.host_read(offset, len)).collect();
-        let out = out?;
+        let decision = self.fault.decide(OpKind::Transfer);
+        match decision {
+            FaultDecision::Kill { dpu, op } => {
+                self.record_fault("kill", op, Some(dpu));
+                return Err(SimError::DpuDead { dpu });
+            }
+            FaultDecision::Fail { op } => {
+                let seconds = self.cost.transfer_seconds(&vec![len; self.dpus.len()]);
+                self.transfer_seconds += seconds;
+                self.times.add(self.phase, seconds);
+                self.record_fault("transfer_fail", op, None);
+                return Err(SimError::FaultTransfer { op });
+            }
+            FaultDecision::None | FaultDecision::Corrupt { .. } => {}
+        }
+        // Dead DPUs answer with zeroed tombstones so positional indexing by
+        // DPU id keeps working for the survivors.
+        let out: SimResult<Vec<Vec<u8>>> = self
+            .dpus
+            .iter()
+            .map(|d| {
+                if self.fault.is_dead(d.id()) {
+                    Ok(vec![0u8; len as usize])
+                } else {
+                    d.host_read(offset, len)
+                }
+            })
+            .collect();
+        let mut out = out?;
+        if let FaultDecision::Corrupt { salt, op } = decision {
+            let victims: Vec<usize> = (0..out.len())
+                .filter(|&d| !self.fault.is_dead(d) && !out[d].is_empty())
+                .collect();
+            if !victims.is_empty() {
+                let d = victims[salt as usize % victims.len()];
+                let byte = (salt >> 8) as usize % out[d].len();
+                out[d][byte] ^= CORRUPT_MASK;
+                self.fault.count_corruption();
+                self.record_fault("corrupt", op, Some(d));
+            }
+        }
         let per_dpu_bytes = vec![len; self.dpus.len()];
         let bytes = len * self.dpus.len() as u64;
         self.transfer_bytes += bytes;
@@ -272,12 +403,50 @@ impl PimSystem {
         R: Send,
         K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
     {
+        let results = self.execute_labeled_masked(label, kernel)?;
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(dpu, r)| r.ok_or(SimError::DpuDead { dpu }))
+            .collect()
+    }
+
+    /// Like [`PimSystem::execute_labeled`], but tolerant of permanently dead
+    /// DPUs: their slots come back as `None` instead of failing the launch.
+    /// Fault-aware orchestrators use this to keep driving the survivors.
+    pub fn execute_labeled_masked<R, K>(
+        &mut self,
+        label: &str,
+        kernel: K,
+    ) -> SimResult<Vec<Option<R>>>
+    where
+        R: Send,
+        K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
+    {
+        match self.fault.decide(OpKind::Launch) {
+            FaultDecision::Kill { dpu, op } => {
+                self.record_fault("kill", op, Some(dpu));
+                return Err(SimError::DpuDead { dpu });
+            }
+            FaultDecision::Fail { op } => {
+                // The launch round-trip is wasted before any tasklet runs.
+                let seconds = self.cost.launch_overhead;
+                self.times.add(self.phase, seconds);
+                self.record_fault("launch_fail", op, None);
+                return Err(SimError::FaultLaunch { op });
+            }
+            FaultDecision::None | FaultDecision::Corrupt { .. } => {}
+        }
         let config = self.config;
         let cost = self.cost;
-        let results: SimResult<Vec<(R, u64)>> = self
+        let dead: Vec<bool> = self.fault.dead_flags().to_vec();
+        let results: SimResult<Vec<(Option<R>, u64)>> = self
             .dpus
             .par_iter_mut()
             .map(|dpu| {
+                if dead.get(dpu.id()).copied().unwrap_or(false) {
+                    return Ok((None, 0));
+                }
                 dpu.reset_kernel_counters();
                 let mut ctx = DpuContext {
                     dpu,
@@ -286,7 +455,7 @@ impl PimSystem {
                 };
                 let r = kernel(&mut ctx)?;
                 let cycles = cost.dpu_cycles(&ctx.dpu.tasklet_instr, ctx.dpu.dma_cycles);
-                Ok((r, cycles))
+                Ok((Some(r), cycles))
             })
             .collect();
         let results = results?;
@@ -295,7 +464,9 @@ impl PimSystem {
         self.times.add(self.phase, seconds);
         if self.trace.is_enabled() {
             // The per-kernel counters were reset at launch, so right now
-            // they describe exactly this launch.
+            // they describe exactly this launch. Dead DPUs report zeros;
+            // their counters are stale leftovers from before they died.
+            let is_dead = |id: usize| dead.get(id).copied().unwrap_or(false);
             self.trace.record(crate::trace::TraceEvent::Kernel {
                 label: label.to_string(),
                 max_cycles,
@@ -305,9 +476,25 @@ impl PimSystem {
                 per_dpu_instructions: self
                     .dpus
                     .iter()
-                    .map(|d| d.tasklet_instr.iter().sum())
+                    .map(|d| {
+                        if is_dead(d.id()) {
+                            0
+                        } else {
+                            d.tasklet_instr.iter().sum()
+                        }
+                    })
                     .collect(),
-                per_dpu_dma_bytes: self.dpus.iter().map(|d| d.kernel_dma_bytes).collect(),
+                per_dpu_dma_bytes: self
+                    .dpus
+                    .iter()
+                    .map(|d| {
+                        if is_dead(d.id()) {
+                            0
+                        } else {
+                            d.kernel_dma_bytes
+                        }
+                    })
+                    .collect(),
             });
         }
         Ok(results.into_iter().map(|(r, _)| r).collect())

@@ -76,6 +76,20 @@ pub enum TraceEvent {
         /// New phase.
         to: Phase,
     },
+    /// The fault plan injected a fault (see [`crate::fault`]). Carries no
+    /// cost of its own — failed ops charge their wasted time through their
+    /// regular event kinds.
+    Fault {
+        /// Fault class: `"transfer_fail"`, `"corrupt"`, `"launch_fail"`,
+        /// or `"kill"`.
+        kind: String,
+        /// Operation index the fault fired at.
+        op: u64,
+        /// Affected DPU, when the fault targets one.
+        dpu: Option<usize>,
+        /// Phase the faulted operation ran in.
+        phase: Phase,
+    },
 }
 
 impl TraceEvent {
@@ -87,7 +101,7 @@ impl TraceEvent {
             | TraceEvent::Gather { seconds, .. }
             | TraceEvent::Kernel { seconds, .. }
             | TraceEvent::HostWork { seconds, .. } => *seconds,
-            TraceEvent::PhaseChange { .. } => 0.0,
+            TraceEvent::PhaseChange { .. } | TraceEvent::Fault { .. } => 0.0,
         }
     }
 
@@ -99,7 +113,8 @@ impl TraceEvent {
             TraceEvent::Push { phase, .. }
             | TraceEvent::Gather { phase, .. }
             | TraceEvent::Kernel { phase, .. }
-            | TraceEvent::HostWork { phase, .. } => *phase,
+            | TraceEvent::HostWork { phase, .. }
+            | TraceEvent::Fault { phase, .. } => *phase,
             TraceEvent::PhaseChange { to } => *to,
         }
     }
@@ -195,6 +210,15 @@ impl Trace {
                 TraceEvent::PhaseChange { to } => {
                     writeln!(out, "[{clock:>10.6}s] --- phase: {to:?} ---")
                 }
+                TraceEvent::Fault { kind, op, dpu, phase } => match dpu {
+                    Some(d) => writeln!(
+                        out,
+                        "[{clock:>10.6}s] !! fault `{kind}` op {op} dpu {d} [{phase:?}]"
+                    ),
+                    None => {
+                        writeln!(out, "[{clock:>10.6}s] !! fault `{kind}` op {op} [{phase:?}]")
+                    }
+                },
             };
         }
         out
@@ -278,6 +302,22 @@ impl Trace {
                         ("tid", Value::U64(tid)),
                         ("ts", Value::F64(clock_us)),
                         ("s", Value::Str("g".into())),
+                    ]));
+                    continue;
+                }
+                TraceEvent::Fault { kind, op, dpu, .. } => {
+                    let mut args = vec![("op", Value::U64(*op))];
+                    if let Some(d) = dpu {
+                        args.push(("dpu", Value::U64(*d as u64)));
+                    }
+                    events.push(obj(vec![
+                        ("name", Value::Str(format!("fault:{kind}"))),
+                        ("ph", Value::Str("i".into())),
+                        ("pid", Value::U64(1)),
+                        ("tid", Value::U64(tid)),
+                        ("ts", Value::F64(clock_us)),
+                        ("s", Value::Str("g".into())),
+                        ("args", obj(args)),
                     ]));
                     continue;
                 }

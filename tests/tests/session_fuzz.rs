@@ -45,6 +45,7 @@ proptest! {
                 iram_capacity: 24 << 10,
                 nr_tasklets: tasklets,
                 host_threads: 2,
+                fault: None,
             })
             .stage_edges(64)
             .build()
