@@ -14,9 +14,11 @@
 use crate::cpu_csr::cpu_count;
 use crate::gpu_proxy::GpuModel;
 use pim_graph::{CooGraph, Edge};
-use pim_sim::{FunctionalBackend, PimBackend, TimedBackend};
+use pim_metrics::MetricsHub;
+use pim_sim::{FunctionalBackend, PimBackend, SystemReport, TimedBackend};
 use pim_tc::{ExecBackend, TcConfig, TcError, TcSession};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Per-update timing for one system.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -79,10 +81,8 @@ pub fn gpu_dynamic(batches: &[Vec<Edge>], model: &GpuModel) -> Vec<UpdateTiming>
 /// [`TcConfig::backend`] (functional runs report zero seconds but
 /// identical counts).
 pub fn pim_dynamic(batches: &[Vec<Edge>], config: &TcConfig) -> Result<Vec<UpdateTiming>, TcError> {
-    match config.backend {
-        ExecBackend::Timed => pim_dynamic_in::<TimedBackend>(batches, config),
-        ExecBackend::Functional => pim_dynamic_in::<FunctionalBackend>(batches, config),
-    }
+    let (timings, _) = pim_dynamic_metered(batches, config, None)?;
+    Ok(timings)
 }
 
 /// [`pim_dynamic`] on a caller-chosen execution engine, ignoring
@@ -91,7 +91,34 @@ pub fn pim_dynamic_in<B: PimBackend>(
     batches: &[Vec<Edge>],
     config: &TcConfig,
 ) -> Result<Vec<UpdateTiming>, TcError> {
-    let mut session = TcSession::<B>::start_with(config)?;
+    let (timings, _) = pim_dynamic_metered_in::<B>(batches, config, None)?;
+    Ok(timings)
+}
+
+/// [`pim_dynamic`] with an optional live [`MetricsHub`]: when a hub is
+/// given, every transfer/launch/fault/chunk of the session is emitted on
+/// it as it happens. Also returns the final [`SystemReport`] so callers
+/// can reconcile the metric stream against the backend's own counters.
+pub fn pim_dynamic_metered(
+    batches: &[Vec<Edge>],
+    config: &TcConfig,
+    hub: Option<Arc<MetricsHub>>,
+) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
+    match config.backend {
+        ExecBackend::Timed => pim_dynamic_metered_in::<TimedBackend>(batches, config, hub),
+        ExecBackend::Functional => {
+            pim_dynamic_metered_in::<FunctionalBackend>(batches, config, hub)
+        }
+    }
+}
+
+/// [`pim_dynamic_metered`] on a caller-chosen execution engine.
+pub fn pim_dynamic_metered_in<B: PimBackend>(
+    batches: &[Vec<Edge>],
+    config: &TcConfig,
+    hub: Option<Arc<MetricsHub>>,
+) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
+    let mut session = TcSession::<B>::start_metered(config, hub)?;
     let mut out = Vec::with_capacity(batches.len());
     let mut prev_total = 0.0;
     for (update, batch) in batches.iter().enumerate() {
@@ -109,7 +136,8 @@ pub fn pim_dynamic_in<B: PimBackend>(
             triangles: result.estimate,
         });
     }
-    Ok(out)
+    let report = session.system_report();
+    Ok((out, report))
 }
 
 #[cfg(test)]

@@ -1,0 +1,165 @@
+//! The CI perf-regression gate: re-runs the `fig6_static` PIM
+//! configuration and compares the fresh run against the recorded baseline
+//! (`results/bench_baseline.json`), exiting non-zero past the fail
+//! thresholds. See `docs/OBSERVABILITY.md` for the metric classes and
+//! default tolerances.
+//!
+//! ```text
+//! bench_gate [--baseline PATH] [--counter-warn F] [--counter-fail F]
+//!            [--time-warn F] [--time-fail F]
+//! ```
+//!
+//! Each gated run also streams its live metric capture to
+//! `results/bench_gate_<graph>.metrics.jsonl` (uploadable as a CI
+//! artifact) and the verdicts land in `results/bench_gate.{md,json}`.
+
+use pim_bench::gate::{compare, gate_failed, parse_baseline, render, GateRow, Tolerances};
+use pim_bench::{pim_config, Harness, MdTable};
+use pim_graph::datasets::DatasetId;
+use pim_metrics::{JsonlSink, MetricsHub};
+use serde::Serialize;
+use std::path::Path;
+use std::sync::Arc;
+
+const COLORS: u32 = 23; // fig6_static's 2300-core configuration
+
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_f64(name: &str, default: f64) -> f64 {
+    flag(name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name}: not a number: {v:?}"))
+        })
+        .unwrap_or(default)
+}
+
+#[derive(Serialize)]
+struct CheckRecord {
+    graph: String,
+    metric: String,
+    baseline: f64,
+    observed: f64,
+    rel: f64,
+    verdict: String,
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let defaults = Tolerances::default();
+    let tol = Tolerances {
+        counter_warn: flag_f64("--counter-warn", defaults.counter_warn),
+        counter_fail: flag_f64("--counter-fail", defaults.counter_fail),
+        time_warn: flag_f64("--time-warn", defaults.time_warn),
+        time_fail: flag_f64("--time-fail", defaults.time_fail),
+    };
+    let baseline_path =
+        flag("--baseline").unwrap_or_else(|| "results/bench_baseline.json".to_string());
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let baseline = parse_baseline(&text).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+
+    let mut observed = Vec::new();
+    for b in &baseline {
+        let Some(id) = DatasetId::ALL.iter().copied().find(|d| d.name() == b.graph) else {
+            eprintln!(
+                "[bench_gate] unknown baseline graph {:?}, skipping",
+                b.graph
+            );
+            continue;
+        };
+        eprintln!("[bench_gate] running {}", b.graph);
+        let g = harness.dataset(id);
+        let config = pim_config(COLORS, &g).build().unwrap();
+
+        std::fs::create_dir_all(&harness.results_dir).expect("create results dir");
+        let metrics_path = harness
+            .results_dir
+            .join(format!("bench_gate_{}.metrics.jsonl", b.graph));
+        let hub = Arc::new(MetricsHub::new());
+        hub.add_sink(Box::new(
+            JsonlSink::create(Path::new(&metrics_path)).expect("create metrics jsonl"),
+        ));
+        let profile =
+            pim_tc::count_triangles_profiled_metered(&g, &config, Some(Arc::clone(&hub))).unwrap();
+        hub.flush().expect("flush metrics");
+        harness.save_profile(&format!("bench_gate_{}", b.graph), &profile);
+
+        let result = &profile.result;
+        let report = &profile.report;
+        observed.push(GateRow {
+            graph: b.graph.clone(),
+            triangles: result.rounded(),
+            nr_dpus: result.nr_dpus as u64,
+            edges_routed: result.edges_routed,
+            phase_seconds: [
+                ("setup".to_string(), result.times.setup),
+                ("sample_creation".to_string(), result.times.sample_creation),
+                ("triangle_count".to_string(), result.times.triangle_count),
+            ]
+            .into_iter()
+            .collect(),
+            transfer_bytes: report.total_transfer_bytes,
+            total_instructions: report.total_instructions,
+            total_dma_bytes: report.total_dma_bytes,
+            kernel_cycles: report
+                .phase_kernel_cycles
+                .iter()
+                .map(|p| (p.phase.metric_name().to_string(), p.max_cycles))
+                .collect(),
+        });
+    }
+
+    let checks = compare(&baseline, &observed, &tol);
+    let report_text = render(&checks);
+    print!("{report_text}");
+
+    let mut table = MdTable::new(["Graph", "Metric", "Baseline", "Observed", "Δ", "Verdict"]);
+    let mut records = Vec::new();
+    for c in &checks {
+        let verdict = match c.verdict {
+            pim_bench::gate::Verdict::Ok => "ok",
+            pim_bench::gate::Verdict::Warn => "warn",
+            pim_bench::gate::Verdict::Fail => "fail",
+        };
+        table.row([
+            c.graph.clone(),
+            c.metric.clone(),
+            format!("{:.6e}", c.baseline),
+            format!("{:.6e}", c.observed),
+            format!("{:+.2}%", (c.observed - c.baseline) / c.baseline * 100.0),
+            verdict.to_string(),
+        ]);
+        records.push(CheckRecord {
+            graph: c.graph.clone(),
+            metric: c.metric.clone(),
+            baseline: c.baseline,
+            observed: c.observed,
+            rel: c.rel,
+            verdict: verdict.to_string(),
+        });
+    }
+    let md = format!(
+        "# Bench gate: fresh fig6_static run vs {baseline_path}\n\n\
+         Tolerances: counters warn {:.0}% / fail {:.0}%, phase seconds warn \
+         {:.0}% / fail {:.0}%.\n\n{}\n{}",
+        tol.counter_warn * 100.0,
+        tol.counter_fail * 100.0,
+        tol.time_warn * 100.0,
+        tol.time_fail * 100.0,
+        report_text,
+        table.render()
+    );
+    harness.save("bench_gate", &md, &records);
+
+    if gate_failed(&checks) {
+        eprintln!("[bench_gate] FAILED — see report above");
+        std::process::exit(1);
+    }
+    eprintln!("[bench_gate] passed");
+}

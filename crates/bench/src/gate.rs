@@ -1,0 +1,428 @@
+//! The perf-regression gate: compares a fresh `fig6_static`-configuration
+//! run against the recorded baseline in `results/bench_baseline.json`.
+//!
+//! Two classes of metric are checked per graph:
+//!
+//! * **Exact** — triangle counts, core counts, and edges routed are fully
+//!   deterministic; any difference fails the gate outright.
+//! * **Toleranced** — deterministic counters (transfer bytes, kernel
+//!   cycles, instructions, DMA bytes) get a tight warn/fail band, while
+//!   modeled-plus-measured phase seconds (which fold in host time that
+//!   varies by machine) get a loose one. Between the warn and fail
+//!   thresholds a check is reported but does not fail the gate.
+//!
+//! The comparison itself is pure (no PIM run needed), so tampered-baseline
+//! behavior is unit-testable; the `bench_gate` binary supplies observed
+//! rows from a live re-run.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Warn/fail bands for the two toleranced metric classes, as relative
+/// deviations (0.10 = 10%).
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Warn threshold for deterministic counters.
+    pub counter_warn: f64,
+    /// Fail threshold for deterministic counters.
+    pub counter_fail: f64,
+    /// Warn threshold for phase seconds (host-measured component varies
+    /// by machine, so this band is generous).
+    pub time_warn: f64,
+    /// Fail threshold for phase seconds.
+    pub time_fail: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Tolerances {
+        Tolerances {
+            counter_warn: 0.02,
+            counter_fail: 0.10,
+            time_warn: 0.50,
+            time_fail: 3.0,
+        }
+    }
+}
+
+/// One graph's gated quantities — the shape shared by the recorded
+/// baseline and a fresh observation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GateRow {
+    /// Dataset name (`kron-s`, …).
+    pub graph: String,
+    /// Exact triangle count.
+    pub triangles: u64,
+    /// PIM cores used.
+    pub nr_dpus: u64,
+    /// Edges routed into the banks.
+    pub edges_routed: u64,
+    /// Per-phase seconds, keyed by snake_case phase name.
+    pub phase_seconds: BTreeMap<String, f64>,
+    /// Total CPU↔PIM transfer bytes (0 when the baseline predates the
+    /// counter backfill).
+    pub transfer_bytes: u64,
+    /// Total DPU instructions.
+    pub total_instructions: u64,
+    /// Total MRAM↔WRAM DMA bytes.
+    pub total_dma_bytes: u64,
+    /// Summed slowest-DPU kernel cycles per phase.
+    pub kernel_cycles: BTreeMap<String, u64>,
+}
+
+/// Severity of one check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Within the warn band.
+    Ok,
+    /// Past warn, within fail.
+    Warn,
+    /// Past the fail threshold (or an exact metric differed).
+    Fail,
+}
+
+/// One compared quantity.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// Dataset name.
+    pub graph: String,
+    /// What was compared (names the phase for per-phase metrics).
+    pub metric: String,
+    /// Recorded value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub observed: f64,
+    /// Relative deviation |observed - baseline| / baseline.
+    pub rel: f64,
+    /// Outcome under the tolerances.
+    pub verdict: Verdict,
+}
+
+/// Parses `results/bench_baseline.json` into gate rows. Counter fields
+/// missing from older baselines parse as zero and are skipped by
+/// [`compare`].
+pub fn parse_baseline(text: &str) -> Result<Vec<GateRow>, String> {
+    let v: Value =
+        serde_json::from_str(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("baseline has no `rows` array")?;
+    rows.iter().map(parse_row).collect()
+}
+
+fn parse_row(row: &Value) -> Result<GateRow, String> {
+    let graph = row
+        .get("graph")
+        .and_then(Value::as_str)
+        .ok_or("baseline row has no `graph`")?
+        .to_string();
+    let phases = row
+        .get("pim_phases")
+        .ok_or_else(|| format!("{graph}: baseline row has no `pim_phases`"))?;
+    let times = phases
+        .get("times")
+        .ok_or_else(|| format!("{graph}: baseline row has no phase times"))?;
+    let u = |v: &Value, key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let mut phase_seconds = BTreeMap::new();
+    for phase in ["setup", "sample_creation", "triangle_count"] {
+        let secs = times
+            .get(phase)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{graph}: baseline is missing `{phase}` seconds"))?;
+        phase_seconds.insert(phase.to_string(), secs);
+    }
+    let kernel_cycles = phases
+        .get("kernel_cycles")
+        .and_then(Value::as_object)
+        .map(|m| {
+            m.iter()
+                .map(|(k, v)| (k.clone(), v.as_u64().unwrap_or(0)))
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(GateRow {
+        triangles: u(row, "triangles"),
+        nr_dpus: u(phases, "nr_dpus"),
+        edges_routed: u(phases, "edges_routed"),
+        transfer_bytes: u(phases, "transfer_bytes"),
+        total_instructions: u(phases, "total_instructions"),
+        total_dma_bytes: u(phases, "total_dma_bytes"),
+        phase_seconds,
+        kernel_cycles,
+        graph,
+    })
+}
+
+fn judge(rel: f64, warn: f64, fail: f64) -> Verdict {
+    if rel > fail {
+        Verdict::Fail
+    } else if rel > warn {
+        Verdict::Warn
+    } else {
+        Verdict::Ok
+    }
+}
+
+fn rel_dev(baseline: f64, observed: f64) -> f64 {
+    if baseline == 0.0 {
+        if observed == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (observed - baseline).abs() / baseline
+    }
+}
+
+/// Compares observed rows against the baseline. Baseline graphs missing
+/// from `observed` fail; counters absent from the baseline (zero) are
+/// skipped rather than compared against a fresh non-zero value.
+pub fn compare(baseline: &[GateRow], observed: &[GateRow], tol: &Tolerances) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for b in baseline {
+        let Some(o) = observed.iter().find(|o| o.graph == b.graph) else {
+            checks.push(Check {
+                graph: b.graph.clone(),
+                metric: "graph present in run".into(),
+                baseline: 1.0,
+                observed: 0.0,
+                rel: 1.0,
+                verdict: Verdict::Fail,
+            });
+            continue;
+        };
+        let mut exact = |metric: &str, bv: u64, ov: u64| {
+            checks.push(Check {
+                graph: b.graph.clone(),
+                metric: metric.to_string(),
+                baseline: bv as f64,
+                observed: ov as f64,
+                rel: rel_dev(bv as f64, ov as f64),
+                verdict: if bv == ov { Verdict::Ok } else { Verdict::Fail },
+            });
+        };
+        exact("triangles", b.triangles, o.triangles);
+        exact("nr_dpus", b.nr_dpus, o.nr_dpus);
+        exact("edges_routed", b.edges_routed, o.edges_routed);
+
+        let mut counter = |metric: String, bv: u64, ov: u64| {
+            if bv == 0 {
+                return; // baseline predates this counter
+            }
+            let rel = rel_dev(bv as f64, ov as f64);
+            checks.push(Check {
+                graph: b.graph.clone(),
+                metric,
+                baseline: bv as f64,
+                observed: ov as f64,
+                rel,
+                verdict: judge(rel, tol.counter_warn, tol.counter_fail),
+            });
+        };
+        counter("transfer_bytes".into(), b.transfer_bytes, o.transfer_bytes);
+        counter(
+            "total_instructions".into(),
+            b.total_instructions,
+            o.total_instructions,
+        );
+        counter(
+            "total_dma_bytes".into(),
+            b.total_dma_bytes,
+            o.total_dma_bytes,
+        );
+        for (phase, bv) in &b.kernel_cycles {
+            counter(
+                format!("kernel_cycles[{phase}]"),
+                *bv,
+                o.kernel_cycles.get(phase).copied().unwrap_or(0),
+            );
+        }
+
+        for (phase, bv) in &b.phase_seconds {
+            let ov = o.phase_seconds.get(phase).copied().unwrap_or(0.0);
+            let rel = rel_dev(*bv, ov);
+            checks.push(Check {
+                graph: b.graph.clone(),
+                metric: format!("phase_seconds[{phase}]"),
+                baseline: *bv,
+                observed: ov,
+                rel,
+                verdict: judge(rel, tol.time_warn, tol.time_fail),
+            });
+        }
+    }
+    checks
+}
+
+/// Whether any check failed.
+pub fn gate_failed(checks: &[Check]) -> bool {
+    checks.iter().any(|c| c.verdict == Verdict::Fail)
+}
+
+/// Renders the verdicts: all warns and fails in full (naming graph and
+/// metric), passing checks as a count.
+pub fn render(checks: &[Check]) -> String {
+    let mut out = String::new();
+    let ok = checks.iter().filter(|c| c.verdict == Verdict::Ok).count();
+    let warn = checks.iter().filter(|c| c.verdict == Verdict::Warn).count();
+    let fail = checks.iter().filter(|c| c.verdict == Verdict::Fail).count();
+    let _ = writeln!(
+        out,
+        "bench gate: {} checks — {ok} ok, {warn} warn, {fail} fail",
+        checks.len()
+    );
+    for c in checks {
+        if c.verdict == Verdict::Ok {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {}: {} {}: baseline {:.6e}, observed {:.6e} ({:+.1}%)",
+            match c.verdict {
+                Verdict::Warn => "WARN",
+                Verdict::Fail => "FAIL",
+                Verdict::Ok => unreachable!(),
+            },
+            c.graph,
+            c.metric,
+            c.baseline,
+            c.observed,
+            (c.observed - c.baseline) / c.baseline * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(graph: &str) -> GateRow {
+        GateRow {
+            graph: graph.to_string(),
+            triangles: 100,
+            nr_dpus: 2300,
+            edges_routed: 5000,
+            phase_seconds: [
+                ("setup".to_string(), 0.1),
+                ("sample_creation".to_string(), 0.5),
+                ("triangle_count".to_string(), 0.02),
+            ]
+            .into_iter()
+            .collect(),
+            transfer_bytes: 40_000,
+            total_instructions: 1_000_000,
+            total_dma_bytes: 5_000_000,
+            kernel_cycles: [
+                ("sample_creation".to_string(), 40_000u64),
+                ("triangle_count".to_string(), 7_000_000),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_rows_pass_cleanly() {
+        let b = vec![row("kron-s"), row("roads")];
+        let checks = compare(&b, &b.clone(), &Tolerances::default());
+        assert!(!gate_failed(&checks));
+        assert!(checks.iter().all(|c| c.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn tampered_baseline_fails_and_names_the_offending_phase() {
+        let observed = vec![row("kron-s")];
+        let mut tampered = vec![row("kron-s")];
+        // A 10x faster recorded triangle-count phase makes the fresh run
+        // look like a huge regression.
+        *tampered[0].phase_seconds.get_mut("triangle_count").unwrap() = 0.002;
+        let checks = compare(&tampered, &observed, &Tolerances::default());
+        assert!(gate_failed(&checks));
+        let failing: Vec<_> = checks
+            .iter()
+            .filter(|c| c.verdict == Verdict::Fail)
+            .collect();
+        assert_eq!(failing.len(), 1);
+        assert_eq!(failing[0].metric, "phase_seconds[triangle_count]");
+        assert_eq!(failing[0].graph, "kron-s");
+        let text = render(&checks);
+        assert!(
+            text.contains("FAIL: kron-s phase_seconds[triangle_count]"),
+            "report must name the offending phase, got:\n{text}"
+        );
+    }
+
+    #[test]
+    fn counter_band_warns_then_fails() {
+        let base = vec![row("g")];
+        let mut obs = vec![row("g")];
+        obs[0].transfer_bytes = 41_500; // +3.75%: warn
+        let checks = compare(&base, &obs, &Tolerances::default());
+        assert!(!gate_failed(&checks));
+        assert!(checks
+            .iter()
+            .any(|c| c.metric == "transfer_bytes" && c.verdict == Verdict::Warn));
+
+        obs[0].transfer_bytes = 50_000; // +25%: fail
+        let checks = compare(&base, &obs, &Tolerances::default());
+        assert!(gate_failed(&checks));
+    }
+
+    #[test]
+    fn exact_metrics_tolerate_nothing() {
+        let base = vec![row("g")];
+        let mut obs = vec![row("g")];
+        obs[0].triangles = 101;
+        let checks = compare(&base, &obs, &Tolerances::default());
+        let c = checks.iter().find(|c| c.metric == "triangles").unwrap();
+        assert_eq!(c.verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn missing_graph_and_missing_counters() {
+        let base = vec![row("present"), row("absent")];
+        let mut obs = vec![row("present")];
+        // Baseline counters recorded as zero are skipped, not compared.
+        let mut old = base.clone();
+        old[0].transfer_bytes = 0;
+        let checks = compare(&old, &obs, &Tolerances::default());
+        assert!(checks
+            .iter()
+            .all(|c| !(c.graph == "present" && c.metric == "transfer_bytes")));
+        // A graph the run never produced is a failure.
+        obs[0].graph = "present".into();
+        let checks = compare(&base, &obs, &Tolerances::default());
+        assert!(checks
+            .iter()
+            .any(|c| c.graph == "absent" && c.verdict == Verdict::Fail));
+    }
+
+    #[test]
+    fn baseline_json_parses() {
+        let text = r#"{
+          "rows": [{
+            "graph": "g",
+            "triangles": 7,
+            "pim_phases": {
+              "times": {"setup": 0.1, "sample_creation": 0.2, "triangle_count": 0.3},
+              "nr_dpus": 4,
+              "edges_routed": 9,
+              "transfer_bytes": 11,
+              "total_instructions": 13,
+              "total_dma_bytes": 17,
+              "kernel_cycles": {"triangle_count": 19}
+            }
+          }]
+        }"#;
+        let rows = parse_baseline(text).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].triangles, 7);
+        assert_eq!(rows[0].kernel_cycles["triangle_count"], 19);
+        assert_eq!(rows[0].phase_seconds["triangle_count"], 0.3);
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+}

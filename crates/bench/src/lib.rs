@@ -17,6 +17,8 @@
 //! labeled trace, Chrome export, and per-DPU report — see
 //! `docs/OBSERVABILITY.md`) for experiments that support it.
 
+pub mod gate;
+
 use pim_graph::datasets::{DatasetId, Profile};
 use pim_graph::{stats, CooGraph};
 use pim_sim::PimConfig;

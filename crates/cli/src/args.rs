@@ -35,6 +35,8 @@ const VALUED: &[&str] = &[
     "faults",
     "max-retries",
     "spares",
+    "metrics-out",
+    "metrics-format",
 ];
 
 impl Args {

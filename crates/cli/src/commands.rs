@@ -2,8 +2,10 @@
 
 use crate::args::Args;
 use pim_graph::{gen, io, prep, stats, CooGraph};
+use pim_metrics::{JsonlSink, MemorySink, MetricsHub};
 use pim_tc::TcConfig;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -27,6 +29,14 @@ usage:
       R bounds consecutive retries of a faulted operation; --hardened
       forces the checksummed pipeline even without a fault plan.
 
+      Metrics (count/dynamic/profile; see docs/OBSERVABILITY.md):
+      --metrics-out FILE captures the run's live metric stream.
+      --metrics-format jsonl (default) streams one structured event per
+      line as the run executes; --metrics-format prom writes the final
+      Prometheus text exposition instead. Aggregating the JSONL stream
+      (`pimtc metrics-summary`) reconciles exactly with the run's own
+      report totals.
+
   pimtc stats <graph> [--json]
       Graph characteristics: |V|, |E|, triangles, degrees, clustering.
 
@@ -48,7 +58,16 @@ usage:
       Run a traced count and write a Chrome trace-event JSON (load it in
       chrome://tracing or ui.perfetto.dev), plus a per-kernel summary on
       stdout. --dpus picks the largest color count whose triplet grid
-      fits N cores; --colors overrides it. See docs/OBSERVABILITY.md.
+      fits N cores; --colors overrides it. On --backend functional the
+      kernel table is built from the live metric stream (cycle counts
+      are data-derived and identical to timed; no modeled seconds) and
+      the chrome trace is skipped. See docs/OBSERVABILITY.md.
+
+  pimtc metrics-summary <metrics.jsonl>
+      Validate a --metrics-out jsonl capture (every line must parse,
+      sequence numbers strictly increasing) and print aggregated
+      totals: transfers, launches, faults, retries, stream/reservoir
+      state, and modeled seconds.
 
   pimtc convert <in> <out>
       Convert between the text and binary edge-list formats (direction
@@ -67,6 +86,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(&args),
         "dynamic" => cmd_dynamic(&args),
         "profile" => cmd_profile(&args),
+        "metrics-summary" => cmd_metrics_summary(&args),
         "convert" => cmd_convert(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -143,6 +163,58 @@ fn build_config_with_default_colors(
     builder.build().map_err(|e| e.to_string())
 }
 
+/// The `--metrics-out` capture for one run: a live hub plus where (and
+/// in which format) its output lands when the run finishes.
+struct MetricsPlane {
+    hub: Arc<MetricsHub>,
+    out: String,
+    prom: bool,
+}
+
+impl MetricsPlane {
+    /// Finalizes the capture: flushes the JSONL stream, or renders the
+    /// registry as Prometheus text.
+    fn finish(&self) -> Result<(), String> {
+        if self.prom {
+            std::fs::write(&self.out, self.hub.render_prometheus())
+                .map_err(|e| format!("cannot write {}: {e}", self.out))?;
+        } else {
+            self.hub
+                .flush()
+                .map_err(|e| format!("--metrics-out: {e}"))?;
+        }
+        eprintln!("metrics written to {}", self.out);
+        Ok(())
+    }
+}
+
+/// Resolves `--metrics-out` / `--metrics-format` into a live capture.
+fn metrics_plane(args: &Args) -> Result<Option<MetricsPlane>, String> {
+    let Some(out) = args.get::<String>("metrics-out")? else {
+        if args.get::<String>("metrics-format")?.is_some() {
+            return Err("--metrics-format needs --metrics-out FILE".into());
+        }
+        return Ok(None);
+    };
+    let format = args.get_or("metrics-format", "jsonl".to_string())?;
+    let hub = Arc::new(MetricsHub::new());
+    let prom = match format.as_str() {
+        "jsonl" => {
+            let sink = JsonlSink::create(Path::new(&out))
+                .map_err(|e| format!("--metrics-out: cannot create {out}: {e}"))?;
+            hub.add_sink(Box::new(sink));
+            false
+        }
+        "prom" => true,
+        other => {
+            return Err(format!(
+                "--metrics-format: expected jsonl|prom, got {other:?}"
+            ))
+        }
+    };
+    Ok(Some(MetricsPlane { hub, out, prom }))
+}
+
 /// Resolves `--faults` into a plan: an inline spec string, a path to a
 /// file holding one, or (when the option is absent) the PIM_SIM_FAULTS
 /// environment variable.
@@ -177,7 +249,15 @@ fn cmd_count(args: &Args) -> Result<(), String> {
     let mut graph = load(path)?;
     prep::preprocess(&mut graph, 0);
     let config = build_config(args, &graph)?;
-    let result = pim_tc::count_triangles(&graph, &config).map_err(|e| e.to_string())?;
+    let plane = metrics_plane(args)?;
+    let result = match &plane {
+        Some(p) => pim_tc::count_triangles_metered(&graph, &config, Arc::clone(&p.hub)),
+        None => pim_tc::count_triangles(&graph, &config),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(p) = &plane {
+        p.finish()?;
+    }
     if args.flag("json") {
         println!("{}", serde_json::to_string_pretty(&result).unwrap());
     } else {
@@ -311,8 +391,13 @@ fn cmd_dynamic(args: &Args) -> Result<(), String> {
     prep::preprocess(&mut graph, 0);
     let config = build_config(args, &graph)?;
     let batches = graph.split_batches(batches_n);
-    let timings =
-        pim_baselines::dynamic::pim_dynamic(&batches, &config).map_err(|e| e.to_string())?;
+    let plane = metrics_plane(args)?;
+    let hub = plane.as_ref().map(|p| Arc::clone(&p.hub));
+    let (timings, _report) = pim_baselines::dynamic::pim_dynamic_metered(&batches, &config, hub)
+        .map_err(|e| e.to_string())?;
+    if let Some(p) = &plane {
+        p.finish()?;
+    }
     if args.flag("json") {
         println!("{}", serde_json::to_string_pretty(&timings).unwrap());
     } else {
@@ -350,11 +435,30 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     let mut graph = load(&path)?;
     prep::preprocess(&mut graph, 0);
     let config = build_config_with_default_colors(args, &graph, colors_for_dpus(dpus))?;
-    let profile = pim_tc::count_triangles_profiled(&graph, &config).map_err(|e| e.to_string())?;
 
-    let chrome = profile.trace.to_chrome_trace();
-    std::fs::write(&out, serde_json::to_string(&chrome).unwrap())
-        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    // The metrics hub also powers the functional kernel table, so a
+    // functional profile always runs one (with an in-memory sink) even
+    // without --metrics-out.
+    let plane = metrics_plane(args)?;
+    let functional = config.backend == pim_tc::ExecBackend::Functional;
+    let hub = match (&plane, functional) {
+        (Some(p), _) => Some(Arc::clone(&p.hub)),
+        (None, true) => Some(Arc::new(MetricsHub::new())),
+        (None, false) => None,
+    };
+    let obs = if functional {
+        let sink = MemorySink::new();
+        let hub = hub.as_ref().expect("functional profile always has a hub");
+        hub.add_sink(Box::new(sink.clone()));
+        Some(sink)
+    } else {
+        None
+    };
+    let profile = pim_tc::count_triangles_profiled_metered(&graph, &config, hub)
+        .map_err(|e| e.to_string())?;
+    if let Some(p) = &plane {
+        p.finish()?;
+    }
 
     let result = &profile.result;
     let report = &profile.report;
@@ -365,49 +469,188 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         result.nr_dpus,
         result.colors
     );
-    println!(
-        "modeled time: setup {:.3} ms, sample creation {:.3} ms, count {:.3} ms",
-        result.times.setup * 1e3,
-        result.times.sample_creation * 1e3,
-        result.times.triangle_count * 1e3
-    );
-    println!(
-        "transfers: {} B in {:.3} ms ({:.1}% of aggregate bandwidth cap)",
-        report.total_transfer_bytes,
-        report.transfer_seconds * 1e3,
-        report.transfer_bandwidth_utilization * 100.0
-    );
 
-    // One row per kernel label, aggregated over its launches.
-    println!("kernel        launches   time (ms)   max cycles   p99/p50      imbalance");
-    let mut seen: Vec<&str> = Vec::new();
-    for l in &report.launches {
-        if seen.contains(&l.label.as_str()) {
-            continue;
-        }
-        seen.push(&l.label);
-        let group: Vec<_> = report
-            .launches
-            .iter()
-            .filter(|x| x.label == l.label)
-            .collect();
-        let seconds: f64 = group.iter().map(|x| x.seconds).sum();
-        let max_cycles: u64 = group.iter().map(|x| x.max_cycles).max().unwrap_or(0);
-        let p50: u64 = group.iter().map(|x| x.p50_cycles).max().unwrap_or(0);
-        let p99: u64 = group.iter().map(|x| x.p99_cycles).max().unwrap_or(0);
-        let imbalance = group.iter().map(|x| x.imbalance).fold(0.0f64, f64::max);
+    let retries: u64;
+    if let Some(sink) = &obs {
+        // Functional engine: no modeled clock, so the per-kernel table
+        // comes from the live metric stream (cycle counts are derived
+        // from the same per-DPU execution data as timed runs).
+        let summary = pim_metrics::summarize(&sink.events());
         println!(
-            "{:<13} {:>8} {:>11.3} {:>12} {:>7}/{:<7} {:>8.2}x",
-            l.label,
-            group.len(),
-            seconds * 1e3,
-            max_cycles,
-            p99,
-            p50,
-            imbalance
+            "functional backend: no modeled time/energy; cycle and traffic \
+             figures below are data-derived and match a timed run"
+        );
+        println!("transfers: {} B", report.total_transfer_bytes);
+        println!("kernel        launches   max cycles   instructions     dma bytes");
+        for (label, agg) in &summary.launches {
+            println!(
+                "{:<13} {:>8} {:>12} {:>14} {:>13}",
+                label, agg.launches, agg.max_cycles_total, agg.instructions, agg.dma_bytes
+            );
+        }
+        retries = summary.retries.values().sum();
+        println!("no chrome trace: the functional engine records no timeline");
+    } else {
+        println!(
+            "modeled time: setup {:.3} ms, sample creation {:.3} ms, count {:.3} ms",
+            result.times.setup * 1e3,
+            result.times.sample_creation * 1e3,
+            result.times.triangle_count * 1e3
+        );
+        println!(
+            "transfers: {} B in {:.3} ms ({:.1}% of aggregate bandwidth cap)",
+            report.total_transfer_bytes,
+            report.transfer_seconds * 1e3,
+            report.transfer_bandwidth_utilization * 100.0
+        );
+
+        // One row per kernel label, aggregated over its launches.
+        println!("kernel        launches   time (ms)   max cycles   p99/p50      imbalance");
+        let mut seen: Vec<&str> = Vec::new();
+        for l in &report.launches {
+            if seen.contains(&l.label.as_str()) {
+                continue;
+            }
+            seen.push(&l.label);
+            let group: Vec<_> = report
+                .launches
+                .iter()
+                .filter(|x| x.label == l.label)
+                .collect();
+            let seconds: f64 = group.iter().map(|x| x.seconds).sum();
+            let max_cycles: u64 = group.iter().map(|x| x.max_cycles).max().unwrap_or(0);
+            let p50: u64 = group.iter().map(|x| x.p50_cycles).max().unwrap_or(0);
+            let p99: u64 = group.iter().map(|x| x.p99_cycles).max().unwrap_or(0);
+            let imbalance = group.iter().map(|x| x.imbalance).fold(0.0f64, f64::max);
+            println!(
+                "{:<13} {:>8} {:>11.3} {:>12} {:>7}/{:<7} {:>8.2}x",
+                l.label,
+                group.len(),
+                seconds * 1e3,
+                max_cycles,
+                p99,
+                p50,
+                imbalance
+            );
+        }
+        retries = profile
+            .trace
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e, pim_sim::TraceEvent::HostWork { label, .. }
+                         if label.starts_with("retry:"))
+            })
+            .count() as u64;
+    }
+
+    print_fault_section(&report.fault_counters, retries);
+
+    if !functional {
+        let chrome = profile.trace.to_chrome_trace();
+        std::fs::write(&out, serde_json::to_string(&chrome).unwrap())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("chrome trace written to {out}");
+    }
+    Ok(())
+}
+
+/// Prints the profile's fault/retry section, zero-suppressed: fault-free
+/// runs with no retries print nothing at all, and only non-zero counters
+/// appear otherwise.
+fn print_fault_section(fc: &pim_sim::FaultCounters, retries: u64) {
+    if fc.total() == 0 && retries == 0 {
+        return;
+    }
+    println!("faults/retries:");
+    for (label, n) in [
+        ("transfer faults", fc.transfer_faults),
+        ("payload corruptions", fc.corruptions),
+        ("launch faults", fc.launch_faults),
+        ("core deaths", fc.dpu_deaths),
+        ("retried operations", retries),
+    ] {
+        if n > 0 {
+            println!("  {label:<21} {n}");
+        }
+    }
+}
+
+fn cmd_metrics_summary(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional(0)
+        .ok_or("metrics-summary: missing metrics JSONL path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = pim_metrics::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    let s = pim_metrics::summarize(&events);
+    println!("events:         {} (last seq {})", s.events, s.last_seq);
+    println!(
+        "pim cores:      {} (alloc {:.3} ms)",
+        s.nr_dpus,
+        s.alloc_seconds * 1e3
+    );
+    if !s.transfers.is_empty() {
+        println!("transfers:");
+        println!("  op          ops   failed        bytes    time (ms)");
+        for (op, t) in &s.transfers {
+            println!(
+                "  {:<9} {:>5} {:>8} {:>12} {:>12.3}",
+                op,
+                t.ops,
+                t.failed,
+                t.bytes,
+                t.seconds * 1e3
+            );
+        }
+    }
+    if !s.launches.is_empty() {
+        println!("launches:");
+        println!("  kernel        launches   failed   instructions     dma bytes    time (ms)");
+        for (label, l) in &s.launches {
+            println!(
+                "  {:<13} {:>8} {:>8} {:>14} {:>13} {:>12.3}",
+                label,
+                l.launches,
+                l.failed,
+                l.instructions,
+                l.dma_bytes,
+                l.seconds * 1e3
+            );
+        }
+    }
+    if !s.retries.is_empty() {
+        println!("retries:");
+        for (op, n) in &s.retries {
+            println!("  {op:<13} {n}");
+        }
+    }
+    if !s.faults.is_empty() {
+        println!("faults:");
+        for (kind, n) in &s.faults {
+            println!("  {kind:<13} {n}");
+        }
+    }
+    if s.failovers > 0 {
+        println!("failovers:      {}", s.failovers);
+    }
+    if s.chunks > 0 {
+        println!(
+            "stream:         {} chunks, {} edges ({} offered, {} kept), peak routed {} B",
+            s.chunks, s.edges, s.edges_offered, s.edges_kept, s.peak_routed_bytes
         );
     }
-    println!("chrome trace written to {out}");
+    if s.mg_summary > 0 {
+        println!("misra-gries:    {} tracked entries", s.mg_summary);
+    }
+    if s.reservoir_capacity > 0 {
+        println!(
+            "reservoir:      {}/{} edges resident, max fill {:.1}%",
+            s.reservoir_resident,
+            s.reservoir_capacity,
+            s.reservoir_fill_max * 100.0
+        );
+    }
+    println!("modeled time:   {:.3} ms total", s.total_seconds() * 1e3);
     Ok(())
 }
 
@@ -668,6 +911,207 @@ mod tests {
         .unwrap();
         std::fs::write(&spec, "seed=1,transfer=40000\n").unwrap();
         run(&["count", &path, "--colors", "2", "--faults", &spec]).unwrap();
+    }
+
+    #[test]
+    fn count_metrics_jsonl_round_trips_through_summary() {
+        let path = tmp("m1.txt");
+        let metrics = tmp("m1.jsonl");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "100",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        run(&["count", &path, "--colors", "3", "--metrics-out", &metrics]).unwrap();
+        // Well-formed: every line parses, seq strictly increasing.
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let events = pim_metrics::parse_jsonl(&text).unwrap();
+        assert!(!events.is_empty());
+        let s = pim_metrics::summarize(&events);
+        assert!(s.transfer_bytes() > 0);
+        assert!(s.chunks > 0);
+        run(&["metrics-summary", &metrics]).unwrap();
+    }
+
+    #[test]
+    fn dynamic_metrics_stream_is_well_formed_on_both_backends() {
+        let path = tmp("m2.txt");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "120",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        for backend in ["timed", "functional"] {
+            let metrics = tmp(&format!("m2.{backend}.jsonl"));
+            run(&[
+                "dynamic",
+                &path,
+                "--batches",
+                "3",
+                "--colors",
+                "2",
+                "--backend",
+                backend,
+                "--metrics-out",
+                &metrics,
+            ])
+            .unwrap();
+            let text = std::fs::read_to_string(&metrics).unwrap();
+            let events = pim_metrics::parse_jsonl(&text).unwrap();
+            let s = pim_metrics::summarize(&events);
+            assert_eq!(s.chunks, 3, "{backend}: one chunk event per batch");
+            assert!(s.launches.contains_key("count"), "{backend}");
+            if backend == "functional" {
+                assert_eq!(s.total_seconds(), 0.0);
+            } else {
+                assert!(s.total_seconds() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_format_renders_exposition_text() {
+        let path = tmp("m3.txt");
+        let metrics = tmp("m3.prom");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "80",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        run(&[
+            "count",
+            &path,
+            "--colors",
+            "2",
+            "--metrics-out",
+            &metrics,
+            "--metrics-format",
+            "prom",
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            text.starts_with("# "),
+            "expected exposition header, got: {}",
+            &text[..40.min(text.len())]
+        );
+        assert!(text.contains("# TYPE pim_transfer_bytes_total counter"));
+        assert!(text.contains("pim_transfer_bytes_total"));
+        assert!(text.contains("pim_launches_total{label=\"count\"}"));
+        // Bad format names are an error, as is --metrics-format alone.
+        assert!(run(&[
+            "count",
+            &path,
+            "--metrics-out",
+            &metrics,
+            "--metrics-format",
+            "xml"
+        ])
+        .is_err());
+        assert!(run(&["count", &path, "--metrics-format", "prom"]).is_err());
+    }
+
+    #[test]
+    fn functional_profile_reports_kernels_without_a_trace() {
+        let graph = tmp("m4.txt");
+        let trace = tmp("m4.trace.json");
+        run(&[
+            "generate",
+            "er",
+            &graph,
+            "--nodes",
+            "80",
+            "--probability",
+            "0.15",
+        ])
+        .unwrap();
+        let _ = std::fs::remove_file(&trace);
+        run(&[
+            "profile",
+            "--graph",
+            &graph,
+            "--dpus",
+            "20",
+            "--out",
+            &trace,
+            "--backend",
+            "functional",
+        ])
+        .unwrap();
+        // The functional engine records no timeline, so no trace file
+        // appears (rather than an empty or misleading one).
+        assert!(!Path::new(&trace).exists());
+    }
+
+    #[test]
+    fn faulted_profile_prints_fault_section_end_to_end() {
+        let graph = tmp("m5.txt");
+        let trace = tmp("m5.trace.json");
+        run(&[
+            "generate",
+            "er",
+            &graph,
+            "--nodes",
+            "100",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        run(&[
+            "profile",
+            "--graph",
+            &graph,
+            "--dpus",
+            "20",
+            "--out",
+            &trace,
+            "--backend",
+            "timed",
+            "--faults",
+            "seed=2,transfer=40000",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn metrics_summary_rejects_corrupt_streams() {
+        let good = tmp("m6.jsonl");
+        std::fs::write(
+            &good,
+            "{\"seq\":1,\"kind\":\"alloc\",\"nr_dpus\":4,\"seconds\":0.0}\n",
+        )
+        .unwrap();
+        run(&["metrics-summary", &good]).unwrap();
+        // Non-monotone sequence numbers are named by line.
+        let bad = tmp("m6.bad.jsonl");
+        std::fs::write(
+            &bad,
+            "{\"seq\":2,\"kind\":\"alloc\",\"nr_dpus\":4,\"seconds\":0.0}\n\
+             {\"seq\":2,\"kind\":\"phase\",\"to\":\"setup\"}\n",
+        )
+        .unwrap();
+        let err = run(&["metrics-summary", &bad]).unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+        // Unparseable lines too.
+        let ugly = tmp("m6.ugly.jsonl");
+        std::fs::write(&ugly, "not json\n").unwrap();
+        assert!(run(&["metrics-summary", &ugly]).is_err());
+        assert!(run(&["metrics-summary", "/nonexistent.jsonl"]).is_err());
     }
 
     #[test]

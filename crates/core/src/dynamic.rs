@@ -23,10 +23,12 @@ use crate::kernel::{checksum, count, edge_unkey, index, local, receive, remap, r
 use crate::result::{DpuReport, TcResult};
 use crate::triplets::TripletAssignment;
 use pim_graph::Edge;
+use pim_metrics::{ChunkObs, MetricsHub};
 use pim_sim::system::{decode_slice, encode_slice};
 use pim_sim::{HostWrite, Phase, PimBackend, SimError, TimedBackend};
 use pim_stream::{ColoringHash, MisraGries};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Modeled host seconds charged for the first retry of a failed
@@ -80,6 +82,13 @@ pub struct TcSession<B: PimBackend = TimedBackend> {
     /// for reconstruction: survivors must yield exactly this many edges
     /// for a lost partition, or recovery fails loudly.
     routed_per_partition: Vec<u64>,
+    /// Live metrics hub shared with the backend, when the session was
+    /// started metered. The session emits orchestration-level events
+    /// (chunks, reservoir occupancy, failovers) on it; the backend emits
+    /// transfers/launches/faults.
+    metrics: Option<Arc<MetricsHub>>,
+    /// Streamed chunks ingested so far (the `chunk` event index).
+    chunks_done: u64,
 }
 
 impl TcSession<TimedBackend> {
@@ -94,6 +103,18 @@ impl<B: PimBackend> TcSession<B> {
     /// Like [`TcSession::start`], on the execution engine chosen by the
     /// type parameter.
     pub fn start_with(config: &TcConfig) -> Result<TcSession<B>, TcError> {
+        Self::start_metered(config, None)
+    }
+
+    /// Like [`TcSession::start_with`], with a live metrics hub attached
+    /// before any bank is touched, so the event stream covers the entire
+    /// session — allocation, initialization, every append and count. Both
+    /// the backend (transfers, launches, faults) and the session
+    /// (chunks, reservoir occupancy, failovers) emit on the hub.
+    pub fn start_metered(
+        config: &TcConfig,
+        metrics: Option<Arc<MetricsHub>>,
+    ) -> Result<TcSession<B>, TcError> {
         config.validate()?;
         let assignment = TripletAssignment::new(config.colors);
         let coloring = ColoringHash::new(config.colors, config.seed);
@@ -112,8 +133,11 @@ impl<B: PimBackend> TcSession<B> {
             0
         };
         let mut sys = B::allocate(assignment.nr_dpus() + spares, config.pim, config.cost)?;
+        if let Some(hub) = &metrics {
+            sys.attach_metrics(Arc::clone(hub));
+        }
         if !hardened {
-            let writes = (0..assignment.nr_dpus())
+            let writes: Vec<HostWrite> = (0..assignment.nr_dpus())
                 .map(|dpu| {
                     let hdr = Header {
                         cap: layout.capacity,
@@ -127,7 +151,8 @@ impl<B: PimBackend> TcSession<B> {
                     }
                 })
                 .collect();
-            sys.push(writes)?;
+            sys.push(writes.clone())?;
+            verify_init_writes(&sys, &writes)?;
         }
         let nr_partitions = assignment.nr_dpus();
         let mut session = TcSession {
@@ -149,6 +174,8 @@ impl<B: PimBackend> TcSession<B> {
             partition_home: (0..nr_partitions).collect(),
             spare_pool: (nr_partitions..nr_partitions + spares).collect(),
             routed_per_partition: vec![0; nr_partitions],
+            metrics,
+            chunks_done: 0,
         };
         if hardened {
             session.init_banks_hardened()?;
@@ -229,6 +256,22 @@ impl<B: PimBackend> TcSession<B> {
             } else {
                 self.stage_batches(&routed.per_dpu)?;
             }
+            if let Some(hub) = &self.metrics {
+                hub.chunk(ChunkObs {
+                    index: self.chunks_done,
+                    edges: chunk.len() as u64,
+                    offered: routed.offered,
+                    kept: routed.kept,
+                    routed_bytes: routed.total_routed() * 8,
+                    peak_routed_bytes: self.peak_routed_bytes,
+                    mg_summary: self
+                        .summary
+                        .as_ref()
+                        .map(|s| s.entries().count() as u64)
+                        .unwrap_or(0),
+                });
+            }
+            self.chunks_done += 1;
         }
         Ok(())
     }
@@ -340,6 +383,7 @@ impl<B: PimBackend> TcSession<B> {
             .iter()
             .map(|bytes| Header::decode(bytes))
             .collect();
+        self.emit_reservoir(&headers);
 
         let mut reports: Vec<DpuReport> = headers
             .iter()
@@ -416,6 +460,23 @@ impl<B: PimBackend> TcSession<B> {
             local_counts,
             dpu_reports: reports,
         })
+    }
+
+    /// Emits a `reservoir` occupancy event from freshly gathered headers
+    /// (one per partition): total resident edges, total capacity, and the
+    /// fullest core's fill fraction.
+    fn emit_reservoir(&self, headers: &[Header]) {
+        let Some(hub) = &self.metrics else {
+            return;
+        };
+        let resident: u64 = headers.iter().map(|h| h.len).sum();
+        let capacity: u64 = headers.iter().map(|h| h.cap).sum();
+        let max_fill = headers
+            .iter()
+            .filter(|h| h.cap > 0)
+            .map(|h| h.len as f64 / h.cap as f64)
+            .fold(0.0f64, f64::max);
+        hub.reservoir(resident, capacity, max_fill);
     }
 
     /// Counts once more and releases the PIM cores.
@@ -926,6 +987,9 @@ impl<B: PimBackend> TcSession<B> {
         }
         self.partition_home[t] = spare;
         recovered.push(t);
+        if let Some(hub) = &self.metrics {
+            hub.failover(t as u64, spare as u64);
+        }
         self.sys
             .charge_host_seconds_labeled("recover", start.elapsed().as_secs_f64());
         Ok(())
@@ -1001,6 +1065,7 @@ impl<B: PimBackend> TcSession<B> {
             .map(|bytes| Header::decode(bytes))
             .collect();
         let home_headers: Vec<Header> = self.partition_home.iter().map(|&d| headers[d]).collect();
+        self.emit_reservoir(&home_headers);
 
         let mut reports: Vec<DpuReport> = home_headers
             .iter()
@@ -1072,6 +1137,43 @@ impl<B: PimBackend> TcSession<B> {
             dpu_reports: reports,
         })
     }
+}
+
+/// Checksum coverage for the initial bank broadcast on the *plain*
+/// (non-hardened) path: reads every header back through the host
+/// inspection channel and compares FNV-1a digests against what was
+/// pushed. Inspection reads are free (no modeled time), so a verified
+/// plain init stays time-identical to an unverified one; a mismatch —
+/// a corruption fault landing on the very first transfer — fails the
+/// session loudly instead of silently seeding a core with a corrupt
+/// header.
+fn verify_init_writes<B: PimBackend>(sys: &B, writes: &[HostWrite]) -> Result<(), TcError> {
+    for w in writes {
+        let got = sys
+            .dpu(w.dpu)?
+            .host_read(w.offset, w.data.len() as u64)
+            .map_err(TcError::Sim)?;
+        if !init_write_verifies(&w.data, &got) {
+            return Err(TcError::Faulted(format!(
+                "initial header for core {} failed checksum verification \
+                 after the init transfer (a corruption fault landed on it); \
+                 enable hardened mode for retrying transfers",
+                w.dpu
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Digest comparison for one init write: both sides are hashed (rather
+/// than byte-compared) so the check exercises the same FNV-1a primitive
+/// the hardened pipeline seals staged slices with.
+pub(crate) fn init_write_verifies(expected: &[u8], got: &[u8]) -> bool {
+    if expected.len() != got.len() || !expected.len().is_multiple_of(8) {
+        return false;
+    }
+    checksum::fnv1a_words(&decode_slice::<u64>(expected))
+        == checksum::fnv1a_words(&decode_slice::<u64>(got))
 }
 
 #[cfg(test)]
@@ -1500,5 +1602,113 @@ mod tests {
         let r = crate::count_triangles(&CooGraph::new(), &tiny_config(2)).unwrap();
         assert_eq!(r.rounded(), 0);
         assert!(r.exact);
+    }
+
+    #[test]
+    fn init_write_digest_rejects_tampering() {
+        let data: Vec<u8> = (0..32u8).collect();
+        assert!(init_write_verifies(&data, &data.clone()));
+        let mut tampered = data.clone();
+        tampered[9] ^= 0x40;
+        assert!(!init_write_verifies(&data, &tampered));
+        // Length mismatch and non-word-aligned payloads are rejected
+        // outright rather than hashed.
+        assert!(!init_write_verifies(&data, &data[..24]));
+        assert!(!init_write_verifies(&data[..7], &data[..7]));
+    }
+
+    #[test]
+    fn metric_stream_aggregates_match_system_report() {
+        use pim_metrics::{summarize, MemorySink, MetricsHub};
+
+        let g = gen::erdos_renyi(120, 0.12, 7);
+        for backend in [crate::ExecBackend::Timed, crate::ExecBackend::Functional] {
+            let mut config = tiny_config(3);
+            config.backend = backend;
+            let hub = Arc::new(MetricsHub::new());
+            let sink = MemorySink::new();
+            hub.add_sink(Box::new(sink.clone()));
+            let profile =
+                crate::count_triangles_profiled_metered(&g, &config, Some(Arc::clone(&hub)))
+                    .unwrap();
+            let summary = summarize(&sink.events());
+
+            // The stream's aggregated counters reconcile exactly against
+            // the backend's own lifetime accounting.
+            assert_eq!(
+                summary.transfer_bytes(),
+                profile.report.total_transfer_bytes,
+                "{backend:?}: transfer bytes"
+            );
+            assert_eq!(
+                summary.instructions(),
+                profile.report.total_instructions,
+                "{backend:?}: instructions"
+            );
+            assert_eq!(
+                summary.dma_bytes(),
+                profile.report.total_dma_bytes,
+                "{backend:?}: dma bytes"
+            );
+            assert_eq!(
+                summary.total_faults(),
+                profile.report.fault_counters.total(),
+                "{backend:?}: faults"
+            );
+            assert_eq!(summary.nr_dpus as usize, profile.report.per_dpu.len());
+            match backend {
+                crate::ExecBackend::Timed => assert!(
+                    (summary.total_seconds() - profile.result.times.total()).abs() < 1e-9,
+                    "{backend:?}: stream seconds {} vs phase clock {}",
+                    summary.total_seconds(),
+                    profile.result.times.total()
+                ),
+                crate::ExecBackend::Functional => {
+                    assert_eq!(summary.total_seconds(), 0.0)
+                }
+            }
+
+            // Session-level observations rode along.
+            assert!(summary.chunks > 0, "{backend:?}: chunk events");
+            assert_eq!(summary.edges, g.edges().len() as u64);
+            assert!(summary.reservoir_capacity > 0, "{backend:?}: reservoir");
+        }
+    }
+
+    #[test]
+    fn hardened_metered_run_streams_fault_and_retry_events() {
+        use pim_metrics::{summarize, MemorySink, MetricsHub};
+        use pim_sim::FaultPlan;
+
+        let g = gen::erdos_renyi(120, 0.12, 11);
+        let mut config = tiny_config(2);
+        config.pim.fault = Some(FaultPlan::parse("seed=5,transfer=50000").unwrap());
+        config.max_retries = 16;
+        let hub = Arc::new(MetricsHub::new());
+        let sink = MemorySink::new();
+        hub.add_sink(Box::new(sink.clone()));
+        let profile =
+            crate::count_triangles_profiled_metered(&g, &config, Some(Arc::clone(&hub))).unwrap();
+        let summary = summarize(&sink.events());
+
+        let counters = profile.report.fault_counters;
+        assert!(counters.transfer_faults > 0, "plan should have fired");
+        assert_eq!(
+            summary.faults.get("transfer_fail").copied().unwrap_or(0),
+            counters.transfer_faults
+        );
+        assert_eq!(summary.total_faults(), counters.total());
+        // Every injected transfer fault was retried, and the retry labels
+        // landed in the stream as `retry:<op>` host events.
+        let retried: u64 = summary.retries.values().sum();
+        assert_eq!(retried, counters.transfer_faults);
+        // Failed transfer attempts are in the stream with ok=false, so
+        // seconds still close against the phase clock.
+        assert!(
+            (summary.total_seconds() - profile.result.times.total()).abs() < 1e-9,
+            "stream seconds {} vs phase clock {}",
+            summary.total_seconds(),
+            profile.result.times.total()
+        );
     }
 }

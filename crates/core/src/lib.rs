@@ -49,8 +49,10 @@ pub use result::{DpuReport, TcResult};
 pub use triplets::{ColorTriplet, TripletAssignment};
 
 use pim_graph::CooGraph;
+use pim_metrics::MetricsHub;
 use pim_sim::{FunctionalBackend, PimBackend, TimedBackend};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Counts (or estimates) the triangles of `graph` on the simulated PIM
 /// system, end to end: allocation, coloring, batching, transfer, DPU
@@ -116,7 +118,63 @@ pub fn count_triangles_profiled_in<B: PimBackend>(
     graph: &CooGraph,
     config: &TcConfig,
 ) -> Result<RunProfile, TcError> {
-    let mut session = TcSession::<B>::start_with(config)?;
+    count_triangles_profiled_metered_in::<B>(graph, config, None)
+}
+
+/// Like [`count_triangles`], with a live [`MetricsHub`] attached before
+/// the first bank is touched: every transfer, launch, fault, and chunk of
+/// the run is emitted on the hub as it happens (see
+/// `docs/OBSERVABILITY.md` for the event schema).
+pub fn count_triangles_metered(
+    graph: &CooGraph,
+    config: &TcConfig,
+    hub: Arc<MetricsHub>,
+) -> Result<TcResult, TcError> {
+    match config.backend {
+        ExecBackend::Timed => count_triangles_metered_in::<TimedBackend>(graph, config, hub),
+        ExecBackend::Functional => {
+            count_triangles_metered_in::<FunctionalBackend>(graph, config, hub)
+        }
+    }
+}
+
+/// [`count_triangles_metered`] on a caller-chosen execution engine.
+pub fn count_triangles_metered_in<B: PimBackend>(
+    graph: &CooGraph,
+    config: &TcConfig,
+    hub: Arc<MetricsHub>,
+) -> Result<TcResult, TcError> {
+    let mut session = TcSession::<B>::start_metered(config, Some(hub))?;
+    session.append(graph.edges())?;
+    session.finish()
+}
+
+/// [`count_triangles_profiled`] with an optional live [`MetricsHub`]:
+/// the full observability capture (trace + report) plus, when a hub is
+/// given, the structured event stream and registry populated live.
+pub fn count_triangles_profiled_metered(
+    graph: &CooGraph,
+    config: &TcConfig,
+    hub: Option<Arc<MetricsHub>>,
+) -> Result<RunProfile, TcError> {
+    match config.backend {
+        ExecBackend::Timed => {
+            count_triangles_profiled_metered_in::<TimedBackend>(graph, config, hub)
+        }
+        ExecBackend::Functional => {
+            count_triangles_profiled_metered_in::<FunctionalBackend>(graph, config, hub)
+        }
+    }
+}
+
+/// [`count_triangles_profiled_metered`] on a caller-chosen execution
+/// engine.
+pub fn count_triangles_profiled_metered_in<B: PimBackend>(
+    graph: &CooGraph,
+    config: &TcConfig,
+    hub: Option<Arc<MetricsHub>>,
+) -> Result<RunProfile, TcError> {
+    let mut session = TcSession::<B>::start_metered(config, hub)?;
     session.enable_tracing();
     session.append(graph.edges())?;
     let result = session.count()?;

@@ -1,0 +1,412 @@
+//! The [`MetricsHub`]: one object that owns the registry, the sequence
+//! counter, and the sink fan-out.
+//!
+//! Instrumented code calls the typed emitters (`transfer`, `launch`,
+//! `host`, ...); each one updates the corresponding registry series *and*
+//! appends a sequenced [`Event`] to every attached sink. Sequence numbers
+//! start at 1 and are strictly increasing across all event kinds, assigned
+//! under one lock, so a recorded JSONL stream can be validated for
+//! completeness by checking `seq` monotonicity alone.
+
+use crate::event::{Event, FieldValue, MetricsSink};
+use crate::registry::{Registry, LAUNCH_CYCLE_BUCKETS};
+use std::sync::Mutex;
+
+/// Observations for one kernel launch, emitted by a backend after the
+/// launch completes (or fails).
+#[derive(Clone, Debug)]
+pub struct LaunchObs {
+    /// Kernel label (e.g. `"tc_count"`).
+    pub label: String,
+    /// Phase name the launch was charged to.
+    pub phase: &'static str,
+    /// Number of live DPUs that executed the kernel.
+    pub dpus: u64,
+    /// Maximum per-DPU cycle count (the launch's critical path).
+    pub max_cycles: u64,
+    /// Mean per-DPU cycle count over live DPUs.
+    pub mean_cycles: f64,
+    /// Instructions retired across all live DPUs in this launch.
+    pub instructions: u64,
+    /// MRAM DMA bytes moved across all live DPUs in this launch.
+    pub dma_bytes: u64,
+    /// Modeled wall-clock seconds charged for the launch.
+    pub seconds: f64,
+    /// `false` when the launch was killed by an injected fault.
+    pub ok: bool,
+}
+
+/// Observations for one streamed edge chunk processed by a `TcSession`.
+#[derive(Clone, Debug)]
+pub struct ChunkObs {
+    /// Zero-based chunk index within the run.
+    pub index: u64,
+    /// Edges contained in the chunk.
+    pub edges: u64,
+    /// Edges offered to reservoirs (post-routing).
+    pub offered: u64,
+    /// Edges actually kept by reservoirs.
+    pub kept: u64,
+    /// Bytes of routed per-DPU buffers staged for this chunk.
+    pub routed_bytes: u64,
+    /// High-water mark of routed bytes across all chunks so far.
+    pub peak_routed_bytes: u64,
+    /// Current Misra–Gries heavy-hitter summary size.
+    pub mg_summary: u64,
+}
+
+struct HubState {
+    seq: u64,
+    sinks: Vec<Box<dyn MetricsSink>>,
+}
+
+/// The live metrics plane: a [`Registry`] plus a sequenced event stream
+/// fanned out to attached [`MetricsSink`]s.
+pub struct MetricsHub {
+    registry: Registry,
+    state: Mutex<HubState>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        MetricsHub::new()
+    }
+}
+
+impl MetricsHub {
+    /// A hub with no sinks attached (registry-only).
+    pub fn new() -> MetricsHub {
+        MetricsHub {
+            registry: Registry::new(),
+            state: Mutex::new(HubState {
+                seq: 0,
+                sinks: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attaches a sink; it receives every event emitted from now on.
+    pub fn add_sink(&self, sink: Box<dyn MetricsSink>) {
+        self.state.lock().expect("hub poisoned").sinks.push(sink);
+    }
+
+    /// The underlying registry (for ad-hoc series or Prometheus render).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// Flushes all sinks; returns the first sink error encountered, if any.
+    pub fn flush(&self) -> Result<(), String> {
+        let mut state = self.state.lock().expect("hub poisoned");
+        let mut first_err = None;
+        for sink in state.sinks.iter_mut() {
+            sink.flush();
+            if first_err.is_none() {
+                first_err = sink.error();
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Assigns the next sequence number and fans the event out.
+    pub fn emit(&self, kind: &str, fields: Vec<(String, FieldValue)>) {
+        let mut state = self.state.lock().expect("hub poisoned");
+        state.seq += 1;
+        let event = Event {
+            seq: state.seq,
+            kind: kind.to_string(),
+            fields,
+        };
+        for sink in state.sinks.iter_mut() {
+            sink.record(&event);
+        }
+    }
+
+    /// System allocation: `nr_dpus` ranks brought up in `seconds`.
+    pub fn alloc(&self, nr_dpus: u64, seconds: f64) {
+        self.registry.gauge("pim_nr_dpus").set(nr_dpus as f64);
+        self.registry.gauge("pim_alloc_seconds").set(seconds);
+        self.emit(
+            "alloc",
+            vec![
+                ("nr_dpus".into(), FieldValue::U64(nr_dpus)),
+                ("seconds".into(), FieldValue::F64(seconds)),
+            ],
+        );
+    }
+
+    /// Phase transition.
+    pub fn phase_change(&self, to: &'static str) {
+        self.emit("phase", vec![("to".into(), FieldValue::Str(to.into()))]);
+    }
+
+    /// One host↔DPU transfer (`op` is `push` / `broadcast` / `gather`).
+    /// Failed transfers are emitted with `ok = false`, `bytes = 0`, and the
+    /// wasted bus seconds, so the stream's seconds still close against the
+    /// simulator's phase times.
+    pub fn transfer(
+        &self,
+        op: &'static str,
+        phase: &'static str,
+        writes: u64,
+        bytes: u64,
+        seconds: f64,
+        ok: bool,
+    ) {
+        let reg = &self.registry;
+        reg.counter_with("pim_transfer_ops_total", &[("op", op)])
+            .inc();
+        if ok {
+            reg.counter("pim_transfer_bytes_total").add(bytes);
+        } else {
+            reg.counter_with("pim_transfer_failed_ops_total", &[("op", op)])
+                .inc();
+        }
+        reg.gauge("pim_transfer_seconds_total").add(seconds);
+        self.emit(
+            "transfer",
+            vec![
+                ("op".into(), FieldValue::Str(op.into())),
+                ("phase".into(), FieldValue::Str(phase.into())),
+                ("writes".into(), FieldValue::U64(writes)),
+                ("bytes".into(), FieldValue::U64(bytes)),
+                ("seconds".into(), FieldValue::F64(seconds)),
+                ("ok".into(), FieldValue::Bool(ok)),
+            ],
+        );
+    }
+
+    /// One kernel launch (see [`LaunchObs`]).
+    pub fn launch(&self, obs: LaunchObs) {
+        let reg = &self.registry;
+        reg.counter_with("pim_launches_total", &[("label", &obs.label)])
+            .inc();
+        reg.counter_with("pim_kernel_cycles_total", &[("label", &obs.label)])
+            .add(obs.max_cycles);
+        reg.counter("pim_instructions_total").add(obs.instructions);
+        reg.counter("pim_dma_bytes_total").add(obs.dma_bytes);
+        reg.gauge("pim_launch_seconds_total").add(obs.seconds);
+        reg.histogram("pim_launch_max_cycles", &LAUNCH_CYCLE_BUCKETS)
+            .observe(obs.max_cycles);
+        self.emit(
+            "launch",
+            vec![
+                ("label".into(), FieldValue::Str(obs.label)),
+                ("phase".into(), FieldValue::Str(obs.phase.into())),
+                ("dpus".into(), FieldValue::U64(obs.dpus)),
+                ("max_cycles".into(), FieldValue::U64(obs.max_cycles)),
+                ("mean_cycles".into(), FieldValue::F64(obs.mean_cycles)),
+                ("instructions".into(), FieldValue::U64(obs.instructions)),
+                ("dma_bytes".into(), FieldValue::U64(obs.dma_bytes)),
+                ("seconds".into(), FieldValue::F64(obs.seconds)),
+                ("ok".into(), FieldValue::Bool(obs.ok)),
+            ],
+        );
+    }
+
+    /// Host-side work charged to the modeled clock. Labels of the form
+    /// `retry:<op>` are additionally counted as retries of `<op>` (with the
+    /// backoff seconds accumulated separately).
+    pub fn host(&self, label: &str, phase: &'static str, seconds: f64) {
+        let reg = &self.registry;
+        if let Some(op) = label.strip_prefix("retry:") {
+            reg.counter_with("pim_retries_total", &[("op", op)]).inc();
+            reg.gauge("pim_retry_backoff_seconds_total").add(seconds);
+        }
+        reg.gauge_with("pim_host_seconds_total", &[("label", label)])
+            .add(seconds);
+        self.emit(
+            "host",
+            vec![
+                ("label".into(), FieldValue::Str(label.into())),
+                ("phase".into(), FieldValue::Str(phase.into())),
+                ("seconds".into(), FieldValue::F64(seconds)),
+            ],
+        );
+    }
+
+    /// One injected fault firing. `op` is the fault plan's operation
+    /// counter at the time it fired; `dpu` is set when a specific core was
+    /// the victim (kill and corrupt faults).
+    pub fn fault(&self, kind: &'static str, phase: &'static str, op: u64, dpu: Option<u64>) {
+        self.registry
+            .counter_with("pim_faults_total", &[("kind", kind)])
+            .inc();
+        let mut fields = vec![
+            ("fault_kind".into(), FieldValue::Str(kind.into())),
+            ("phase".into(), FieldValue::Str(phase.into())),
+            ("op".into(), FieldValue::U64(op)),
+        ];
+        if let Some(d) = dpu {
+            fields.push(("dpu".into(), FieldValue::U64(d)));
+        }
+        self.emit("fault", fields);
+    }
+
+    /// One streamed edge chunk processed (see [`ChunkObs`]).
+    pub fn chunk(&self, obs: ChunkObs) {
+        let reg = &self.registry;
+        reg.counter("pim_chunks_total").inc();
+        reg.counter("pim_edges_total").add(obs.edges);
+        reg.counter("pim_edges_offered_total").add(obs.offered);
+        reg.counter("pim_edges_kept_total").add(obs.kept);
+        reg.counter("pim_edges_routed_bytes_total")
+            .add(obs.routed_bytes);
+        reg.gauge("pim_peak_routed_bytes")
+            .max(obs.peak_routed_bytes as f64);
+        reg.gauge("pim_mg_summary_size").set(obs.mg_summary as f64);
+        self.emit(
+            "chunk",
+            vec![
+                ("index".into(), FieldValue::U64(obs.index)),
+                ("edges".into(), FieldValue::U64(obs.edges)),
+                ("offered".into(), FieldValue::U64(obs.offered)),
+                ("kept".into(), FieldValue::U64(obs.kept)),
+                ("routed".into(), FieldValue::U64(obs.routed_bytes)),
+                (
+                    "peak_routed_bytes".into(),
+                    FieldValue::U64(obs.peak_routed_bytes),
+                ),
+                ("mg_summary".into(), FieldValue::U64(obs.mg_summary)),
+            ],
+        );
+    }
+
+    /// Reservoir occupancy at count time: `resident` edges across all DPUs
+    /// out of `capacity`, and the maximum per-DPU fill fraction.
+    pub fn reservoir(&self, resident: u64, capacity: u64, max_fill: f64) {
+        let reg = &self.registry;
+        reg.gauge("pim_reservoir_resident_edges")
+            .set(resident as f64);
+        reg.gauge("pim_reservoir_capacity_edges")
+            .set(capacity as f64);
+        reg.gauge("pim_reservoir_fill_max").max(max_fill);
+        self.emit(
+            "reservoir",
+            vec![
+                ("resident".into(), FieldValue::U64(resident)),
+                ("capacity".into(), FieldValue::U64(capacity)),
+                ("max_fill".into(), FieldValue::F64(max_fill)),
+            ],
+        );
+    }
+
+    /// A dead DPU's partition was failed over to a spare core.
+    pub fn failover(&self, partition: u64, spare: u64) {
+        self.registry.counter("pim_failovers_total").inc();
+        self.emit(
+            "failover",
+            vec![
+                ("partition".into(), FieldValue::U64(partition)),
+                ("spare".into(), FieldValue::U64(spare)),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MemorySink;
+
+    #[test]
+    fn seq_is_strictly_increasing_across_kinds() {
+        let hub = MetricsHub::new();
+        let sink = MemorySink::new();
+        hub.add_sink(Box::new(sink.clone()));
+        hub.alloc(64, 0.5);
+        hub.phase_change("setup");
+        hub.transfer("push", "setup", 64, 4096, 1e-5, true);
+        hub.host("route_edges", "sample_creation", 2e-6);
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn launch_updates_registry_aggregates() {
+        let hub = MetricsHub::new();
+        hub.launch(LaunchObs {
+            label: "tc_count".into(),
+            phase: "triangle_count",
+            dpus: 4,
+            max_cycles: 2000,
+            mean_cycles: 1500.0,
+            instructions: 6000,
+            dma_bytes: 1024,
+            seconds: 5e-6,
+            ok: true,
+        });
+        hub.launch(LaunchObs {
+            label: "tc_count".into(),
+            phase: "triangle_count",
+            dpus: 4,
+            max_cycles: 500,
+            mean_cycles: 400.0,
+            instructions: 1600,
+            dma_bytes: 256,
+            seconds: 2e-6,
+            ok: true,
+        });
+        let reg = hub.registry();
+        assert_eq!(
+            reg.counter_with("pim_launches_total", &[("label", "tc_count")])
+                .get(),
+            2
+        );
+        assert_eq!(
+            reg.counter_with("pim_kernel_cycles_total", &[("label", "tc_count")])
+                .get(),
+            2500
+        );
+        assert_eq!(reg.counter("pim_instructions_total").get(), 7600);
+        assert_eq!(reg.counter("pim_dma_bytes_total").get(), 1280);
+        let h = reg.histogram("pim_launch_max_cycles", &LAUNCH_CYCLE_BUCKETS);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn retry_labels_feed_retry_counters() {
+        let hub = MetricsHub::new();
+        hub.host("retry:receive", "triangle_count", 1e-4);
+        hub.host("retry:receive", "triangle_count", 2e-4);
+        hub.host("route_edges", "sample_creation", 1e-6);
+        let reg = hub.registry();
+        assert_eq!(
+            reg.counter_with("pim_retries_total", &[("op", "receive")])
+                .get(),
+            2
+        );
+        let backoff = reg.gauge("pim_retry_backoff_seconds_total").get();
+        assert!((backoff - 3e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_transfer_counts_no_bytes() {
+        let hub = MetricsHub::new();
+        hub.transfer("push", "setup", 8, 0, 3e-6, false);
+        hub.transfer("push", "setup", 8, 512, 3e-6, true);
+        let reg = hub.registry();
+        assert_eq!(reg.counter("pim_transfer_bytes_total").get(), 512);
+        assert_eq!(
+            reg.counter_with("pim_transfer_failed_ops_total", &[("op", "push")])
+                .get(),
+            1
+        );
+        assert_eq!(
+            reg.counter_with("pim_transfer_ops_total", &[("op", "push")])
+                .get(),
+            2
+        );
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! `pim-metrics` — the live metrics plane for the PIM triangle-counting
+//! stack.
+//!
+//! The paper's evaluation (and the PrIM methodology it builds on) lives on
+//! fine-grained per-phase counters; this crate makes those counters
+//! observable *while* a run executes instead of only in post-hoc reports:
+//!
+//! * [`registry`] — a lightweight, dependency-free metrics registry:
+//!   atomic [`Counter`]s, [`Gauge`]s, fixed-bucket [`Histogram`]s, and
+//!   labeled families, rendered in Prometheus text exposition format.
+//! * [`event`] — the structured event stream: one [`Event`] per
+//!   transfer / launch / retry / fault / chunk with a monotonic sequence
+//!   number, plus the [`MetricsSink`] subscriber trait and two built-in
+//!   event sinks ([`MemorySink`], [`JsonlSink`]).
+//! * [`hub`] — the [`MetricsHub`] gluing both together: typed emitters
+//!   that update the registry *and* fan the event out to every sink under
+//!   one sequence counter.
+//! * [`summary`] — aggregation of a recorded stream back into totals,
+//!   used by `pimtc metrics-summary` and by the equivalence tests that
+//!   pin the stream's aggregates against `SystemReport`.
+//!
+//! The crate is dependency-free (std only): events are rendered to JSON
+//! lines by hand and re-parsed by a small flat-object parser, so it can be
+//! embedded anywhere in the stack without a serde dependency edge.
+//!
+//! See `docs/OBSERVABILITY.md` for the event schema and metric name /
+//! label conventions.
+
+pub mod event;
+pub mod hub;
+pub mod registry;
+pub mod summary;
+
+pub use event::{Event, FieldValue, JsonlSink, MemorySink, MetricsSink};
+pub use hub::{ChunkObs, LaunchObs, MetricsHub};
+pub use registry::{Counter, Gauge, Histogram, Registry, LAUNCH_CYCLE_BUCKETS};
+pub use summary::{parse_jsonl, summarize, StreamSummary};

@@ -32,7 +32,9 @@ use crate::kernel::{DpuContext, Pod};
 use crate::phase::{Phase, PhaseTimes};
 use crate::system::{HostWrite, PimSystem, CORRUPT_MASK};
 use crate::trace::Trace;
+use pim_metrics::{LaunchObs, MetricsHub};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Host-side driver interface for a set of allocated PIM cores.
 ///
@@ -75,6 +77,14 @@ pub trait PimBackend: Send {
     /// Starts recording an event timeline. No-op on backends that do not
     /// produce timing events.
     fn enable_tracing(&mut self);
+
+    /// Attaches a live metrics hub: transfers, launches, host spans, and
+    /// faults are emitted as structured events and folded into the hub's
+    /// registry as they happen. Both backends emit the *same* event
+    /// sequence for the same workload — the functional backend reports all
+    /// seconds as zero, but counts (bytes, cycles, instructions, faults)
+    /// are identical. The default implementation drops the hub.
+    fn attach_metrics(&mut self, _hub: Arc<MetricsHub>) {}
 
     /// The recorded timeline (always empty on functional backends).
     fn trace(&self) -> &Trace;
@@ -220,6 +230,10 @@ impl PimBackend for PimSystem {
         PimSystem::enable_tracing(self);
     }
 
+    fn attach_metrics(&mut self, hub: Arc<MetricsHub>) {
+        PimSystem::attach_metrics(self, hub);
+    }
+
     fn trace(&self) -> &Trace {
         PimSystem::trace(self)
     }
@@ -301,6 +315,16 @@ pub struct FunctionalBackend {
     /// Always-empty, never-enabled timeline handed out by `trace()`.
     trace: Trace,
     fault: FaultState,
+    metrics: Option<Arc<MetricsHub>>,
+}
+
+impl FunctionalBackend {
+    /// Emits a fault event on the attached hub, if any.
+    fn record_fault(&self, kind: &'static str, op: u64, dpu: Option<usize>) {
+        if let Some(hub) = &self.metrics {
+            hub.fault(kind, self.phase.metric_name(), op, dpu.map(|d| d as u64));
+        }
+    }
 }
 
 impl FunctionalBackend {
@@ -330,6 +354,7 @@ impl PimBackend for FunctionalBackend {
             transfer_bytes: 0,
             trace: Trace::default(),
             fault: FaultState::new(config.fault, nr_dpus),
+            metrics: None,
         })
     }
 
@@ -353,6 +378,11 @@ impl PimBackend for FunctionalBackend {
     }
 
     fn set_phase(&mut self, phase: Phase) {
+        if self.phase != phase {
+            if let Some(hub) = &self.metrics {
+                hub.phase_change(phase.metric_name());
+            }
+        }
         self.phase = phase;
     }
 
@@ -369,11 +399,24 @@ impl PimBackend for FunctionalBackend {
         // empty by design (see docs/OBSERVABILITY.md).
     }
 
+    fn attach_metrics(&mut self, hub: Arc<MetricsHub>) {
+        // Functional allocation charges no modeled time.
+        hub.alloc(self.dpus.len() as u64, 0.0);
+        self.metrics = Some(hub);
+    }
+
     fn trace(&self) -> &Trace {
         &self.trace
     }
 
-    fn charge_host_seconds_labeled(&mut self, _label: &str, _seconds: SimSeconds) {}
+    fn charge_host_seconds_labeled(&mut self, label: &str, _seconds: SimSeconds) {
+        // The measurement itself is dropped (no modeled clock), but the
+        // event is still emitted — with zero seconds — so retry counts and
+        // span sequences match the timed backend exactly.
+        if let Some(hub) = &self.metrics {
+            hub.host(label, self.phase.metric_name(), 0.0);
+        }
+    }
 
     fn push(&mut self, writes: Vec<HostWrite>) -> SimResult<()> {
         for w in &writes {
@@ -389,15 +432,33 @@ impl PimBackend for FunctionalBackend {
         }
         let decision = self.fault.decide(OpKind::Transfer);
         match decision {
-            FaultDecision::Kill { dpu, .. } => return Err(SimError::DpuDead { dpu }),
-            FaultDecision::Fail { op } => return Err(SimError::FaultTransfer { op }),
+            FaultDecision::Kill { dpu, op } => {
+                self.record_fault("kill", op, Some(dpu));
+                return Err(SimError::DpuDead { dpu });
+            }
+            FaultDecision::Fail { op } => {
+                self.record_fault("transfer_fail", op, None);
+                if let Some(hub) = &self.metrics {
+                    hub.transfer(
+                        "push",
+                        self.phase.metric_name(),
+                        writes.len() as u64,
+                        0,
+                        0.0,
+                        false,
+                    );
+                }
+                return Err(SimError::FaultTransfer { op });
+            }
             FaultDecision::None | FaultDecision::Corrupt { .. } => {}
         }
+        let mut bytes = 0u64;
         for w in &writes {
             self.dpus[w.dpu].host_write(w.offset, &w.data)?;
-            self.transfer_bytes += w.data.len() as u64;
+            bytes += w.data.len() as u64;
         }
-        if let FaultDecision::Corrupt { salt, .. } = decision {
+        self.transfer_bytes += bytes;
+        if let FaultDecision::Corrupt { salt, op } = decision {
             let victims: Vec<usize> = (0..writes.len())
                 .filter(|&i| !writes[i].data.is_empty())
                 .collect();
@@ -407,7 +468,18 @@ impl PimBackend for FunctionalBackend {
                 let flipped = w.data[byte as usize] ^ CORRUPT_MASK;
                 self.dpus[w.dpu].host_write(w.offset + byte, &[flipped])?;
                 self.fault.count_corruption();
+                self.record_fault("corrupt", op, Some(w.dpu));
             }
+        }
+        if let Some(hub) = &self.metrics {
+            hub.transfer(
+                "push",
+                self.phase.metric_name(),
+                writes.len() as u64,
+                bytes,
+                0.0,
+                true,
+            );
         }
         Ok(())
     }
@@ -415,8 +487,24 @@ impl PimBackend for FunctionalBackend {
     fn broadcast(&mut self, offset: u64, data: &[u8]) -> SimResult<()> {
         let decision = self.fault.decide(OpKind::Transfer);
         match decision {
-            FaultDecision::Kill { dpu, .. } => return Err(SimError::DpuDead { dpu }),
-            FaultDecision::Fail { op } => return Err(SimError::FaultTransfer { op }),
+            FaultDecision::Kill { dpu, op } => {
+                self.record_fault("kill", op, Some(dpu));
+                return Err(SimError::DpuDead { dpu });
+            }
+            FaultDecision::Fail { op } => {
+                self.record_fault("transfer_fail", op, None);
+                if let Some(hub) = &self.metrics {
+                    hub.transfer(
+                        "broadcast",
+                        self.phase.metric_name(),
+                        self.dpus.len() as u64,
+                        0,
+                        0.0,
+                        false,
+                    );
+                }
+                return Err(SimError::FaultTransfer { op });
+            }
             FaultDecision::None | FaultDecision::Corrupt { .. } => {}
         }
         let mut live_count = 0u64;
@@ -426,8 +514,9 @@ impl PimBackend for FunctionalBackend {
                 live_count += 1;
             }
         }
-        self.transfer_bytes += data.len() as u64 * live_count;
-        if let FaultDecision::Corrupt { salt, .. } = decision {
+        let bytes = data.len() as u64 * live_count;
+        self.transfer_bytes += bytes;
+        if let FaultDecision::Corrupt { salt, op } = decision {
             let victims: Vec<usize> = (0..self.dpus.len())
                 .filter(|&d| !self.fault.is_dead(d))
                 .collect();
@@ -437,7 +526,18 @@ impl PimBackend for FunctionalBackend {
                 let flipped = data[byte as usize] ^ CORRUPT_MASK;
                 self.dpus[d].host_write(offset + byte, &[flipped])?;
                 self.fault.count_corruption();
+                self.record_fault("corrupt", op, Some(d));
             }
+        }
+        if let Some(hub) = &self.metrics {
+            hub.transfer(
+                "broadcast",
+                self.phase.metric_name(),
+                self.dpus.len() as u64,
+                bytes,
+                0.0,
+                true,
+            );
         }
         Ok(())
     }
@@ -445,8 +545,24 @@ impl PimBackend for FunctionalBackend {
     fn gather(&mut self, offset: u64, len: u64) -> SimResult<Vec<Vec<u8>>> {
         let decision = self.fault.decide(OpKind::Transfer);
         match decision {
-            FaultDecision::Kill { dpu, .. } => return Err(SimError::DpuDead { dpu }),
-            FaultDecision::Fail { op } => return Err(SimError::FaultTransfer { op }),
+            FaultDecision::Kill { dpu, op } => {
+                self.record_fault("kill", op, Some(dpu));
+                return Err(SimError::DpuDead { dpu });
+            }
+            FaultDecision::Fail { op } => {
+                self.record_fault("transfer_fail", op, None);
+                if let Some(hub) = &self.metrics {
+                    hub.transfer(
+                        "gather",
+                        self.phase.metric_name(),
+                        self.dpus.len() as u64,
+                        0,
+                        0.0,
+                        false,
+                    );
+                }
+                return Err(SimError::FaultTransfer { op });
+            }
             FaultDecision::None | FaultDecision::Corrupt { .. } => {}
         }
         let out: SimResult<Vec<Vec<u8>>> = self
@@ -461,7 +577,7 @@ impl PimBackend for FunctionalBackend {
             })
             .collect();
         let mut out = out?;
-        if let FaultDecision::Corrupt { salt, .. } = decision {
+        if let FaultDecision::Corrupt { salt, op } = decision {
             let victims: Vec<usize> = (0..out.len())
                 .filter(|&d| !self.fault.is_dead(d) && !out[d].is_empty())
                 .collect();
@@ -470,9 +586,21 @@ impl PimBackend for FunctionalBackend {
                 let byte = (salt >> 8) as usize % out[d].len();
                 out[d][byte] ^= CORRUPT_MASK;
                 self.fault.count_corruption();
+                self.record_fault("corrupt", op, Some(d));
             }
         }
-        self.transfer_bytes += len * self.dpus.len() as u64;
+        let bytes = len * self.dpus.len() as u64;
+        self.transfer_bytes += bytes;
+        if let Some(hub) = &self.metrics {
+            hub.transfer(
+                "gather",
+                self.phase.metric_name(),
+                self.dpus.len() as u64,
+                bytes,
+                0.0,
+                true,
+            );
+        }
         Ok(out)
     }
 
@@ -489,24 +617,44 @@ impl PimBackend for FunctionalBackend {
             .collect()
     }
 
-    fn execute_labeled_masked<R, K>(&mut self, _label: &str, kernel: K) -> SimResult<Vec<Option<R>>>
+    fn execute_labeled_masked<R, K>(&mut self, label: &str, kernel: K) -> SimResult<Vec<Option<R>>>
     where
         R: Send,
         K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
     {
         match self.fault.decide(OpKind::Launch) {
-            FaultDecision::Kill { dpu, .. } => return Err(SimError::DpuDead { dpu }),
-            FaultDecision::Fail { op } => return Err(SimError::FaultLaunch { op }),
+            FaultDecision::Kill { dpu, op } => {
+                self.record_fault("kill", op, Some(dpu));
+                return Err(SimError::DpuDead { dpu });
+            }
+            FaultDecision::Fail { op } => {
+                self.record_fault("launch_fail", op, None);
+                if let Some(hub) = &self.metrics {
+                    hub.launch(LaunchObs {
+                        label: label.to_string(),
+                        phase: self.phase.metric_name(),
+                        dpus: 0,
+                        max_cycles: 0,
+                        mean_cycles: 0.0,
+                        instructions: 0,
+                        dma_bytes: 0,
+                        seconds: 0.0,
+                        ok: false,
+                    });
+                }
+                return Err(SimError::FaultLaunch { op });
+            }
             FaultDecision::None | FaultDecision::Corrupt { .. } => {}
         }
         let config = self.config;
         let cost = self.cost;
         let dead: Vec<bool> = self.fault.dead_flags().to_vec();
-        self.dpus
+        let results: SimResult<Vec<(Option<R>, u64)>> = self
+            .dpus
             .par_iter_mut()
             .map(|dpu| {
                 if dead.get(dpu.id()).copied().unwrap_or(false) {
-                    return Ok(None);
+                    return Ok((None, 0));
                 }
                 dpu.reset_kernel_counters();
                 let mut ctx = DpuContext {
@@ -514,9 +662,49 @@ impl PimBackend for FunctionalBackend {
                     config: &config,
                     cost: &cost,
                 };
-                kernel(&mut ctx).map(Some)
+                let r = kernel(&mut ctx)?;
+                // Cycles are data-derived (instruction and DMA counts), so
+                // the functional backend reports the same per-launch cycle
+                // observations as the timed one — only *seconds* stay zero.
+                let cycles = cost.dpu_cycles(&ctx.dpu.tasklet_instr, ctx.dpu.dma_cycles);
+                Ok((Some(r), cycles))
             })
-            .collect()
+            .collect();
+        let results = results?;
+        if let Some(hub) = &self.metrics {
+            let is_dead = |id: usize| dead.get(id).copied().unwrap_or(false);
+            let live = results.iter().filter(|(r, _)| r.is_some()).count() as u64;
+            let max_cycles = results.iter().map(|(_, c)| *c).max().unwrap_or(0);
+            let cycle_sum: u64 = results.iter().map(|(_, c)| *c).sum();
+            let instructions: u64 = self
+                .dpus
+                .iter()
+                .filter(|d| !is_dead(d.id()))
+                .map(|d| d.tasklet_instr.iter().sum::<u64>())
+                .sum();
+            let dma_bytes: u64 = self
+                .dpus
+                .iter()
+                .filter(|d| !is_dead(d.id()))
+                .map(|d| d.kernel_dma_bytes)
+                .sum();
+            hub.launch(LaunchObs {
+                label: label.to_string(),
+                phase: self.phase.metric_name(),
+                dpus: live,
+                max_cycles,
+                mean_cycles: if live > 0 {
+                    cycle_sum as f64 / live as f64
+                } else {
+                    0.0
+                },
+                instructions,
+                dma_bytes,
+                seconds: 0.0,
+                ok: true,
+            });
+        }
+        Ok(results.into_iter().map(|(r, _)| r).collect())
     }
 
     fn is_dpu_lost(&self, dpu: usize) -> bool {
@@ -649,6 +837,77 @@ mod tests {
             Err(SimError::NoSuchDpu { dpu: 5, .. })
         ));
         assert!(sys.dpu(3).is_err());
+    }
+
+    #[test]
+    fn backends_emit_equivalent_metric_streams() {
+        use pim_metrics::{summarize, MemorySink};
+
+        fn run<B: PimBackend>(mut sys: B) -> pim_metrics::StreamSummary {
+            let hub = Arc::new(MetricsHub::new());
+            let sink = MemorySink::new();
+            hub.add_sink(Box::new(sink.clone()));
+            sys.attach_metrics(Arc::clone(&hub));
+            drive(sys);
+            summarize(&sink.events())
+        }
+
+        let timed =
+            run(
+                <TimedBackend as PimBackend>::allocate(4, PimConfig::tiny(), CostModel::default())
+                    .unwrap(),
+            );
+        let func = run(<FunctionalBackend as PimBackend>::allocate(
+            4,
+            PimConfig::tiny(),
+            CostModel::default(),
+        )
+        .unwrap());
+
+        // Same event counts, bytes, cycles, instructions on both engines.
+        assert_eq!(timed.events, func.events);
+        assert_eq!(timed.nr_dpus, func.nr_dpus);
+        assert_eq!(timed.transfer_bytes(), func.transfer_bytes());
+        assert_eq!(timed.instructions(), func.instructions());
+        assert_eq!(timed.dma_bytes(), func.dma_bytes());
+        assert_eq!(
+            timed.launches["sum"].max_cycles_total,
+            func.launches["sum"].max_cycles_total
+        );
+        // Only the clocks differ.
+        assert!(timed.total_seconds() > 0.0);
+        assert_eq!(func.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn timed_metric_seconds_close_against_phase_times() {
+        use pim_metrics::{summarize, MemorySink};
+        let mut sys =
+            <TimedBackend as PimBackend>::allocate(4, PimConfig::tiny(), CostModel::default())
+                .unwrap();
+        let hub = Arc::new(MetricsHub::new());
+        let sink = MemorySink::new();
+        hub.add_sink(Box::new(sink.clone()));
+        sys.attach_metrics(hub);
+        sys.set_phase(Phase::SampleCreation);
+        sys.broadcast(0, &encode_slice(&[1u32; 16])).unwrap();
+        sys.charge_host_seconds_labeled("route_edges", 0.125);
+        sys.set_phase(Phase::TriangleCount);
+        sys.execute_labeled("count", |ctx| {
+            let mut t = ctx.tasklet(0)?;
+            t.charge(100);
+            Ok(())
+        })
+        .unwrap();
+        sys.gather(0, 64).unwrap();
+        let times = sys.phase_times();
+        let summary = summarize(&sink.events());
+        assert!(
+            (summary.total_seconds() - times.total()).abs() < 1e-12,
+            "stream {} vs phases {}",
+            summary.total_seconds(),
+            times.total()
+        );
     }
 
     #[test]

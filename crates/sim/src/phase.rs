@@ -22,6 +22,18 @@ pub enum Phase {
     TriangleCount,
 }
 
+impl Phase {
+    /// The phase's snake_case name as used in metric events and labels
+    /// (see `docs/OBSERVABILITY.md`).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Phase::Setup => "setup",
+            Phase::SampleCreation => "sample_creation",
+            Phase::TriangleCount => "triangle_count",
+        }
+    }
+}
+
 /// Per-phase accumulated time, in seconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseTimes {

@@ -8,7 +8,9 @@ use crate::error::{SimError, SimResult};
 use crate::fault::{FaultCounters, FaultDecision, FaultState, OpKind};
 use crate::kernel::{DpuContext, Pod};
 use crate::phase::{Phase, PhaseTimes};
+use pim_metrics::{LaunchObs, MetricsHub};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// XOR mask applied to the victim byte of a corrupted payload.
 pub(crate) const CORRUPT_MASK: u8 = 0xA5;
@@ -38,6 +40,7 @@ pub struct PimSystem {
     transfer_seconds: SimSeconds,
     trace: crate::trace::Trace,
     fault: FaultState,
+    metrics: Option<Arc<MetricsHub>>,
 }
 
 impl PimSystem {
@@ -64,6 +67,7 @@ impl PimSystem {
             transfer_seconds: 0.0,
             trace: crate::trace::Trace::default(),
             fault: FaultState::new(config.fault, nr_dpus),
+            metrics: None,
         };
         let setup = sys.cost.setup_seconds(nr_dpus);
         sys.times.add(Phase::Setup, setup);
@@ -111,8 +115,22 @@ impl PimSystem {
         if self.phase != phase {
             self.trace
                 .record(crate::trace::TraceEvent::PhaseChange { to: phase });
+            if let Some(hub) = &self.metrics {
+                hub.phase_change(phase.metric_name());
+            }
         }
         self.phase = phase;
+    }
+
+    /// Attaches a live metrics hub: every transfer, launch, host span, and
+    /// fault from now on is emitted as a structured event and folded into
+    /// the hub's registry. The time accrued so far (allocation) is emitted
+    /// as one `alloc` event, so the stream's seconds close against
+    /// [`PimSystem::phase_times`]. Attach immediately after allocation for
+    /// a complete stream.
+    pub fn attach_metrics(&mut self, hub: Arc<MetricsHub>) {
+        hub.alloc(self.dpus.len() as u64, self.times.total());
+        self.metrics = Some(hub);
     }
 
     /// Starts recording an event timeline (see [`crate::trace`]).
@@ -164,6 +182,9 @@ impl PimSystem {
             seconds,
             phase: self.phase,
         });
+        if let Some(hub) = &self.metrics {
+            hub.host(label, self.phase.metric_name(), seconds);
+        }
     }
 
     /// Executes a rank-parallel CPU→PIM transfer batch. Data lands in MRAM
@@ -190,11 +211,28 @@ impl PimSystem {
                 return Err(SimError::DpuDead { dpu });
             }
             FaultDecision::Fail { op } => {
-                // The bus time is wasted even though nothing lands.
+                // The bus time is wasted even though nothing lands; the
+                // zero-byte span keeps the trace summing to the clock.
                 let seconds = self.cost.transfer_seconds(&per_dpu_bytes);
                 self.transfer_seconds += seconds;
                 self.times.add(self.phase, seconds);
+                self.trace.record(crate::trace::TraceEvent::Push {
+                    writes: writes.len(),
+                    bytes: 0,
+                    seconds,
+                    phase: self.phase,
+                });
                 self.record_fault("transfer_fail", op, None);
+                if let Some(hub) = &self.metrics {
+                    hub.transfer(
+                        "push",
+                        self.phase.metric_name(),
+                        writes.len() as u64,
+                        0,
+                        seconds,
+                        false,
+                    );
+                }
                 return Err(SimError::FaultTransfer { op });
             }
             FaultDecision::None | FaultDecision::Corrupt { .. } => {}
@@ -226,17 +264,30 @@ impl PimSystem {
             seconds,
             phase: self.phase,
         });
+        if let Some(hub) = &self.metrics {
+            hub.transfer(
+                "push",
+                self.phase.metric_name(),
+                writes.len() as u64,
+                bytes,
+                seconds,
+                true,
+            );
+        }
         Ok(())
     }
 
-    /// Records a fault event on the trace.
-    fn record_fault(&mut self, kind: &str, op: u64, dpu: Option<usize>) {
+    /// Records a fault event on the trace and the metrics stream.
+    fn record_fault(&mut self, kind: &'static str, op: u64, dpu: Option<usize>) {
         self.trace.record(crate::trace::TraceEvent::Fault {
             kind: kind.to_string(),
             op,
             dpu,
             phase: self.phase,
         });
+        if let Some(hub) = &self.metrics {
+            hub.fault(kind, self.phase.metric_name(), op, dpu.map(|d| d as u64));
+        }
     }
 
     /// Whether the fault plan has permanently killed `dpu`. Always false on
@@ -276,7 +327,23 @@ impl PimSystem {
                 let seconds = self.cost.transfer_seconds(&per_dpu_bytes);
                 self.transfer_seconds += seconds;
                 self.times.add(self.phase, seconds);
+                self.trace.record(crate::trace::TraceEvent::Push {
+                    writes: self.dpus.len(),
+                    bytes: 0,
+                    seconds,
+                    phase: self.phase,
+                });
                 self.record_fault("transfer_fail", op, None);
+                if let Some(hub) = &self.metrics {
+                    hub.transfer(
+                        "broadcast",
+                        self.phase.metric_name(),
+                        self.dpus.len() as u64,
+                        0,
+                        seconds,
+                        false,
+                    );
+                }
                 return Err(SimError::FaultTransfer { op });
             }
             FaultDecision::None | FaultDecision::Corrupt { .. } => {}
@@ -308,6 +375,16 @@ impl PimSystem {
             seconds,
             phase: self.phase,
         });
+        if let Some(hub) = &self.metrics {
+            hub.transfer(
+                "broadcast",
+                self.phase.metric_name(),
+                self.dpus.len() as u64,
+                bytes,
+                seconds,
+                true,
+            );
+        }
         Ok(())
     }
 
@@ -324,7 +401,22 @@ impl PimSystem {
                 let seconds = self.cost.transfer_seconds(&vec![len; self.dpus.len()]);
                 self.transfer_seconds += seconds;
                 self.times.add(self.phase, seconds);
+                self.trace.record(crate::trace::TraceEvent::Gather {
+                    bytes: 0,
+                    seconds,
+                    phase: self.phase,
+                });
                 self.record_fault("transfer_fail", op, None);
+                if let Some(hub) = &self.metrics {
+                    hub.transfer(
+                        "gather",
+                        self.phase.metric_name(),
+                        self.dpus.len() as u64,
+                        0,
+                        seconds,
+                        false,
+                    );
+                }
                 return Err(SimError::FaultTransfer { op });
             }
             FaultDecision::None | FaultDecision::Corrupt { .. } => {}
@@ -366,6 +458,16 @@ impl PimSystem {
             seconds,
             phase: self.phase,
         });
+        if let Some(hub) = &self.metrics {
+            hub.transfer(
+                "gather",
+                self.phase.metric_name(),
+                self.dpus.len() as u64,
+                bytes,
+                seconds,
+                true,
+            );
+        }
         Ok(out)
     }
 
@@ -429,10 +531,33 @@ impl PimSystem {
                 return Err(SimError::DpuDead { dpu });
             }
             FaultDecision::Fail { op } => {
-                // The launch round-trip is wasted before any tasklet runs.
+                // The launch round-trip is wasted before any tasklet runs;
+                // the zero-cycle span keeps the trace summing to the clock.
                 let seconds = self.cost.launch_overhead;
                 self.times.add(self.phase, seconds);
+                self.trace.record(crate::trace::TraceEvent::Kernel {
+                    label: label.to_string(),
+                    max_cycles: 0,
+                    seconds,
+                    phase: self.phase,
+                    per_dpu_cycles: Vec::new(),
+                    per_dpu_instructions: Vec::new(),
+                    per_dpu_dma_bytes: Vec::new(),
+                });
                 self.record_fault("launch_fail", op, None);
+                if let Some(hub) = &self.metrics {
+                    hub.launch(LaunchObs {
+                        label: label.to_string(),
+                        phase: self.phase.metric_name(),
+                        dpus: 0,
+                        max_cycles: 0,
+                        mean_cycles: 0.0,
+                        instructions: 0,
+                        dma_bytes: 0,
+                        seconds,
+                        ok: false,
+                    });
+                }
                 return Err(SimError::FaultLaunch { op });
             }
             FaultDecision::None | FaultDecision::Corrupt { .. } => {}
@@ -462,6 +587,38 @@ impl PimSystem {
         let max_cycles = results.iter().map(|(_, c)| *c).max().unwrap_or(0);
         let seconds = self.cost.launch_overhead + self.cost.cycles_to_seconds(max_cycles);
         self.times.add(self.phase, seconds);
+        if let Some(hub) = &self.metrics {
+            let is_dead = |id: usize| dead.get(id).copied().unwrap_or(false);
+            let live = results.iter().filter(|(r, _)| r.is_some()).count() as u64;
+            let cycle_sum: u64 = results.iter().map(|(_, c)| *c).sum();
+            let instructions: u64 = self
+                .dpus
+                .iter()
+                .filter(|d| !is_dead(d.id()))
+                .map(|d| d.tasklet_instr.iter().sum::<u64>())
+                .sum();
+            let dma_bytes: u64 = self
+                .dpus
+                .iter()
+                .filter(|d| !is_dead(d.id()))
+                .map(|d| d.kernel_dma_bytes)
+                .sum();
+            hub.launch(LaunchObs {
+                label: label.to_string(),
+                phase: self.phase.metric_name(),
+                dpus: live,
+                max_cycles,
+                mean_cycles: if live > 0 {
+                    cycle_sum as f64 / live as f64
+                } else {
+                    0.0
+                },
+                instructions,
+                dma_bytes,
+                seconds,
+                ok: true,
+            });
+        }
         if self.trace.is_enabled() {
             // The per-kernel counters were reset at launch, so right now
             // they describe exactly this launch. Dead DPUs report zeros;

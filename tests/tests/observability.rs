@@ -1,0 +1,151 @@
+//! Cross-crate observability checks: the chrome trace export round-trips
+//! through JSON with retry/kernel spans on the expected phase tracks, and
+//! the live metric stream reconciles with the dynamic workload's report
+//! on both execution backends.
+
+use pim_graph::gen;
+use pim_metrics::{summarize, MemorySink, MetricsHub};
+use pim_sim::{FaultPlan, PimConfig};
+use pim_tc::{ExecBackend, TcConfig};
+use std::sync::Arc;
+
+fn faulted_config() -> TcConfig {
+    TcConfig::builder()
+        .colors(2)
+        .pim(PimConfig {
+            total_dpus: 512,
+            mram_capacity: 1 << 20,
+            ..PimConfig::tiny()
+        })
+        .stage_edges(256)
+        .max_retries(16)
+        .fault_plan(Some(FaultPlan::parse("seed=9,transfer=60000").unwrap()))
+        .build()
+        .unwrap()
+}
+
+/// Chrome trace tracks: tid 0 = Setup, 1 = SampleCreation,
+/// 2 = TriangleCount (`PHASE_TRACKS` in `pim-sim`'s trace module).
+const SAMPLE_CREATION_TID: u64 = 1;
+const TRIANGLE_COUNT_TID: u64 = 2;
+
+#[test]
+fn chrome_trace_round_trips_with_retry_and_kernel_spans_on_their_tracks() {
+    let g = gen::erdos_renyi(150, 0.1, 3);
+    let config = faulted_config();
+    let profile = pim_tc::count_triangles_profiled(&g, &config).unwrap();
+    assert!(
+        profile.report.fault_counters.transfer_faults > 0,
+        "the plan must actually fire for this test to mean anything"
+    );
+
+    // Round trip: export -> serialize -> parse back -> identical value.
+    let chrome = profile.trace.to_chrome_trace();
+    let text = serde_json::to_string(&chrome).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(
+        parsed, chrome,
+        "chrome export must survive a JSON round trip"
+    );
+
+    let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+    let spans_named = |prefix: &str| -> Vec<&serde_json::Value> {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("name")
+                    .and_then(|n| n.as_str())
+                    .is_some_and(|n| n.starts_with(prefix))
+            })
+            .collect()
+    };
+
+    // Injected transfer faults surface as instants, and their recoveries
+    // as `host:retry:<op>` spans.
+    assert!(!spans_named("fault:transfer_fail").is_empty());
+    let retries = spans_named("host:retry:");
+    assert_eq!(
+        retries.len() as u64,
+        profile.report.fault_counters.transfer_faults,
+        "one retry span per injected transfer fault"
+    );
+
+    // Kernel spans sit on the track of the phase that paid for them:
+    // `receive` during sample creation, `count` during triangle counting.
+    let tid_of = |e: &serde_json::Value| e.get("tid").and_then(|t| t.as_u64()).unwrap();
+    let receive = spans_named("kernel:receive");
+    assert!(!receive.is_empty());
+    for e in &receive {
+        assert_eq!(
+            tid_of(e),
+            SAMPLE_CREATION_TID,
+            "receive runs in sample creation"
+        );
+    }
+    let count = spans_named("kernel:count");
+    assert!(!count.is_empty());
+    for e in &count {
+        assert_eq!(
+            tid_of(e),
+            TRIANGLE_COUNT_TID,
+            "count runs in triangle count"
+        );
+    }
+
+    // The timeline still closes: summed span durations equal the phase
+    // clock (faulted attempts charge their wasted time too).
+    let span_dur_us: f64 = events
+        .iter()
+        .filter_map(|e| e.get("dur").and_then(|d| d.as_f64()))
+        .sum();
+    let total = profile.result.times.total();
+    assert!(
+        (span_dur_us / 1e6 - total).abs() < 1e-9,
+        "chrome spans {span_dur_us} us vs phase total {total} s"
+    );
+}
+
+#[test]
+fn dynamic_metric_stream_reconciles_with_the_report_on_both_backends() {
+    let g = gen::erdos_renyi(150, 0.1, 5);
+    let batches = g.split_batches(4);
+    for backend in [ExecBackend::Timed, ExecBackend::Functional] {
+        let mut config = TcConfig::builder()
+            .colors(2)
+            .pim(PimConfig {
+                total_dpus: 512,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            })
+            .stage_edges(256)
+            .build()
+            .unwrap();
+        config.backend = backend;
+        let hub = Arc::new(MetricsHub::new());
+        let sink = MemorySink::new();
+        hub.add_sink(Box::new(sink.clone()));
+        let (timings, report) =
+            pim_baselines::dynamic::pim_dynamic_metered(&batches, &config, Some(Arc::clone(&hub)))
+                .unwrap();
+        assert_eq!(timings.len(), 4);
+
+        let events = sink.events();
+        // Sequence numbers are strictly increasing from 1.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64 + 1, "{backend:?}: dense monotonic seq");
+        }
+        let s = summarize(&events);
+        assert_eq!(s.chunks, 4, "{backend:?}: one chunk event per update");
+        assert_eq!(
+            s.transfer_bytes(),
+            report.total_transfer_bytes,
+            "{backend:?}"
+        );
+        assert_eq!(s.instructions(), report.total_instructions, "{backend:?}");
+        assert_eq!(s.dma_bytes(), report.total_dma_bytes, "{backend:?}");
+        match backend {
+            ExecBackend::Timed => assert!(s.total_seconds() > 0.0),
+            ExecBackend::Functional => assert_eq!(s.total_seconds(), 0.0),
+        }
+    }
+}
