@@ -13,7 +13,12 @@
 //! `results/bench_gate_<graph>.metrics.jsonl` (uploadable as a CI
 //! artifact) and the verdicts land in `results/bench_gate.{md,json}`.
 
-use pim_bench::gate::{compare, gate_failed, parse_baseline, render, GateRow, Tolerances};
+use pim_baselines::dynamic::{cpu_dynamic, gpu_dynamic, pim_dynamic_metered};
+use pim_baselines::GpuModel;
+use pim_bench::gate::{
+    compare, compare_fig7, gate_failed, parse_baseline, parse_fig7, render, Fig7Row, Fig7Section,
+    GateRow, Tolerances,
+};
 use pim_bench::{pim_config, Harness, MdTable};
 use pim_graph::datasets::DatasetId;
 use pim_metrics::{JsonlSink, MetricsHub};
@@ -22,6 +27,8 @@ use std::path::Path;
 use std::sync::Arc;
 
 const COLORS: u32 = 23; // fig6_static's 2300-core configuration
+const FIG7_COLORS: u32 = 11; // fig7_dynamic's configuration
+const FIG7_UPDATES: usize = 10;
 
 fn flag(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -37,6 +44,84 @@ fn flag_f64(name: &str, default: f64) -> f64 {
                 .unwrap_or_else(|_| panic!("{name}: not a number: {v:?}"))
         })
         .unwrap_or(default)
+}
+
+/// Re-runs the Figure 7 dynamic workload (same shape as the
+/// `fig7_dynamic` binary) and folds the result into a gate section. The
+/// PIM session's live metric capture streams to
+/// `results/bench_gate_fig7_dynamic.metrics.jsonl`.
+fn run_fig7(harness: &Harness) -> Fig7Section {
+    eprintln!("[bench_gate] running fig7_dynamic");
+    let g = harness.dataset(DatasetId::HyperlinkSkewed);
+    let batches = g.split_batches(FIG7_UPDATES);
+    let cpu = cpu_dynamic(&batches);
+    let gpu = gpu_dynamic(&batches, &GpuModel::default());
+    let config = pim_config(FIG7_COLORS, &g)
+        .misra_gries(1024, 64)
+        .build()
+        .unwrap();
+    std::fs::create_dir_all(&harness.results_dir).expect("create results dir");
+    let metrics_path = harness
+        .results_dir
+        .join("bench_gate_fig7_dynamic.metrics.jsonl");
+    let hub = Arc::new(MetricsHub::new());
+    hub.add_sink(Box::new(
+        JsonlSink::create(Path::new(&metrics_path)).expect("create metrics jsonl"),
+    ));
+    let (pim, report) = pim_dynamic_metered(&batches, &config, Some(Arc::clone(&hub))).unwrap();
+    hub.flush().expect("flush metrics");
+    Fig7Section {
+        rows: (0..FIG7_UPDATES)
+            .map(|i| Fig7Row {
+                update: i as u64 + 1,
+                triangles: pim[i].triangles.round() as u64,
+                cpu_cumulative: cpu[i].cumulative_secs,
+                gpu_cumulative: gpu[i].cumulative_secs,
+                pim_cumulative: pim[i].cumulative_secs,
+            })
+            .collect(),
+        transfer_bytes: report.total_transfer_bytes,
+        total_instructions: report.total_instructions,
+        total_dma_bytes: report.total_dma_bytes,
+    }
+}
+
+#[derive(Serialize)]
+struct Fig7RowRecord {
+    update: u64,
+    triangles: u64,
+    cpu_cumulative: f64,
+    gpu_cumulative: f64,
+    pim_cumulative: f64,
+}
+
+#[derive(Serialize)]
+struct Fig7SectionRecord {
+    rows: Vec<Fig7RowRecord>,
+    transfer_bytes: u64,
+    total_instructions: u64,
+    total_dma_bytes: u64,
+}
+
+impl From<&Fig7Section> for Fig7SectionRecord {
+    fn from(s: &Fig7Section) -> Fig7SectionRecord {
+        Fig7SectionRecord {
+            rows: s
+                .rows
+                .iter()
+                .map(|r| Fig7RowRecord {
+                    update: r.update,
+                    triangles: r.triangles,
+                    cpu_cumulative: r.cpu_cumulative,
+                    gpu_cumulative: r.gpu_cumulative,
+                    pim_cumulative: r.pim_cumulative,
+                })
+                .collect(),
+            transfer_bytes: s.transfer_bytes,
+            total_instructions: s.total_instructions,
+            total_dma_bytes: s.total_dma_bytes,
+        }
+    }
 }
 
 #[derive(Serialize)]
@@ -63,6 +148,16 @@ fn main() {
     let text = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
     let baseline = parse_baseline(&text).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+    let fig7_baseline = parse_fig7(&text).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+
+    // Baseline (re-)recording helper: run only the fig7 workload and print
+    // the section ready to paste into the baseline file.
+    if std::env::args().any(|a| a == "--print-fig7-baseline") {
+        let section = run_fig7(&harness);
+        let record = Fig7SectionRecord::from(&section);
+        println!("{}", serde_json::to_string_pretty(&record).unwrap());
+        return;
+    }
 
     let mut observed = Vec::new();
     for b in &baseline {
@@ -115,7 +210,17 @@ fn main() {
         });
     }
 
-    let checks = compare(&baseline, &observed, &tol);
+    let mut checks = compare(&baseline, &observed, &tol);
+    match &fig7_baseline {
+        Some(section) => {
+            let fresh = run_fig7(&harness);
+            checks.extend(compare_fig7(section, &fresh, &tol));
+        }
+        None => eprintln!(
+            "[bench_gate] baseline has no fig7_dynamic section, skipping \
+             (record one with --print-fig7-baseline)"
+        ),
+    }
     let report_text = render(&checks);
     print!("{report_text}");
 

@@ -154,6 +154,168 @@ fn parse_row(row: &Value) -> Result<GateRow, String> {
     })
 }
 
+/// One update row of the Figure 7 dynamic workload.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Fig7Row {
+    /// 1-based update index.
+    pub update: u64,
+    /// Rounded triangle estimate after this update — fully deterministic.
+    pub triangles: u64,
+    /// Cumulative CPU seconds (measured on the recording host).
+    pub cpu_cumulative: f64,
+    /// Cumulative GPU-proxy seconds (modeled, host-independent).
+    pub gpu_cumulative: f64,
+    /// Cumulative PIM seconds (modeled kernel time + measured host time).
+    pub pim_cumulative: f64,
+}
+
+/// The gated `fig7_dynamic` baseline section: per-update rows plus the
+/// PIM run's deterministic end-of-run counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Fig7Section {
+    /// Per-update rows.
+    pub rows: Vec<Fig7Row>,
+    /// Total CPU↔PIM transfer bytes across all updates.
+    pub transfer_bytes: u64,
+    /// Total DPU instructions across all updates.
+    pub total_instructions: u64,
+    /// Total MRAM↔WRAM DMA bytes across all updates.
+    pub total_dma_bytes: u64,
+}
+
+/// Parses the optional `fig7_dynamic` section of the baseline. Returns
+/// `Ok(None)` when the baseline predates the section.
+pub fn parse_fig7(text: &str) -> Result<Option<Fig7Section>, String> {
+    let v: Value =
+        serde_json::from_str(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let Some(section) = v.get("fig7_dynamic") else {
+        return Ok(None);
+    };
+    let rows = section
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("fig7_dynamic section has no `rows` array")?;
+    let u = |v: &Value, key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let f = |v: &Value, key: &str, update: u64| {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .ok_or(format!("fig7_dynamic row {update} is missing `{key}`"))
+    };
+    let mut parsed = Vec::with_capacity(rows.len());
+    for row in rows {
+        let update = row
+            .get("update")
+            .and_then(Value::as_u64)
+            .ok_or("fig7_dynamic row has no `update`")?;
+        parsed.push(Fig7Row {
+            update,
+            triangles: u(row, "triangles"),
+            cpu_cumulative: f(row, "cpu_cumulative", update)?,
+            gpu_cumulative: f(row, "gpu_cumulative", update)?,
+            pim_cumulative: f(row, "pim_cumulative", update)?,
+        });
+    }
+    Ok(Some(Fig7Section {
+        rows: parsed,
+        transfer_bytes: u(section, "transfer_bytes"),
+        total_instructions: u(section, "total_instructions"),
+        total_dma_bytes: u(section, "total_dma_bytes"),
+    }))
+}
+
+/// Compares a fresh `fig7_dynamic` run against the baseline section.
+/// Triangle counts are exact per update; the modeled GPU curve and the
+/// PIM run's deterministic counters get the tight counter band; CPU and
+/// PIM cumulative seconds fold in host-measured time and get the loose
+/// time band.
+pub fn compare_fig7(
+    baseline: &Fig7Section,
+    observed: &Fig7Section,
+    tol: &Tolerances,
+) -> Vec<Check> {
+    const GRAPH: &str = "fig7_dynamic";
+    let mut checks = Vec::new();
+    let mut push = |metric: String, bv: f64, ov: f64, verdict: Verdict| {
+        checks.push(Check {
+            graph: GRAPH.into(),
+            metric,
+            baseline: bv,
+            observed: ov,
+            rel: rel_dev(bv, ov),
+            verdict,
+        });
+    };
+    for b in &baseline.rows {
+        let Some(o) = observed.rows.iter().find(|o| o.update == b.update) else {
+            push(
+                format!("update[{}] present in run", b.update),
+                1.0,
+                0.0,
+                Verdict::Fail,
+            );
+            continue;
+        };
+        push(
+            format!("update[{}].triangles", b.update),
+            b.triangles as f64,
+            o.triangles as f64,
+            if b.triangles == o.triangles {
+                Verdict::Ok
+            } else {
+                Verdict::Fail
+            },
+        );
+        let gpu_rel = rel_dev(b.gpu_cumulative, o.gpu_cumulative);
+        push(
+            format!("update[{}].gpu_cumulative", b.update),
+            b.gpu_cumulative,
+            o.gpu_cumulative,
+            judge(gpu_rel, tol.counter_warn, tol.counter_fail),
+        );
+        for (name, bv, ov) in [
+            ("cpu_cumulative", b.cpu_cumulative, o.cpu_cumulative),
+            ("pim_cumulative", b.pim_cumulative, o.pim_cumulative),
+        ] {
+            let rel = rel_dev(bv, ov);
+            push(
+                format!("update[{}].{name}", b.update),
+                bv,
+                ov,
+                judge(rel, tol.time_warn, tol.time_fail),
+            );
+        }
+    }
+    for (name, bv, ov) in [
+        (
+            "transfer_bytes",
+            baseline.transfer_bytes,
+            observed.transfer_bytes,
+        ),
+        (
+            "total_instructions",
+            baseline.total_instructions,
+            observed.total_instructions,
+        ),
+        (
+            "total_dma_bytes",
+            baseline.total_dma_bytes,
+            observed.total_dma_bytes,
+        ),
+    ] {
+        if bv == 0 {
+            continue; // baseline predates this counter
+        }
+        let rel = rel_dev(bv as f64, ov as f64);
+        push(
+            name.to_string(),
+            bv as f64,
+            ov as f64,
+            judge(rel, tol.counter_warn, tol.counter_fail),
+        );
+    }
+    checks
+}
+
 fn judge(rel: f64, warn: f64, fail: f64) -> Verdict {
     if rel > fail {
         Verdict::Fail
@@ -398,6 +560,105 @@ mod tests {
         assert!(checks
             .iter()
             .any(|c| c.graph == "absent" && c.verdict == Verdict::Fail));
+    }
+
+    fn fig7() -> Fig7Section {
+        Fig7Section {
+            rows: (1..=3)
+                .map(|update| Fig7Row {
+                    update,
+                    triangles: 500 + update,
+                    cpu_cumulative: 0.2 * update as f64,
+                    gpu_cumulative: 0.05 * update as f64,
+                    pim_cumulative: 0.03 * update as f64,
+                })
+                .collect(),
+            transfer_bytes: 1_000_000,
+            total_instructions: 90_000_000,
+            total_dma_bytes: 400_000_000,
+        }
+    }
+
+    #[test]
+    fn fig7_identical_sections_pass_cleanly() {
+        let checks = compare_fig7(&fig7(), &fig7(), &Tolerances::default());
+        assert!(!gate_failed(&checks));
+        assert!(checks.iter().all(|c| c.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn fig7_triangle_drift_fails_exactly() {
+        let base = fig7();
+        let mut obs = fig7();
+        obs.rows[1].triangles += 1;
+        let checks = compare_fig7(&base, &obs, &Tolerances::default());
+        assert!(gate_failed(&checks));
+        let c = checks.iter().find(|c| c.verdict == Verdict::Fail).unwrap();
+        assert_eq!(c.metric, "update[2].triangles");
+        assert_eq!(c.graph, "fig7_dynamic");
+    }
+
+    #[test]
+    fn fig7_modeled_curve_gets_the_tight_band_and_host_time_the_loose_one() {
+        let base = fig7();
+        let mut obs = fig7();
+        // +5% on the modeled GPU curve: past counter_warn, within fail.
+        obs.rows[0].gpu_cumulative *= 1.05;
+        // +40% on measured CPU time: within the loose time band.
+        obs.rows[0].cpu_cumulative *= 1.40;
+        let checks = compare_fig7(&base, &obs, &Tolerances::default());
+        assert!(!gate_failed(&checks));
+        assert!(checks
+            .iter()
+            .any(|c| c.metric == "update[1].gpu_cumulative" && c.verdict == Verdict::Warn));
+        assert!(checks
+            .iter()
+            .any(|c| c.metric == "update[1].cpu_cumulative" && c.verdict == Verdict::Ok));
+        // +25% on a deterministic counter: fail.
+        let mut obs = fig7();
+        obs.total_instructions = obs.total_instructions * 5 / 4;
+        let checks = compare_fig7(&base, &obs, &Tolerances::default());
+        assert!(gate_failed(&checks));
+    }
+
+    #[test]
+    fn fig7_missing_update_fails() {
+        let base = fig7();
+        let mut obs = fig7();
+        obs.rows.pop();
+        let checks = compare_fig7(&base, &obs, &Tolerances::default());
+        assert!(gate_failed(&checks));
+        assert!(checks
+            .iter()
+            .any(|c| c.metric == "update[3] present in run" && c.verdict == Verdict::Fail));
+    }
+
+    #[test]
+    fn fig7_section_parses_and_is_optional() {
+        let text = r#"{
+          "rows": [],
+          "fig7_dynamic": {
+            "rows": [{
+              "update": 1,
+              "triangles": 42,
+              "cpu_cumulative": 0.5,
+              "gpu_cumulative": 0.04,
+              "pim_cumulative": 0.02
+            }],
+            "transfer_bytes": 100,
+            "total_instructions": 200,
+            "total_dma_bytes": 300
+          }
+        }"#;
+        let section = parse_fig7(text).unwrap().unwrap();
+        assert_eq!(section.rows.len(), 1);
+        assert_eq!(section.rows[0].update, 1);
+        assert_eq!(section.rows[0].triangles, 42);
+        assert_eq!(section.rows[0].gpu_cumulative, 0.04);
+        assert_eq!(section.total_dma_bytes, 300);
+        // Baselines predating the section parse as None, not an error.
+        assert_eq!(parse_fig7(r#"{"rows": []}"#).unwrap(), None);
+        assert!(parse_fig7("not json").is_err());
     }
 
     #[test]

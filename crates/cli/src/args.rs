@@ -35,6 +35,7 @@ const VALUED: &[&str] = &[
     "faults",
     "max-retries",
     "spares",
+    "scrub-interval",
     "metrics-out",
     "metrics-format",
 ];

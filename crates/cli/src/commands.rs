@@ -23,11 +23,15 @@ usage:
       Robustness (count/dynamic/profile; see docs/ROBUSTNESS.md):
       --faults SPEC|FILE injects seeded faults into the simulated
       hardware (grammar: seed=U64,transfer=PPM,corrupt=PPM,launch=PPM,
-      kill=DPU@OP; a path to a file holding one spec also works; the
-      PIM_SIM_FAULTS environment variable is the fallback). --spares N
+      kill=DPU@OP, scrub=N; a path to a file holding one spec also works;
+      the PIM_SIM_FAULTS environment variable is the fallback). --spares N
       reserves N spare cores for permanent-death failover; --max-retries
       R bounds consecutive retries of a faulted operation; --hardened
       forces the checksummed pipeline even without a fault plan.
+      --journal keeps replayable per-partition RNG journals so lost
+      partitions are re-derived exactly (works with Misra-Gries,
+      overflowed reservoirs, and C = 1); --scrub-interval N proactively
+      verifies every resident bank each N ingest chunks (dynamic).
 
       Metrics (count/dynamic/profile; see docs/OBSERVABILITY.md):
       --metrics-out FILE captures the run's live metric stream.
@@ -155,6 +159,12 @@ fn build_config_with_default_colors(
     }
     if let Some(spares) = args.get::<u32>("spares")? {
         builder = builder.spare_dpus(spares);
+    }
+    if args.flag("journal") {
+        builder = builder.journal(true);
+    }
+    if let Some(every) = args.get::<u64>("scrub-interval")? {
+        builder = builder.scrub_interval(every);
     }
     if args.flag("hardened") {
         builder = builder.hardened(true);
@@ -632,6 +642,18 @@ fn cmd_metrics_summary(args: &Args) -> Result<(), String> {
     }
     if s.failovers > 0 {
         println!("failovers:      {}", s.failovers);
+    }
+    if s.journal_replays > 0 {
+        println!(
+            "journal:        {} replays ({} keys re-derived)",
+            s.journal_replays, s.journal_replayed_keys
+        );
+    }
+    if s.scrub_sweeps > 0 {
+        println!(
+            "scrub:          {} sweeps, {} banks repaired in place",
+            s.scrub_sweeps, s.scrub_repaired
+        );
     }
     if s.chunks > 0 {
         println!(

@@ -111,8 +111,25 @@ pub struct TcConfig {
     /// Spare PIM cores allocated beyond the `C(C+2,3)` partitions. When a
     /// partition's core dies permanently, its sample is reconstructed from
     /// the survivors' C-fold redundancy onto a spare and the run
-    /// continues. Requires `colors >= 2` and no Misra-Gries remapping.
+    /// continues. Without [`TcConfig::journal`], requires `colors >= 2`
+    /// and no Misra-Gries remapping.
     pub spare_dpus: u32,
+    /// Keeps replayable per-partition RNG journals during hardened
+    /// sessions: every routed key and remap pass is recorded against the
+    /// partition's `(seed, granule, counter)` RNG coordinates, so a lost
+    /// partition's sample — including overflowed reservoirs and
+    /// Misra-Gries remapped samples — is re-derived exactly by replaying
+    /// the journal, with no surviving replicas needed. Lifts the
+    /// `colors >= 2` / no-Misra-Gries restrictions on spare-core
+    /// recovery.
+    pub journal: bool,
+    /// Proactive scrub cadence for hardened sessions: every
+    /// `scrub_interval` streamed chunks, the session seal-verifies every
+    /// live partition's resident sample and repairs (journal replay) or
+    /// fails over any partition whose bank is corrupted or dead —
+    /// surfacing latent faults between batches instead of on next touch.
+    /// `0` disables scrubbing.
+    pub scrub_interval: u64,
     /// Simulated hardware shape.
     pub pim: PimConfig,
     /// Simulated timing parameters.
@@ -209,7 +226,7 @@ impl TcConfig {
                     .into(),
             ));
         }
-        if self.spare_dpus > 0 {
+        if self.spare_dpus > 0 && !self.journal {
             if self.colors < 2 {
                 return Err(TcError::Config(
                     "spare-core recovery needs colors >= 2: with C = 1 \
@@ -227,6 +244,13 @@ impl TcConfig {
                         .into(),
                 ));
             }
+        }
+        if self.scrub_interval > 0 && !self.journal {
+            return Err(TcError::Config(
+                "scrubbing compares resident banks against their replayed \
+                 journals; scrub_interval > 0 requires journal"
+                    .into(),
+            ));
         }
         Ok(())
     }
@@ -254,6 +278,8 @@ impl Default for TcConfigBuilder {
                 hardened: false,
                 max_retries: 8,
                 spare_dpus: 0,
+                journal: false,
+                scrub_interval: 0,
                 pim: PimConfig::default(),
                 cost: CostModel::default(),
             },
@@ -334,6 +360,22 @@ impl TcConfigBuilder {
     /// Provisions `n` spare PIM cores for permanent-death recovery.
     pub fn spare_dpus(mut self, n: u32) -> Self {
         self.config.spare_dpus = n;
+        self
+    }
+
+    /// Enables replayable per-partition RNG journals (see
+    /// [`TcConfig::journal`]): lost partitions are re-derived by replay
+    /// instead of survivor reconstruction, which also makes overflowed
+    /// reservoirs and Misra-Gries sessions recoverable.
+    pub fn journal(mut self, on: bool) -> Self {
+        self.config.journal = on;
+        self
+    }
+
+    /// Scrubs every live partition's resident sample every `chunks`
+    /// streamed chunks (see [`TcConfig::scrub_interval`]); `0` disables.
+    pub fn scrub_interval(mut self, chunks: u64) -> Self {
+        self.config.scrub_interval = chunks;
         self
     }
 
@@ -473,6 +515,48 @@ mod tests {
             .colors(2)
             .spare_dpus(1)
             .misra_gries(64, 8)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn journal_lifts_the_spare_recovery_restrictions() {
+        // Journaled sessions can recover with a single color (no replica
+        // needed) and with Misra-Gries remapping active.
+        assert!(TcConfig::builder()
+            .colors(1)
+            .spare_dpus(1)
+            .journal(true)
+            .build()
+            .is_ok());
+        assert!(TcConfig::builder()
+            .colors(2)
+            .spare_dpus(1)
+            .misra_gries(64, 8)
+            .journal(true)
+            .build()
+            .is_ok());
+        // Journal-off keeps today's refusals.
+        assert!(TcConfig::builder().colors(1).spare_dpus(1).build().is_err());
+    }
+
+    #[test]
+    fn scrub_interval_builds_and_defaults_off() {
+        let c = TcConfig::builder().build().unwrap();
+        assert_eq!(c.scrub_interval, 0);
+        assert!(!c.journal);
+        let s = TcConfig::builder()
+            .scrub_interval(4)
+            .journal(true)
+            .hardened(true)
+            .build()
+            .unwrap();
+        assert_eq!(s.scrub_interval, 4);
+        // Scrubbing replays journals as ground truth: a cadence without
+        // journaling is a configuration error, not a silent no-op.
+        assert!(TcConfig::builder()
+            .scrub_interval(4)
+            .hardened(true)
             .build()
             .is_err());
     }

@@ -26,7 +26,7 @@ use pim_graph::Edge;
 use pim_metrics::{ChunkObs, MetricsHub};
 use pim_sim::system::{decode_slice, encode_slice};
 use pim_sim::{HostWrite, Phase, PimBackend, SimError, TimedBackend};
-use pim_stream::{ColoringHash, MisraGries};
+use pim_stream::{ColoringHash, MisraGries, PartitionJournal};
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -89,6 +89,45 @@ pub struct TcSession<B: PimBackend = TimedBackend> {
     metrics: Option<Arc<MetricsHub>>,
     /// Streamed chunks ingested so far (the `chunk` event index).
     chunks_done: u64,
+    /// Replayable per-partition RNG journals ([`TcConfig::journal`]):
+    /// every routed key in arrival order plus remap/sort marks, keyed by
+    /// the partition's `(seed, granule, counter)` RNG coordinates. A lost
+    /// partition's bank — sample, stream position, and advanced RNG
+    /// state — is re-derived exactly by replaying its journal through the
+    /// receive kernel's decision arithmetic; no survivors needed.
+    journals: Option<Vec<PartitionJournal>>,
+    /// Effective scrub cadence in streamed chunks (0 = off), resolved
+    /// from [`TcConfig::scrub_interval`] with the fault plan's `scrub=`
+    /// hook as fallback.
+    scrub_every: u64,
+}
+
+/// Outcome of one proactive scrub sweep (see [`TcSession::scrub`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubOutcome {
+    /// Partitions inspected.
+    pub partitions: u64,
+    /// Banks whose resident sample failed the seal digest and were
+    /// reinstalled from the journal.
+    pub repaired: u64,
+    /// Dead cores detected (and failed over) by the sweep instead of by
+    /// the next batch to touch them.
+    pub failed_over: u64,
+}
+
+/// The per-partition bank state a journal replay re-derives.
+struct ReplayedBank {
+    /// Resident sample keys, slot for slot.
+    sample: Vec<u64>,
+    /// Stream position `t` (edges seen), which also carries the
+    /// overflow flag (`seen > cap`).
+    seen: u64,
+    /// The xorshift64* state after every journaled reservoir decision.
+    rng: u64,
+    /// The packed remap table prefix in force at the last mark.
+    remap: Vec<u64>,
+    /// Remap marks applied during the replay.
+    marks_applied: u64,
 }
 
 impl TcSession<TimedBackend> {
@@ -155,6 +194,24 @@ impl<B: PimBackend> TcSession<B> {
             verify_init_writes(&sys, &writes)?;
         }
         let nr_partitions = assignment.nr_dpus();
+        let journals = if hardened && config.journal {
+            Some(
+                (0..nr_partitions)
+                    .map(|t| PartitionJournal::new(config.seed, t as u64))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        // Scrubbing needs the journals as ground truth; without them the
+        // cadence (explicit or the fault plan's `scrub=N` hint) is inert.
+        let scrub_every = if journals.is_none() {
+            0
+        } else if config.scrub_interval > 0 {
+            config.scrub_interval
+        } else {
+            config.pim.fault.as_ref().and_then(|f| f.scrub).unwrap_or(0)
+        };
         let mut session = TcSession {
             config: *config,
             assignment,
@@ -176,6 +233,8 @@ impl<B: PimBackend> TcSession<B> {
             routed_per_partition: vec![0; nr_partitions],
             metrics,
             chunks_done: 0,
+            journals,
+            scrub_every,
         };
         if hardened {
             session.init_banks_hardened()?;
@@ -251,6 +310,16 @@ impl<B: PimBackend> TcSession<B> {
                 acc.merge(local);
                 self.remap_dirty = true;
             }
+            if let Some(journals) = self.journals.as_mut() {
+                // Journal the chunk before staging it: a failover mid-
+                // stage replays the already-staged prefix; the in-flight
+                // slice re-stages afterwards.
+                for (t, batch) in routed.per_dpu.iter().enumerate() {
+                    if !batch.is_empty() {
+                        journals[t].extend(batch);
+                    }
+                }
+            }
             if self.hardened {
                 self.stage_arrivals(&routed.arrivals)?;
             } else {
@@ -272,6 +341,12 @@ impl<B: PimBackend> TcSession<B> {
                 });
             }
             self.chunks_done += 1;
+            if self.hardened
+                && self.scrub_every > 0
+                && self.chunks_done.is_multiple_of(self.scrub_every)
+            {
+                self.scrub()?;
+            }
         }
         Ok(())
     }
@@ -525,6 +600,38 @@ impl<B: PimBackend> TcSession<B> {
     /// Spare cores still available for failover.
     pub fn spares_left(&self) -> usize {
         self.spare_pool.len()
+    }
+
+    /// Snapshot of every partition's resident sample (edge keys, in bank
+    /// order) plus its stream position `seen`, read through the free host
+    /// inspection channel. Recovery tests use this to assert that a
+    /// failed-over partition's sample set — and its overflow state — is
+    /// bit-identical to the fault-free run's.
+    pub fn resident_samples(&self) -> Result<Vec<(Vec<u64>, u64)>, TcError> {
+        let mut out = Vec::with_capacity(self.assignment.nr_dpus());
+        for &home in &self.partition_home {
+            let hdr = Header::decode(&self.sys.dpu(home)?.host_read(0, 64)?);
+            let bytes = self
+                .sys
+                .dpu(home)?
+                .host_read(self.layout.sample_off, hdr.len * 8)?;
+            out.push((decode_slice::<u64>(&bytes), hdr.seen));
+        }
+        Ok(out)
+    }
+
+    /// Physical core currently hosting partition `t` (changes after a
+    /// failover). Chaos tests use this to aim out-of-band corruption.
+    pub fn home_of(&self, t: usize) -> usize {
+        self.partition_home[t]
+    }
+
+    /// Mutable access to the underlying backend — the chaos-harness
+    /// escape hatch for planting out-of-band bank corruption via
+    /// [`pim_sim::PimBackend::dpu_mut`]. Bypasses the modeled transfer
+    /// path; not for data-plane use.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.sys
     }
 
     /// Charges one modeled-backoff retry span to the current phase.
@@ -861,6 +968,26 @@ impl<B: PimBackend> TcSession<B> {
         let Some(t) = self.partition_home.iter().position(|&h| h == dead) else {
             return Ok(()); // Already failed over by a nested recovery.
         };
+        if self.journals.is_some() {
+            // Journaled sessions skip survivor reconstruction entirely:
+            // the lost bank — overflowed or not, remapped or not, even
+            // with C = 1 — is re-derived by replaying the journal.
+            let Some(spare) = self.spare_pool.pop() else {
+                return Err(TcError::Faulted(format!(
+                    "core {dead} (partition {t}) died with no spare cores left \
+                     (configure spare_dpus)"
+                )));
+            };
+            self.install_replayed(t, spare, exclude, recovered)?;
+            self.partition_home[t] = spare;
+            recovered.push(t);
+            if let Some(hub) = &self.metrics {
+                hub.failover(t as u64, spare as u64);
+            }
+            self.sys
+                .charge_host_seconds_labeled("recover", start.elapsed().as_secs_f64());
+            return Ok(());
+        }
         if self.config.misra_gries.is_some() {
             return Err(TcError::Faulted(format!(
                 "partition {t} lost while Misra-Gries remapping is active; \
@@ -995,6 +1122,225 @@ impl<B: PimBackend> TcSession<B> {
         Ok(())
     }
 
+    /// Re-derives partition `t`'s exact bank state by replaying its
+    /// journal prefix (the keys staged so far) through the receive
+    /// kernel's decision arithmetic — the same xorshift64* stream, seeded
+    /// identically — and the journaled remap/sort marks. Keys journaled
+    /// past `routed_per_partition[t]` are in flight and re-staged by the
+    /// caller, so the replay stops before them.
+    fn replay_partition(&self, t: usize) -> ReplayedBank {
+        let journal = &self
+            .journals
+            .as_ref()
+            .expect("journal replay needs journals")[t];
+        let keys = journal.keys();
+        let marks = journal.marks();
+        let upto = (self.routed_per_partition[t] as usize).min(keys.len());
+        let cap = self.layout.capacity;
+        let mut sample: Vec<u64> = Vec::with_capacity(upto.min(cap as usize));
+        let mut seen = 0u64;
+        let mut state = rng::seed_for_dpu(self.config.seed, t);
+        let mut remap_packed = Vec::new();
+        let mut marks_applied = 0u64;
+        let mut mi = 0usize;
+        let apply_mark = |sample: &mut Vec<u64>, packed: &mut Vec<u64>, table_len: u64| {
+            *packed = remap::encode_table(&self.remap_table[..table_len as usize]);
+            for key in sample.iter_mut() {
+                *key = remap::map_key(packed, *key);
+            }
+            sample.sort_unstable();
+        };
+        for (i, &key) in keys[..upto].iter().enumerate() {
+            while mi < marks.len() && marks[mi].offset == i as u64 {
+                apply_mark(&mut sample, &mut remap_packed, marks[mi].table_len);
+                marks_applied += 1;
+                mi += 1;
+            }
+            // The receive kernel's decisions, verbatim: bulk-fill while
+            // the sample has room, reservoir-replace past capacity.
+            seen += 1;
+            if (sample.len() as u64) < cap {
+                sample.push(key);
+            } else if rng::below_pure(&mut state, seen) < cap {
+                let victim = rng::below_pure(&mut state, sample.len() as u64);
+                sample[victim as usize] = key;
+            }
+        }
+        while mi < marks.len() && marks[mi].offset <= upto as u64 {
+            apply_mark(&mut sample, &mut remap_packed, marks[mi].table_len);
+            marks_applied += 1;
+            mi += 1;
+        }
+        ReplayedBank {
+            sample,
+            seen,
+            rng: state,
+            remap: remap_packed,
+            marks_applied,
+        }
+    }
+
+    /// Installs partition `t`'s replayed bank onto physical core
+    /// `target`, verifying every write and absorbing unrelated cores that
+    /// die mid-install. Fails loudly if `target` itself dies.
+    fn install_replayed(
+        &mut self,
+        t: usize,
+        target: usize,
+        exclude: &HashSet<u64>,
+        recovered: &mut Vec<usize>,
+    ) -> Result<(), TcError> {
+        let bank = self.replay_partition(t);
+        let hdr = Header {
+            cap: self.layout.capacity,
+            len: bank.sample.len() as u64,
+            seen: bank.seen,
+            rng: bank.rng,
+            remap_len: bank.remap.len() as u64,
+            ..Header::default()
+        };
+        let mut writes = vec![
+            HostWrite {
+                dpu: target,
+                offset: 0,
+                data: hdr.encode(),
+            },
+            HostWrite {
+                dpu: target,
+                offset: self.layout.staging_off,
+                data: vec![0u8; (self.layout.stage_edges * 8) as usize],
+            },
+        ];
+        if !bank.sample.is_empty() {
+            writes.push(HostWrite {
+                dpu: target,
+                offset: self.layout.sample_off,
+                data: encode_slice(&bank.sample),
+            });
+        }
+        if !bank.remap.is_empty() {
+            writes.push(HostWrite {
+                dpu: target,
+                offset: self.layout.remap_off,
+                data: encode_slice(&bank.remap),
+            });
+        }
+        loop {
+            match self.push_verified("journal_install", writes.clone()) {
+                Ok(()) => break,
+                Err(TcError::Sim(SimError::DpuDead { dpu })) if dpu != target => {
+                    self.recover_dpu(dpu, exclude, recovered)?;
+                }
+                Err(TcError::Sim(SimError::DpuDead { .. })) => {
+                    return Err(TcError::Faulted(format!(
+                        "replacement core {target} for partition {t} died \
+                         during journal replay"
+                    )));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(hub) = &self.metrics {
+            hub.journal_replay(
+                t as u64,
+                target as u64,
+                self.routed_per_partition[t],
+                bank.marks_applied,
+            );
+        }
+        Ok(())
+    }
+
+    /// One proactive scrub sweep (see [`TcConfig::scrub_interval`]):
+    /// every live core seals its resident sample with the FNV digest
+    /// kernel, and the host compares each seal against the digest of the
+    /// *journal-replayed* sample — the ground truth a bank must hold.
+    /// Dead cores fail over immediately instead of on next touch; a bank
+    /// whose seal diverges from its journal (an out-of-band upset no
+    /// transfer checksum could have caught) is reinstalled in place.
+    ///
+    /// Requires journals: without them there is no reference to scrub
+    /// against, so the session refuses rather than sweep blind.
+    pub fn scrub(&mut self) -> Result<ScrubOutcome, TcError> {
+        if !self.hardened {
+            return Err(TcError::Config(
+                "scrubbing walks the hardened seal-verify path; enable \
+                 hardened mode (or configure faults/spares/scrub_interval)"
+                    .into(),
+            ));
+        }
+        if self.journals.is_none() {
+            return Err(TcError::Config(
+                "scrubbing compares resident banks against their replayed \
+                 journals; enable journaling to scrub"
+                    .into(),
+            ));
+        }
+        let start = Instant::now();
+        let layout = self.layout;
+        let mut failed_over = 0u64;
+        let mut repaired = 0u64;
+        let none = HashSet::new();
+        let seals = loop {
+            match self.retry_execute_masked("scrub_seal", move |ctx| {
+                let len = {
+                    let mut t0 = ctx.tasklet(0)?;
+                    Header::read(&mut t0)?.len
+                };
+                checksum::seal_kernel(ctx, layout.sample_off, len, layout.staging_slot(0))?;
+                Ok(len)
+            }) {
+                Ok(r) => break r,
+                Err(TcError::Sim(SimError::DpuDead { dpu })) => {
+                    let mut rec = Vec::new();
+                    self.recover_dpu(dpu, &none, &mut rec)?;
+                    failed_over += rec.len() as u64;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        for t in 0..self.assignment.nr_dpus() {
+            let home = self.partition_home[t];
+            let Some(len) = seals[home] else {
+                // The core died after the launch round: fail over now.
+                let mut rec = Vec::new();
+                self.recover_dpu(home, &none, &mut rec)?;
+                failed_over += rec.len() as u64;
+                continue;
+            };
+            let readback = self
+                .sys
+                .dpu(home)
+                .and_then(|d| d.host_read(layout.staging_off, 8));
+            let Ok(sealed) = readback else {
+                // The core died between the seal round and the read-back.
+                let mut rec = Vec::new();
+                self.recover_dpu(home, &none, &mut rec)?;
+                failed_over += rec.len() as u64;
+                continue;
+            };
+            let sealed = u64::from_le_bytes(sealed[..8].try_into().unwrap());
+            let bank = self.replay_partition(t);
+            let expect = checksum::fnv1a_words(&bank.sample);
+            if sealed != expect || len != bank.sample.len() as u64 {
+                let mut rec = Vec::new();
+                self.install_replayed(t, home, &none, &mut rec)?;
+                repaired += 1;
+            }
+        }
+        self.sys
+            .charge_host_seconds_labeled("scrub", start.elapsed().as_secs_f64());
+        let outcome = ScrubOutcome {
+            partitions: self.assignment.nr_dpus() as u64,
+            repaired,
+            failed_over,
+        };
+        if let Some(hub) = &self.metrics {
+            hub.scrub(outcome.partitions, outcome.repaired, outcome.failed_over);
+        }
+        Ok(outcome)
+    }
+
     /// Hardened counting: runs the verified pipeline, failing over and
     /// restarting from the top if a core dies mid-count (the pipeline is
     /// idempotent over the resident samples).
@@ -1119,6 +1465,19 @@ impl<B: PimBackend> TcSession<B> {
         } else {
             None
         };
+
+        // Journal the count barrier: every partition's resident sample was
+        // remapped (by the table prefix active right now) and sorted. A
+        // replay applies the same prefix + sort at this offset, so a bank
+        // lost *after* this point re-derives the post-count state and a
+        // bank lost *mid-count* re-derives the pre-count state (the retry
+        // re-runs remap+sort on every core, converging them).
+        if let Some(journals) = self.journals.as_mut() {
+            let table_len = self.remap_table.len() as u64;
+            for journal in journals.iter_mut() {
+                journal.mark(table_len);
+            }
+        }
 
         Ok(TcResult {
             estimate: assembled.estimate,
@@ -1710,5 +2069,133 @@ mod tests {
             summary.total_seconds(),
             profile.result.times.total()
         );
+    }
+
+    /// The tentpole invariant, checked from inside the session: replaying
+    /// a partition's journal re-derives its *live* bank exactly — sample
+    /// contents and order, stream position, and the xorshift64* RNG state
+    /// — through overflow, a count barrier (remap + sort), and further
+    /// appends past it.
+    #[test]
+    fn journal_replay_rederives_live_banks_exactly() {
+        let mut g = gen::erdos_renyi(120, 0.15, 7);
+        g.preprocess(0);
+        let batches = g.split_batches(3);
+        let config = TcConfig::builder()
+            .colors(3)
+            .sample_capacity(24) // force reservoir overflow
+            .misra_gries(64, 16) // force remap marks
+            .hardened(true)
+            .journal(true)
+            .pim(PimConfig {
+                total_dpus: 512,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            })
+            .stage_edges(64)
+            .build()
+            .unwrap();
+        let mut s = TcSession::start(&config).unwrap();
+        let check = |s: &TcSession, at: &str| {
+            let mut overflowed = 0;
+            for t in 0..s.assignment.nr_dpus() {
+                let bank = s.replay_partition(t);
+                let home = s.partition_home[t];
+                let hdr = Header::decode(&s.sys.dpu(home).unwrap().host_read(0, 64).unwrap());
+                assert_eq!(bank.sample.len() as u64, hdr.len, "{at}: partition {t} len");
+                assert_eq!(bank.seen, hdr.seen, "{at}: partition {t} seen");
+                assert_eq!(bank.rng, hdr.rng, "{at}: partition {t} rng state");
+                let bytes = s
+                    .sys
+                    .dpu(home)
+                    .unwrap()
+                    .host_read(s.layout.sample_off, hdr.len * 8)
+                    .unwrap();
+                assert_eq!(
+                    bank.sample,
+                    decode_slice::<u64>(&bytes),
+                    "{at}: partition {t} sample"
+                );
+                if hdr.seen > hdr.cap {
+                    overflowed += 1;
+                }
+            }
+            overflowed
+        };
+        s.append(&batches[0]).unwrap();
+        check(&s, "after first append");
+        s.count().unwrap();
+        check(&s, "after count");
+        s.append(&batches[1]).unwrap();
+        s.append(&batches[2]).unwrap();
+        let overflowed = check(&s, "after appends past the count barrier");
+        assert!(overflowed > 0, "capacity 24 must actually overflow");
+        s.count().unwrap();
+        check(&s, "after second count");
+    }
+
+    /// Inter-batch scrubbing finds a planted out-of-band corruption (the
+    /// fault plan cannot schedule one) and repairs the bank in place from
+    /// the journal; without journals the same sweep must fail loudly.
+    #[test]
+    fn scrub_repairs_planted_corruption_from_the_journal() {
+        let g = gen::erdos_renyi(100, 0.15, 3);
+        let build = |journal: bool| {
+            TcConfig::builder()
+                .colors(3)
+                .hardened(true)
+                .journal(journal)
+                .pim(PimConfig {
+                    total_dpus: 512,
+                    mram_capacity: 1 << 20,
+                    ..PimConfig::tiny()
+                })
+                .stage_edges(64)
+                .build()
+                .unwrap()
+        };
+        let mut s = TcSession::start(&build(true)).unwrap();
+        s.append(g.edges()).unwrap();
+        let clean = s.scrub().unwrap();
+        assert_eq!(clean.repaired, 0);
+        assert_eq!(clean.failed_over, 0);
+        assert_eq!(clean.partitions, s.assignment.nr_dpus() as u64);
+
+        // Flip one byte in partition 0's resident sample, out of band.
+        let home = s.home_of(0);
+        let off = s.layout.sample_off;
+        let byte = s.sys.dpu(home).unwrap().host_read(off, 1).unwrap()[0];
+        s.backend_mut()
+            .dpu_mut(home)
+            .unwrap()
+            .host_write(off, &[byte ^ 0x40])
+            .unwrap();
+        let swept = s.scrub().unwrap();
+        assert_eq!(swept.repaired, 1, "the corrupted bank must be repaired");
+        let want = crate::count_triangles(&g, &tiny_config(3)).unwrap();
+        let got = s.count().unwrap();
+        assert_eq!(got.estimate.to_bits(), want.estimate.to_bits());
+
+        // Journal-off: there is no ground truth to scrub against, so the
+        // session refuses loudly rather than sweep blind.
+        let mut s = TcSession::start(&build(false)).unwrap();
+        s.append(g.edges()).unwrap();
+        match s.scrub() {
+            Err(TcError::Config(msg)) => {
+                assert!(msg.contains("journal"), "got: {msg}")
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    /// `scrub()` is a hardened-pipeline facility; plain sessions reject it
+    /// with a configuration error instead of silently doing nothing.
+    #[test]
+    fn scrub_rejects_plain_sessions() {
+        let mut s = TcSession::start(&tiny_config(2)).unwrap();
+        match s.scrub() {
+            Err(TcError::Config(msg)) => assert!(msg.contains("hardened"), "got: {msg}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
     }
 }

@@ -99,6 +99,25 @@ pub fn encode_table(pairs: &[(u32, u32)]) -> Vec<u64> {
     table
 }
 
+/// Host-side twin of the kernel's per-edge rewrite: applies a packed,
+/// sorted remap table (see [`encode_table`]) to one edge key, including
+/// the re-normalization the kernel performs when remapping inverts the
+/// endpoint order. Journal replay uses this to re-derive a lost
+/// partition's post-remap sample without any DPU.
+pub fn map_key(table: &[u64], key: u64) -> u64 {
+    if table.is_empty() {
+        return key;
+    }
+    let (u, v) = edge_unkey(key);
+    let (nu, _) = map(table, u);
+    let (nv, _) = map(table, v);
+    if nu <= nv {
+        edge_key(nu, nv)
+    } else {
+        edge_key(nv, nu)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +210,27 @@ mod tests {
         // an "old" id in the table.
         let second = run_remap(&first, &[(5, M)]);
         assert_eq!(second, first);
+    }
+
+    #[test]
+    fn host_map_key_matches_the_kernel_rewrite() {
+        const M: u32 = u32::MAX;
+        let edges = vec![(1, 5), (2, 5), (5, 9), (3, 7), (1, 2), (7, 7)];
+        let table = vec![(5, M), (3, M - 1), (7, M - 2)];
+        let kernel_out = run_remap(&edges, &table);
+        let packed = encode_table(&table);
+        let host_out: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| edge_unkey(map_key(&packed, edge_key(u, v))))
+            .collect();
+        assert_eq!(host_out, kernel_out);
+        // Idempotent, like the kernel.
+        for &(u, v) in &host_out {
+            let k = edge_key(u, v);
+            assert_eq!(map_key(&packed, k), k);
+        }
+        // Empty table is a pass-through.
+        assert_eq!(map_key(&[], edge_key(1, 5)), edge_key(1, 5));
     }
 
     #[test]

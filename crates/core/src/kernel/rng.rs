@@ -12,19 +12,35 @@ use pim_sim::Tasklet;
 /// separately).
 const DRAW_INSTR: u64 = 12;
 
-/// Advances the state and returns the next 64-bit value, charging the
-/// tasklet for the work.
+/// The pure xorshift64* step: advances the state and returns the next
+/// 64-bit value. This is the arithmetic the DPU kernel runs; the host's
+/// journal replay calls it directly so a replayed reservoir makes the
+/// exact same victim decisions as the core it reconstructs.
 #[inline]
-pub fn next(t: &mut Tasklet<'_>, state: &mut u64) -> u64 {
+pub fn xorshift64star(state: &mut u64) -> u64 {
     let mut x = *state;
     debug_assert!(x != 0, "xorshift state must be nonzero");
     x ^= x >> 12;
     x ^= x << 25;
     x ^= x >> 27;
     *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// Pure uniform draw in `[0, n)`; the host-side twin of [`below`].
+#[inline]
+pub fn below_pure(state: &mut u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    xorshift64star(state) % n
+}
+
+/// Advances the state and returns the next 64-bit value, charging the
+/// tasklet for the work.
+#[inline]
+pub fn next(t: &mut Tasklet<'_>, state: &mut u64) -> u64 {
     t.charge(DRAW_INSTR);
     t.charge_muldiv(1);
-    x.wrapping_mul(0x2545F4914F6CDD1D)
+    xorshift64star(state)
 }
 
 /// Uniform draw in `[0, n)` (by modulo — bias is negligible for the
@@ -74,6 +90,26 @@ mod tests {
         for (i, &b) in buckets.iter().enumerate() {
             assert!((800..1200).contains(&b), "bucket {i}: {b}");
         }
+    }
+
+    #[test]
+    fn pure_step_matches_the_charged_kernel_path() {
+        let mut sys = PimSystem::allocate(1, PimConfig::tiny(), CostModel::default()).unwrap();
+        let (kernel_vals, kernel_state) = sys
+            .execute(|ctx| {
+                let mut t = ctx.tasklet(0)?;
+                let mut state = seed_for_dpu(99, 3);
+                let mut vals = [0u64; 16];
+                for v in vals.iter_mut() {
+                    *v = below(&mut t, &mut state, 1000);
+                }
+                Ok((vals, state))
+            })
+            .unwrap()[0];
+        let mut state = seed_for_dpu(99, 3);
+        let host_vals: Vec<u64> = (0..16).map(|_| below_pure(&mut state, 1000)).collect();
+        assert_eq!(host_vals, kernel_vals.to_vec());
+        assert_eq!(state, kernel_state);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod result;
 pub mod triplets;
 
 pub use config::{ExecBackend, MisraGriesConfig, TcConfig, TcConfigBuilder};
-pub use dynamic::TcSession;
+pub use dynamic::{ScrubOutcome, TcSession};
 pub use error::{PimTcError, TcError};
 pub use result::{DpuReport, TcResult};
 pub use triplets::{ColorTriplet, TripletAssignment};

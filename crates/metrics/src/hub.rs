@@ -310,6 +310,41 @@ impl MetricsHub {
             ],
         );
     }
+
+    /// A partition's bank was re-derived by replaying its RNG journal —
+    /// `keys` staged edges pushed through the receive kernel's decision
+    /// stream plus `marks` remap/sort barriers — onto core `target`.
+    pub fn journal_replay(&self, partition: u64, target: u64, keys: u64, marks: u64) {
+        let reg = &self.registry;
+        reg.counter("pim_journal_replays_total").inc();
+        reg.counter("pim_journal_replayed_keys_total").add(keys);
+        self.emit(
+            "journal_replay",
+            vec![
+                ("partition".into(), FieldValue::U64(partition)),
+                ("target".into(), FieldValue::U64(target)),
+                ("keys".into(), FieldValue::U64(keys)),
+                ("marks".into(), FieldValue::U64(marks)),
+            ],
+        );
+    }
+
+    /// One proactive scrub sweep over `partitions` live banks: `repaired`
+    /// were reinstalled in place from their journals, `failed_over` moved
+    /// to spare cores because their home had died.
+    pub fn scrub(&self, partitions: u64, repaired: u64, failed_over: u64) {
+        let reg = &self.registry;
+        reg.counter("pim_scrub_sweeps_total").inc();
+        reg.counter("pim_scrub_repairs_total").add(repaired);
+        self.emit(
+            "scrub",
+            vec![
+                ("partitions".into(), FieldValue::U64(partitions)),
+                ("repaired".into(), FieldValue::U64(repaired)),
+                ("failed_over".into(), FieldValue::U64(failed_over)),
+            ],
+        );
+    }
 }
 
 #[cfg(test)]

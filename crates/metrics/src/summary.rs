@@ -81,6 +81,15 @@ pub struct StreamSummary {
     pub reservoir_fill_max: f64,
     /// Spare-core failovers.
     pub failovers: u64,
+    /// Partition banks re-derived by replaying their RNG journals.
+    pub journal_replays: u64,
+    /// Edge keys pushed back through the receive-kernel decision stream
+    /// across all journal replays.
+    pub journal_replayed_keys: u64,
+    /// Proactive scrub sweeps over the live banks.
+    pub scrub_sweeps: u64,
+    /// Banks reinstalled in place because a scrub caught corruption.
+    pub scrub_repaired: u64,
     /// Allocation seconds (from the `alloc` event).
     pub alloc_seconds: f64,
 }
@@ -211,6 +220,14 @@ pub fn summarize(events: &[Event]) -> StreamSummary {
             "failover" => {
                 s.failovers += 1;
             }
+            "journal_replay" => {
+                s.journal_replays += 1;
+                s.journal_replayed_keys += e.u64_field("keys");
+            }
+            "scrub" => {
+                s.scrub_sweeps += 1;
+                s.scrub_repaired += e.u64_field("repaired");
+            }
             _ => {}
         }
     }
@@ -231,15 +248,17 @@ mod tests {
 {"seq":8,"kind":"chunk","index":0,"edges":100,"offered":90,"kept":80,"routed":800,"peak_routed_bytes":800,"mg_summary":5}
 {"seq":9,"kind":"reservoir","resident":80,"capacity":128,"max_fill":0.75}
 {"seq":10,"kind":"failover","partition":3,"spare":63}
+{"seq":11,"kind":"journal_replay","partition":3,"target":63,"keys":512,"marks":2}
+{"seq":12,"kind":"scrub","partitions":10,"repaired":1,"failed_over":0}
 "#;
 
     #[test]
     fn parse_and_summarize_round_trip() {
         let events = parse_jsonl(STREAM).expect("stream parses");
-        assert_eq!(events.len(), 10);
+        assert_eq!(events.len(), 12);
         let s = summarize(&events);
-        assert_eq!(s.events, 10);
-        assert_eq!(s.last_seq, 10);
+        assert_eq!(s.events, 12);
+        assert_eq!(s.last_seq, 12);
         assert_eq!(s.nr_dpus, 64);
         let push = &s.transfers["push"];
         assert_eq!(push.ops, 2);
@@ -261,6 +280,10 @@ mod tests {
         assert_eq!(s.reservoir_resident, 80);
         assert!((s.reservoir_fill_max - 0.75).abs() < 1e-12);
         assert_eq!(s.failovers, 1);
+        assert_eq!(s.journal_replays, 1);
+        assert_eq!(s.journal_replayed_keys, 512);
+        assert_eq!(s.scrub_sweeps, 1);
+        assert_eq!(s.scrub_repaired, 1);
         let expected = 0.5 + 0.0015 + 0.002 + 0.0001;
         assert!((s.total_seconds() - expected).abs() < 1e-12);
     }

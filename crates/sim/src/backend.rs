@@ -65,6 +65,14 @@ pub trait PimBackend: Send {
     /// gathering).
     fn dpu(&self, id: usize) -> SimResult<&Dpu>;
 
+    /// Mutable access to a DPU bank, bypassing the modeled transfer path.
+    /// This is the chaos-harness escape hatch: tests use it to flip bits
+    /// in resident banks out of band (modeling radiation upsets the fault
+    /// plan cannot schedule) and assert that scrubbing catches them. Not
+    /// for orchestrators — data planes must go through `push`/`broadcast`
+    /// so transfers stay modeled and faultable.
+    fn dpu_mut(&mut self, id: usize) -> SimResult<&mut Dpu>;
+
     /// Switches the phase that subsequent costs accrue to.
     fn set_phase(&mut self, phase: Phase);
 
@@ -212,6 +220,10 @@ impl PimBackend for PimSystem {
 
     fn dpu(&self, id: usize) -> SimResult<&Dpu> {
         PimSystem::dpu(self, id)
+    }
+
+    fn dpu_mut(&mut self, id: usize) -> SimResult<&mut Dpu> {
+        PimSystem::dpu_mut(self, id)
     }
 
     fn set_phase(&mut self, phase: Phase) {
@@ -375,6 +387,13 @@ impl PimBackend for FunctionalBackend {
             dpu: id,
             allocated: self.dpus.len(),
         })
+    }
+
+    fn dpu_mut(&mut self, id: usize) -> SimResult<&mut Dpu> {
+        let allocated = self.dpus.len();
+        self.dpus
+            .get_mut(id)
+            .ok_or(SimError::NoSuchDpu { dpu: id, allocated })
     }
 
     fn set_phase(&mut self, phase: Phase) {

@@ -70,6 +70,12 @@ pub struct FaultPlan {
     pub launch_fail_ppm: u32,
     /// Scheduled permanent DPU deaths (dense prefix; `None` slots unused).
     pub kills: [Option<DpuKill>; MAX_KILLS],
+    /// Suggested proactive scrub cadence for the host (`scrub=N`): verify
+    /// resident banks every `N` ingest chunks. The simulator injects
+    /// nothing for this — it rides along in the plan so one spec string
+    /// describes both the fault load and the matching scrub schedule, and
+    /// hosts fall back to it when they have no explicit cadence configured.
+    pub scrub: Option<u64>,
 }
 
 impl Default for FaultPlan {
@@ -80,6 +86,7 @@ impl Default for FaultPlan {
             corrupt_ppm: 0,
             launch_fail_ppm: 0,
             kills: [None; MAX_KILLS],
+            scrub: None,
         }
     }
 }
@@ -92,8 +99,9 @@ impl FaultPlan {
     /// ```
     ///
     /// `kill=` may repeat up to [`MAX_KILLS`] times. PPM values are parts
-    /// per million in `0..=1_000_000`. Example:
-    /// `seed=7,transfer=2000,corrupt=1000,kill=3@40,kill=9@95`.
+    /// per million in `0..=1_000_000`. `scrub=N` (N ≥ 1) suggests a host
+    /// scrub cadence of every `N` ingest chunks. Example:
+    /// `seed=7,transfer=2000,corrupt=1000,kill=3@40,kill=9@95,scrub=4`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         let mut nr_kills = 0usize;
@@ -122,6 +130,16 @@ impl FaultPlan {
                         .map_err(|_| format!("fault spec: `{value}` is not a u64 seed"))?;
                 }
                 "transfer" => plan.transfer_fail_ppm = ppm(value.trim())?,
+                "scrub" => {
+                    let n: u64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("fault spec: `{value}` is not a scrub cadence"))?;
+                    if n == 0 {
+                        return Err("fault spec: scrub cadence must be >= 1".into());
+                    }
+                    plan.scrub = Some(n);
+                }
                 "corrupt" => plan.corrupt_ppm = ppm(value.trim())?,
                 "launch" => plan.launch_fail_ppm = ppm(value.trim())?,
                 "kill" => {
@@ -176,6 +194,9 @@ impl fmt::Display for FaultPlan {
         )?;
         for kill in self.kills.iter().flatten() {
             write!(f, ",kill={}@{}", kill.dpu, kill.at_op)?;
+        }
+        if let Some(n) = self.scrub {
+            write!(f, ",scrub={n}")?;
         }
         Ok(())
     }
@@ -349,9 +370,24 @@ mod tests {
     }
 
     #[test]
+    fn scrub_cadence_rides_along_in_the_plan() {
+        let plan = FaultPlan::parse("seed=3,kill=1@7,scrub=4").unwrap();
+        assert_eq!(plan.scrub, Some(4));
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        // A scrub cadence alone injects nothing: the plan stays inert and
+        // fault-free systems remain byte-identical.
+        let only_scrub = FaultPlan::parse("scrub=2").unwrap();
+        assert!(only_scrub.is_inert());
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(FaultPlan::parse("bogus").is_err());
         assert!(FaultPlan::parse("warp=1").is_err());
+        assert!(FaultPlan::parse("scrub=0").is_err());
         assert!(FaultPlan::parse("transfer=2000000").is_err());
         assert!(FaultPlan::parse("kill=3").is_err());
         assert!(FaultPlan::parse("kill=a@b").is_err());

@@ -110,6 +110,17 @@ impl PimSystem {
         })
     }
 
+    /// Mutable access to a DPU bank, bypassing the modeled transfer path
+    /// (see [`crate::PimBackend::dpu_mut`]): the chaos-harness hook for
+    /// planting out-of-band bank corruption. Charges no time and injects
+    /// no faults.
+    pub fn dpu_mut(&mut self, id: usize) -> SimResult<&mut Dpu> {
+        let allocated = self.dpus.len();
+        self.dpus
+            .get_mut(id)
+            .ok_or(SimError::NoSuchDpu { dpu: id, allocated })
+    }
+
     /// Switches the phase that subsequent costs accrue to.
     pub fn set_phase(&mut self, phase: Phase) {
         if self.phase != phase {

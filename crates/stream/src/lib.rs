@@ -21,12 +21,14 @@
 
 pub mod coloring;
 pub mod estimators;
+pub mod journal;
 pub mod misra_gries;
 pub mod reservoir;
 pub mod triest;
 pub mod uniform;
 
 pub use coloring::ColoringHash;
+pub use journal::{GranuleRng, JournalMark, PartitionJournal};
 pub use misra_gries::MisraGries;
 pub use reservoir::Reservoir;
 pub use uniform::UniformSampler;

@@ -54,6 +54,24 @@ impl<T> Reservoir<T> {
         self.seen > self.capacity as u64
     }
 
+    /// Reinstates a reservoir from replayed state: the resident sample
+    /// plus the stream position `t`. Recovery paths use this to restore
+    /// a lost partition's reservoir — including its overflow flag and
+    /// correction divisor, which depend on `seen`, not just the items.
+    pub fn restore(capacity: usize, items: Vec<T>, seen: u64) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        assert!(items.len() <= capacity, "sample exceeds capacity");
+        assert!(
+            seen >= items.len() as u64,
+            "stream position precedes the sample"
+        );
+        Reservoir {
+            capacity,
+            items,
+            seen,
+        }
+    }
+
     /// Offers the next stream item. Returns `true` if the item was
     /// admitted into the sample.
     pub fn offer<R: Rng>(&mut self, item: T, rng: &mut R) -> bool {
@@ -174,5 +192,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         Reservoir::<u32>::new(0);
+    }
+
+    #[test]
+    fn restore_preserves_overflow_state_and_divisor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut r = Reservoir::new(8);
+        for i in 0..100u32 {
+            r.offer(i, &mut rng);
+        }
+        let restored = Reservoir::restore(r.capacity(), r.items().to_vec(), r.seen());
+        assert_eq!(restored.items(), r.items());
+        assert_eq!(restored.seen(), r.seen());
+        assert_eq!(restored.overflowed(), r.overflowed());
+        assert!((restored.triple_probability() - r.triple_probability()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn restore_rejects_an_impossible_stream_position() {
+        Reservoir::restore(4, vec![1u32, 2, 3], 2);
     }
 }

@@ -305,6 +305,26 @@ mod tests {
     }
 
     #[test]
+    fn base_replays_bit_identically_on_a_granule_keyed_stream() {
+        use crate::journal::GranuleRng;
+        // Estimators are pure functions of (stream order, RNG draws):
+        // driving them with the coordinate-addressed splitmix64 stream
+        // makes any run replayable from (seed, granule, counter) alone.
+        let run = || {
+            let mut est = TriestBase::new(40);
+            let mut rng = GranuleRng::new(17, 4);
+            for (u, v) in clique_stream(25, 2) {
+                est.insert(u, v, &mut rng);
+            }
+            (est.estimate(), rng.coords())
+        };
+        let (a, coords_a) = run();
+        let (b, coords_b) = run();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(coords_a, coords_b);
+    }
+
+    #[test]
     fn base_is_exact_when_sample_fits() {
         let mut est = TriestBase::new(10_000);
         let mut rng = ChaCha8Rng::seed_from_u64(0);

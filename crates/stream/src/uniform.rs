@@ -6,14 +6,18 @@
 //! (probability `p³`), so the counted total is divided by `p³` to form an
 //! unbiased estimate.
 
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// A Bernoulli edge filter with keep-probability `p`.
+///
+/// Generic over the random source so the same filter can be driven by
+/// the default seeded ChaCha8 stream or by a replayable, coordinate-
+/// addressed stream such as [`crate::journal::GranuleRng`].
 #[derive(Clone, Debug)]
-pub struct UniformSampler {
+pub struct UniformSampler<R: RngCore = ChaCha8Rng> {
     p: f64,
-    rng: ChaCha8Rng,
+    rng: R,
     offered: u64,
     kept: u64,
 }
@@ -21,13 +25,25 @@ pub struct UniformSampler {
 impl UniformSampler {
     /// Creates a sampler keeping each edge with probability `p ∈ [0, 1]`.
     pub fn new(p: f64, seed: u64) -> Self {
+        UniformSampler::with_rng(p, ChaCha8Rng::seed_from_u64(seed))
+    }
+}
+
+impl<R: RngCore> UniformSampler<R> {
+    /// Creates a sampler over a caller-supplied random source.
+    pub fn with_rng(p: f64, rng: R) -> Self {
         assert!((0.0..=1.0).contains(&p), "p must be a probability");
         UniformSampler {
             p,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng,
             offered: 0,
             kept: 0,
         }
+    }
+
+    /// The underlying random source (e.g. to journal its coordinates).
+    pub fn rng(&self) -> &R {
+        &self.rng
     }
 
     /// The keep-probability `p`.
@@ -118,5 +134,19 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn rejects_invalid_p() {
         UniformSampler::new(1.5, 0);
+    }
+
+    #[test]
+    fn granule_rng_stream_is_replayable_mid_flight() {
+        use crate::journal::GranuleRng;
+        // A sampler on a coordinate-addressed stream can be resumed from
+        // any journaled (seed, granule, counter) triple.
+        let mut live = UniformSampler::with_rng(0.5, GranuleRng::new(11, 3));
+        let _head: Vec<bool> = (0..64).map(|_| live.keep()).collect();
+        let (seed, granule, counter) = live.rng().coords();
+        let mut resumed = UniformSampler::with_rng(0.5, GranuleRng::at(seed, granule, counter));
+        let tail_a: Vec<bool> = (0..64).map(|_| resumed.keep()).collect();
+        let tail_b: Vec<bool> = (0..64).map(|_| live.keep()).collect();
+        assert_eq!(tail_a, tail_b);
     }
 }

@@ -5,8 +5,8 @@
 //! hardware shape.
 
 use pim_graph::{triangle, CooGraph, Edge};
-use pim_sim::PimConfig;
-use pim_tc::{TcConfig, TcSession};
+use pim_sim::{FaultPlan, PimConfig};
+use pim_tc::{TcConfig, TcError, TcSession};
 use proptest::prelude::*;
 
 /// One fuzz operation.
@@ -86,5 +86,137 @@ proptest! {
         // Always end with a checked count.
         let r = session.finish().unwrap();
         prop_assert_eq!(r.rounded(), triangle::count_exact(&accumulated));
+    }
+
+    /// Chunk boundaries are invisible even under core deaths: a journaled
+    /// session fed the edges in random chunks while a fault plan kills a
+    /// core mid-stream must end bit-identical — estimate, reports, and
+    /// resident sample sets — to a fault-free session fed everything in
+    /// one shot.
+    #[test]
+    fn chunked_appends_under_faults_match_one_shot_fault_free(
+        pairs in prop::collection::vec((0u16..60, 0u16..60), 1..150),
+        chunk in 1usize..40,
+        colors in 1u32..4,
+        seed in any::<u64>(),
+        fseed in 0u64..1_000,
+        kill_dpu in 0usize..10,
+        kill_op in 0u64..60,
+    ) {
+        let mut sent = std::collections::HashSet::new();
+        let mut edges = Vec::new();
+        for (u, v) in pairs {
+            if u == v {
+                continue;
+            }
+            let e = Edge::new(u as u32, v as u32).normalized();
+            if sent.insert((e.u, e.v)) {
+                edges.push(e);
+            }
+        }
+        let builder = |fault: Option<FaultPlan>, journal: bool, spares: u32| {
+            TcConfig::builder()
+                .colors(colors)
+                .seed(seed)
+                .pim(PimConfig {
+                    total_dpus: 256,
+                    mram_capacity: 1 << 20,
+                    fault,
+                    ..PimConfig::tiny()
+                })
+                .stage_edges(64)
+                .spare_dpus(spares)
+                .journal(journal)
+                .build()
+                .unwrap()
+        };
+        let spec = format!("seed={fseed},kill={kill_dpu}@{kill_op}");
+        let plan = FaultPlan::parse(&spec).unwrap();
+
+        let mut want = TcSession::start(&builder(None, false, 0)).unwrap();
+        want.append(&edges).unwrap();
+        let w = want.count().unwrap();
+
+        let mut got = TcSession::start(&builder(Some(plan), true, 2)).unwrap();
+        for batch in edges.chunks(chunk) {
+            got.append(batch).unwrap();
+        }
+        let r = got.count().unwrap();
+
+        prop_assert_eq!(r.estimate.to_bits(), w.estimate.to_bits(), "{}", &spec);
+        prop_assert_eq!(&r.dpu_reports, &w.dpu_reports, "{}", &spec);
+        prop_assert_eq!(r.edges_routed, w.edges_routed, "{}", &spec);
+        prop_assert_eq!(
+            got.resident_samples().unwrap(),
+            want.resident_samples().unwrap(),
+            "{}", &spec
+        );
+    }
+
+    /// Without journals, a hardened session that loses a core while a
+    /// refusal condition holds (Misra-Gries remapping active, no spares)
+    /// must fail loudly with [`TcError::Faulted`] — never return a
+    /// silently wrong count. If the kill never fires, every count must
+    /// still match the model.
+    #[test]
+    fn journal_off_hardened_deaths_fail_loudly_not_wrong(
+        ops in prop::collection::vec(op_strategy(), 1..10),
+        seed in any::<u64>(),
+        fseed in 0u64..1_000,
+        kill_dpu in 0usize..10,
+        kill_op in 0u64..50,
+    ) {
+        let spec = format!("seed={fseed},kill={kill_dpu}@{kill_op}");
+        let config = TcConfig::builder()
+            .colors(3)
+            .seed(seed)
+            .pim(PimConfig {
+                total_dpus: 256,
+                mram_capacity: 1 << 20,
+                fault: Some(FaultPlan::parse(&spec).unwrap()),
+                ..PimConfig::tiny()
+            })
+            .stage_edges(64)
+            .misra_gries(32, 8)
+            .build()
+            .unwrap();
+        let mut session = TcSession::start(&config).unwrap();
+        let mut sent = std::collections::HashSet::new();
+        let mut accumulated = CooGraph::new();
+        for op in ops {
+            let outcome = match op {
+                Op::Append(pairs) => {
+                    let mut batch = Vec::new();
+                    for (u, v) in pairs {
+                        if u == v {
+                            continue;
+                        }
+                        let e = Edge::new(u as u32, v as u32).normalized();
+                        if sent.insert((e.u, e.v)) {
+                            batch.push(e);
+                            accumulated.push(e);
+                        }
+                    }
+                    session.append(&batch).map(|_| None)
+                }
+                Op::Count => session.count().map(Some),
+            };
+            match outcome {
+                Ok(Some(r)) => prop_assert_eq!(
+                    r.rounded(),
+                    triangle::count_exact(&accumulated),
+                    "{}: surviving count must stay correct", &spec
+                ),
+                Ok(None) => {}
+                Err(TcError::Faulted(msg)) => {
+                    prop_assert!(
+                        msg.contains("Misra-Gries") || msg.contains("no spare"),
+                        "{}: unexpected refusal: {}", &spec, &msg
+                    );
+                    break; // loud failure is the contract
+                }
+                Err(other) => prop_assert!(false, "{}: expected Faulted, got {:?}", &spec, other),
+            }
+        }
     }
 }
