@@ -1,0 +1,57 @@
+//! Routing-throughput micro-bench: the `bench_gate` workload
+//! ([`pim_bench::routing::RoutingWorkload::gate`]) under criterion, for
+//! interactive before/after comparisons while optimizing the host path.
+//! The CI gate itself re-measures the same workload via
+//! `pim_bench::routing::measure_routing_throughput` and compares
+//! edges/sec against `results/bench_baseline.json` (warn 2%, fail 10%).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pim_bench::routing::RoutingWorkload;
+use pim_tc::host::{route_edges_into, route_edges_reference, RouteScratch, RoutedBatches};
+use std::hint::black_box;
+
+fn bench_routing_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_throughput");
+    // The gate workload (C = 23) plus smaller color counts for context.
+    for colors in [4u32, 23] {
+        let w = if colors == pim_bench::routing::GATE_COLORS {
+            RoutingWorkload::gate()
+        } else {
+            RoutingWorkload::new(
+                pim_graph::gen::erdos_renyi(
+                    pim_bench::routing::GATE_NODES,
+                    pim_bench::routing::GATE_EDGE_PROB,
+                    pim_bench::routing::GATE_SEED,
+                ),
+                colors,
+            )
+        };
+        // Scratch persists across iterations: this measures the session
+        // (steady-state, allocation-free) path, exactly like the gate.
+        let mut out = RoutedBatches::default();
+        let mut scratch = RouteScratch::default();
+        g.throughput(Throughput::Elements(w.edges()));
+        g.bench_with_input(BenchmarkId::new("route", colors), &colors, |b, _| {
+            b.iter(|| {
+                route_edges_into(w.graph.edges(), w.params(), &mut out, &mut scratch);
+                black_box(out.total_routed())
+            })
+        });
+    }
+    // The pre-batching per-edge oracle on the gate workload, kept so the
+    // batched pipeline's win stays measurable after the old path is gone
+    // from production code.
+    let w = RoutingWorkload::gate();
+    g.throughput(Throughput::Elements(w.edges()));
+    g.bench_function("route_reference/23", |b| {
+        b.iter(|| route_edges_reference(w.graph.edges(), w.params()).total_routed())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_routing_throughput
+}
+criterion_main!(benches);

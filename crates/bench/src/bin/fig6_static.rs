@@ -94,7 +94,17 @@ fn main() {
          CPU times are measured on this host; GPU times come from the\n\
          analytic A100-class proxy; PIM times come from the UPMEM-like\n\
          simulator's cost model (see DESIGN.md §1). Conversion/transfer\n\
-         setup is excluded, matching the paper's protocol.\n\n{}",
+         setup is excluded, matching the paper's protocol.\n\n{}\n\
+         PIM times reflect the adaptive count kernel (merge / gallop /\n\
+         bitmap chosen per pair by modeled cost, with peek/probe fast\n\
+         paths for sparse adjacencies); host-side sample creation uses\n\
+         the batched routing pipeline. Before/after numbers for that\n\
+         pass and the ablation knob (`--intersect merge` restores the\n\
+         pre-optimization kernel charge-for-charge) are in\n\
+         docs/PERFORMANCE.md. Regenerate this table with:\n\n\
+         ```\n\
+         cargo run --release -p pim-bench --bin fig6_static -- --profile\n\
+         ```\n",
         table.render()
     );
     println!("{md}");

@@ -80,7 +80,13 @@ fn main() {
          CPU rebuilds CSR from the full accumulated COO each update; GPU\n\
          and PIM append into resident state (§4.6).\n\n{}\n\
          Final count: {} triangles (all systems agree).\n\n\
-         PIM vs CPU cumulative speedup after update {UPDATES}: {:.2}x\n",
+         PIM vs CPU cumulative speedup after update {UPDATES}: {:.2}x\n\n\
+         The PIM session routes each batch through the reused-scratch\n\
+         batched pipeline and recounts with the adaptive intersection\n\
+         kernel (docs/PERFORMANCE.md). Regenerate with:\n\n\
+         ```\n\
+         cargo run --release -p pim-bench --bin fig7_dynamic\n\
+         ```\n",
         table.render(),
         final_pim.triangles.round(),
         final_cpu.cumulative_secs / final_pim.cumulative_secs

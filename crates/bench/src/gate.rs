@@ -316,6 +316,54 @@ pub fn compare_fig7(
     checks
 }
 
+/// The gated `routing_throughput` baseline section: host-measured edges
+/// per second through the batched routing pipeline on the fixed gate
+/// workload (`pim_bench::routing::RoutingWorkload::gate()` —
+/// single-threaded, best-of-k, reused scratch: the session's steady-state
+/// path).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RoutingSection {
+    /// Routed input edges per second.
+    pub edges_per_sec: f64,
+}
+
+/// Parses the optional `routing_throughput` section of the baseline.
+/// Returns `Ok(None)` when the baseline predates the section.
+pub fn parse_routing(text: &str) -> Result<Option<RoutingSection>, String> {
+    let v: Value =
+        serde_json::from_str(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let Some(section) = v.get("routing_throughput") else {
+        return Ok(None);
+    };
+    let edges_per_sec = section
+        .get("edges_per_sec")
+        .and_then(Value::as_f64)
+        .ok_or("routing_throughput section has no `edges_per_sec`")?;
+    Ok(Some(RoutingSection { edges_per_sec }))
+}
+
+/// Compares fresh routing throughput against the baseline. The check is
+/// *one-sided*: throughput is host-measured, so only a slowdown counts
+/// toward the warn/fail band — running faster than the recorded floor is
+/// always `Ok` (and a cue to re-ratchet the baseline upward).
+pub fn compare_routing(
+    baseline: &RoutingSection,
+    observed: &RoutingSection,
+    tol: &Tolerances,
+) -> Vec<Check> {
+    let b = baseline.edges_per_sec;
+    let o = observed.edges_per_sec;
+    let slowdown = if b > 0.0 { ((b - o) / b).max(0.0) } else { 0.0 };
+    vec![Check {
+        graph: "routing_throughput".into(),
+        metric: "edges_per_sec".into(),
+        baseline: b,
+        observed: o,
+        rel: slowdown,
+        verdict: judge(slowdown, tol.counter_warn, tol.counter_fail),
+    }]
+}
+
 fn judge(rel: f64, warn: f64, fail: f64) -> Verdict {
     if rel > fail {
         Verdict::Fail
@@ -659,6 +707,58 @@ mod tests {
         // Baselines predating the section parse as None, not an error.
         assert_eq!(parse_fig7(r#"{"rows": []}"#).unwrap(), None);
         assert!(parse_fig7("not json").is_err());
+    }
+
+    #[test]
+    fn routing_gate_is_one_sided() {
+        let base = RoutingSection {
+            edges_per_sec: 1.0e6,
+        };
+        let tol = Tolerances::default();
+        // Faster than baseline: always Ok, however large the speedup.
+        let checks = compare_routing(
+            &base,
+            &RoutingSection {
+                edges_per_sec: 3.0e6,
+            },
+            &tol,
+        );
+        assert!(!gate_failed(&checks));
+        assert_eq!(checks[0].verdict, Verdict::Ok);
+        // 5% slower: past warn, within fail.
+        let checks = compare_routing(
+            &base,
+            &RoutingSection {
+                edges_per_sec: 0.95e6,
+            },
+            &tol,
+        );
+        assert!(!gate_failed(&checks));
+        assert_eq!(checks[0].verdict, Verdict::Warn);
+        // 20% slower: fail.
+        let checks = compare_routing(
+            &base,
+            &RoutingSection {
+                edges_per_sec: 0.8e6,
+            },
+            &tol,
+        );
+        assert!(gate_failed(&checks));
+        assert_eq!(checks[0].metric, "edges_per_sec");
+        assert_eq!(checks[0].graph, "routing_throughput");
+    }
+
+    #[test]
+    fn routing_section_parses_and_is_optional() {
+        let text = r#"{
+          "rows": [],
+          "routing_throughput": {"edges_per_sec": 7.5e6, "colors": 23}
+        }"#;
+        let section = parse_routing(text).unwrap().unwrap();
+        assert_eq!(section.edges_per_sec, 7.5e6);
+        assert_eq!(parse_routing(r#"{"rows": []}"#).unwrap(), None);
+        assert!(parse_routing("not json").is_err());
+        assert!(parse_routing(r#"{"routing_throughput": {}}"#).is_err());
     }
 
     #[test]

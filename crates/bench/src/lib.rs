@@ -18,6 +18,7 @@
 //! `docs/OBSERVABILITY.md`) for experiments that support it.
 
 pub mod gate;
+pub mod routing;
 
 use pim_graph::datasets::{DatasetId, Profile};
 use pim_graph::{stats, CooGraph};

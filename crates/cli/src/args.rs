@@ -31,6 +31,7 @@ const VALUED: &[&str] = &[
     "dpus",
     "out",
     "backend",
+    "intersect",
     "route-chunk",
     "faults",
     "max-retries",

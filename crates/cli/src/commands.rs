@@ -12,13 +12,17 @@ pub const USAGE: &str = "\
 usage:
   pimtc count <graph> [--colors C] [--uniform-p P] [--capacity M]
               [--misra-gries K,T] [--seed S] [--backend timed|functional]
-              [--route-chunk E] [--baseline] [--json]
+              [--route-chunk E] [--intersect STRAT] [--baseline] [--json]
       Count triangles on the simulated PIM system. --baseline also runs
       the measured CPU baseline; --local reports the top triangle-central
       vertices (per-vertex counting). --backend functional skips all
       timing/energy modeling (same exact counts, zero clocks);
       --route-chunk bounds host memory to E input edges per routing
       chunk. Both also read the PIM_TC_BACKEND environment variable.
+      --intersect adaptive|merge|gallop|bitmap picks the count kernel's
+      intersection strategy (default adaptive; the others are forced
+      ablation modes — identical counts, different cycle profiles; see
+      docs/PERFORMANCE.md).
 
       Robustness (count/dynamic/profile; see docs/ROBUSTNESS.md):
       --faults SPEC|FILE injects seeded faults into the simulated
@@ -53,12 +57,12 @@ usage:
         geometric  --nodes N --radius R
 
   pimtc dynamic <graph> [--batches B] [--colors C] [--json]
-      [--backend timed|functional] [--route-chunk E]
+      [--backend timed|functional] [--route-chunk E] [--intersect STRAT]
       Split the graph into B update batches and recount after each.
 
   pimtc profile --graph <path> [--dpus N] [--out trace.json]
       [--colors C] [--uniform-p P] [--capacity M] [--misra-gries K,T]
-      [--backend timed|functional] [--route-chunk E]
+      [--backend timed|functional] [--route-chunk E] [--intersect STRAT]
       Run a traced count and write a Chrome trace-event JSON (load it in
       chrome://tracing or ui.perfetto.dev), plus a per-kernel summary on
       stdout. --dpus picks the largest color count whose triplet grid
@@ -153,6 +157,9 @@ fn build_config_with_default_colors(
     }
     if let Some(chunk) = args.get::<u64>("route-chunk")? {
         builder = builder.route_chunk_edges(chunk);
+    }
+    if let Some(strategy) = args.get::<pim_tc::IntersectStrategy>("intersect")? {
+        builder = builder.intersect(strategy);
     }
     if let Some(retries) = args.get::<u32>("max-retries")? {
         builder = builder.max_retries(retries);

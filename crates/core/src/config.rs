@@ -1,6 +1,7 @@
 //! Run configuration for the PIM-TC pipeline.
 
 use crate::error::TcError;
+use crate::kernel::count::IntersectStrategy;
 use crate::triplets::nr_triplets;
 use pim_sim::{CostModel, PimConfig};
 use serde::{Deserialize, Serialize};
@@ -99,6 +100,11 @@ pub struct TcConfig {
     pub route_chunk_edges: u64,
     /// Execution engine running the pipeline.
     pub backend: ExecBackend,
+    /// How the count kernel intersects each edge's `u`-list with its
+    /// `v` region: the cost-adaptive default, or one of the forced
+    /// merge/gallop/bitmap ablation modes. Every mode produces the
+    /// identical count (see [`crate::kernel::count::IntersectStrategy`]).
+    pub intersect: IntersectStrategy,
     /// Forces the hardened (fault-tolerant) session path: checksummed
     /// staging transfers, verified pushes/gathers, bounded retries, and
     /// spare-core recovery. Implied whenever a fault plan or spare cores
@@ -275,6 +281,7 @@ impl Default for TcConfigBuilder {
                 stage_edges: 2048,
                 route_chunk_edges: 256 * 1024,
                 backend: ExecBackend::from_env(),
+                intersect: IntersectStrategy::Adaptive,
                 hardened: false,
                 max_retries: 8,
                 spare_dpus: 0,
@@ -341,6 +348,13 @@ impl TcConfigBuilder {
     /// environment default).
     pub fn backend(mut self, backend: ExecBackend) -> Self {
         self.config.backend = backend;
+        self
+    }
+
+    /// Selects the count kernel's intersection strategy (default:
+    /// cost-adaptive; forced modes are ablation baselines).
+    pub fn intersect(mut self, strategy: IntersectStrategy) -> Self {
+        self.config.intersect = strategy;
         self
     }
 

@@ -17,7 +17,9 @@
 use crate::config::TcConfig;
 use crate::correction;
 use crate::error::TcError;
-use crate::host::{route_edges, RouteParams, ROUTE_GRANULE_EDGES};
+use crate::host::{
+    route_edges_into, RouteParams, RouteScratch, RoutedBatches, ROUTE_GRANULE_EDGES,
+};
 use crate::kernel::layout::{Header, MramLayout, HDR_REMAP_LEN, HDR_STAGE_LEN};
 use crate::kernel::{checksum, count, edge_unkey, index, local, receive, remap, rng, sort};
 use crate::result::{DpuReport, TcResult};
@@ -100,6 +102,12 @@ pub struct TcSession<B: PimBackend = TimedBackend> {
     /// from [`TcConfig::scrub_interval`] with the fault plan's `scrub=`
     /// hook as fallback.
     scrub_every: u64,
+    /// Reusable routing staging buffers: hoisted out of the per-chunk
+    /// path so steady-state `append` performs no routing allocation
+    /// (buffers are cleared at retained capacity between chunks).
+    route_scratch: RouteScratch,
+    /// Reusable routed-batch output, paired with `route_scratch`.
+    routed: RoutedBatches,
 }
 
 /// Outcome of one proactive scrub sweep (see [`TcSession::scrub`]).
@@ -235,6 +243,8 @@ impl<B: PimBackend> TcSession<B> {
             chunks_done: 0,
             journals,
             scrub_every,
+            route_scratch: RouteScratch::default(),
+            routed: RoutedBatches::default(),
         };
         if hardened {
             session.init_banks_hardened()?;
@@ -287,7 +297,12 @@ impl<B: PimBackend> TcSession<B> {
             * ROUTE_GRANULE_EDGES;
         for chunk in edges.chunks(chunk_edges) {
             let host_start = Instant::now();
-            let routed = route_edges(
+            // Route into the session-owned scratch (taken out for the
+            // duration of the chunk to satisfy the borrow checker):
+            // buffers are cleared, not freed, between chunks.
+            let mut routed = std::mem::take(&mut self.routed);
+            let mut scratch = std::mem::take(&mut self.route_scratch);
+            route_edges_into(
                 chunk,
                 RouteParams {
                     assignment: &self.assignment,
@@ -299,6 +314,8 @@ impl<B: PimBackend> TcSession<B> {
                     base_granule: self.route_granules,
                     track_arrivals: self.hardened,
                 },
+                &mut routed,
+                &mut scratch,
             );
             self.sys
                 .charge_host_seconds_labeled("route_edges", host_start.elapsed().as_secs_f64());
@@ -340,6 +357,8 @@ impl<B: PimBackend> TcSession<B> {
                         .unwrap_or(0),
                 });
             }
+            self.routed = routed;
+            self.route_scratch = scratch;
             self.chunks_done += 1;
             if self.hardened
                 && self.scrub_every > 0
@@ -447,8 +466,10 @@ impl<B: PimBackend> TcSession<B> {
                 local::local_count_kernel(ctx, &layout)
             })?;
         } else {
-            self.sys
-                .execute_labeled("count", move |ctx| count::count_kernel(ctx, &layout))?;
+            let strategy = self.config.intersect;
+            self.sys.execute_labeled("count", move |ctx| {
+                count::count_kernel_opts(ctx, &layout, count::RegionLookup::BinarySearch, strategy)
+            })?;
         }
 
         // One rank-parallel gather of every core's header.
@@ -1402,7 +1423,10 @@ impl<B: PimBackend> TcSession<B> {
                 local::local_count_kernel(ctx, &layout)
             })?;
         } else {
-            self.retry_execute_masked("count", move |ctx| count::count_kernel(ctx, &layout))?;
+            let strategy = self.config.intersect;
+            self.retry_execute_masked("count", move |ctx| {
+                count::count_kernel_opts(ctx, &layout, count::RegionLookup::BinarySearch, strategy)
+            })?;
         }
 
         let headers: Vec<Header> = self

@@ -41,7 +41,7 @@ fn granule_seed(seed: u64, granule_idx: u64) -> u64 {
 }
 
 /// The outcome of routing one edge stream.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct RoutedBatches {
     /// Packed edge keys per PIM core, in arrival order.
     pub per_dpu: Vec<Vec<u64>>,
@@ -63,6 +63,31 @@ impl RoutedBatches {
     pub fn total_routed(&self) -> u64 {
         self.per_dpu.iter().map(|b| b.len() as u64).sum()
     }
+
+    /// Clears all batches and counters for reuse, retaining every
+    /// buffer's capacity. `per_dpu` is (re)sized to `nr_dpus`.
+    fn reset(&mut self, nr_dpus: usize, mg_capacity: Option<usize>) {
+        if self.per_dpu.len() != nr_dpus {
+            self.per_dpu.resize_with(nr_dpus, Vec::new);
+        }
+        for batch in &mut self.per_dpu {
+            batch.clear();
+        }
+        self.offered = 0;
+        self.kept = 0;
+        self.summary = mg_capacity.map(MisraGries::new);
+        self.arrivals.clear();
+    }
+}
+
+/// Reusable buffers for [`route_edges_into`]: the per-parallel-chunk
+/// staging state that would otherwise be reallocated on every call.
+/// Streaming callers ([`crate::TcSession`]) hold one of these across all
+/// appended chunks, so steady-state routing performs no heap allocation —
+/// every `Vec` is cleared and refilled at retained capacity.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    chunks: Vec<ChunkScratch>,
 }
 
 /// Routing parameters.
@@ -104,8 +129,37 @@ impl RouteParams<'_> {
 ///
 /// Edges are normalized (`u < v`) and self loops dropped on the way; each
 /// surviving edge is replicated to the `C` compatible cores (§3.1).
+///
+/// One-shot convenience over [`route_edges_into`]: allocates fresh
+/// scratch and output. Streaming callers should hold a [`RouteScratch`]
+/// and a [`RoutedBatches`] and call [`route_edges_into`] directly.
 pub fn route_edges(edges: &[Edge], params: RouteParams<'_>) -> RoutedBatches {
+    let mut out = RoutedBatches::default();
+    let mut scratch = RouteScratch::default();
+    route_edges_into(edges, params, &mut out, &mut scratch);
+    out
+}
+
+/// Routes an edge stream into a reusable [`RoutedBatches`], staging
+/// through a reusable [`RouteScratch`]. `out` is reset first (counters
+/// zeroed, buffers cleared at retained capacity), so repeated calls with
+/// the same pair perform no steady-state allocation.
+///
+/// The batched pipeline replaces the old branchy per-edge path: each
+/// granule is processed in three flat passes — (1) sample and normalize
+/// kept edges into a contiguous key block, (2) compute every key's color
+/// pair index in a tight branch-free loop over that block, (3) scatter
+/// each key to its `C` destination cores straight from the precomputed
+/// [`TripletAssignment::routes_at`] table. Results are bit-identical to
+/// the per-edge reference path ([`route_edges_reference`]).
+pub fn route_edges_into(
+    edges: &[Edge],
+    params: RouteParams<'_>,
+    out: &mut RoutedBatches,
+    scratch: &mut RouteScratch,
+) {
     let nr_dpus = params.assignment.nr_dpus();
+    out.reset(nr_dpus, params.mg_capacity);
     let threads = params.threads.max(1);
     // Per-thread chunks are granule-aligned, so a chunk always covers
     // whole granules: results cannot depend on the thread count.
@@ -117,38 +171,33 @@ pub fn route_edges(edges: &[Edge], params: RouteParams<'_>) -> RoutedBatches {
         * ROUTE_GRANULE_EDGES;
     let granules_per_chunk = (chunk_size / ROUTE_GRANULE_EDGES) as u64;
 
-    let chunk_results: Vec<ChunkResult> = edges
+    let n_chunks = edges.len().div_ceil(chunk_size);
+    if scratch.chunks.len() < n_chunks {
+        scratch.chunks.resize_with(n_chunks, ChunkScratch::default);
+    }
+    edges
         .par_chunks(chunk_size)
+        .zip(scratch.chunks[..n_chunks].par_iter_mut())
         .enumerate()
-        .map(|(chunk_idx, chunk)| {
+        .for_each(|(chunk_idx, (chunk, cs))| {
             let first_granule = params.base_granule + chunk_idx as u64 * granules_per_chunk;
-            route_chunk(chunk, first_granule, nr_dpus, &params)
-        })
-        .collect();
+            route_chunk(chunk, first_granule, nr_dpus, &params, cs);
+        });
 
     // Deterministic merge in chunk order.
-    let mut per_dpu: Vec<Vec<u64>> = vec![Vec::new(); nr_dpus];
-    let mut offered = 0;
-    let mut kept = 0;
-    let mut summary = params.mg_capacity.map(MisraGries::new);
-    let mut arrivals = Vec::new();
-    for mut cr in chunk_results {
-        offered += cr.offered;
-        kept += cr.kept;
-        for (dpu, batch) in cr.per_dpu.iter_mut().enumerate() {
-            per_dpu[dpu].append(batch);
+    for cs in &mut scratch.chunks[..n_chunks] {
+        out.offered += cs.offered;
+        out.kept += cs.kept;
+        for (dpu, batch) in cs.per_dpu.iter_mut().enumerate() {
+            out.per_dpu[dpu].append(batch);
         }
-        arrivals.append(&mut cr.arrivals);
-        if let (Some(acc), Some(local)) = (summary.as_mut(), cr.summary.as_ref()) {
+        if params.track_arrivals {
+            // The arrival stream is exactly the kept keys in chunk order.
+            out.arrivals.extend_from_slice(&cs.keys);
+        }
+        if let (Some(acc), Some(local)) = (out.summary.as_mut(), cs.summary.as_ref()) {
             acc.merge(local);
         }
-    }
-    RoutedBatches {
-        per_dpu,
-        offered,
-        kept,
-        summary,
-        arrivals,
     }
 }
 
@@ -162,12 +211,13 @@ pub fn dpu_loads(edges: &[pim_graph::Edge], colors: u32, seed: u64) -> Vec<u64> 
     let assignment = TripletAssignment::new(colors);
     let coloring = ColoringHash::new(colors, seed);
     let mut loads = vec![0u64; assignment.nr_dpus()];
-    let mut routes = Vec::with_capacity(colors as usize);
     for e in edges {
-        if resolve_edge(e, &coloring, &assignment, &mut routes).is_none() {
+        if e.is_self_loop() {
             continue;
         }
-        for &dpu in &routes {
+        let n = e.normalized();
+        let (ca, cb) = coloring.edge_colors(n.u, n.v);
+        for &dpu in assignment.pair_dpus(ca, cb) {
             loads[dpu as usize] += 1;
         }
     }
@@ -195,58 +245,190 @@ fn resolve_edge(
     Some(n)
 }
 
-struct ChunkResult {
+/// Per-parallel-chunk staging state, reused across [`route_edges_into`]
+/// calls. `keys` doubles as the chunk's arrival stream (kept keys in
+/// order); `pairs` holds each key's color-pair index.
+#[derive(Debug, Default)]
+struct ChunkScratch {
     per_dpu: Vec<Vec<u64>>,
+    /// Kept edge keys, chunk-arrival order (all granules of the chunk).
+    keys: Vec<u64>,
+    /// Color-pair index of each kept key ([`TripletAssignment::pair_index`]).
+    pairs: Vec<u32>,
     offered: u64,
     kept: u64,
     summary: Option<MisraGries>,
-    arrivals: Vec<u64>,
+}
+
+impl ChunkScratch {
+    fn reset(&mut self, nr_dpus: usize, mg_capacity: Option<usize>) {
+        if self.per_dpu.len() != nr_dpus {
+            self.per_dpu.resize_with(nr_dpus, Vec::new);
+        }
+        for batch in &mut self.per_dpu {
+            batch.clear();
+        }
+        self.keys.clear();
+        self.pairs.clear();
+        self.offered = 0;
+        self.kept = 0;
+        self.summary = mg_capacity.map(MisraGries::new);
+    }
 }
 
 /// Routes one granule-aligned chunk. `first_granule` is the global index
 /// of the chunk's first granule; each granule inside gets its own
 /// [`granule_seed`]-derived sampler, so decisions are position-keyed.
+///
+/// The work is organized as flat passes per granule (sample → colors →
+/// heavy hitters → scatter) rather than doing everything per edge: the
+/// color pass is branch-free over a contiguous key block, and the
+/// scatter pass reads each pair's `C` destinations as one table slice
+/// instead of re-deriving sorted triplets edge by edge.
 fn route_chunk(
     chunk: &[Edge],
     first_granule: u64,
     nr_dpus: usize,
     params: &RouteParams<'_>,
-) -> ChunkResult {
-    let mut per_dpu: Vec<Vec<u64>> = vec![Vec::new(); nr_dpus];
-    let mut summary = params.mg_capacity.map(MisraGries::new);
-    let mut routes = Vec::with_capacity(params.assignment.colors() as usize);
-    let mut offered = 0u64;
-    let mut kept = 0u64;
-    let mut arrivals = Vec::new();
+    cs: &mut ChunkScratch,
+) {
+    cs.reset(nr_dpus, params.mg_capacity);
+    let assignment = params.assignment;
     for (g, granule) in chunk.chunks(ROUTE_GRANULE_EDGES).enumerate() {
         let mut sampler = UniformSampler::new(
             params.uniform_p,
             granule_seed(params.seed, first_granule + g as u64),
         );
+        let block_start = cs.keys.len();
+        // Pass 1: sampling + normalization. The sampler draw order is
+        // load-bearing (one draw per offered edge): it pins the sampled
+        // stream for a seed, so this pass must stay per-edge.
         for e in granule {
             if e.is_self_loop() {
                 continue;
             }
-            offered += 1;
+            cs.offered += 1;
             if !sampler.keep() {
                 continue;
             }
-            kept += 1;
-            let n = resolve_edge(e, params.coloring, params.assignment, &mut routes)
-                .expect("self loops were filtered above");
-            if let Some(mg) = summary.as_mut() {
-                mg.offer_edge(n.u, n.v);
+            cs.kept += 1;
+            let n = e.normalized();
+            cs.keys.push(edge_key(n.u, n.v));
+        }
+        let block = &cs.keys[block_start..];
+        // Pass 2: color-pair indices, branch-free over the key block.
+        cs.pairs.extend(block.iter().map(|&key| {
+            let (ca, cb) = params.coloring.edge_colors(
+                crate::kernel::key_first(key),
+                crate::kernel::key_second(key),
+            );
+            assignment.pair_index(ca, cb)
+        }));
+        // Pass 3: heavy-hitter offers (stream order matters to MG).
+        if let Some(mg) = cs.summary.as_mut() {
+            for &key in block {
+                mg.offer_edge(
+                    crate::kernel::key_first(key),
+                    crate::kernel::key_second(key),
+                );
             }
-            let key = edge_key(n.u, n.v);
-            if params.track_arrivals {
-                arrivals.push(key);
-            }
-            for &dpu in &routes {
-                per_dpu[dpu as usize].push(key);
+        }
+        // Pass 4: scatter each key to its C cores via the flat table.
+        let pairs = &cs.pairs[block_start..];
+        for (&key, &pair) in block.iter().zip(pairs) {
+            for &dpu in assignment.routes_at(pair) {
+                cs.per_dpu[dpu as usize].push(key);
             }
         }
     }
-    ChunkResult {
+}
+
+/// The pre-batching per-edge routing path, retained verbatim as the
+/// differential-testing oracle: proptests assert [`route_edges`] stays
+/// bit-identical to it (batches, counts, summary, arrivals). Not used on
+/// any hot path.
+pub fn route_edges_reference(edges: &[Edge], params: RouteParams<'_>) -> RoutedBatches {
+    struct ChunkResult {
+        per_dpu: Vec<Vec<u64>>,
+        offered: u64,
+        kept: u64,
+        summary: Option<MisraGries>,
+        arrivals: Vec<u64>,
+    }
+    let nr_dpus = params.assignment.nr_dpus();
+    let threads = params.threads.max(1);
+    let chunk_size = edges
+        .len()
+        .div_ceil(threads)
+        .div_ceil(ROUTE_GRANULE_EDGES)
+        .max(1)
+        * ROUTE_GRANULE_EDGES;
+    let granules_per_chunk = (chunk_size / ROUTE_GRANULE_EDGES) as u64;
+    let chunk_results: Vec<ChunkResult> = edges
+        .par_chunks(chunk_size)
+        .enumerate()
+        .map(|(chunk_idx, chunk)| {
+            let first_granule = params.base_granule + chunk_idx as u64 * granules_per_chunk;
+            let mut per_dpu: Vec<Vec<u64>> = vec![Vec::new(); nr_dpus];
+            let mut summary = params.mg_capacity.map(MisraGries::new);
+            let mut routes = Vec::with_capacity(params.assignment.colors() as usize);
+            let mut offered = 0u64;
+            let mut kept = 0u64;
+            let mut arrivals = Vec::new();
+            for (g, granule) in chunk.chunks(ROUTE_GRANULE_EDGES).enumerate() {
+                let mut sampler = UniformSampler::new(
+                    params.uniform_p,
+                    granule_seed(params.seed, first_granule + g as u64),
+                );
+                for e in granule {
+                    if e.is_self_loop() {
+                        continue;
+                    }
+                    offered += 1;
+                    if !sampler.keep() {
+                        continue;
+                    }
+                    kept += 1;
+                    let n = resolve_edge(e, params.coloring, params.assignment, &mut routes)
+                        .expect("self loops were filtered above");
+                    if let Some(mg) = summary.as_mut() {
+                        mg.offer_edge(n.u, n.v);
+                    }
+                    let key = edge_key(n.u, n.v);
+                    if params.track_arrivals {
+                        arrivals.push(key);
+                    }
+                    for &dpu in &routes {
+                        per_dpu[dpu as usize].push(key);
+                    }
+                }
+            }
+            ChunkResult {
+                per_dpu,
+                offered,
+                kept,
+                summary,
+                arrivals,
+            }
+        })
+        .collect();
+    let mut per_dpu: Vec<Vec<u64>> = vec![Vec::new(); nr_dpus];
+    let mut offered = 0;
+    let mut kept = 0;
+    let mut summary = params.mg_capacity.map(MisraGries::new);
+    let mut arrivals = Vec::new();
+    for mut cr in chunk_results {
+        offered += cr.offered;
+        kept += cr.kept;
+        for (dpu, batch) in cr.per_dpu.iter_mut().enumerate() {
+            per_dpu[dpu].append(batch);
+        }
+        arrivals.append(&mut cr.arrivals);
+        if let (Some(acc), Some(local)) = (summary.as_mut(), cr.summary.as_ref()) {
+            acc.merge(local);
+        }
+    }
+    RoutedBatches {
         per_dpu,
         offered,
         kept,

@@ -1,18 +1,36 @@
-//! The counting kernel: merge-based edge iteration (§3.4).
+//! The counting kernel: sorted-intersection edge iteration (§3.4).
 //!
 //! Each tasklet streams blocks of sample edges into WRAM. For an edge
 //! `(u, v)` it binary-searches the region index (in MRAM — charged DMA
 //! probes, exactly the pointer-chasing cost the paper describes) for the
-//! region of `v`, then runs the merge-like comparison: with `(u, w)` from
-//! the edges following the current one and `(v, z)` from `v`'s region,
-//! `w == z` closes a triangle `(u, v, w)` and both sides advance; `w < z`
-//! advances the `u` side; `w > z` advances the `v` side. Since the sample
-//! is sorted and `u < v < w`, every triangle in the subgraph is found
-//! exactly once, at its lexicographically-least edge.
+//! region of `v`, then intersects the `u`-list (edges following the
+//! current one whose first endpoint is still `u`) with `v`'s region.
+//!
+//! Three interchangeable intersection strategies produce the identical
+//! count ([`IntersectStrategy`]):
+//!
+//! * **Merge** — the paper's streaming merge: with `(u, w)` from the `u`
+//!   side and `(v, z)` from `v`'s region, `w == z` closes a triangle and
+//!   both sides advance; `w < z` advances `u`; `w > z` advances `v`.
+//!   Cost is linear in `|u| + |v|`.
+//! * **Gallop** — for skewed pairs (one side tiny, the other huge):
+//!   walk the short side and exponentially probe the long side in MRAM
+//!   for each key, `O(short · log long)` probes instead of a linear
+//!   scan. Each match consumes exactly one long-side slot, replicating
+//!   the merge's min-multiplicity handling of duplicate edges.
+//! * **Bitmap** — for dense pairs whose `v`-region `z` span fits the
+//!   tasklet's WRAM bit array: mark the `v` side (bailing back to merge
+//!   if a duplicate bit shows the multiset semantics are needed), then
+//!   test each distinct `w` run of the `u` side in O(1).
+//!
+//! `Adaptive` (the default) picks per pair from the simulator's cost
+//! model — probe cost vs. amortized streaming cost — mirroring how
+//! hand-tuned DPU code sizes these thresholds offline.
 
 use super::layout::{Header, MramLayout};
 use super::{key_first, key_second};
 use pim_sim::{DpuContext, SimResult, Tasklet};
+use serde::{Deserialize, Serialize};
 
 /// Instructions per merge comparison (two WRAM loads, compare, branch,
 /// cursor bump).
@@ -21,6 +39,28 @@ const MERGE_INSTR_PER_CMP: u64 = 5;
 const PROBE_INSTR: u64 = 8;
 /// Instructions of per-edge fixed overhead (unpack, loop control).
 const EDGE_INSTR: u64 = 6;
+/// Instructions per short-side key in galloping mode (run bookkeeping,
+/// loop control) beyond the probes themselves.
+const GALLOP_INSTR_PER_KEY: u64 = 6;
+/// Instructions to set or test one bitmap bit (shift, mask, or/and).
+const BITMAP_INSTR_PER_KEY: u64 = 3;
+/// Instructions per 64-bit word to clear the bitmap between pairs.
+const BITMAP_INSTR_PER_CLEAR_WORD: u64 = 1;
+/// Instructions to evaluate the adaptive strategy choice for one pair.
+const STRATEGY_INSTR: u64 = 8;
+/// Smallest `min(|u|, |v|)` for which the adaptive mode considers the
+/// bitmap: below this the range probes and clear don't amortize.
+const BITMAP_MIN_KEYS: u64 = 64;
+/// `v`-region length below which the adaptive mode does not pay the
+/// full `u`-region index lookup up front: with a tiny `v` side, only a
+/// very long `u`-list can make any strategy beat the merge, and that is
+/// testable with a single far probe instead of a binary search.
+const PROBE_MIN_V: u64 = 16;
+/// Far-probe distance for the tiny-`v` gate: if the sample key
+/// `LONG_U_PROBE` slots ahead still belongs to `u`, the `u`-list is long
+/// enough that galloping the tiny `v` side over it wins and the full
+/// lookup is justified.
+const LONG_U_PROBE: u64 = 256;
 
 /// How the count kernel locates a node's region in the index table.
 /// `BinarySearch` is the paper's design (§3.4); `LinearScan` is the
@@ -33,10 +73,61 @@ pub enum RegionLookup {
     LinearScan,
 }
 
+/// How the count kernel intersects an edge's `u`-list with its `v`
+/// region (see the module docs for the mechanics). Every strategy
+/// returns the identical triangle count; they differ only in charged
+/// work, so `Merge`/`Gallop`/`Bitmap` double as ablation modes for the
+/// adaptive default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntersectStrategy {
+    /// Per-pair cost-based choice between the three (the default).
+    #[default]
+    Adaptive,
+    /// Always the streaming merge (the pre-optimization behavior).
+    Merge,
+    /// Always gallop the shorter side over the longer.
+    Gallop,
+    /// Prefer the WRAM bitmap whenever its range fits, else merge.
+    Bitmap,
+}
+
+impl std::str::FromStr for IntersectStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "adaptive" => Ok(IntersectStrategy::Adaptive),
+            "merge" => Ok(IntersectStrategy::Merge),
+            "gallop" => Ok(IntersectStrategy::Gallop),
+            "bitmap" => Ok(IntersectStrategy::Bitmap),
+            other => Err(format!(
+                "unknown intersect strategy `{other}` (expected `adaptive`, \
+                 `merge`, `gallop`, or `bitmap`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IntersectStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IntersectStrategy::Adaptive => "adaptive",
+            IntersectStrategy::Merge => "merge",
+            IntersectStrategy::Gallop => "gallop",
+            IntersectStrategy::Bitmap => "bitmap",
+        })
+    }
+}
+
 /// Counts triangles in the resident (sorted + indexed) sample. Writes the
 /// total into the header and returns it.
 pub fn count_kernel(ctx: &mut DpuContext<'_>, layout: &MramLayout) -> SimResult<u64> {
-    count_kernel_with(ctx, layout, RegionLookup::BinarySearch)
+    count_kernel_opts(
+        ctx,
+        layout,
+        RegionLookup::BinarySearch,
+        IntersectStrategy::Adaptive,
+    )
 }
 
 /// [`count_kernel`] with an explicit region-lookup strategy.
@@ -44,6 +135,24 @@ pub fn count_kernel_with(
     ctx: &mut DpuContext<'_>,
     layout: &MramLayout,
     lookup: RegionLookup,
+) -> SimResult<u64> {
+    count_kernel_opts(ctx, layout, lookup, IntersectStrategy::Adaptive)
+}
+
+/// Which intersection routine handles one `(u-list, v-region)` pair.
+enum Pick {
+    Merge,
+    Gallop,
+    Bitmap,
+}
+
+/// [`count_kernel`] with explicit region-lookup and intersection
+/// strategies.
+pub fn count_kernel_opts(
+    ctx: &mut DpuContext<'_>,
+    layout: &MramLayout,
+    lookup: RegionLookup,
+    strategy: IntersectStrategy,
 ) -> SimResult<u64> {
     let hdr = {
         let mut t0 = ctx.tasklet(0)?;
@@ -56,11 +165,32 @@ pub fn count_kernel_with(
     if len >= 3 && index_len > 0 {
         let mut partials = vec![0u64; ctx.nr_tasklets()];
         let mut tasklet_id = 0usize;
+        // Merge/Gallop never touch the bitmap, so they keep the larger
+        // three-way WRAM split (and Merge stays charge-identical to the
+        // pre-optimization kernel — the ablation baseline).
+        let wants_bitmap = matches!(
+            strategy,
+            IntersectStrategy::Adaptive | IntersectStrategy::Bitmap
+        );
         ctx.for_each_tasklet(|t| {
-            let b = ((t.wram_free() / 8) / 3).max(4);
+            let ways = if wants_bitmap { 4 } else { 3 };
+            let b = ((t.wram_free() / 8) / ways).max(4);
             let mut buf_e = t.alloc_wram::<u64>(b)?;
             let mut buf_u = t.alloc_wram::<u64>(b)?;
             let mut buf_v = t.alloc_wram::<u64>(b)?;
+            let mut bitmap: Vec<u64> = if wants_bitmap {
+                t.alloc_wram::<u64>(b)?
+            } else {
+                Vec::new()
+            };
+            let bitmap_bits = bitmap.len() as u64 * 64;
+            // The `u`-region end of the most recent distinct `u`:
+            // consecutive edges in a block share `u`, so the extra
+            // index search amortizes to ~one per vertex per block.
+            let mut u_cache: Option<(u32, u64)> = None;
+            // Vertices the tiny-`v` far probe already proved short, so
+            // later edges of the same `u` skip straight to the merge.
+            let mut short_u_cache: Option<u32> = None;
             let mut count = 0u64;
             // Strided blocks of edges per tasklet.
             let mut block = t.id() as u64;
@@ -82,17 +212,131 @@ pub fn count_kernel_with(
                     let Some((v_start, v_end)) = region else {
                         continue;
                     };
-                    count += merge_intersect(
-                        t,
-                        layout,
-                        u,
-                        g + 1,
-                        len,
-                        v_start,
-                        v_end,
-                        &mut buf_u,
-                        &mut buf_v,
-                    )?;
+                    if matches!(strategy, IntersectStrategy::Merge) {
+                        count += merge_intersect(
+                            t,
+                            layout,
+                            u,
+                            g + 1,
+                            len,
+                            v_start,
+                            v_end,
+                            &mut buf_u,
+                            &mut buf_v,
+                        )?;
+                        continue;
+                    }
+                    let u_from = g + 1;
+                    let v_len = v_end - v_start;
+                    if u_from >= len {
+                        continue;
+                    }
+                    // Cheap u-list emptiness test before any index work:
+                    // the sample is sorted, so `u`'s remaining adjacency
+                    // is empty iff the next sample key has left `u` — and
+                    // that key is usually already resident in `buf_e`.
+                    let next = if i + 1 < n {
+                        t.charge(1);
+                        buf_e[i + 1]
+                    } else {
+                        t.charge(PROBE_INSTR);
+                        t.mram_read_one(layout.sample_slot(u_from))?
+                    };
+                    if key_first(next) != u {
+                        continue; // empty u-list: nothing to intersect
+                    }
+                    // Tiny-v gate (adaptive only): with a short `v` side,
+                    // only a very long `u`-list can beat the merge — test
+                    // that with one far probe instead of paying the full
+                    // binary-search region lookup, and remember short-`u`
+                    // verdicts so runs of the same vertex probe once.
+                    if matches!(strategy, IntersectStrategy::Adaptive)
+                        && v_len < PROBE_MIN_V
+                        && u_cache.is_none_or(|(node, _)| node != u)
+                    {
+                        let far = u_from + LONG_U_PROBE;
+                        let long_u = short_u_cache != Some(u) && far < len && {
+                            t.charge(PROBE_INSTR);
+                            let probe: u64 = t.mram_read_one(layout.sample_slot(far))?;
+                            key_first(probe) == u
+                        };
+                        if !long_u {
+                            short_u_cache = Some(u);
+                            count += merge_intersect(
+                                t, layout, u, u_from, len, v_start, v_end, &mut buf_u, &mut buf_v,
+                            )?;
+                            continue;
+                        }
+                    }
+                    let u_end = match u_cache {
+                        Some((node, end)) if node == u => end,
+                        _ => {
+                            let end = match lookup {
+                                RegionLookup::BinarySearch => {
+                                    lookup_region(t, layout, u, index_len, len)?
+                                }
+                                RegionLookup::LinearScan => {
+                                    lookup_region_linear(t, layout, u, index_len, len)?
+                                }
+                            }
+                            .map_or(u_from, |(_, end)| end);
+                            u_cache = Some((u, end));
+                            end
+                        }
+                    };
+                    let u_len = u_end.saturating_sub(u_from);
+                    if u_len == 0 || v_len == 0 {
+                        continue;
+                    }
+                    let pick = match strategy {
+                        IntersectStrategy::Gallop => Pick::Gallop,
+                        IntersectStrategy::Bitmap => Pick::Bitmap,
+                        IntersectStrategy::Adaptive => {
+                            t.charge(STRATEGY_INSTR);
+                            choose_adaptive(t, u_len, v_len, b, bitmap_bits)
+                        }
+                        IntersectStrategy::Merge => unreachable!("handled above"),
+                    };
+                    count += match pick {
+                        Pick::Merge => merge_intersect(
+                            t, layout, u, u_from, len, v_start, v_end, &mut buf_u, &mut buf_v,
+                        )?,
+                        Pick::Gallop => {
+                            if u_len <= v_len {
+                                gallop_intersect(
+                                    t, layout, u_from, u_end, v_start, v_end, &mut buf_u,
+                                )?
+                            } else {
+                                gallop_intersect(
+                                    t, layout, v_start, v_end, u_from, u_end, &mut buf_v,
+                                )?
+                            }
+                        }
+                        Pick::Bitmap => {
+                            let attempted = if bitmap_bits > 0 {
+                                bitmap_intersect(
+                                    t,
+                                    layout,
+                                    u_from,
+                                    u_end,
+                                    v_start,
+                                    v_end,
+                                    &mut buf_u,
+                                    &mut buf_v,
+                                    &mut bitmap,
+                                )?
+                            } else {
+                                None
+                            };
+                            match attempted {
+                                Some(c) => c,
+                                None => merge_intersect(
+                                    t, layout, u, u_from, len, v_start, v_end, &mut buf_u,
+                                    &mut buf_v,
+                                )?,
+                            }
+                        }
+                    };
                 }
                 block += nr_t;
             }
@@ -107,6 +351,40 @@ pub fn count_kernel_with(
     hdr.result = total;
     hdr.write(&mut t0)?;
     Ok(total)
+}
+
+/// The adaptive per-pair choice, from the simulator's cost model: merge
+/// costs `(|u| + |v|)` comparisons plus streaming DMA; galloping costs
+/// `short · (log₂ long + 2)` setup-dominated MRAM probes; the bitmap
+/// streams the same words as the merge but replaces compare-advance
+/// instructions with cheaper set/test bit operations, paying two range
+/// probes and a clear of its words. The cheapest eligible strategy wins.
+fn choose_adaptive(
+    t: &Tasklet<'_>,
+    u_len: u64,
+    v_len: u64,
+    buf_len: usize,
+    bitmap_bits: u64,
+) -> Pick {
+    let cost = t.cost();
+    let probe = cost.mram_probe_cycles() as f64 + PROBE_INSTR as f64;
+    let stream = cost.stream_word_cycles(buf_len as u64 * 8);
+    let short = u_len.min(v_len);
+    let long = u_len.max(v_len);
+    let merge_cost = (u_len + v_len) as f64 * (MERGE_INSTR_PER_CMP as f64 + stream);
+    let gallop_cost = short as f64
+        * (((long as f64).log2() + 2.0) * probe + GALLOP_INSTR_PER_KEY as f64 + stream);
+    let bitmap_ok = bitmap_bits > 0 && short >= BITMAP_MIN_KEYS;
+    let bitmap_cost = 2.0 * probe
+        + (u_len + v_len) as f64 * (BITMAP_INSTR_PER_KEY as f64 + stream)
+        + (bitmap_bits / 64) as f64 * BITMAP_INSTR_PER_CLEAR_WORD as f64;
+    if gallop_cost < merge_cost && (!bitmap_ok || gallop_cost <= bitmap_cost) {
+        Pick::Gallop
+    } else if bitmap_ok && bitmap_cost < merge_cost {
+        Pick::Bitmap
+    } else {
+        Pick::Merge
+    }
 }
 
 /// Binary search of the region index for `node`. Returns the half-open
@@ -280,6 +558,178 @@ where
     Ok(count)
 }
 
+/// Galloping intersection of two sorted sample ranges, comparing second
+/// endpoints (each range's first endpoint is constant by construction).
+/// The short side streams through `buf_short`; for every short key the
+/// long side is probed in MRAM with an exponential + binary search from
+/// the last match position. A hit consumes exactly one long-side slot
+/// (`long_lo = hit + 1`), which replicates the streaming merge's
+/// min-multiplicity handling of duplicate edges element by element.
+fn gallop_intersect(
+    t: &mut Tasklet<'_>,
+    layout: &MramLayout,
+    short_start: u64,
+    short_end: u64,
+    long_start: u64,
+    long_end: u64,
+    buf_short: &mut [u64],
+) -> SimResult<u64> {
+    let mut count = 0u64;
+    let mut long_lo = long_start;
+    let mut next = short_start;
+    'outer: while next < short_end {
+        let n = (buf_short.len() as u64).min(short_end - next) as usize;
+        t.mram_read(layout.sample_slot(next), &mut buf_short[..n])?;
+        next += n as u64;
+        for &ks in &buf_short[..n] {
+            if long_lo >= long_end {
+                break 'outer;
+            }
+            let w = key_second(ks);
+            t.charge(GALLOP_INSTR_PER_KEY);
+            let lo = gallop_lower_bound(t, layout, w, long_lo, long_end)?;
+            if lo >= long_end {
+                break 'outer;
+            }
+            let entry: u64 = t.mram_read_one(layout.sample_slot(lo))?;
+            t.charge(PROBE_INSTR);
+            if key_second(entry) == w {
+                count += 1;
+                long_lo = lo + 1;
+            } else {
+                long_lo = lo;
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// First slot in `[lo, end)` whose second endpoint is ≥ `w`, by
+/// exponential probing from `lo` (runs of nearby matches cost O(1)
+/// probes each) followed by a binary search of the overshoot window.
+fn gallop_lower_bound(
+    t: &mut Tasklet<'_>,
+    layout: &MramLayout,
+    w: u32,
+    lo: u64,
+    end: u64,
+) -> SimResult<u64> {
+    let first: u64 = t.mram_read_one(layout.sample_slot(lo))?;
+    t.charge(PROBE_INSTR);
+    if key_second(first) >= w {
+        return Ok(lo);
+    }
+    // Invariant: slot `lo + off` holds a second endpoint < `w`.
+    let mut off = 0u64;
+    let mut step = 1u64;
+    loop {
+        let idx = lo + off + step;
+        if idx >= end {
+            break;
+        }
+        let entry: u64 = t.mram_read_one(layout.sample_slot(idx))?;
+        t.charge(PROBE_INSTR);
+        if key_second(entry) >= w {
+            break;
+        }
+        off += step;
+        step *= 2;
+    }
+    let mut l = lo + off + 1;
+    let mut h = (lo + off + step).min(end);
+    while l < h {
+        let mid = (l + h) / 2;
+        let entry: u64 = t.mram_read_one(layout.sample_slot(mid))?;
+        t.charge(PROBE_INSTR);
+        if key_second(entry) < w {
+            l = mid + 1;
+        } else {
+            h = mid;
+        }
+    }
+    Ok(l)
+}
+
+/// Bitmap intersection: marks the `v` region's second endpoints in the
+/// tasklet's WRAM bit array, then tests each distinct `w` run of the
+/// `u` side in O(1). Returns `None` (after restoring the bitmap to
+/// zero) when the strategy doesn't apply — the `z` span exceeds the bit
+/// array, or the `v` region holds duplicate edges, whose
+/// min-multiplicity semantics only the merge/gallop paths express.
+#[allow(clippy::too_many_arguments)]
+fn bitmap_intersect(
+    t: &mut Tasklet<'_>,
+    layout: &MramLayout,
+    u_from: u64,
+    u_end: u64,
+    v_start: u64,
+    v_end: u64,
+    buf_u: &mut [u64],
+    buf_v: &mut [u64],
+    bitmap: &mut [u64],
+) -> SimResult<Option<u64>> {
+    let bitmap_bits = bitmap.len() as u64 * 64;
+    // Range probes: the span of `z` values the bit array must cover.
+    let z_lo_key: u64 = t.mram_read_one(layout.sample_slot(v_start))?;
+    t.charge(PROBE_INSTR);
+    let z_hi_key: u64 = t.mram_read_one(layout.sample_slot(v_end - 1))?;
+    t.charge(PROBE_INSTR);
+    let z_lo = key_second(z_lo_key) as u64;
+    let range = key_second(z_hi_key) as u64 - z_lo + 1;
+    if range > bitmap_bits {
+        return Ok(None);
+    }
+    let words = range.div_ceil(64) as usize;
+    // Mark phase: one bit per distinct z; a duplicate aborts to merge.
+    let mut distinct = true;
+    let mut next = v_start;
+    'mark: while next < v_end {
+        let n = (buf_v.len() as u64).min(v_end - next) as usize;
+        t.mram_read(layout.sample_slot(next), &mut buf_v[..n])?;
+        next += n as u64;
+        for &kv in &buf_v[..n] {
+            let bit = key_second(kv) as u64 - z_lo;
+            t.charge(BITMAP_INSTR_PER_KEY);
+            let (word, mask) = (bit as usize / 64, 1u64 << (bit % 64));
+            if bitmap[word] & mask != 0 {
+                distinct = false;
+                break 'mark;
+            }
+            bitmap[word] |= mask;
+        }
+    }
+    let mut count = 0u64;
+    if distinct {
+        // Test phase: each distinct `w` run contributes min(mu, 1) = 1
+        // when its bit is set; run tracking survives buffer refills.
+        let mut last_w: Option<u32> = None;
+        let mut next = u_from;
+        while next < u_end {
+            let n = (buf_u.len() as u64).min(u_end - next) as usize;
+            t.mram_read(layout.sample_slot(next), &mut buf_u[..n])?;
+            next += n as u64;
+            for &ku in &buf_u[..n] {
+                let w = key_second(ku);
+                t.charge(BITMAP_INSTR_PER_KEY);
+                if last_w == Some(w) {
+                    continue;
+                }
+                last_w = Some(w);
+                let off = (w as u64).wrapping_sub(z_lo);
+                if off < range && bitmap[off as usize / 64] & (1u64 << (off % 64)) != 0 {
+                    count += 1;
+                }
+            }
+        }
+    }
+    // Restore the touched words to zero for the next pair.
+    t.charge(words as u64 * BITMAP_INSTR_PER_CLEAR_WORD);
+    for word in &mut bitmap[..words] {
+        *word = 0;
+    }
+    Ok(if distinct { Some(count) } else { None })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +741,18 @@ mod tests {
     /// Runs the full sort → index → count pipeline on one DPU holding the
     /// whole (normalized) graph.
     fn count_on_dpu(g: &CooGraph, config: PimConfig) -> u64 {
+        count_on_dpu_with(g, config, IntersectStrategy::Adaptive, true)
+    }
+
+    /// [`count_on_dpu`] with an explicit intersection strategy;
+    /// `dedup = false` keeps duplicate edges in the sample to exercise
+    /// the min-multiplicity semantics every strategy must share.
+    fn count_on_dpu_with(
+        g: &CooGraph,
+        config: PimConfig,
+        strategy: IntersectStrategy,
+        dedup: bool,
+    ) -> u64 {
         let mut edges: Vec<u64> = g
             .edges()
             .iter()
@@ -301,7 +763,9 @@ mod tests {
             })
             .collect();
         edges.sort_unstable();
-        edges.dedup();
+        if dedup {
+            edges.dedup();
+        }
         // Deliberately deliver unsorted to exercise the sort.
         edges.reverse();
         let needed = (edges.len() as u64 * 24 + 4096).next_power_of_two();
@@ -337,8 +801,16 @@ mod tests {
         .unwrap();
         sys.execute(|ctx| sort_kernel(ctx, &layout)).unwrap();
         sys.execute(|ctx| index_kernel(ctx, &layout)).unwrap();
-        sys.execute(|ctx| count_kernel(ctx, &layout)).unwrap()[0]
+        sys.execute(|ctx| count_kernel_opts(ctx, &layout, RegionLookup::BinarySearch, strategy))
+            .unwrap()[0]
     }
+
+    const ALL_STRATEGIES: [IntersectStrategy; 4] = [
+        IntersectStrategy::Adaptive,
+        IntersectStrategy::Merge,
+        IntersectStrategy::Gallop,
+        IntersectStrategy::Bitmap,
+    ];
 
     #[test]
     fn counts_a_single_triangle() {
@@ -390,6 +862,61 @@ mod tests {
             count_on_dpu(&g, PimConfig::tiny()),
             triangle::count_exact(&g)
         );
+    }
+
+    #[test]
+    fn every_strategy_counts_identically() {
+        // Skewed (rmat hub-heavy), uniform, and dense graphs, with and
+        // without duplicate edges in the sample: all four strategies
+        // must return the merge's exact count.
+        let graphs = [
+            pim_graph::gen::rmat(8, 8, 0.57, 0.19, 0.19, 7),
+            pim_graph::gen::erdos_renyi(70, 0.15, 4),
+            pim_graph::gen::simple::complete(18),
+        ];
+        for (gi, g) in graphs.iter().enumerate() {
+            for dedup in [true, false] {
+                let reference =
+                    count_on_dpu_with(g, PimConfig::tiny(), IntersectStrategy::Merge, dedup);
+                for strategy in ALL_STRATEGIES {
+                    assert_eq!(
+                        count_on_dpu_with(g, PimConfig::tiny(), strategy, dedup),
+                        reference,
+                        "graph {gi}, dedup {dedup}, {strategy}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_sample_keeps_min_multiplicity() {
+        // A multigraph where edge multiplicities differ per pair: the
+        // count must use min-multiplicity on every strategy. Triangle
+        // (0,1,2) with (0,1)×3, (0,2)×2, (1,2)×1 plus noise.
+        let mut pairs = vec![
+            (0u32, 1u32),
+            (0, 1),
+            (0, 1),
+            (0, 2),
+            (0, 2),
+            (1, 2),
+            (3, 4),
+            (3, 4),
+        ];
+        // A second, denser triangle cluster with duplicates.
+        for _ in 0..2 {
+            pairs.extend([(5, 6), (5, 7), (6, 7), (5, 8), (6, 8)]);
+        }
+        let g = CooGraph::from_pairs(pairs);
+        let reference = count_on_dpu_with(&g, PimConfig::tiny(), IntersectStrategy::Merge, false);
+        for strategy in ALL_STRATEGIES {
+            assert_eq!(
+                count_on_dpu_with(&g, PimConfig::tiny(), strategy, false),
+                reference,
+                "{strategy}"
+            );
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod triplets;
 pub use config::{ExecBackend, MisraGriesConfig, TcConfig, TcConfigBuilder};
 pub use dynamic::{ScrubOutcome, TcSession};
 pub use error::{PimTcError, TcError};
+pub use kernel::count::IntersectStrategy;
 pub use result::{DpuReport, TcResult};
 pub use triplets::{ColorTriplet, TripletAssignment};
 

@@ -124,6 +124,39 @@ proptest! {
         prop_assert_eq!(counted, pim_graph::triangle::count_exact(&g));
     }
 
+    /// Every intersection strategy (merge, gallop, bitmap, adaptive)
+    /// produces the identical count on adversarial samples: tiny node
+    /// ranges (dense, skewed adjacency), duplicate-heavy multisets (the
+    /// sampled-stream case, where duplicate multiplicity must combine as
+    /// `min`), and arbitrary hardware shapes (tiny WRAM forces bitmap
+    /// range splits and buffer refills mid-region).
+    #[test]
+    fn intersect_strategies_agree_on_adversarial_samples(
+        pairs in prop::collection::vec((0u32..12, 0u32..12), 0..250),
+        config in hw_shape(),
+    ) {
+        // Deliberately keep duplicates: sort, no dedup.
+        let mut keys: Vec<u64> = pairs
+            .iter()
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| edge_key(u.min(v), u.max(v)))
+            .collect();
+        keys.sort_unstable();
+        let run = |strategy| {
+            let (mut sys, layout) = loaded(&keys, config);
+            sys.execute(|ctx| sort::sort_kernel(ctx, &layout)).unwrap();
+            sys.execute(|ctx| index::index_kernel(ctx, &layout)).unwrap();
+            sys.execute(|ctx| {
+                count::count_kernel_opts(ctx, &layout, count::RegionLookup::BinarySearch, strategy)
+            })
+            .unwrap()[0]
+        };
+        let merge = run(count::IntersectStrategy::Merge);
+        prop_assert_eq!(run(count::IntersectStrategy::Gallop), merge, "gallop");
+        prop_assert_eq!(run(count::IntersectStrategy::Bitmap), merge, "bitmap");
+        prop_assert_eq!(run(count::IntersectStrategy::Adaptive), merge, "adaptive");
+    }
+
     #[test]
     fn lookup_strategies_agree(
         pairs in prop::collection::vec((0u32..30, 0u32..30), 0..150),

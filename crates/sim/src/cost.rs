@@ -82,6 +82,25 @@ impl CostModel {
         cycles as f64 / self.clock_hz
     }
 
+    /// Cycles for one minimum-size (8-byte) MRAM probe — the unit cost
+    /// of pointer-chasing reads such as binary-search probes, dominated
+    /// by DMA setup. Kernels that choose between probing and streaming
+    /// (the adaptive intersection in the count kernel) weigh this
+    /// against [`CostModel::stream_word_cycles`].
+    #[inline]
+    pub fn mram_probe_cycles(&self) -> u64 {
+        self.dma_cycles(8)
+    }
+
+    /// Amortized DMA cycles to stream one 8-byte word through a WRAM
+    /// buffer of `buf_bytes`: the setup cost is shared across the whole
+    /// buffer, so bigger buffers stream cheaper per word.
+    #[inline]
+    pub fn stream_word_cycles(&self, buf_bytes: u64) -> f64 {
+        let words = (buf_bytes / 8).max(1);
+        self.dma_cycles(buf_bytes) as f64 / words as f64
+    }
+
     /// Wall cycles for a DPU whose tasklets individually executed
     /// `per_tasklet_instr` instructions (plus `dma_cycles` total DMA).
     ///

@@ -149,6 +149,16 @@ impl<'a> Tasklet<'a> {
         self.wram_free
     }
 
+    /// The system's timing model. Kernels consult it to make the same
+    /// cost-based choices hand-tuned DPU code bakes in as constants —
+    /// e.g. the count kernel weighs [`crate::CostModel::mram_probe_cycles`]
+    /// against [`crate::CostModel::stream_word_cycles`] when picking an
+    /// intersection strategy per edge pair.
+    #[inline]
+    pub fn cost(&self) -> &crate::cost::CostModel {
+        self.cost
+    }
+
     /// Charges `n` single-cycle instructions (ALU ops, compares, branches,
     /// WRAM loads/stores) to this tasklet.
     #[inline]

@@ -32,7 +32,10 @@ const TRIANGLE_COUNT_TID: u64 = 2;
 #[test]
 fn chrome_trace_round_trips_with_retry_and_kernel_spans_on_their_tracks() {
     let g = gen::erdos_renyi(150, 0.1, 3);
-    let config = faulted_config();
+    let mut config = faulted_config();
+    // This test is about the trace export; only the timed backend records
+    // trace events, so pin it regardless of PIM_TC_BACKEND.
+    config.backend = ExecBackend::Timed;
     let profile = pim_tc::count_triangles_profiled(&g, &config).unwrap();
     assert!(
         profile.report.fault_counters.transfer_faults > 0,
