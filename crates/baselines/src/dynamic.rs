@@ -15,7 +15,7 @@ use crate::cpu_csr::cpu_count;
 use crate::gpu_proxy::GpuModel;
 use pim_graph::{CooGraph, Edge};
 use pim_metrics::MetricsHub;
-use pim_sim::{FunctionalBackend, PimBackend, SystemReport, TimedBackend};
+use pim_sim::{FunctionalBackend, PimBackend, RankCluster, SystemReport, TimedBackend};
 use pim_tc::{ExecBackend, TcConfig, TcError, TcSession};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -113,12 +113,17 @@ pub fn pim_dynamic_metered(
 }
 
 /// [`pim_dynamic_metered`] on a caller-chosen execution engine.
+///
+/// Like [`pim_tc::count_triangles_in`], the session runs through a
+/// [`RankCluster`] sharded over [`TcConfig::ranks`] (a verbatim
+/// pass-through at the default `ranks = 1`), so dynamic workloads scale
+/// by adding ranks too.
 pub fn pim_dynamic_metered_in<B: PimBackend>(
     batches: &[Vec<Edge>],
     config: &TcConfig,
     hub: Option<Arc<MetricsHub>>,
 ) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
-    let mut session = TcSession::<B>::start_metered(config, hub)?;
+    let mut session = TcSession::<RankCluster<B>>::start_cluster_metered(config, hub)?;
     let mut out = Vec::with_capacity(batches.len());
     let mut prev_total = 0.0;
     for (update, batch) in batches.iter().enumerate() {

@@ -156,6 +156,57 @@ struct CheckRecord {
     verdict: String,
 }
 
+/// Self-contained cluster-parity check: an R = 1 [`pim_sim::RankCluster`] run must
+/// be bit-identical to driving the backend directly — counts, per-DPU
+/// reports, and system-report totals. No recorded baseline is needed; the
+/// plain run *is* the baseline. A mismatch fails the gate.
+fn run_cluster_parity(harness: &Harness) {
+    use pim_sim::{FunctionalBackend, RankCluster};
+    eprintln!("[bench_gate] checking R=1 cluster parity against the plain backend");
+    let g = harness.dataset(DatasetId::KroneckerSmall);
+    let config = pim_config(11, &g).build().unwrap();
+
+    let mut plain = pim_tc::TcSession::<FunctionalBackend>::start_with(&config).unwrap();
+    plain.append(g.edges()).unwrap();
+    let plain_result = plain.count().unwrap();
+    let plain_report = plain.system_report();
+
+    let mut cluster =
+        pim_tc::TcSession::<RankCluster<FunctionalBackend>>::start_cluster(&config).unwrap();
+    cluster.append(g.edges()).unwrap();
+    let cluster_result = cluster.count().unwrap();
+    let cluster_report = cluster.system_report();
+
+    assert_eq!(
+        plain_result.estimate, cluster_result.estimate,
+        "cluster parity: counts diverged"
+    );
+    assert_eq!(
+        plain_result.dpu_reports, cluster_result.dpu_reports,
+        "cluster parity: per-DPU reports diverged"
+    );
+    for (label, a, b) in [
+        (
+            "transfer_bytes",
+            plain_report.total_transfer_bytes,
+            cluster_report.total_transfer_bytes,
+        ),
+        (
+            "instructions",
+            plain_report.total_instructions,
+            cluster_report.total_instructions,
+        ),
+        (
+            "dma_bytes",
+            plain_report.total_dma_bytes,
+            cluster_report.total_dma_bytes,
+        ),
+    ] {
+        assert_eq!(a, b, "cluster parity: {label} diverged");
+    }
+    eprintln!("[bench_gate] cluster parity ok");
+}
+
 fn main() {
     let harness = Harness::from_env();
     let defaults = Tolerances::default();
@@ -199,6 +250,8 @@ fn main() {
         println!("{}", serde_json::to_string_pretty(&record).unwrap());
         return;
     }
+
+    run_cluster_parity(&harness);
 
     let mut observed = Vec::new();
     for b in &baseline {

@@ -31,6 +31,7 @@ const VALUED: &[&str] = &[
     "dpus",
     "out",
     "backend",
+    "ranks",
     "intersect",
     "route-chunk",
     "faults",

@@ -12,13 +12,19 @@ pub const USAGE: &str = "\
 usage:
   pimtc count <graph> [--colors C] [--uniform-p P] [--capacity M]
               [--misra-gries K,T] [--seed S] [--backend timed|functional]
-              [--route-chunk E] [--intersect STRAT] [--baseline] [--json]
+              [--ranks N] [--auto] [--route-chunk E] [--intersect STRAT]
+              [--baseline] [--json]
       Count triangles on the simulated PIM system. --baseline also runs
       the measured CPU baseline; --local reports the top triangle-central
       vertices (per-vertex counting). --backend functional skips all
       timing/energy modeling (same exact counts, zero clocks);
       --route-chunk bounds host memory to E input edges per routing
       chunk. Both also read the PIM_TC_BACKEND environment variable.
+      --ranks N shards the triplet grid over N independent PIM ranks so
+      capacity scales by adding ranks (default 1, or the PIM_TC_RANKS
+      environment variable). --auto plans (C, M, p, k, ranks) from the
+      graph's statistics via the capacity planner; any explicit flag
+      still overrides the planned value.
       --intersect adaptive|merge|gallop|bitmap picks the count kernel's
       intersection strategy (default adaptive; the others are forced
       ablation modes — identical counts, different cycle profiles; see
@@ -45,8 +51,14 @@ usage:
       (`pimtc metrics-summary`) reconciles exactly with the run's own
       report totals.
 
-  pimtc stats <graph> [--json]
-      Graph characteristics: |V|, |E|, triangles, degrees, clustering.
+  pimtc stats <graph-or-kind> [--ranks N] [--json] [generator options]
+      Graph characteristics — |V|, |E|, triangles, degrees, clustering —
+      plus the capacity planner's recommended (C, M, p, k, ranks) for the
+      default machine shape. The operand is a graph file, or a generator
+      kind (rmat/er/powerlaw/grid/geometric, same options as `generate`)
+      to size a synthetic workload without writing it out. --ranks pins
+      the rank count; otherwise the planner picks the smallest count
+      that makes the run exact.
 
   pimtc generate <kind> <out> [--seed S] [options]
       Write a synthetic graph. Kinds and their options:
@@ -131,13 +143,45 @@ fn build_config_with_default_colors(
     graph: &CooGraph,
     default_colors: u32,
 ) -> Result<TcConfig, String> {
-    let colors: u32 = args.get_or("colors", default_colors)?;
     let seed: u64 = args.get_or("seed", 0x9E3779B97F4A7C15)?;
-    let mut builder = TcConfig::builder().colors(colors).seed(seed);
-    builder = builder.uniform_p(args.get_or("uniform-p", 1.0)?);
+    let auto = args.flag("auto");
+    let explicit_colors = args.get::<u32>("colors")?;
+    let mut colors = explicit_colors.unwrap_or(default_colors);
+    let mut builder = if auto {
+        // Plan (C, M, p, k, ranks) from the graph's statistics and the
+        // default machine shape; explicit flags below still override.
+        let s = stats::graph_stats(graph);
+        let pim = pim_sim::PimConfig::default();
+        let ranks = match args.get::<u32>("ranks")? {
+            Some(r) => r,
+            None => pim_tc::planner::auto_ranks(&s, &pim).map_err(|e| e.to_string())?,
+        };
+        let plan = pim_tc::planner::plan_capacity(&s, &pim, ranks).map_err(|e| e.to_string())?;
+        eprintln!(
+            "planned: colors={} capacity={} uniform-p={:.3} misra-gries={} ranks={} ({})",
+            plan.colors,
+            plan.sample_capacity,
+            plan.uniform_p,
+            plan.misra_gries
+                .map(|m| format!("{},{}", m.k, m.t))
+                .unwrap_or_else(|| "off".into()),
+            plan.ranks,
+            if plan.exact { "exact" } else { "estimated" }
+        );
+        colors = explicit_colors.unwrap_or(plan.colors);
+        plan.to_builder().seed(seed).colors(colors)
+    } else {
+        TcConfig::builder().colors(colors).seed(seed)
+    };
+    if let Some(p) = args.get::<f64>("uniform-p")? {
+        builder = builder.uniform_p(p);
+    }
+    if let Some(r) = args.get::<u32>("ranks")? {
+        builder = builder.ranks(r);
+    }
     if let Some(m) = args.get::<u64>("capacity")? {
         builder = builder.sample_capacity(m);
-    } else {
+    } else if !auto {
         // Plan capacity from the true per-core loads so exact runs fit
         // and simulator memory stays bounded.
         let max_load = pim_tc::host::dpu_loads(graph.edges(), colors, seed)
@@ -278,12 +322,23 @@ fn cmd_count(args: &Args) -> Result<(), String> {
     if args.flag("json") {
         println!("{}", serde_json::to_string_pretty(&result).unwrap());
     } else {
-        println!(
-            "{} triangles ({}) on {} PIM cores",
-            result.rounded(),
-            if result.exact { "exact" } else { "estimated" },
-            result.nr_dpus
-        );
+        let ranks = config.effective_ranks();
+        if ranks > 1 {
+            println!(
+                "{} triangles ({}) on {} PIM cores across {} ranks",
+                result.rounded(),
+                if result.exact { "exact" } else { "estimated" },
+                result.nr_dpus,
+                ranks
+            );
+        } else {
+            println!(
+                "{} triangles ({}) on {} PIM cores",
+                result.rounded(),
+                if result.exact { "exact" } else { "estimated" },
+                result.nr_dpus
+            );
+        }
         if config.backend == pim_tc::ExecBackend::Functional {
             println!(
                 "functional backend: no modeled time/energy ({} edges routed, max core load {})",
@@ -333,12 +388,33 @@ fn cmd_count(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
-    let path = args.positional(0).ok_or("stats: missing graph path")?;
-    let mut graph = load(path)?;
+    let source = args
+        .positional(0)
+        .ok_or("stats: missing graph path or generator kind")?;
+    let mut graph = if GENERATOR_KINDS.contains(&source) {
+        synthesize(source, args)?
+    } else {
+        load(source)?
+    };
     prep::preprocess(&mut graph, 0);
     let s = stats::graph_stats(&graph);
+
+    // What the capacity planner would run this graph with, on the default
+    // machine shape: --ranks pins the rank count, otherwise the smallest
+    // rank count that makes the run exact (or the best estimate).
+    let pim = pim_sim::PimConfig::default();
+    let ranks = match args.get::<u32>("ranks")? {
+        Some(r) => r,
+        None => pim_tc::planner::auto_ranks(&s, &pim).map_err(|e| e.to_string())?,
+    };
+    let plan = pim_tc::planner::plan_capacity(&s, &pim, ranks).map_err(|e| e.to_string())?;
+
     if args.flag("json") {
-        println!("{}", serde_json::to_string_pretty(&s).unwrap());
+        let doc = serde_json::Value::Object(vec![
+            ("stats".into(), serde_json::to_value(&s).unwrap()),
+            ("plan".into(), serde_json::to_value(&plan).unwrap()),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
     } else {
         println!("nodes:               {}", s.num_nodes);
         println!("edges:               {}", s.num_edges);
@@ -346,15 +422,35 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         println!("max degree:          {}", s.max_degree);
         println!("avg degree:          {:.2}", s.avg_degree);
         println!("global clustering:   {:.6}", s.global_clustering);
+        println!(
+            "recommended plan (default machine, {} cores/rank):",
+            pim.total_dpus
+        );
+        println!("  colors (C):        {}", plan.colors);
+        println!("  capacity (M):      {}", plan.sample_capacity);
+        println!("  uniform-p:         {:.3}", plan.uniform_p);
+        match plan.misra_gries {
+            Some(mg) => println!("  misra-gries (k,t): {},{}", mg.k, mg.t),
+            None => println!("  misra-gries (k,t): off"),
+        }
+        println!("  ranks:             {}", plan.ranks);
+        println!(
+            "  expected run:      {} (max core load ~{})",
+            if plan.exact { "exact" } else { "estimated" },
+            plan.expected_max_load
+        );
     }
     Ok(())
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
-    let kind = args.positional(0).ok_or("generate: missing kind")?;
-    let out = args.positional(1).ok_or("generate: missing output path")?;
+/// The generator kinds `pimtc generate` (and `pimtc stats`) accept.
+const GENERATOR_KINDS: &[&str] = &["rmat", "er", "powerlaw", "grid", "geometric"];
+
+/// Synthesizes a graph of the given `kind` from the command-line options
+/// (same grammar as `pimtc generate`).
+fn synthesize(kind: &str, args: &Args) -> Result<CooGraph, String> {
     let seed: u64 = args.get_or("seed", 1)?;
-    let graph = match kind {
+    Ok(match kind {
         "rmat" => {
             let scale: u32 = args.get_or("scale", 12)?;
             let ef: u32 = args.get_or("edge-factor", 16)?;
@@ -390,7 +486,13 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
             gen::random_geometric(n, r, seed)
         }
         other => return Err(format!("unknown generator kind {other:?}")),
-    };
+    })
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let kind = args.positional(0).ok_or("generate: missing kind")?;
+    let out = args.positional(1).ok_or("generate: missing output path")?;
+    let graph = synthesize(kind, args)?;
     save(&graph, out)?;
     println!(
         "wrote {} ({} nodes, {} raw edges)",
@@ -791,6 +893,76 @@ mod tests {
     }
 
     #[test]
+    fn count_shards_across_ranks_with_identical_counts() {
+        let path = tmp("r1.txt");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "120",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        // Same graph, 1 vs 2 ranks: the sharded run must agree with the
+        // CPU baseline exactly, like the plain one.
+        run(&["count", &path, "--colors", "3", "--baseline"]).unwrap();
+        run(&[
+            "count",
+            &path,
+            "--colors",
+            "3",
+            "--ranks",
+            "2",
+            "--baseline",
+        ])
+        .unwrap();
+        // Rank counts are validated like every other option.
+        assert!(run(&["count", &path, "--ranks", "0"]).is_err());
+        assert!(run(&["count", &path, "--ranks", "banana"]).is_err());
+    }
+
+    #[test]
+    fn auto_plans_the_configuration_from_graph_stats() {
+        let path = tmp("r2.txt");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "150",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        run(&["count", &path, "--auto", "--baseline"]).unwrap();
+        // Explicit flags override the plan.
+        run(&["count", &path, "--auto", "--colors", "2", "--ranks", "2"]).unwrap();
+    }
+
+    #[test]
+    fn stats_accepts_generators_and_prints_a_plan() {
+        // A generator kind sizes a synthetic workload without a file.
+        run(&["stats", "er", "--nodes", "100", "--probability", "0.1"]).unwrap();
+        run(&["stats", "er", "--nodes", "100", "--ranks", "2"]).unwrap();
+        // Files still work, and --json carries both stats and plan.
+        let path = tmp("r3.txt");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "80",
+            "--probability",
+            "0.15",
+        ])
+        .unwrap();
+        run(&["stats", &path, "--json"]).unwrap();
+        assert!(run(&["stats", "/nonexistent.txt"]).is_err());
+    }
+
+    #[test]
     fn colors_for_dpus_picks_largest_fitting_grid() {
         assert_eq!(colors_for_dpus(0), 1);
         assert_eq!(colors_for_dpus(1), 1); // C=2 needs 4 DPUs
@@ -1041,7 +1213,9 @@ mod tests {
         );
         assert!(text.contains("# TYPE pim_transfer_bytes_total counter"));
         assert!(text.contains("pim_transfer_bytes_total"));
-        assert!(text.contains("pim_launches_total{label=\"count\"}"));
+        // No closing brace: sharded runs (PIM_TC_RANKS > 1) append a
+        // `rank="N"` label to every series.
+        assert!(text.contains("pim_launches_total{label=\"count\""));
         // Bad format names are an error, as is --metrics-format alone.
         assert!(run(&[
             "count",

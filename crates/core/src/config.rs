@@ -136,6 +136,16 @@ pub struct TcConfig {
     /// surfacing latent faults between batches instead of on next touch.
     /// `0` disables scrubbing.
     pub scrub_interval: u64,
+    /// Number of independent PIM ranks the triplet space is sharded
+    /// across. Each rank is a full [`pim_sim::PimConfig`]-shaped machine
+    /// (its own `pim.total_dpus` core budget, fault plan, and spares), so
+    /// capacity scales by adding ranks instead of growing one machine:
+    /// partitions are split into contiguous per-rank shards and results
+    /// are merged host-side. `1` (the default) runs today's single-rank
+    /// path bit-identically. Values above the partition count are clamped
+    /// down (see [`TcConfig::effective_ranks`]) so small color counts
+    /// never strand empty ranks.
+    pub ranks: u32,
     /// Simulated hardware shape.
     pub pim: PimConfig,
     /// Simulated timing parameters.
@@ -151,6 +161,13 @@ impl TcConfig {
     /// PIM cores this configuration will allocate.
     pub fn nr_dpus(&self) -> usize {
         nr_triplets(self.colors)
+    }
+
+    /// Ranks actually used: `ranks` clamped into `[1, nr_dpus()]` so a
+    /// configuration with more ranks than partitions collapses to one
+    /// rank per partition instead of allocating empty shards.
+    pub fn effective_ranks(&self) -> u32 {
+        (self.ranks.max(1) as usize).min(self.nr_dpus().max(1)) as u32
     }
 
     /// Whether the session runs on the hardened (fault-tolerant) path:
@@ -172,16 +189,37 @@ impl TcConfig {
                     .into(),
             ));
         }
-        let needed = self.nr_dpus() + self.spare_dpus as usize;
-        if needed > self.pim.total_dpus {
+        if self.ranks == 0 {
+            return Err(TcError::Config("ranks must be >= 1".into()));
+        }
+        let partitions = self.nr_dpus();
+        let ranks = self.effective_ranks() as usize;
+        // The largest contiguous shard holds ceil(P / R) partitions; every
+        // rank additionally provisions the full spare pool.
+        let per_rank = partitions.div_ceil(ranks) + self.spare_dpus as usize;
+        if per_rank > self.pim.total_dpus {
+            let spare_budget = self.pim.total_dpus.saturating_sub(self.spare_dpus as usize);
+            let hint = if spare_budget > 0 {
+                let min_ranks = partitions.div_ceil(spare_budget);
+                format!("; the smallest rank count that fits is --ranks {min_ranks}")
+            } else {
+                "; no rank count fits — the spares alone exhaust a rank's cores".into()
+            };
             return Err(TcError::Config(format!(
-                "{} colors need {} PIM cores ({} partitions + {} spares) \
-                 but the system has {}",
+                "{} colors need {} partitions + {} spares per rank: at \
+                 --ranks {} the largest rank hosts {} PIM cores but each \
+                 rank has {} (cluster-wide budget {} ranks x {} = {} \
+                 cores){}",
                 self.colors,
-                needed,
-                self.nr_dpus(),
+                partitions,
                 self.spare_dpus,
-                self.pim.total_dpus
+                ranks,
+                per_rank,
+                self.pim.total_dpus,
+                ranks,
+                self.pim.total_dpus,
+                ranks * self.pim.total_dpus,
+                hint
             )));
         }
         if !(self.uniform_p > 0.0 && self.uniform_p <= 1.0) {
@@ -262,6 +300,17 @@ impl TcConfig {
     }
 }
 
+/// Reads the default rank count from the `PIM_TC_RANKS` environment
+/// variable, falling back to 1 when unset, unparsable, or zero. Mirrors
+/// [`ExecBackend::from_env`]: CI runs the whole suite sharded across four
+/// ranks without touching call sites.
+fn ranks_from_env() -> u32 {
+    match std::env::var("PIM_TC_RANKS") {
+        Ok(v) => v.trim().parse().ok().filter(|&r| r >= 1).unwrap_or(1),
+        Err(_) => 1,
+    }
+}
+
 /// Builder for [`TcConfig`].
 #[derive(Clone, Debug)]
 pub struct TcConfigBuilder {
@@ -287,6 +336,7 @@ impl Default for TcConfigBuilder {
                 spare_dpus: 0,
                 journal: false,
                 scrub_interval: 0,
+                ranks: ranks_from_env(),
                 pim: PimConfig::default(),
                 cost: CostModel::default(),
             },
@@ -386,6 +436,14 @@ impl TcConfigBuilder {
         self
     }
 
+    /// Sets the number of PIM ranks the triplet space is sharded across
+    /// (overrides the `PIM_TC_RANKS` environment default; see
+    /// [`TcConfig::ranks`]).
+    pub fn ranks(mut self, ranks: u32) -> Self {
+        self.config.ranks = ranks;
+        self
+    }
+
     /// Scrubs every live partition's resident sample every `chunks`
     /// streamed chunks (see [`TcConfig::scrub_interval`]); `0` disables.
     pub fn scrub_interval(mut self, chunks: u64) -> Self {
@@ -439,9 +497,53 @@ mod tests {
 
     #[test]
     fn too_many_colors_rejected() {
-        // 24 colors → 2600 > 2560 DPUs.
-        let err = TcConfig::builder().colors(24).build().unwrap_err();
+        // 24 colors → 2600 > 2560 DPUs on a single rank.
+        let err = TcConfig::builder().colors(24).ranks(1).build().unwrap_err();
         assert!(matches!(err, TcError::Config(_)));
+    }
+
+    #[test]
+    fn insufficient_cores_reports_cluster_budget_and_min_ranks() {
+        // 24 colors → 2600 partitions: one 2560-core rank cannot host
+        // them, and the smallest rank count that fits is 2.
+        let err = TcConfig::builder().colors(24).ranks(1).build().unwrap_err();
+        let TcError::Config(msg) = err else {
+            panic!("expected Config error")
+        };
+        assert!(
+            msg.contains("cluster-wide budget 1 ranks x 2560"),
+            "message: {msg}"
+        );
+        assert!(msg.contains("--ranks 2"), "message: {msg}");
+        // Following the hint makes the same configuration valid.
+        assert!(TcConfig::builder().colors(24).ranks(2).build().is_ok());
+    }
+
+    #[test]
+    fn spares_that_exhaust_a_rank_admit_no_rank_count() {
+        let err = TcConfig::builder()
+            .colors(23)
+            .ranks(1)
+            .spare_dpus(2560)
+            .journal(true)
+            .build()
+            .unwrap_err();
+        let TcError::Config(msg) = err else {
+            panic!("expected Config error")
+        };
+        assert!(msg.contains("no rank count fits"), "message: {msg}");
+    }
+
+    #[test]
+    fn zero_ranks_rejected_and_excess_ranks_clamp() {
+        assert!(TcConfig::builder().ranks(0).build().is_err());
+        // 1 color → 1 partition: ranks clamp down to the partition count
+        // so tiny configurations never strand empty shards.
+        let c = TcConfig::builder().colors(1).ranks(8).build().unwrap();
+        assert_eq!(c.ranks, 8);
+        assert_eq!(c.effective_ranks(), 1);
+        let d = TcConfig::builder().colors(4).ranks(3).build().unwrap();
+        assert_eq!(d.effective_ranks(), 3);
     }
 
     #[test]
@@ -508,17 +610,28 @@ mod tests {
 
     #[test]
     fn spares_count_against_the_core_budget() {
-        // C = 23 needs all 2300 partitions; 2560 total leaves 260 spares.
+        // C = 23 needs all 2300 partitions; 2560 total leaves 260 spares
+        // on a single rank.
         assert!(TcConfig::builder()
             .colors(23)
+            .ranks(1)
             .spare_dpus(260)
             .build()
             .is_ok());
         assert!(TcConfig::builder()
             .colors(23)
+            .ranks(1)
             .spare_dpus(261)
             .build()
             .is_err());
+        // A second rank halves the largest shard, so the same spare count
+        // fits again: capacity scales by adding ranks.
+        assert!(TcConfig::builder()
+            .colors(23)
+            .ranks(2)
+            .spare_dpus(261)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -27,7 +27,9 @@ use crate::triplets::TripletAssignment;
 use pim_graph::Edge;
 use pim_metrics::{ChunkObs, MetricsHub};
 use pim_sim::system::{decode_slice, encode_slice};
-use pim_sim::{HostWrite, Phase, PimBackend, SimError, TimedBackend};
+use pim_sim::{
+    ClusterReport, ClusterSpec, HostWrite, Phase, PimBackend, RankCluster, SimError, TimedBackend,
+};
 use pim_stream::{ColoringHash, MisraGries, PartitionJournal};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -77,9 +79,16 @@ pub struct TcSession<B: PimBackend = TimedBackend> {
     /// repoints a lost partition at a spare core. Plain sessions never
     /// consult it.
     partition_home: Vec<usize>,
-    /// Physical ids of allocated-but-idle spare cores, consumed from the
-    /// back on failover.
-    spare_pool: Vec<usize>,
+    /// Rank owning each partition's shard. Plain (non-cluster) sessions
+    /// put every partition in rank 0; cluster sessions mirror
+    /// [`pim_sim::ClusterSpec::rank_of_partition`]. Failover draws a
+    /// replacement from the dead partition's own rank, so a fault in one
+    /// rank never consumes another rank's spares.
+    partition_rank: Vec<usize>,
+    /// Physical ids of allocated-but-idle spare cores, one pool per rank,
+    /// consumed from the back on failover. Single-rank sessions hold one
+    /// pool — the exact pop order of the old global pool.
+    spare_pools: Vec<Vec<usize>>,
     /// Edges routed to each partition so far — the completeness oracle
     /// for reconstruction: survivors must yield exactly this many edges
     /// for a lost partition, or recovery fails loudly.
@@ -146,6 +155,60 @@ impl TcSession<TimedBackend> {
     }
 }
 
+impl<B: PimBackend> TcSession<RankCluster<B>> {
+    /// Allocates a multi-rank cluster session: the triplet space is split
+    /// into contiguous per-rank shards over `config.effective_ranks()`
+    /// independent `B` machines (each with its own derived fault plan and
+    /// its own spare pool), and the session drives them through the
+    /// global-id [`RankCluster`] facade. At `ranks = 1` the cluster is a
+    /// verbatim pass-through, so this path is bit-identical to
+    /// [`TcSession::start_with`] on `B` directly.
+    pub fn start_cluster(config: &TcConfig) -> Result<TcSession<RankCluster<B>>, TcError> {
+        Self::start_cluster_metered(config, None)
+    }
+
+    /// Like [`TcSession::start_cluster`], with a live metrics hub
+    /// attached before any bank is touched. Each rank emits through a
+    /// rank-scoped view of the hub (`rank` label / event field); at
+    /// `ranks = 1` the hub is forwarded unscoped, keeping the event
+    /// stream byte-identical to a plain metered session.
+    pub fn start_cluster_metered(
+        config: &TcConfig,
+        metrics: Option<Arc<MetricsHub>>,
+    ) -> Result<TcSession<RankCluster<B>>, TcError> {
+        config.validate()?;
+        let partitions = config.nr_dpus();
+        let spares = if config.effective_hardened() {
+            config.spare_dpus as usize
+        } else {
+            0
+        };
+        let spec = ClusterSpec::new(partitions, spares, config.effective_ranks() as usize);
+        let partition_rank = (0..partitions).map(|p| spec.rank_of_partition(p)).collect();
+        let spare_pools = (0..spec.ranks)
+            .map(|r| spec.spare_range(r).collect())
+            .collect();
+        Self::assemble(
+            config,
+            metrics,
+            |cfg| RankCluster::allocate_cluster(spec, cfg.pim, cfg.cost).map_err(TcError::Sim),
+            partition_rank,
+            spare_pools,
+        )
+    }
+
+    /// Ranks in the cluster.
+    pub fn nr_ranks(&self) -> usize {
+        self.sys.nr_ranks()
+    }
+
+    /// Per-rank utilization reports plus the cluster-wide merge (resource
+    /// totals summed, phase times as the elementwise maximum over ranks).
+    pub fn cluster_report(&self) -> ClusterReport {
+        ClusterReport::capture(&self.sys)
+    }
+}
+
 impl<B: PimBackend> TcSession<B> {
     /// Like [`TcSession::start`], on the execution engine chosen by the
     /// type parameter.
@@ -162,6 +225,33 @@ impl<B: PimBackend> TcSession<B> {
         config: &TcConfig,
         metrics: Option<Arc<MetricsHub>>,
     ) -> Result<TcSession<B>, TcError> {
+        let nr_partitions = config.nr_dpus();
+        let spares = if config.effective_hardened() {
+            config.spare_dpus as usize
+        } else {
+            0
+        };
+        Self::assemble(
+            config,
+            metrics,
+            |cfg| B::allocate(nr_partitions + spares, cfg.pim, cfg.cost).map_err(TcError::Sim),
+            vec![0; nr_partitions],
+            vec![(nr_partitions..nr_partitions + spares).collect()],
+        )
+    }
+
+    /// Shared tail of session construction: everything after the backend
+    /// exists — bank initialization, journals, scrub cadence — is
+    /// identical for plain and cluster sessions; only the allocation
+    /// (`alloc`) and the rank structure (`partition_rank`, `spare_pools`)
+    /// differ.
+    fn assemble(
+        config: &TcConfig,
+        metrics: Option<Arc<MetricsHub>>,
+        alloc: impl FnOnce(&TcConfig) -> Result<B, TcError>,
+        partition_rank: Vec<usize>,
+        spare_pools: Vec<Vec<usize>>,
+    ) -> Result<TcSession<B>, TcError> {
         config.validate()?;
         let assignment = TripletAssignment::new(config.colors);
         let coloring = ColoringHash::new(config.colors, config.seed);
@@ -174,12 +264,7 @@ impl<B: PimBackend> TcSession<B> {
             config.sample_capacity,
         )?;
         let hardened = config.effective_hardened();
-        let spares = if hardened {
-            config.spare_dpus as usize
-        } else {
-            0
-        };
-        let mut sys = B::allocate(assignment.nr_dpus() + spares, config.pim, config.cost)?;
+        let mut sys = alloc(config)?;
         if let Some(hub) = &metrics {
             sys.attach_metrics(Arc::clone(hub));
         }
@@ -237,7 +322,8 @@ impl<B: PimBackend> TcSession<B> {
             peak_routed_bytes: 0,
             hardened,
             partition_home: (0..nr_partitions).collect(),
-            spare_pool: (nr_partitions..nr_partitions + spares).collect(),
+            partition_rank,
+            spare_pools,
             routed_per_partition: vec![0; nr_partitions],
             metrics,
             chunks_done: 0,
@@ -618,9 +704,9 @@ impl<B: PimBackend> TcSession<B> {
         self.sys.fault_counters()
     }
 
-    /// Spare cores still available for failover.
+    /// Spare cores still available for failover, across all ranks.
     pub fn spares_left(&self) -> usize {
-        self.spare_pool.len()
+        self.spare_pools.iter().map(Vec::len).sum()
     }
 
     /// Snapshot of every partition's resident sample (edge keys, in bank
@@ -773,9 +859,16 @@ impl<B: PimBackend> TcSession<B> {
         let layout = self.layout;
         let mut failures = 0u32;
         loop {
-            self.retry_execute_masked("seal", move |ctx| {
+            let sealed = self.retry_execute_masked("seal", move |ctx| {
                 checksum::seal_kernel(ctx, offset, words, layout.staging_slot(0))
             })?;
+            // A masked `None` at a partition home is a death the launch
+            // absorbed (a cluster rank re-issues a killed launch instead
+            // of failing ranks that already ran): surface it here, or the
+            // dead core's zeroed gather tombstone would never verify.
+            if let Some(&home) = self.partition_home.iter().find(|&&d| sealed[d].is_none()) {
+                return Err(TcError::Sim(SimError::DpuDead { dpu: home }));
+            }
             let regions = self.retry_gather(label, offset, words * 8)?;
             let seals = self.retry_gather("seal", layout.staging_off, 8)?;
             let ok = self.partition_home.iter().all(|&d| {
@@ -820,8 +913,10 @@ impl<B: PimBackend> TcSession<B> {
             for t in 0..self.assignment.nr_dpus() {
                 writes.extend(bank(self.partition_home[t], t));
             }
-            for &s in &self.spare_pool {
-                writes.extend(bank(s, s));
+            for pool in &self.spare_pools {
+                for &s in pool {
+                    writes.extend(bank(s, s));
+                }
             }
             match self.push_verified("init", writes) {
                 Ok(()) => return Ok(()),
@@ -982,21 +1077,24 @@ impl<B: PimBackend> TcSession<B> {
         recovered: &mut Vec<usize>,
     ) -> Result<(), TcError> {
         let start = Instant::now();
-        if let Some(pos) = self.spare_pool.iter().position(|&s| s == dead) {
-            self.spare_pool.remove(pos);
-            return Ok(());
+        for pool in &mut self.spare_pools {
+            if let Some(pos) = pool.iter().position(|&s| s == dead) {
+                pool.remove(pos);
+                return Ok(());
+            }
         }
         let Some(t) = self.partition_home.iter().position(|&h| h == dead) else {
             return Ok(()); // Already failed over by a nested recovery.
         };
+        let rank = self.partition_rank[t];
         if self.journals.is_some() {
             // Journaled sessions skip survivor reconstruction entirely:
             // the lost bank — overflowed or not, remapped or not, even
             // with C = 1 — is re-derived by replaying the journal.
-            let Some(spare) = self.spare_pool.pop() else {
+            let Some(spare) = self.spare_pools[rank].pop() else {
                 return Err(TcError::Faulted(format!(
                     "core {dead} (partition {t}) died with no spare cores left \
-                     (configure spare_dpus)"
+                     in rank {rank} (configure spare_dpus)"
                 )));
             };
             self.install_replayed(t, spare, exclude, recovered)?;
@@ -1030,10 +1128,10 @@ impl<B: PimBackend> TcSession<B> {
                 self.layout.capacity
             )));
         }
-        let Some(spare) = self.spare_pool.pop() else {
+        let Some(spare) = self.spare_pools[rank].pop() else {
             return Err(TcError::Faulted(format!(
                 "core {dead} (partition {t}) died with no spare cores left \
-                 (configure spare_dpus)"
+                 in rank {rank} (configure spare_dpus)"
             )));
         };
 
@@ -1937,9 +2035,14 @@ mod tests {
 
     #[test]
     fn profiled_run_labels_every_launch() {
+        // Single-machine pin (like the Timed pin): the chrome-span closure
+        // below sums spans from ONE trace, while a cluster merges phase
+        // times as a per-rank max — cluster aggregates are pinned in
+        // tests/cluster_equivalence.rs instead.
         let g = gen::simple::complete(15); // 455 triangles
         let config = TcConfig {
             backend: crate::config::ExecBackend::Timed,
+            ranks: 1,
             ..tiny_config(2)
         };
         let profile = crate::count_triangles_profiled(&g, &config).unwrap();
@@ -2008,6 +2111,10 @@ mod tests {
         for backend in [crate::ExecBackend::Timed, crate::ExecBackend::Functional] {
             let mut config = tiny_config(3);
             config.backend = backend;
+            // Single-machine pin: the exact stream==report reconciliation
+            // below assumes one machine's clock/alloc; the cluster's
+            // max/sum merge is covered by tests/cluster_equivalence.rs.
+            config.ranks = 1;
             let hub = Arc::new(MetricsHub::new());
             let sink = MemorySink::new();
             hub.add_sink(Box::new(sink.clone()));
@@ -2067,6 +2174,11 @@ mod tests {
         let mut config = tiny_config(2);
         config.pim.fault = Some(FaultPlan::parse("seed=5,transfer=50000").unwrap());
         config.max_retries = 16;
+        // Single-machine pin: one cluster-level retry can cover several
+        // per-rank faults, so the retry==fault identity below only holds
+        // at R = 1; rank-local fault confinement is property-tested in
+        // tests/cluster_equivalence.rs.
+        config.ranks = 1;
         let hub = Arc::new(MetricsHub::new());
         let sink = MemorySink::new();
         hub.add_sink(Box::new(sink.clone()));

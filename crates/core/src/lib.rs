@@ -39,6 +39,7 @@ pub mod dynamic;
 pub mod error;
 pub mod host;
 pub mod kernel;
+pub mod planner;
 pub mod result;
 pub mod triplets;
 
@@ -46,12 +47,13 @@ pub use config::{ExecBackend, MisraGriesConfig, TcConfig, TcConfigBuilder};
 pub use dynamic::{ScrubOutcome, TcSession};
 pub use error::{PimTcError, TcError};
 pub use kernel::count::IntersectStrategy;
+pub use planner::{auto_ranks, max_colors, min_ranks, plan_capacity, CapacityPlan};
 pub use result::{DpuReport, TcResult};
 pub use triplets::{ColorTriplet, TripletAssignment};
 
 use pim_graph::CooGraph;
 use pim_metrics::MetricsHub;
-use pim_sim::{FunctionalBackend, PimBackend, TimedBackend};
+use pim_sim::{ClusterReport, FunctionalBackend, PimBackend, RankCluster, TimedBackend};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -74,13 +76,44 @@ pub fn count_triangles(graph: &CooGraph, config: &TcConfig) -> Result<TcResult, 
 
 /// [`count_triangles`] on a caller-chosen execution engine, ignoring
 /// [`TcConfig::backend`].
+///
+/// Runs through a [`RankCluster`] of `B` machines sharded over
+/// [`TcConfig::ranks`]; at the default `ranks = 1` the cluster is a
+/// verbatim pass-through, bit-identical to driving `B` directly (pinned
+/// by the `cluster_equivalence` suite).
 pub fn count_triangles_in<B: PimBackend>(
     graph: &CooGraph,
     config: &TcConfig,
 ) -> Result<TcResult, TcError> {
-    let mut session = TcSession::<B>::start_with(config)?;
+    let mut session = TcSession::<RankCluster<B>>::start_cluster(config)?;
     session.append(graph.edges())?;
     session.finish()
+}
+
+/// [`count_triangles`] with the per-rank breakdown: returns the counting
+/// result next to a [`ClusterReport`] — one utilization report per rank
+/// plus the cluster-wide merge (resources summed, phase times as the
+/// elementwise maximum over the parallel ranks).
+pub fn count_triangles_clustered(
+    graph: &CooGraph,
+    config: &TcConfig,
+) -> Result<(TcResult, ClusterReport), TcError> {
+    match config.backend {
+        ExecBackend::Timed => count_triangles_clustered_in::<TimedBackend>(graph, config),
+        ExecBackend::Functional => count_triangles_clustered_in::<FunctionalBackend>(graph, config),
+    }
+}
+
+/// [`count_triangles_clustered`] on a caller-chosen execution engine.
+pub fn count_triangles_clustered_in<B: PimBackend>(
+    graph: &CooGraph,
+    config: &TcConfig,
+) -> Result<(TcResult, ClusterReport), TcError> {
+    let mut session = TcSession::<RankCluster<B>>::start_cluster(config)?;
+    session.append(graph.edges())?;
+    let result = session.count()?;
+    let report = session.cluster_report();
+    Ok((result, report))
 }
 
 /// Everything a profiled run produces: the counting result plus the full
@@ -145,7 +178,7 @@ pub fn count_triangles_metered_in<B: PimBackend>(
     config: &TcConfig,
     hub: Arc<MetricsHub>,
 ) -> Result<TcResult, TcError> {
-    let mut session = TcSession::<B>::start_metered(config, Some(hub))?;
+    let mut session = TcSession::<RankCluster<B>>::start_cluster_metered(config, Some(hub))?;
     session.append(graph.edges())?;
     session.finish()
 }
@@ -175,7 +208,7 @@ pub fn count_triangles_profiled_metered_in<B: PimBackend>(
     config: &TcConfig,
     hub: Option<Arc<MetricsHub>>,
 ) -> Result<RunProfile, TcError> {
-    let mut session = TcSession::<B>::start_metered(config, hub)?;
+    let mut session = TcSession::<RankCluster<B>>::start_cluster_metered(config, hub)?;
     session.enable_tracing();
     session.append(graph.edges())?;
     let result = session.count()?;

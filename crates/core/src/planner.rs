@@ -1,0 +1,308 @@
+//! Capacity planning: from graph statistics to a runnable configuration.
+//!
+//! The paper sizes its runs by hand (C = 23 on 2560 DPUs, reservoir
+//! capacities from the §4.5 `6|E|/C²` bound). This module automates that
+//! arithmetic — and extends it across ranks: given [`GraphStats`], a
+//! per-rank machine shape, and a rank count, [`plan_capacity`] picks
+//!
+//! * `C` — the largest color count whose `C(C+2,3)` partitions fit the
+//!   cluster (largest shard + spares per rank),
+//! * `M` — the per-core reservoir capacity: the expected-max load with
+//!   2× slack (structured graphs exceed the expectation), capped by what
+//!   one MRAM bank can hold,
+//! * `p` — the host-level uniform keep-probability, 1.0 whenever the
+//!   slacked load fits a bank (exact mode), scaled down otherwise,
+//! * `k`/`t` — Misra-Gries heavy-hitter parameters when the degree
+//!   distribution is skewed enough for remapping to pay off.
+//!
+//! Adding ranks grows the partition budget linearly, so the feasible `C`
+//! grows and the per-core load `6|E|/C²` shrinks — the capacity-scaling
+//! story `pimtc count --ranks N --auto` and the rank-scaling bench build
+//! on.
+
+use crate::config::{MisraGriesConfig, TcConfig, TcConfigBuilder};
+use crate::error::TcError;
+use crate::kernel::layout::MramLayout;
+use crate::triplets::nr_triplets;
+use pim_graph::stats::GraphStats;
+use pim_sim::PimConfig;
+use serde::{Deserialize, Serialize};
+
+/// Staging batch size the planner assumes (the builder default).
+const PLAN_STAGE_EDGES: u64 = 2048;
+
+/// Slack factor over the expected maximum per-core load: the `6|E|/C²`
+/// bound is an expectation, and structured graphs (lattices, hub-heavy
+/// skews) concentrate color pairs beyond it.
+const LOAD_SLACK: u64 = 2;
+
+/// Degree-skew threshold for suggesting Misra-Gries remapping: the
+/// maximum degree must exceed this multiple of the average degree.
+const MG_SKEW_FACTOR: f64 = 8.0;
+
+/// Minimum maximum-degree for Misra-Gries to be worth its remap pass.
+const MG_MIN_DEGREE: u32 = 256;
+
+/// Highest rank count [`auto_ranks`] will consider.
+const MAX_AUTO_RANKS: u32 = 64;
+
+/// A planned configuration: the tuple `(C, M, p, k)` plus the rank count
+/// it was planned for. Produced by [`plan_capacity`]; turn it into a
+/// [`TcConfigBuilder`] with [`CapacityPlan::to_builder`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CapacityPlan {
+    /// Chosen color count `C`.
+    pub colors: u32,
+    /// Rank count the plan is sized for.
+    pub ranks: u32,
+    /// Partitions `C(C+2,3)` the plan allocates across the ranks.
+    pub partitions: u64,
+    /// Per-core reservoir capacity `M` (edges).
+    pub sample_capacity: u64,
+    /// Host-level uniform keep-probability `p` (1.0 = exact mode).
+    pub uniform_p: f64,
+    /// Suggested Misra-Gries parameters, when the degree skew warrants
+    /// heavy-hitter remapping.
+    pub misra_gries: Option<MisraGriesConfig>,
+    /// Expected maximum per-core load `ceil(6|E|/C²)` under the plan.
+    pub expected_max_load: u64,
+    /// Whether the plan runs exactly: the slacked load fits one bank, so
+    /// no uniform sampling and no expected reservoir overflow.
+    pub exact: bool,
+}
+
+impl CapacityPlan {
+    /// Starts a [`TcConfigBuilder`] carrying the planned `(C, M, p, k)`
+    /// and rank count. Callers layer the machine shape, seed, and
+    /// robustness knobs on top.
+    pub fn to_builder(&self) -> TcConfigBuilder {
+        let mut b = TcConfig::builder()
+            .colors(self.colors)
+            .ranks(self.ranks)
+            .sample_capacity(self.sample_capacity)
+            .uniform_p(self.uniform_p);
+        if let Some(mg) = self.misra_gries {
+            b = b.misra_gries(mg.k, mg.t);
+        }
+        b
+    }
+}
+
+/// The largest color count whose partitions fit `ranks` machines shaped
+/// like `pim`, with `spares` spare cores reserved per rank (the same
+/// feasibility arithmetic [`TcConfig::validate`] enforces).
+pub fn max_colors(pim: &PimConfig, ranks: u32, spares: u32) -> u32 {
+    let ranks = ranks.max(1) as usize;
+    let mut c = 1u32;
+    loop {
+        let partitions = nr_triplets(c + 1);
+        let per_rank = partitions.div_ceil(ranks) + spares as usize;
+        if per_rank > pim.total_dpus || (c as usize + 1) > partitions {
+            return c;
+        }
+        c += 1;
+    }
+}
+
+/// The smallest rank count at which `colors` (plus `spares` per rank)
+/// fits machines shaped like `pim`; `None` when no rank count helps
+/// (the spares alone exhaust a rank).
+pub fn min_ranks(colors: u32, spares: u32, pim: &PimConfig) -> Option<u32> {
+    let budget = pim.total_dpus.checked_sub(spares as usize)?;
+    if budget == 0 {
+        return None;
+    }
+    Some(nr_triplets(colors).div_ceil(budget) as u32)
+}
+
+/// Plans `(C, M, p, k)` for a graph with the given statistics on `ranks`
+/// machines shaped like `pim`. See the module docs for the heuristics;
+/// the returned plan always validates under [`TcConfig::validate`] for
+/// the same `pim` and rank count.
+pub fn plan_capacity(
+    stats: &GraphStats,
+    pim: &PimConfig,
+    ranks: u32,
+) -> Result<CapacityPlan, TcError> {
+    let ranks = ranks.max(1);
+    let colors = max_colors(pim, ranks, 0);
+    let partitions = nr_triplets(colors) as u64;
+    // Effective ranks can be lower than asked for tiny color counts
+    // (TcConfig clamps the same way).
+    let ranks = ranks.min(partitions.max(1) as u32);
+
+    let misra_gries = suggest_misra_gries(stats, pim);
+    let remap_cap = misra_gries.map(|m| m.t as u64).unwrap_or(0);
+    let bank_cap =
+        MramLayout::compute_with_locals(pim.mram_capacity, PLAN_STAGE_EDGES, remap_cap, 0, None)?
+            .capacity;
+
+    let c2 = colors as f64 * colors as f64;
+    let expected_max_load = (6.0 * stats.num_edges as f64 / c2).ceil() as u64;
+    let want = expected_max_load
+        .saturating_mul(LOAD_SLACK)
+        .saturating_add(64);
+    let exact = want <= bank_cap;
+    let sample_capacity = want.min(bank_cap).max(3);
+    let uniform_p = if exact {
+        1.0
+    } else {
+        // Thin the host stream until the slacked expectation fits the
+        // bank again; the floor keeps degenerate plans statistically
+        // usable rather than silently dropping (almost) everything.
+        (bank_cap as f64 / want as f64).clamp(0.05, 1.0)
+    };
+
+    Ok(CapacityPlan {
+        colors,
+        ranks,
+        partitions,
+        sample_capacity,
+        uniform_p,
+        misra_gries,
+        expected_max_load,
+        exact,
+    })
+}
+
+/// Picks a rank count for [`plan_capacity`] automatically: the smallest
+/// `R ≤ 64` whose plan is exact, falling back to the `R` with the best
+/// keep-probability (smallest on ties) when no rank count reaches
+/// exactness.
+pub fn auto_ranks(stats: &GraphStats, pim: &PimConfig) -> Result<u32, TcError> {
+    let mut best = (1u32, 0.0f64);
+    for r in 1..=MAX_AUTO_RANKS {
+        let plan = plan_capacity(stats, pim, r)?;
+        if plan.exact {
+            return Ok(r);
+        }
+        if plan.uniform_p > best.1 {
+            best = (r, plan.uniform_p);
+        }
+        // Once ranks stop growing the feasible C, more of them change
+        // nothing: the plan is shard-placement only beyond this point.
+        if plan.colors >= max_colors(pim, r + 1, 0) {
+            break;
+        }
+    }
+    Ok(best.0)
+}
+
+/// Suggests Misra-Gries parameters when the degree distribution is skewed
+/// enough (hubs dominate per-core loads); `t` is capped by the
+/// WRAM-resident remap-table limit [`TcConfig::validate`] enforces.
+fn suggest_misra_gries(stats: &GraphStats, pim: &PimConfig) -> Option<MisraGriesConfig> {
+    let skewed = stats.max_degree >= MG_MIN_DEGREE
+        && stats.avg_degree > 0.0
+        && stats.max_degree as f64 >= MG_SKEW_FACTOR * stats.avg_degree;
+    if !skewed {
+        return None;
+    }
+    let t = (pim.wram_per_tasklet() / 16).min(256);
+    if t == 0 {
+        return None;
+    }
+    Some(MisraGriesConfig { k: t * 4, t })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(edges: u64, nodes: u64, max_degree: u32) -> GraphStats {
+        GraphStats {
+            num_edges: edges,
+            num_nodes: nodes,
+            triangles: 0,
+            max_degree,
+            avg_degree: if nodes == 0 {
+                0.0
+            } else {
+                2.0 * edges as f64 / nodes as f64
+            },
+            global_clustering: 0.0,
+        }
+    }
+
+    #[test]
+    fn max_colors_matches_the_paper_machine() {
+        // 2560 DPUs on one rank hosts C = 23 (2300 partitions), not 24.
+        let pim = PimConfig::default();
+        assert_eq!(max_colors(&pim, 1, 0), 23);
+        // Two ranks double the budget: C = 30 gives 4960 ≤ 5120.
+        assert_eq!(max_colors(&pim, 2, 0), 30);
+        // Spares shrink it.
+        assert!(max_colors(&pim, 1, 300) < 23);
+    }
+
+    #[test]
+    fn min_ranks_inverts_the_budget() {
+        let pim = PimConfig::default();
+        assert_eq!(min_ranks(23, 0, &pim), Some(1));
+        assert_eq!(min_ranks(24, 0, &pim), Some(2));
+        assert_eq!(min_ranks(23, 2560, &pim), None);
+    }
+
+    #[test]
+    fn plans_validate_and_scale_with_ranks() {
+        let pim = PimConfig::default();
+        let s = stats(10_000_000, 1_000_000, 50);
+        let one = plan_capacity(&s, &pim, 1).unwrap();
+        let four = plan_capacity(&s, &pim, 4).unwrap();
+        assert!(four.colors > one.colors);
+        assert!(four.expected_max_load < one.expected_max_load);
+        for plan in [one, four] {
+            let cfg = plan.to_builder().pim(pim).build().unwrap();
+            assert_eq!(cfg.colors, plan.colors);
+            assert_eq!(cfg.ranks, plan.ranks);
+        }
+    }
+
+    #[test]
+    fn small_graphs_plan_exact() {
+        let plan = plan_capacity(&stats(100_000, 10_000, 40), &PimConfig::default(), 1).unwrap();
+        assert!(plan.exact);
+        assert_eq!(plan.uniform_p, 1.0);
+        assert!(plan.sample_capacity >= plan.expected_max_load);
+    }
+
+    #[test]
+    fn oversized_graphs_fall_back_to_sampling() {
+        // A tiny bank forces sampling no matter the colors.
+        let pim = PimConfig {
+            total_dpus: 64,
+            mram_capacity: 1 << 17,
+            ..PimConfig::tiny()
+        };
+        let plan = plan_capacity(&stats(50_000_000, 5_000_000, 60), &pim, 1).unwrap();
+        assert!(!plan.exact);
+        assert!(plan.uniform_p < 1.0);
+        assert!(plan.uniform_p >= 0.05);
+    }
+
+    #[test]
+    fn skewed_degrees_suggest_misra_gries() {
+        let pim = PimConfig::default();
+        let skewed = stats(1_000_000, 1_000_000, 100_000);
+        let flat = stats(1_000_000, 1_000_000, 8);
+        let mg = plan_capacity(&skewed, &pim, 1).unwrap().misra_gries;
+        assert!(mg.is_some());
+        let mg = mg.unwrap();
+        assert!(mg.t <= pim.wram_per_tasklet() / 16);
+        assert!(plan_capacity(&flat, &pim, 1).unwrap().misra_gries.is_none());
+    }
+
+    #[test]
+    fn auto_ranks_prefers_the_smallest_exact_fit() {
+        let pim = PimConfig::default();
+        assert_eq!(auto_ranks(&stats(100_000, 10_000, 40), &pim).unwrap(), 1);
+        // A graph too heavy for one rank's C = 23 but fine at higher C.
+        let heavy = stats(2_000_000_000, 100_000_000, 50);
+        let r = auto_ranks(&heavy, &pim).unwrap();
+        assert!(r >= 1);
+        let plan = plan_capacity(&heavy, &pim, r).unwrap();
+        let fewer = plan_capacity(&heavy, &pim, r.saturating_sub(1).max(1)).unwrap();
+        // Auto never picks a rank count that plans worse than one fewer.
+        assert!(plan.exact || plan.uniform_p >= fewer.uniform_p);
+    }
+}

@@ -9,8 +9,8 @@
 //! completeness by checking `seq` monotonicity alone.
 
 use crate::event::{Event, FieldValue, MetricsSink};
-use crate::registry::{Registry, LAUNCH_CYCLE_BUCKETS};
-use std::sync::Mutex;
+use crate::registry::{Counter, Gauge, Histogram, Registry, LAUNCH_CYCLE_BUCKETS};
+use std::sync::{Arc, Mutex};
 
 /// Observations for one kernel launch, emitted by a backend after the
 /// launch completes (or fails).
@@ -60,11 +60,30 @@ struct HubState {
     sinks: Vec<Box<dyn MetricsSink>>,
 }
 
-/// The live metrics plane: a [`Registry`] plus a sequenced event stream
-/// fanned out to attached [`MetricsSink`]s.
-pub struct MetricsHub {
+/// Shared core of a hub: the registry plus the sequenced sink fan-out.
+/// Per-rank views ([`MetricsHub::with_rank`]) share one inner, so a
+/// cluster's ranks interleave into a single stream under one `seq`.
+struct HubInner {
     registry: Registry,
     state: Mutex<HubState>,
+}
+
+/// The live metrics plane: a [`Registry`] plus a sequenced event stream
+/// fanned out to attached [`MetricsSink`]s.
+///
+/// A hub can be scoped to one rank of a multi-rank cluster with
+/// [`MetricsHub::with_rank`]: the view shares the parent's registry,
+/// sequence counter, and sinks, but stamps every emitted event with a
+/// `rank` field and every registry series with a `rank` label. An
+/// unscoped hub (the default) emits exactly the historical shape — no
+/// `rank` anywhere — so single-rank streams stay byte-compatible.
+pub struct MetricsHub {
+    inner: Arc<HubInner>,
+    /// When set, every event carries `rank` and every series a
+    /// `rank="N"` label.
+    rank: Option<u32>,
+    /// Cached decimal rendering of `rank` (`""` when unscoped).
+    rank_str: String,
 }
 
 impl Default for MetricsHub {
@@ -77,32 +96,56 @@ impl MetricsHub {
     /// A hub with no sinks attached (registry-only).
     pub fn new() -> MetricsHub {
         MetricsHub {
-            registry: Registry::new(),
-            state: Mutex::new(HubState {
-                seq: 0,
-                sinks: Vec::new(),
+            inner: Arc::new(HubInner {
+                registry: Registry::new(),
+                state: Mutex::new(HubState {
+                    seq: 0,
+                    sinks: Vec::new(),
+                }),
             }),
+            rank: None,
+            rank_str: String::new(),
         }
+    }
+
+    /// A view of this hub scoped to `rank`: shares the registry, sequence
+    /// counter, and sinks, but stamps everything it emits with the rank.
+    pub fn with_rank(&self, rank: u32) -> Arc<MetricsHub> {
+        Arc::new(MetricsHub {
+            inner: Arc::clone(&self.inner),
+            rank: Some(rank),
+            rank_str: rank.to_string(),
+        })
+    }
+
+    /// The rank this view is scoped to (`None` for the root hub).
+    pub fn rank(&self) -> Option<u32> {
+        self.rank
     }
 
     /// Attaches a sink; it receives every event emitted from now on.
     pub fn add_sink(&self, sink: Box<dyn MetricsSink>) {
-        self.state.lock().expect("hub poisoned").sinks.push(sink);
+        self.inner
+            .state
+            .lock()
+            .expect("hub poisoned")
+            .sinks
+            .push(sink);
     }
 
     /// The underlying registry (for ad-hoc series or Prometheus render).
     pub fn registry(&self) -> &Registry {
-        &self.registry
+        &self.inner.registry
     }
 
     /// Renders the registry in Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
-        self.registry.render_prometheus()
+        self.inner.registry.render_prometheus()
     }
 
     /// Flushes all sinks; returns the first sink error encountered, if any.
     pub fn flush(&self) -> Result<(), String> {
-        let mut state = self.state.lock().expect("hub poisoned");
+        let mut state = self.inner.state.lock().expect("hub poisoned");
         let mut first_err = None;
         for sink in state.sinks.iter_mut() {
             sink.flush();
@@ -116,9 +159,14 @@ impl MetricsHub {
         }
     }
 
-    /// Assigns the next sequence number and fans the event out.
-    pub fn emit(&self, kind: &str, fields: Vec<(String, FieldValue)>) {
-        let mut state = self.state.lock().expect("hub poisoned");
+    /// Assigns the next sequence number and fans the event out. Rank-scoped
+    /// views append their `rank` field here, so every event kind carries it
+    /// uniformly.
+    pub fn emit(&self, kind: &str, mut fields: Vec<(String, FieldValue)>) {
+        if let Some(r) = self.rank {
+            fields.push(("rank".into(), FieldValue::U64(r as u64)));
+        }
+        let mut state = self.inner.state.lock().expect("hub poisoned");
         state.seq += 1;
         let event = Event {
             seq: state.seq,
@@ -130,10 +178,56 @@ impl MetricsHub {
         }
     }
 
+    /// The counter `name`, rank-labeled when this view is rank-scoped.
+    fn ctr(&self, name: &str) -> Counter {
+        self.ctr_with(name, &[])
+    }
+
+    /// The counter `name{labels}`, plus a `rank` label when scoped.
+    fn ctr_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.rank {
+            None => self.inner.registry.counter_with(name, labels),
+            Some(_) => {
+                let mut all = labels.to_vec();
+                all.push(("rank", self.rank_str.as_str()));
+                self.inner.registry.counter_with(name, &all)
+            }
+        }
+    }
+
+    /// The gauge `name`, rank-labeled when this view is rank-scoped.
+    fn gge(&self, name: &str) -> Gauge {
+        self.gge_with(name, &[])
+    }
+
+    /// The gauge `name{labels}`, plus a `rank` label when scoped.
+    fn gge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.rank {
+            None => self.inner.registry.gauge_with(name, labels),
+            Some(_) => {
+                let mut all = labels.to_vec();
+                all.push(("rank", self.rank_str.as_str()));
+                self.inner.registry.gauge_with(name, &all)
+            }
+        }
+    }
+
+    /// The histogram `name`, rank-labeled when this view is rank-scoped.
+    fn hist(&self, name: &str, bounds: &[u64]) -> Histogram {
+        match self.rank {
+            None => self.inner.registry.histogram_with(name, &[], bounds),
+            Some(_) => self.inner.registry.histogram_with(
+                name,
+                &[("rank", self.rank_str.as_str())],
+                bounds,
+            ),
+        }
+    }
+
     /// System allocation: `nr_dpus` ranks brought up in `seconds`.
     pub fn alloc(&self, nr_dpus: u64, seconds: f64) {
-        self.registry.gauge("pim_nr_dpus").set(nr_dpus as f64);
-        self.registry.gauge("pim_alloc_seconds").set(seconds);
+        self.gge("pim_nr_dpus").set(nr_dpus as f64);
+        self.gge("pim_alloc_seconds").set(seconds);
         self.emit(
             "alloc",
             vec![
@@ -161,16 +255,14 @@ impl MetricsHub {
         seconds: f64,
         ok: bool,
     ) {
-        let reg = &self.registry;
-        reg.counter_with("pim_transfer_ops_total", &[("op", op)])
-            .inc();
+        self.ctr_with("pim_transfer_ops_total", &[("op", op)]).inc();
         if ok {
-            reg.counter("pim_transfer_bytes_total").add(bytes);
+            self.ctr("pim_transfer_bytes_total").add(bytes);
         } else {
-            reg.counter_with("pim_transfer_failed_ops_total", &[("op", op)])
+            self.ctr_with("pim_transfer_failed_ops_total", &[("op", op)])
                 .inc();
         }
-        reg.gauge("pim_transfer_seconds_total").add(seconds);
+        self.gge("pim_transfer_seconds_total").add(seconds);
         self.emit(
             "transfer",
             vec![
@@ -186,15 +278,14 @@ impl MetricsHub {
 
     /// One kernel launch (see [`LaunchObs`]).
     pub fn launch(&self, obs: LaunchObs) {
-        let reg = &self.registry;
-        reg.counter_with("pim_launches_total", &[("label", &obs.label)])
+        self.ctr_with("pim_launches_total", &[("label", &obs.label)])
             .inc();
-        reg.counter_with("pim_kernel_cycles_total", &[("label", &obs.label)])
+        self.ctr_with("pim_kernel_cycles_total", &[("label", &obs.label)])
             .add(obs.max_cycles);
-        reg.counter("pim_instructions_total").add(obs.instructions);
-        reg.counter("pim_dma_bytes_total").add(obs.dma_bytes);
-        reg.gauge("pim_launch_seconds_total").add(obs.seconds);
-        reg.histogram("pim_launch_max_cycles", &LAUNCH_CYCLE_BUCKETS)
+        self.ctr("pim_instructions_total").add(obs.instructions);
+        self.ctr("pim_dma_bytes_total").add(obs.dma_bytes);
+        self.gge("pim_launch_seconds_total").add(obs.seconds);
+        self.hist("pim_launch_max_cycles", &LAUNCH_CYCLE_BUCKETS)
             .observe(obs.max_cycles);
         self.emit(
             "launch",
@@ -216,12 +307,11 @@ impl MetricsHub {
     /// `retry:<op>` are additionally counted as retries of `<op>` (with the
     /// backoff seconds accumulated separately).
     pub fn host(&self, label: &str, phase: &'static str, seconds: f64) {
-        let reg = &self.registry;
         if let Some(op) = label.strip_prefix("retry:") {
-            reg.counter_with("pim_retries_total", &[("op", op)]).inc();
-            reg.gauge("pim_retry_backoff_seconds_total").add(seconds);
+            self.ctr_with("pim_retries_total", &[("op", op)]).inc();
+            self.gge("pim_retry_backoff_seconds_total").add(seconds);
         }
-        reg.gauge_with("pim_host_seconds_total", &[("label", label)])
+        self.gge_with("pim_host_seconds_total", &[("label", label)])
             .add(seconds);
         self.emit(
             "host",
@@ -237,9 +327,7 @@ impl MetricsHub {
     /// counter at the time it fired; `dpu` is set when a specific core was
     /// the victim (kill and corrupt faults).
     pub fn fault(&self, kind: &'static str, phase: &'static str, op: u64, dpu: Option<u64>) {
-        self.registry
-            .counter_with("pim_faults_total", &[("kind", kind)])
-            .inc();
+        self.ctr_with("pim_faults_total", &[("kind", kind)]).inc();
         let mut fields = vec![
             ("fault_kind".into(), FieldValue::Str(kind.into())),
             ("phase".into(), FieldValue::Str(phase.into())),
@@ -253,16 +341,15 @@ impl MetricsHub {
 
     /// One streamed edge chunk processed (see [`ChunkObs`]).
     pub fn chunk(&self, obs: ChunkObs) {
-        let reg = &self.registry;
-        reg.counter("pim_chunks_total").inc();
-        reg.counter("pim_edges_total").add(obs.edges);
-        reg.counter("pim_edges_offered_total").add(obs.offered);
-        reg.counter("pim_edges_kept_total").add(obs.kept);
-        reg.counter("pim_edges_routed_bytes_total")
+        self.ctr("pim_chunks_total").inc();
+        self.ctr("pim_edges_total").add(obs.edges);
+        self.ctr("pim_edges_offered_total").add(obs.offered);
+        self.ctr("pim_edges_kept_total").add(obs.kept);
+        self.ctr("pim_edges_routed_bytes_total")
             .add(obs.routed_bytes);
-        reg.gauge("pim_peak_routed_bytes")
+        self.gge("pim_peak_routed_bytes")
             .max(obs.peak_routed_bytes as f64);
-        reg.gauge("pim_mg_summary_size").set(obs.mg_summary as f64);
+        self.gge("pim_mg_summary_size").set(obs.mg_summary as f64);
         self.emit(
             "chunk",
             vec![
@@ -283,12 +370,11 @@ impl MetricsHub {
     /// Reservoir occupancy at count time: `resident` edges across all DPUs
     /// out of `capacity`, and the maximum per-DPU fill fraction.
     pub fn reservoir(&self, resident: u64, capacity: u64, max_fill: f64) {
-        let reg = &self.registry;
-        reg.gauge("pim_reservoir_resident_edges")
+        self.gge("pim_reservoir_resident_edges")
             .set(resident as f64);
-        reg.gauge("pim_reservoir_capacity_edges")
+        self.gge("pim_reservoir_capacity_edges")
             .set(capacity as f64);
-        reg.gauge("pim_reservoir_fill_max").max(max_fill);
+        self.gge("pim_reservoir_fill_max").max(max_fill);
         self.emit(
             "reservoir",
             vec![
@@ -301,7 +387,7 @@ impl MetricsHub {
 
     /// A dead DPU's partition was failed over to a spare core.
     pub fn failover(&self, partition: u64, spare: u64) {
-        self.registry.counter("pim_failovers_total").inc();
+        self.ctr("pim_failovers_total").inc();
         self.emit(
             "failover",
             vec![
@@ -315,9 +401,8 @@ impl MetricsHub {
     /// `keys` staged edges pushed through the receive kernel's decision
     /// stream plus `marks` remap/sort barriers — onto core `target`.
     pub fn journal_replay(&self, partition: u64, target: u64, keys: u64, marks: u64) {
-        let reg = &self.registry;
-        reg.counter("pim_journal_replays_total").inc();
-        reg.counter("pim_journal_replayed_keys_total").add(keys);
+        self.ctr("pim_journal_replays_total").inc();
+        self.ctr("pim_journal_replayed_keys_total").add(keys);
         self.emit(
             "journal_replay",
             vec![
@@ -333,9 +418,8 @@ impl MetricsHub {
     /// were reinstalled in place from their journals, `failed_over` moved
     /// to spare cores because their home had died.
     pub fn scrub(&self, partitions: u64, repaired: u64, failed_over: u64) {
-        let reg = &self.registry;
-        reg.counter("pim_scrub_sweeps_total").inc();
-        reg.counter("pim_scrub_repairs_total").add(repaired);
+        self.ctr("pim_scrub_sweeps_total").inc();
+        self.ctr("pim_scrub_repairs_total").add(repaired);
         self.emit(
             "scrub",
             vec![
@@ -408,6 +492,47 @@ mod tests {
         assert_eq!(reg.counter("pim_dma_bytes_total").get(), 1280);
         let h = reg.histogram("pim_launch_max_cycles", &LAUNCH_CYCLE_BUCKETS);
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn rank_views_share_seq_and_label_series() {
+        let hub = MetricsHub::new();
+        let sink = MemorySink::new();
+        hub.add_sink(Box::new(sink.clone()));
+        let r0 = hub.with_rank(0);
+        let r1 = hub.with_rank(1);
+        r0.transfer("push", "setup", 1, 100, 0.0, true);
+        r1.transfer("push", "setup", 1, 200, 0.0, true);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        // One shared sequence across ranks.
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[1].seq, 2);
+        assert_eq!(events[0].u64_field("rank"), 0);
+        assert_eq!(events[1].u64_field("rank"), 1);
+        let reg = hub.registry();
+        assert_eq!(
+            reg.counter_with("pim_transfer_bytes_total", &[("rank", "0")])
+                .get(),
+            100
+        );
+        assert_eq!(
+            reg.counter_with("pim_transfer_bytes_total", &[("rank", "1")])
+                .get(),
+            200
+        );
+        // The unscoped series stays untouched.
+        assert_eq!(reg.counter("pim_transfer_bytes_total").get(), 0);
+    }
+
+    #[test]
+    fn unscoped_hub_emits_no_rank_field_or_label() {
+        let hub = MetricsHub::new();
+        let sink = MemorySink::new();
+        hub.add_sink(Box::new(sink.clone()));
+        hub.transfer("push", "setup", 1, 100, 0.0, true);
+        assert!(sink.events()[0].get("rank").is_none());
+        assert!(!hub.render_prometheus().contains("rank"));
     }
 
     #[test]

@@ -264,7 +264,13 @@ impl Registry {
     /// The unlabeled histogram `name` with the given bucket upper bounds
     /// (registered on first use; later calls reuse the first bounds).
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
-        match self.series_with(name, &[], || Series::Histogram(Histogram::new(bounds))) {
+        self.histogram_with(name, &[], bounds)
+    }
+
+    /// The histogram `name{labels}` (registered on first use). The series'
+    /// labels are merged with the per-bucket `le` label when rendered.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        match self.series_with(name, labels, || Series::Histogram(Histogram::new(bounds))) {
             Series::Histogram(h) => h,
             _ => Histogram::new(bounds),
         }
@@ -298,14 +304,25 @@ impl Registry {
                         let _ = writeln!(out, "{name}{labels} {:?}", g.get());
                     }
                     Series::Histogram(h) => {
+                        // A labeled series merges its own labels with the
+                        // per-bucket `le` label.
+                        let with_le = |le: &str| {
+                            if labels.is_empty() {
+                                format!("{{le=\"{le}\"}}")
+                            } else {
+                                format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+                            }
+                        };
                         let mut cumulative = 0u64;
                         for (bound, count) in h.bounds().iter().zip(h.bucket_counts()) {
                             cumulative += count;
-                            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                            let le = with_le(&bound.to_string());
+                            let _ = writeln!(out, "{name}_bucket{le} {cumulative}");
                         }
-                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
-                        let _ = writeln!(out, "{name}_sum {}", h.sum());
-                        let _ = writeln!(out, "{name}_count {}", h.count());
+                        let inf = with_le("+Inf");
+                        let _ = writeln!(out, "{name}_bucket{inf} {}", h.count());
+                        let _ = writeln!(out, "{name}_sum{labels} {}", h.sum());
+                        let _ = writeln!(out, "{name}_count{labels} {}", h.count());
                     }
                 }
             }
@@ -373,6 +390,25 @@ mod tests {
         h.observe(1);
         h.observe(2);
         assert_eq!(h.bucket_counts(), vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn labeled_histograms_merge_le_with_series_labels() {
+        let reg = Registry::new();
+        let h = reg.histogram_with("cycles", &[("rank", "1")], &[10]);
+        h.observe(5);
+        h.observe(50);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("cycles_bucket{rank=\"1\",le=\"10\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cycles_bucket{rank=\"1\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("cycles_sum{rank=\"1\"} 55"), "{text}");
+        assert!(text.contains("cycles_count{rank=\"1\"} 2"), "{text}");
     }
 
     #[test]

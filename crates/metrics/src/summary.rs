@@ -48,7 +48,7 @@ pub struct StreamSummary {
     pub events: u64,
     /// Highest sequence number seen.
     pub last_seq: u64,
-    /// DPUs allocated (from the `alloc` event).
+    /// DPUs allocated (summed over `alloc` events — one per rank).
     pub nr_dpus: u64,
     /// Per-op transfer aggregates.
     pub transfers: BTreeMap<String, TransferAgg>,
@@ -90,7 +90,7 @@ pub struct StreamSummary {
     pub scrub_sweeps: u64,
     /// Banks reinstalled in place because a scrub caught corruption.
     pub scrub_repaired: u64,
-    /// Allocation seconds (from the `alloc` event).
+    /// Allocation seconds (summed over `alloc` events — one per rank).
     pub alloc_seconds: f64,
 }
 
@@ -163,9 +163,11 @@ pub fn summarize(events: &[Event]) -> StreamSummary {
         s.events += 1;
         s.last_seq = s.last_seq.max(e.seq);
         match e.kind.as_str() {
+            // Multi-rank streams carry one alloc per rank (each rank view
+            // attaches independently); totals are the cluster-wide sums.
             "alloc" => {
-                s.nr_dpus = e.u64_field("nr_dpus");
-                s.alloc_seconds = e.f64_field("seconds");
+                s.nr_dpus += e.u64_field("nr_dpus");
+                s.alloc_seconds += e.f64_field("seconds");
             }
             "transfer" => {
                 let op = e.str_field("op").to_string();

@@ -36,7 +36,7 @@ pub const PPM: u64 = 1_000_000;
 /// splitmix64: the same generator `pim-tc` uses for sampling streams. Kept
 /// local so the simulator stays dependency-free.
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -29,6 +29,7 @@
 //! DESIGN.md §5 documents the model and its parameters.
 
 pub mod backend;
+pub mod cluster;
 pub mod config;
 pub mod cost;
 pub mod dpu;
@@ -42,6 +43,7 @@ pub mod system;
 pub mod trace;
 
 pub use backend::{FunctionalBackend, PimBackend, TimedBackend};
+pub use cluster::{ClusterReport, ClusterSpec, RankCluster};
 pub use config::PimConfig;
 pub use cost::CostModel;
 pub use dpu::Dpu;

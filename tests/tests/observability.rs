@@ -34,8 +34,11 @@ fn chrome_trace_round_trips_with_retry_and_kernel_spans_on_their_tracks() {
     let g = gen::erdos_renyi(150, 0.1, 3);
     let mut config = faulted_config();
     // This test is about the trace export; only the timed backend records
-    // trace events, so pin it regardless of PIM_TC_BACKEND.
+    // trace events, so pin it regardless of PIM_TC_BACKEND. Pin a single
+    // rank too (regardless of PIM_TC_RANKS): the trace is a one-machine
+    // record, while a cluster's fault counters sum over every rank.
     config.backend = ExecBackend::Timed;
+    config.ranks = 1;
     let profile = pim_tc::count_triangles_profiled(&g, &config).unwrap();
     assert!(
         profile.report.fault_counters.transfer_faults > 0,
