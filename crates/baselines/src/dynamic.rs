@@ -16,9 +16,31 @@ use crate::gpu_proxy::GpuModel;
 use pim_graph::{CooGraph, Edge};
 use pim_metrics::MetricsHub;
 use pim_sim::{FunctionalBackend, PimBackend, RankCluster, SystemReport, TimedBackend};
-use pim_tc::{ExecBackend, TcConfig, TcError, TcSession};
+use pim_tc::{ExecBackend, SessionCheckpoint, TcConfig, TcError, TcSession};
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Durable-checkpoint options for [`pim_dynamic_checkpointed`].
+#[derive(Clone, Debug)]
+pub struct DynamicCheckpoint {
+    /// Directory holding the checkpoint file (created if missing).
+    pub dir: PathBuf,
+    /// Write a checkpoint after every `every` counted updates (0 never
+    /// writes — only meaningful together with `resume`).
+    pub every: u64,
+    /// Resume from an existing checkpoint in `dir`: updates up to the
+    /// checkpoint's watermark are skipped and the session continues the
+    /// stream from the snapshot. A missing checkpoint file starts a fresh
+    /// run; a corrupt one is a [`TcError::Checkpoint`].
+    pub resume: bool,
+    /// Stop cleanly after this many updates have been counted in this
+    /// process (0 = run to the end). Stands in for a process kill at an
+    /// append boundary in tests and CI: a checkpointed run stopped here
+    /// leaves exactly the on-disk state a kill after the last checkpoint
+    /// write would.
+    pub stop_after: u64,
+}
 
 /// Per-update timing for one system.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -145,6 +167,75 @@ pub fn pim_dynamic_metered_in<B: PimBackend>(
     Ok((out, report))
 }
 
+/// [`pim_dynamic_metered`] with durable checkpoints: the session snapshot
+/// is atomically persisted every [`DynamicCheckpoint::every`] counted
+/// updates, and with [`DynamicCheckpoint::resume`] the stream continues
+/// from the on-disk watermark instead of update 0 — converging to the
+/// same final estimate as an uninterrupted run (the `session_fuzz` resume
+/// property). Returns the timings of the updates processed *by this
+/// process* (resumed runs re-report nothing for skipped updates).
+pub fn pim_dynamic_checkpointed(
+    batches: &[Vec<Edge>],
+    config: &TcConfig,
+    ckpt: &DynamicCheckpoint,
+    hub: Option<Arc<MetricsHub>>,
+) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
+    match config.backend {
+        ExecBackend::Timed => {
+            pim_dynamic_checkpointed_in::<TimedBackend>(batches, config, ckpt, hub)
+        }
+        ExecBackend::Functional => {
+            pim_dynamic_checkpointed_in::<FunctionalBackend>(batches, config, ckpt, hub)
+        }
+    }
+}
+
+/// [`pim_dynamic_checkpointed`] on a caller-chosen execution engine.
+pub fn pim_dynamic_checkpointed_in<B: PimBackend>(
+    batches: &[Vec<Edge>],
+    config: &TcConfig,
+    ckpt: &DynamicCheckpoint,
+    hub: Option<Arc<MetricsHub>>,
+) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
+    let (mut session, start_from) = if ckpt.resume && SessionCheckpoint::exists(&ckpt.dir) {
+        let snap = SessionCheckpoint::load(&ckpt.dir)?;
+        let watermark = snap.watermark;
+        // The snapshot carries its own configuration, so a resumed run
+        // keeps the checkpointed shape even if CLI flags drifted.
+        let session = TcSession::<RankCluster<B>>::restore_cluster(&snap, hub)?;
+        (session, watermark as usize)
+    } else {
+        (
+            TcSession::<RankCluster<B>>::start_cluster_metered(config, hub)?,
+            0,
+        )
+    };
+    let mut out = Vec::with_capacity(batches.len().saturating_sub(start_from));
+    let mut prev_total = 0.0;
+    for (update, batch) in batches.iter().enumerate().skip(start_from) {
+        session.append(batch)?;
+        let result = session.count()?;
+        let total = result.times.without_setup();
+        let secs = total - prev_total;
+        prev_total = total;
+        out.push(UpdateTiming {
+            update,
+            secs,
+            cumulative_secs: total,
+            triangles: result.estimate,
+        });
+        let counted = (update + 1) as u64;
+        if ckpt.every > 0 && counted.is_multiple_of(ckpt.every) {
+            session.checkpoint(counted)?.save(&ckpt.dir)?;
+        }
+        if ckpt.stop_after > 0 && counted - start_from as u64 >= ckpt.stop_after {
+            break;
+        }
+    }
+    let report = session.system_report();
+    Ok((out, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +283,40 @@ mod tests {
             prefix.extend_edges(batch);
             assert_eq!(cpu[i].triangles, triangle::count_exact(&prefix) as f64);
         }
+    }
+
+    #[test]
+    fn kill_and_resume_converges_to_the_uninterrupted_run() {
+        let (_, batches) = batches();
+        let config = pim_config();
+        let full = pim_dynamic(&batches, &config).unwrap();
+        let dir = std::env::temp_dir().join(format!("pimtc_dyn_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // First process: checkpoint every update, "die" after two.
+        let ck = DynamicCheckpoint {
+            dir: dir.clone(),
+            every: 1,
+            resume: false,
+            stop_after: 2,
+        };
+        let (first, _) = pim_dynamic_checkpointed(&batches, &config, &ck, None).unwrap();
+        assert_eq!(first.len(), 2);
+        // Second process: resume from disk, run to the end.
+        let ck = DynamicCheckpoint {
+            dir: dir.clone(),
+            every: 1,
+            resume: true,
+            stop_after: 0,
+        };
+        let (rest, _) = pim_dynamic_checkpointed(&batches, &config, &ck, None).unwrap();
+        assert_eq!(rest.len(), batches.len() - 2);
+        assert_eq!(rest.first().unwrap().update, 2);
+        assert_eq!(
+            rest.last().unwrap().triangles.to_bits(),
+            full.last().unwrap().triangles.to_bits(),
+            "resumed stream must converge to the uninterrupted count"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -40,6 +40,9 @@ const VALUED: &[&str] = &[
     "scrub-interval",
     "metrics-out",
     "metrics-format",
+    "checkpoint",
+    "checkpoint-every",
+    "stop-after",
 ];
 
 impl Args {

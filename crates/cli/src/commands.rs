@@ -33,8 +33,12 @@ usage:
       Robustness (count/dynamic/profile; see docs/ROBUSTNESS.md):
       --faults SPEC|FILE injects seeded faults into the simulated
       hardware (grammar: seed=U64,transfer=PPM,corrupt=PPM,launch=PPM,
-      kill=DPU@OP, scrub=N; a path to a file holding one spec also works;
-      the PIM_SIM_FAULTS environment variable is the fallback). --spares N
+      kill=DPU@OP, rank=R@OP|count, rank_flaky=R:PPM, scrub=N; a path to
+      a file holding one spec also works; the PIM_SIM_FAULTS environment
+      variable is the fallback). rank=R@OP takes a whole rank — every
+      core and spare on it — permanently offline at faultable op OP
+      (`@count` fires at the first triangle-count op); survivors re-home
+      its partitions onto other ranks' spares. --spares N
       reserves N spare cores for permanent-death failover; --max-retries
       R bounds consecutive retries of a faulted operation; --hardened
       forces the checksummed pipeline even without a fault plan.
@@ -70,7 +74,15 @@ usage:
 
   pimtc dynamic <graph> [--batches B] [--colors C] [--json]
       [--backend timed|functional] [--route-chunk E] [--intersect STRAT]
+      [--checkpoint DIR [--checkpoint-every N] [--resume] [--stop-after U]]
       Split the graph into B update batches and recount after each.
+      --checkpoint writes a versioned, FNV-checksummed session snapshot
+      into DIR (atomically: temp + rename) every N counted updates
+      (default 1). --resume continues a killed stream from the snapshot's
+      watermark instead of update 0, converging to the same final count
+      as an uninterrupted run; corrupt or truncated snapshots are refused.
+      --stop-after U ends the process cleanly after U updates — a
+      process-kill stand-in for checkpoint tests and CI.
 
   pimtc profile --graph <path> [--dpus N] [--out trace.json]
       [--colors C] [--uniform-p P] [--capacity M] [--misra-gries K,T]
@@ -512,8 +524,18 @@ fn cmd_dynamic(args: &Args) -> Result<(), String> {
     let batches = graph.split_batches(batches_n);
     let plane = metrics_plane(args)?;
     let hub = plane.as_ref().map(|p| Arc::clone(&p.hub));
-    let (timings, _report) = pim_baselines::dynamic::pim_dynamic_metered(&batches, &config, hub)
-        .map_err(|e| e.to_string())?;
+    let (timings, _report) = if let Some(dir) = args.get::<String>("checkpoint")? {
+        let ckpt = pim_baselines::dynamic::DynamicCheckpoint {
+            dir: std::path::PathBuf::from(dir),
+            every: args.get_or("checkpoint-every", 1u64)?,
+            resume: args.flag("resume"),
+            stop_after: args.get_or("stop-after", 0u64)?,
+        };
+        pim_baselines::dynamic::pim_dynamic_checkpointed(&batches, &config, &ckpt, hub)
+    } else {
+        pim_baselines::dynamic::pim_dynamic_metered(&batches, &config, hub)
+    }
+    .map_err(|e| e.to_string())?;
     if let Some(p) = &plane {
         p.finish()?;
     }
@@ -687,6 +709,7 @@ fn print_fault_section(fc: &pim_sim::FaultCounters, retries: u64) {
         ("payload corruptions", fc.corruptions),
         ("launch faults", fc.launch_faults),
         ("core deaths", fc.dpu_deaths),
+        ("rank deaths", fc.rank_deaths),
         ("retried operations", retries),
     ] {
         if n > 0 {
@@ -1315,6 +1338,36 @@ mod tests {
         std::fs::write(&ugly, "not json\n").unwrap();
         assert!(run(&["metrics-summary", &ugly]).is_err());
         assert!(run(&["metrics-summary", "/nonexistent.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn stats_rejects_corrupt_binary_graphs_with_a_clean_error() {
+        // A header promising an absurd edge count must surface as a
+        // one-line error from dispatch (non-zero process exit), not an
+        // allocator abort; likewise truncation and bad magic.
+        let g = pim_graph::gen::erdos_renyi(30, 0.2, 1);
+        let path = tmp("stats_corrupt.bin");
+        io::save_binary(&g, &path).unwrap();
+        run(&["stats", &path, "--json"]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = run(&["stats", &path, "--json"]).unwrap_err();
+        assert!(err.contains("cannot read"), "got: {err}");
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes[..40]).unwrap();
+        let err = run(&["stats", &path]).unwrap_err();
+        assert!(err.contains("cannot read"), "got: {err}");
+        assert!(run(&["stats", "/nonexistent/graph.bin"]).is_err());
+    }
+
+    #[test]
+    fn metrics_summary_rejects_unreadable_bytes() {
+        // Invalid UTF-8 is an unreadable stream, not a panic.
+        let path = tmp("m7.nonutf8.jsonl");
+        std::fs::write(&path, [0xFFu8, 0xFE, 0x00, 0x80]).unwrap();
+        let err = run(&["metrics-summary", &path]).unwrap_err();
+        assert!(err.contains("cannot read"), "got: {err}");
     }
 
     #[test]

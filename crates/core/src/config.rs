@@ -296,6 +296,48 @@ impl TcConfig {
                     .into(),
             ));
         }
+        if let Some(plan) = &self.pim.fault {
+            // A kill naming a core the session never allocates would
+            // silently never fire — reject it so chaos specs stay honest.
+            let allocated = partitions + ranks * self.spare_dpus as usize;
+            for kill in plan.kills.iter().flatten() {
+                if kill.dpu >= allocated {
+                    return Err(TcError::Config(format!(
+                        "fault plan kills DPU {} but this session allocates \
+                         only {} cores ({} partitions + {} ranks x {} \
+                         spares; cluster-wide budget {} ranks x {} = {} \
+                         cores) — the kill would silently never fire",
+                        kill.dpu,
+                        allocated,
+                        partitions,
+                        ranks,
+                        self.spare_dpus,
+                        ranks,
+                        self.pim.total_dpus,
+                        ranks * self.pim.total_dpus,
+                    )));
+                }
+            }
+            for kill in plan.rank_kills.iter().flatten() {
+                if kill.rank >= ranks {
+                    return Err(TcError::Config(format!(
+                        "fault plan kills rank {} but this session runs on \
+                         {} rank(s) (--ranks / PIM_TC_RANKS) — the outage \
+                         would silently never fire",
+                        kill.rank, ranks,
+                    )));
+                }
+            }
+            for flaky in plan.rank_flaky.iter().flatten() {
+                if flaky.rank >= ranks {
+                    return Err(TcError::Config(format!(
+                        "fault plan marks rank {} flaky but this session \
+                         runs on {} rank(s) (--ranks / PIM_TC_RANKS)",
+                        flaky.rank, ranks,
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -517,6 +559,71 @@ mod tests {
         assert!(msg.contains("--ranks 2"), "message: {msg}");
         // Following the hint makes the same configuration valid.
         assert!(TcConfig::builder().colors(24).ranks(2).build().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_kill_rejected_with_cluster_budget() {
+        // colors=3 → 10 partitions; with 2 spares on 1 rank the global id
+        // space is 0..12, so kill=12 can never fire.
+        let plan = pim_sim::FaultPlan::parse("seed=3,kill=12@5").unwrap();
+        let err = TcConfig::builder()
+            .colors(3)
+            .ranks(1)
+            .spare_dpus(2)
+            .fault_plan(Some(plan))
+            .build()
+            .unwrap_err();
+        let TcError::Config(msg) = err else {
+            panic!("expected Config error")
+        };
+        assert!(msg.contains("kills DPU 12"), "message: {msg}");
+        assert!(msg.contains("only 12 cores"), "message: {msg}");
+        assert!(
+            msg.contains("cluster-wide budget 1 ranks x 2560"),
+            "message: {msg}"
+        );
+        assert!(msg.contains("silently never fire"), "message: {msg}");
+        // The same kill becomes valid once more ranks provision spares
+        // (ids 0..=17 at 4 ranks x 2 spares).
+        assert!(TcConfig::builder()
+            .colors(3)
+            .ranks(4)
+            .spare_dpus(2)
+            .fault_plan(Some(plan))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn out_of_range_rank_faults_rejected() {
+        let kill = pim_sim::FaultPlan::parse("seed=3,rank=4@count").unwrap();
+        let err = TcConfig::builder()
+            .colors(3)
+            .ranks(4)
+            .spare_dpus(2)
+            .fault_plan(Some(kill))
+            .build()
+            .unwrap_err();
+        let TcError::Config(msg) = err else {
+            panic!("expected Config error")
+        };
+        assert!(msg.contains("kills rank 4"), "message: {msg}");
+        assert!(msg.contains("4 rank(s)"), "message: {msg}");
+        let flaky = pim_sim::FaultPlan::parse("seed=3,rank_flaky=2:1000").unwrap();
+        assert!(TcConfig::builder()
+            .colors(3)
+            .ranks(2)
+            .spare_dpus(2)
+            .fault_plan(Some(flaky))
+            .build()
+            .is_err());
+        assert!(TcConfig::builder()
+            .colors(3)
+            .ranks(4)
+            .spare_dpus(2)
+            .fault_plan(Some(flaky))
+            .build()
+            .is_ok());
     }
 
     #[test]

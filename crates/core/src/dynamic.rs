@@ -14,6 +14,7 @@
 //!
 //! [`crate::count_triangles`] is simply a one-append session.
 
+use crate::checkpoint::{BankSnapshot, SessionCheckpoint, SummarySnapshot, CHECKPOINT_VERSION};
 use crate::config::TcConfig;
 use crate::correction;
 use crate::error::TcError;
@@ -79,11 +80,12 @@ pub struct TcSession<B: PimBackend = TimedBackend> {
     /// repoints a lost partition at a spare core. Plain sessions never
     /// consult it.
     partition_home: Vec<usize>,
-    /// Rank owning each partition's shard. Plain (non-cluster) sessions
-    /// put every partition in rank 0; cluster sessions mirror
-    /// [`pim_sim::ClusterSpec::rank_of_partition`]. Failover draws a
-    /// replacement from the dead partition's own rank, so a fault in one
-    /// rank never consumes another rank's spares.
+    /// Rank currently homing each partition. Plain (non-cluster)
+    /// sessions put every partition in rank 0; cluster sessions start
+    /// from [`pim_sim::ClusterSpec::rank_of_partition`]. Failover
+    /// prefers the dead partition's own rank's spares, but a whole-rank
+    /// outage takes its spare block down too, so recovery may re-home a
+    /// partition onto another rank ([`Self::take_spare`] updates this).
     partition_rank: Vec<usize>,
     /// Physical ids of allocated-but-idle spare cores, one pool per rank,
     /// consumed from the back on failover. Single-rank sessions hold one
@@ -195,6 +197,23 @@ impl<B: PimBackend> TcSession<RankCluster<B>> {
             partition_rank,
             spare_pools,
         )
+    }
+
+    /// Rebuilds a live cluster session from a verified
+    /// [`SessionCheckpoint`]: a fresh cluster is allocated from the
+    /// *checkpointed* configuration, then every partition's bank, the
+    /// Misra-Gries summary, the sampling-stream cursors, and the RNG
+    /// journals are reinstated exactly as captured. Appending the
+    /// remainder of the edge stream to the restored session converges to
+    /// the same final count as the uninterrupted run (pinned by the
+    /// `session_fuzz` resume property).
+    pub fn restore_cluster(
+        snap: &SessionCheckpoint,
+        metrics: Option<Arc<MetricsHub>>,
+    ) -> Result<TcSession<RankCluster<B>>, TcError> {
+        let mut session = Self::start_cluster_metered(&snap.config, metrics)?;
+        session.install_snapshot(snap)?;
+        Ok(session)
     }
 
     /// Ranks in the cluster.
@@ -733,6 +752,171 @@ impl<B: PimBackend> TcSession<B> {
         self.partition_home[t]
     }
 
+    /// Captures a complete restorable snapshot of the session at an
+    /// append boundary: every partition's bank (header words, resident
+    /// sample, remap prefix) read through the free host inspection
+    /// channel, plus the host-side sampling state — Misra-Gries summary,
+    /// stream cursors, remap assignments, and RNG journals. `watermark`
+    /// is the caller's stream position (for `pimtc dynamic`: update
+    /// batches fully applied); restore hands it back so the caller knows
+    /// where to resume. Persist with [`SessionCheckpoint::save`].
+    pub fn checkpoint(&self, watermark: u64) -> Result<SessionCheckpoint, TcError> {
+        let mut banks = Vec::with_capacity(self.assignment.nr_dpus());
+        for &home in &self.partition_home {
+            let header: Vec<u64> = decode_slice(&self.sys.dpu(home)?.host_read(0, 64)?);
+            let (len, remap_len) = (header[1], header[4]);
+            let sample = if len > 0 {
+                decode_slice(
+                    &self
+                        .sys
+                        .dpu(home)?
+                        .host_read(self.layout.sample_off, len * 8)?,
+                )
+            } else {
+                Vec::new()
+            };
+            let remap = if remap_len > 0 {
+                let bytes = self
+                    .sys
+                    .dpu(home)?
+                    .host_read(self.layout.remap_off, remap_len * 8)?;
+                decode_slice(&bytes)
+            } else {
+                Vec::new()
+            };
+            banks.push(BankSnapshot {
+                header,
+                sample,
+                remap,
+            });
+        }
+        Ok(SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            config: self.config,
+            watermark,
+            offered: self.offered,
+            kept: self.kept,
+            route_granules: self.route_granules,
+            chunks_done: self.chunks_done,
+            peak_routed_bytes: self.peak_routed_bytes,
+            routed_per_partition: self.routed_per_partition.clone(),
+            remap_table: self.remap_table.clone(),
+            next_new_id: self.next_new_id,
+            remap_dirty: self.remap_dirty,
+            summary: self.summary.as_ref().map(|mg| SummarySnapshot {
+                capacity: mg.capacity() as u64,
+                items_seen: mg.items_seen(),
+                entries: mg.snapshot(),
+            }),
+            journals: self.journals.clone(),
+            banks,
+        })
+    }
+
+    /// Reinstates a snapshot's state into a freshly started session (same
+    /// configuration, identity partition homes). Structural mismatches —
+    /// wrong partition count, bank/sample/remap lengths out of agreement,
+    /// a summary the configuration doesn't call for — are refused with
+    /// [`TcError::Checkpoint`]; a checksum-valid file can still be
+    /// rejected here if it was written by a different session shape.
+    fn install_snapshot(&mut self, snap: &SessionCheckpoint) -> Result<(), TcError> {
+        let parts = self.assignment.nr_dpus();
+        let bad = |msg: String| Err(TcError::Checkpoint(msg));
+        if snap.banks.len() != parts {
+            return bad(format!(
+                "snapshot holds {} partition banks but this configuration \
+                 has {parts} partitions",
+                snap.banks.len()
+            ));
+        }
+        if snap.routed_per_partition.len() != parts {
+            return bad(format!(
+                "snapshot routed counters cover {} partitions, expected {parts}",
+                snap.routed_per_partition.len()
+            ));
+        }
+        if snap.summary.is_some() != self.summary.is_some() {
+            return bad("snapshot and configuration disagree on Misra-Gries tracking".to_string());
+        }
+        if let Some(journals) = &snap.journals {
+            if self.journals.is_none() {
+                return bad("snapshot carries RNG journals but journaling is off".to_string());
+            }
+            if journals.len() != parts {
+                return bad(format!(
+                    "snapshot holds {} journals, expected {parts}",
+                    journals.len()
+                ));
+            }
+        } else if self.journals.is_some() {
+            return bad("journaling is on but the snapshot has no journals".to_string());
+        }
+        for (t, bank) in snap.banks.iter().enumerate() {
+            if bank.header.len() != 8 {
+                return bad(format!(
+                    "partition {t} bank header has {} words, expected 8",
+                    bank.header.len()
+                ));
+            }
+            if bank.header[0] != self.layout.capacity {
+                return bad(format!(
+                    "partition {t} was checkpointed at capacity {} but this \
+                     layout holds {}",
+                    bank.header[0], self.layout.capacity
+                ));
+            }
+            if bank.sample.len() as u64 != bank.header[1] {
+                return bad(format!(
+                    "partition {t} sample holds {} keys but its header \
+                     records len = {}",
+                    bank.sample.len(),
+                    bank.header[1]
+                ));
+            }
+            if bank.remap.len() as u64 != bank.header[4] {
+                return bad(format!(
+                    "partition {t} remap prefix holds {} entries but its \
+                     header records remap_len = {}",
+                    bank.remap.len(),
+                    bank.header[4]
+                ));
+            }
+        }
+        let summary = match &snap.summary {
+            Some(s) => Some(
+                MisraGries::from_snapshot(s.capacity as usize, s.items_seen, &s.entries)
+                    .map_err(|e| TcError::Checkpoint(format!("Misra-Gries snapshot: {e}")))?,
+            ),
+            None => None,
+        };
+        // Banks go back through the host inspection channel: restore is
+        // out-of-band bookkeeping, not modeled data movement.
+        for (t, bank) in snap.banks.iter().enumerate() {
+            let home = self.partition_home[t];
+            let dpu = self.sys.dpu_mut(home)?;
+            dpu.host_write(0, &encode_slice(&bank.header))?;
+            if !bank.sample.is_empty() {
+                dpu.host_write(self.layout.sample_off, &encode_slice(&bank.sample))?;
+            }
+            if !bank.remap.is_empty() {
+                dpu.host_write(self.layout.remap_off, &encode_slice(&bank.remap))?;
+            }
+        }
+        self.offered = snap.offered;
+        self.kept = snap.kept;
+        self.route_granules = snap.route_granules;
+        self.chunks_done = snap.chunks_done;
+        self.peak_routed_bytes = snap.peak_routed_bytes;
+        self.routed_per_partition = snap.routed_per_partition.clone();
+        self.remap_table = snap.remap_table.clone();
+        self.remap_assigned = snap.remap_table.iter().map(|&(old, _)| old).collect();
+        self.next_new_id = snap.next_new_id;
+        self.remap_dirty = snap.remap_dirty;
+        self.summary = summary;
+        self.journals = snap.journals.clone();
+        Ok(())
+    }
+
     /// Mutable access to the underlying backend — the chaos-harness
     /// escape hatch for planting out-of-band bank corruption via
     /// [`pim_sim::PimBackend::dpu_mut`]. Bypasses the modeled transfer
@@ -1065,6 +1249,29 @@ impl<B: PimBackend> TcSession<B> {
         Ok(())
     }
 
+    /// Pops a replacement core for partition `t`: its own rank's spare
+    /// pool first (preserving single-rank pop order exactly), then the
+    /// other ranks' pools in round-robin order. Spares that died with
+    /// their rank (or out of band) are discarded, never selected — a
+    /// whole-rank outage takes its spare block down with it, so recovery
+    /// must be able to re-home a partition onto a *different* rank's
+    /// spares. Updates `partition_rank[t]` to the donor rank.
+    fn take_spare(&mut self, t: usize) -> Option<usize> {
+        let own = self.partition_rank[t];
+        let ranks = self.spare_pools.len();
+        for offset in 0..ranks {
+            let r = (own + offset) % ranks;
+            while let Some(spare) = self.spare_pools[r].pop() {
+                if self.sys.is_dpu_lost(spare) {
+                    continue; // Lost with its rank; drop it from the pool.
+                }
+                self.partition_rank[t] = r;
+                return Some(spare);
+            }
+        }
+        None
+    }
+
     /// Replaces a permanently dead core. An idle spare just leaves the
     /// pool; a partition home is rebuilt from the C-fold redundancy of
     /// the surviving replicas onto a fresh spare. `exclude` lists edge
@@ -1086,15 +1293,14 @@ impl<B: PimBackend> TcSession<B> {
         let Some(t) = self.partition_home.iter().position(|&h| h == dead) else {
             return Ok(()); // Already failed over by a nested recovery.
         };
-        let rank = self.partition_rank[t];
         if self.journals.is_some() {
             // Journaled sessions skip survivor reconstruction entirely:
             // the lost bank — overflowed or not, remapped or not, even
             // with C = 1 — is re-derived by replaying the journal.
-            let Some(spare) = self.spare_pools[rank].pop() else {
+            let Some(spare) = self.take_spare(t) else {
                 return Err(TcError::Faulted(format!(
                     "core {dead} (partition {t}) died with no spare cores left \
-                     in rank {rank} (configure spare_dpus)"
+                     in any rank (configure spare_dpus)"
                 )));
             };
             self.install_replayed(t, spare, exclude, recovered)?;
@@ -1128,10 +1334,10 @@ impl<B: PimBackend> TcSession<B> {
                 self.layout.capacity
             )));
         }
-        let Some(spare) = self.spare_pools[rank].pop() else {
+        let Some(spare) = self.take_spare(t) else {
             return Err(TcError::Faulted(format!(
                 "core {dead} (partition {t}) died with no spare cores left \
-                 in rank {rank} (configure spare_dpus)"
+                 in any rank (configure spare_dpus)"
             )));
         };
 
@@ -1903,6 +2109,143 @@ mod tests {
             assert_eq!(r.edges_kept, expect.edges_kept);
             assert_eq!(r.dpu_reports, expect.dpu_reports);
         }
+    }
+
+    fn ckpt_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("pimtc_dyn_ckpt_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let g = gen::erdos_renyi(100, 0.15, 9);
+        let mut pre = g.clone();
+        pre.preprocess(3);
+        let batches = pre.split_batches(4);
+        let config = tiny_config(3);
+
+        // Uninterrupted reference: every batch, counting after each.
+        let mut full = TcSession::<RankCluster<TimedBackend>>::start_cluster(&config).unwrap();
+        let mut want = None;
+        for b in &batches {
+            full.append(b).unwrap();
+            want = Some(full.count().unwrap());
+        }
+        let want = want.unwrap();
+
+        // Interrupted run: two batches, checkpoint, drop the session (the
+        // process-kill stand-in — nothing survives but the file).
+        let dir = ckpt_dir("resume");
+        {
+            let mut first = TcSession::<RankCluster<TimedBackend>>::start_cluster(&config).unwrap();
+            for b in &batches[..2] {
+                first.append(b).unwrap();
+                first.count().unwrap();
+            }
+            first.checkpoint(2).unwrap().save(&dir).unwrap();
+        }
+        let snap = SessionCheckpoint::load(&dir).unwrap();
+        assert_eq!(snap.watermark, 2);
+        let mut resumed =
+            TcSession::<RankCluster<TimedBackend>>::restore_cluster(&snap, None).unwrap();
+        let mut got = None;
+        for b in &batches[2..] {
+            resumed.append(b).unwrap();
+            got = Some(resumed.count().unwrap());
+        }
+        let got = got.unwrap();
+        assert_eq!(got.estimate.to_bits(), want.estimate.to_bits());
+        assert_eq!(got.dpu_reports, want.dpu_reports);
+        assert_eq!(got.edges_kept, want.edges_kept);
+        assert_eq!(got.edges_routed, want.edges_routed);
+        assert_eq!(
+            resumed.resident_samples().unwrap(),
+            full.resident_samples().unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_restore_covers_journals_and_misra_gries() {
+        let mut g = gen::chung_lu(
+            gen::chung_lu::ChungLuParams {
+                n: 300,
+                gamma: 2.1,
+                avg_degree: 8.0,
+                max_degree_frac: 0.4,
+            },
+            11,
+        );
+        g.preprocess(0);
+        let batches = g.split_batches(3);
+        let config = TcConfig::builder()
+            .colors(3)
+            .misra_gries(32, 8)
+            .journal(true)
+            .spare_dpus(2)
+            .pim(PimConfig {
+                total_dpus: 512,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            })
+            .stage_edges(64)
+            .build()
+            .unwrap();
+
+        let mut full = TcSession::<RankCluster<TimedBackend>>::start_cluster(&config).unwrap();
+        let mut want = None;
+        for b in &batches {
+            full.append(b).unwrap();
+            want = Some(full.count().unwrap());
+        }
+        let want = want.unwrap();
+
+        let dir = ckpt_dir("journal_mg");
+        {
+            let mut first = TcSession::<RankCluster<TimedBackend>>::start_cluster(&config).unwrap();
+            first.append(&batches[0]).unwrap();
+            first.count().unwrap();
+            first.checkpoint(1).unwrap().save(&dir).unwrap();
+        }
+        let snap = SessionCheckpoint::load(&dir).unwrap();
+        assert!(snap.journals.is_some(), "journals must be checkpointed");
+        assert!(snap.summary.is_some(), "summary must be checkpointed");
+        let mut resumed =
+            TcSession::<RankCluster<TimedBackend>>::restore_cluster(&snap, None).unwrap();
+        // The restored banks must agree with the restored journals: a
+        // scrub sweep (seal digests vs journal replay) finds nothing to
+        // repair.
+        let outcome = resumed.scrub().unwrap();
+        assert_eq!(outcome.repaired, 0, "restored banks diverge from journals");
+        let mut got = None;
+        for b in &batches[1..] {
+            resumed.append(b).unwrap();
+            got = Some(resumed.count().unwrap());
+        }
+        let got = got.unwrap();
+        assert_eq!(got.estimate.to_bits(), want.estimate.to_bits());
+        assert_eq!(got.dpu_reports, want.dpu_reports);
+        assert_eq!(
+            resumed.resident_samples().unwrap(),
+            full.resident_samples().unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_refuses_a_snapshot_from_a_different_shape() {
+        let g = gen::erdos_renyi(60, 0.2, 5);
+        let mut s = TcSession::<RankCluster<TimedBackend>>::start_cluster(&tiny_config(3)).unwrap();
+        s.append(g.edges()).unwrap();
+        s.count().unwrap();
+        let mut snap = s.checkpoint(1).unwrap();
+        snap.config.colors = 2; // 4 partitions; the snapshot holds 10 banks.
+        let Err(err) = TcSession::<RankCluster<TimedBackend>>::restore_cluster(&snap, None) else {
+            panic!("mismatched snapshot must be refused");
+        };
+        assert!(matches!(err, TcError::Checkpoint(_)), "got {err:?}");
+        assert!(err.to_string().contains("partition"), "got: {err}");
     }
 
     #[test]

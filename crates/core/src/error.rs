@@ -15,6 +15,10 @@ pub enum TcError {
     /// left, or a lost partition could not be reconstructed). The message
     /// names the resource that ran out.
     Faulted(String),
+    /// A session checkpoint could not be written, read, or verified
+    /// (I/O failure, bad magic/version, checksum mismatch, or a snapshot
+    /// inconsistent with the session it would restore).
+    Checkpoint(String),
 }
 
 /// The crate's error type under the name downstream tooling uses when it
@@ -27,6 +31,7 @@ impl fmt::Display for TcError {
             TcError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             TcError::Sim(e) => write!(f, "simulator error: {e}"),
             TcError::Faulted(msg) => write!(f, "fault recovery exhausted: {msg}"),
+            TcError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -35,7 +40,7 @@ impl std::error::Error for TcError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TcError::Sim(e) => Some(e),
-            TcError::Config(_) | TcError::Faulted(_) => None,
+            TcError::Config(_) | TcError::Faulted(_) | TcError::Checkpoint(_) => None,
         }
     }
 }
@@ -64,5 +69,8 @@ mod tests {
         let f = TcError::Faulted("no spare PIM cores left".into());
         assert!(f.to_string().contains("no spare"));
         assert!(f.source().is_none());
+        let c = TcError::Checkpoint("checksum mismatch".into());
+        assert!(c.to_string().starts_with("checkpoint error: "));
+        assert!(c.source().is_none());
     }
 }

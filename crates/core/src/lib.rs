@@ -33,6 +33,7 @@
 //! assert_eq!(result.estimate.round() as u64, 1140);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod correction;
 pub mod dynamic;
@@ -43,6 +44,7 @@ pub mod planner;
 pub mod result;
 pub mod triplets;
 
+pub use checkpoint::{SessionCheckpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
 pub use config::{ExecBackend, MisraGriesConfig, TcConfig, TcConfigBuilder};
 pub use dynamic::{ScrubOutcome, TcSession};
 pub use error::{PimTcError, TcError};

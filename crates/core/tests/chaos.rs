@@ -10,13 +10,35 @@
 //! is reproducible from its spec string.
 
 use pim_graph::gen;
-use pim_sim::{FaultPlan, FunctionalBackend, PimConfig, TimedBackend, TraceEvent};
+use pim_sim::{FaultPlan, FunctionalBackend, PimConfig, RankCluster, TimedBackend, TraceEvent};
 use pim_tc::{count_triangles_in, TcConfig, TcError, TcResult, TcSession};
 use proptest::prelude::*;
 
 fn config(colors: u32, faults: Option<FaultPlan>, spares: u32) -> TcConfig {
     TcConfig::builder()
         .colors(colors)
+        .pim(PimConfig {
+            total_dpus: 512,
+            mram_capacity: 1 << 20,
+            fault: faults,
+            ..PimConfig::tiny()
+        })
+        .stage_edges(64)
+        .spare_dpus(spares)
+        .build()
+        .unwrap()
+}
+
+/// A four-rank cluster at C = 3: partitions shard as rank 0 = {0,1,2},
+/// rank 1 = {3,4,5}, rank 2 = {6,7}, rank 3 = {8,9}. Killing rank 1 is
+/// the replica-recoverable whole-rank outage: every partition it hosts
+/// keeps surviving replicas on ranks 0, 2, and 3 (killing rank 0 would
+/// not be — mono-color-0 edges live on {0,1,2} exactly).
+fn rank4_config(faults: Option<FaultPlan>, spares: u32, journal: bool) -> TcConfig {
+    TcConfig::builder()
+        .colors(3)
+        .ranks(4)
+        .journal(journal)
         .pim(PimConfig {
             total_dpus: 512,
             mram_capacity: 1 << 20,
@@ -242,6 +264,81 @@ fn fault_counters_surface_in_the_system_report() {
     assert!(report.fault_counters.total() > 1);
 }
 
+#[test]
+fn a_whole_rank_death_recovers_from_surviving_replicas() {
+    // Permanent rank outage with journaling off: every partition the dead
+    // rank hosted is rebuilt from the C-fold replicas on the surviving
+    // ranks and re-homed onto their spare blocks (its own spares died
+    // with it). The degraded run stays exact and bit-identical.
+    let g = gen::erdos_renyi(100, 0.15, 9);
+    let want = run::<TimedBackend>(&g, &rank4_config(None, 0, false));
+    for spec in [
+        "seed=7,rank=1@count", // outage at the first counting op
+        "seed=7,rank=1@20",    // outage mid-stream, during staging
+        "seed=7,transfer=40000,corrupt=40000,launch=40000,rank=1@count",
+    ] {
+        let plan = FaultPlan::parse(spec).unwrap();
+        let got = run::<TimedBackend>(&g, &rank4_config(Some(plan), 2, false));
+        assert_bit_identical(&got, &want, spec);
+        assert!(got.exact, "{spec}: rank recovery must preserve exactness");
+        let got_f = run::<FunctionalBackend>(&g, &rank4_config(Some(plan), 2, false));
+        assert_bit_identical(&got_f, &want, spec);
+    }
+}
+
+#[test]
+fn a_whole_rank_death_recovers_by_journal_replay() {
+    // The same outages with journaling on take the survivor-free path:
+    // each lost bank is re-derived by replaying its RNG journal, so even
+    // Misra-Gries state (unreconstructable from replicas) comes back.
+    let g = gen::erdos_renyi(100, 0.15, 9);
+    let base = TcConfig {
+        misra_gries: Some(pim_tc::MisraGriesConfig { k: 32, t: 8 }),
+        ..rank4_config(None, 0, true)
+    };
+    let want = run::<TimedBackend>(&g, &base);
+    for spec in ["seed=7,rank=1@count", "seed=7,rank=1@20"] {
+        let plan = FaultPlan::parse(spec).unwrap();
+        let faulty = TcConfig {
+            misra_gries: Some(pim_tc::MisraGriesConfig { k: 32, t: 8 }),
+            ..rank4_config(Some(plan), 2, true)
+        };
+        let got = run::<TimedBackend>(&g, &faulty);
+        assert_bit_identical(&got, &want, spec);
+        let got_f = run::<FunctionalBackend>(&g, &faulty);
+        assert_bit_identical(&got_f, &want, spec);
+    }
+}
+
+#[test]
+fn rank_deaths_are_counted_and_sessions_survive_them_across_updates() {
+    // Session-level view of a whole-rank outage: the degradation is
+    // visible in the fault counters (one rank death, its partitions
+    // failed over cross-rank onto surviving spare blocks) and later
+    // updates keep matching a fault-free cluster session bit for bit.
+    let g = gen::erdos_renyi(90, 0.15, 17);
+    let batches = g.clone().split_batches(3);
+    let plan = FaultPlan::parse("seed=7,rank=1@20").unwrap();
+    let mut plain =
+        TcSession::<RankCluster<TimedBackend>>::start_cluster(&rank4_config(None, 0, false))
+            .unwrap();
+    let mut hard =
+        TcSession::<RankCluster<TimedBackend>>::start_cluster(&rank4_config(Some(plan), 2, false))
+            .unwrap();
+    for batch in &batches {
+        plain.append(batch).unwrap();
+        hard.append(batch).unwrap();
+        let want = plain.count().unwrap();
+        let got = hard.count().unwrap();
+        assert_bit_identical(&got, &want, "incremental rank death");
+    }
+    let counters = hard.fault_counters();
+    assert_eq!(counters.rank_deaths, 1, "one rank outage must be counted");
+    // Rank 1 hosted three partitions; each consumed one surviving spare
+    // (rank 1's own spare block died with it and is never selected).
+    assert_eq!(hard.spares_left(), 3, "three cross-rank failovers");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -262,6 +359,12 @@ proptest! {
     ) {
         let g = gen::erdos_renyi(n, 0.12, gseed);
         let want = run::<FunctionalBackend>(&g, &config(colors, None, 0));
+        // Config validation rejects kills beyond the allocated cores
+        // (partitions + per-rank spares), and the budget depends on the
+        // ambient PIM_TC_RANKS — clamp the generated id into range.
+        let probe = config(colors, None, 2);
+        let allocated = probe.nr_dpus() + probe.effective_ranks() as usize * 2;
+        let kill_dpu = kill_dpu % allocated;
         let spec = format!(
             "seed={fseed},transfer={transfer},corrupt={corrupt},launch={launch},kill={kill_dpu}@{kill_op}"
         );

@@ -296,6 +296,12 @@ proptest! {
         let mg = mg_raw == 1;
         let mut g = gen::erdos_renyi(n, 0.12, gseed);
         g.preprocess(0);
+        // Config validation rejects kills beyond the allocated cores
+        // (partitions + per-rank spares), and the budget depends on the
+        // ambient PIM_TC_RANKS — clamp the generated id into range.
+        let probe = config(colors, None, 2, capacity, mg);
+        let allocated = probe.nr_dpus() + probe.effective_ranks() as usize * 2;
+        let kill_dpu = kill_dpu % allocated;
         let spec = format!("seed={fseed},kill={kill_dpu}@{kill_op}");
         let plan = FaultPlan::parse(&spec).unwrap();
         let scenario = format!("{spec} C={colors} cap={capacity:?} mg={mg}");

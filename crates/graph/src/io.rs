@@ -107,7 +107,11 @@ pub fn read_binary<R: Read>(reader: R) -> io::Result<CooGraph> {
     }
     r.read_exact(&mut u64buf)?;
     let num_edges = u64::from_le_bytes(u64buf) as usize;
-    let mut edges = Vec::with_capacity(num_edges);
+    // A corrupt header can promise absurd edge counts; preallocating it
+    // blindly aborts on capacity overflow / OOM instead of erroring. Cap
+    // the reservation — `read_exact` below fails cleanly on truncation —
+    // and let the vector grow normally for genuinely large graphs.
+    let mut edges = Vec::with_capacity(num_edges.min(1 << 20));
     let mut pair = [0u8; 8];
     for _ in 0..num_edges {
         r.read_exact(&mut pair)?;
@@ -179,6 +183,18 @@ mod tests {
         write_binary(&sample(), &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_absurd_edge_count_without_aborting() {
+        // A corrupt header promising u64::MAX edges must produce an I/O
+        // error (truncated body), not a capacity-overflow abort from an
+        // unbounded Vec::with_capacity.
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

@@ -35,7 +35,10 @@ use crate::cost::{CostModel, SimSeconds};
 use crate::dpu::Dpu;
 use crate::energy::EnergyReport;
 use crate::error::{SimError, SimResult};
-use crate::fault::{splitmix64, DpuKill, FaultCounters, FaultPlan, MAX_KILLS};
+use crate::fault::{
+    splitmix64, DpuKill, FaultCounters, FaultPlan, RankKill, MAX_KILLS, MAX_RANK_KILLS,
+    RANK_AT_COUNT,
+};
 use crate::kernel::DpuContext;
 use crate::phase::{Phase, PhaseTimes};
 use crate::stats::SystemReport;
@@ -139,7 +142,7 @@ impl ClusterSpec {
     /// identity), later ranks remix it; `kill` entries name *global* DPU
     /// ids and are rewritten to rank-local ids on the owning rank only.
     pub fn rank_fault_plan(&self, plan: &FaultPlan, rank: usize) -> FaultPlan {
-        if self.ranks == 1 {
+        if self.ranks == 1 && !plan.has_rank_faults() {
             return *plan;
         }
         let mut derived = *plan;
@@ -162,6 +165,18 @@ impl ClusterSpec {
             }
         }
         derived.kills = kills;
+        // `rank_flaky=R:PPM` folds into the target rank's transient
+        // transfer rate — the rank's own decision stream and the cluster's
+        // rank-local retry loop then model the flaky interconnect.
+        for flaky in plan.rank_flaky.into_iter().flatten() {
+            if flaky.rank == rank {
+                derived.transfer_fail_ppm = derived.transfer_fail_ppm.max(flaky.ppm);
+            }
+        }
+        // Rank-level entries are executed by the cluster layer, never by
+        // the per-rank backends; strip them from the derived plans.
+        derived.rank_kills = [None; MAX_RANK_KILLS];
+        derived.rank_flaky = [None; MAX_RANK_KILLS];
         derived
     }
 }
@@ -261,6 +276,20 @@ pub struct RankCluster<B> {
     /// Rank → local id → global id.
     inverse: Vec<Vec<u32>>,
     phase: Phase,
+    /// `rank=R@OP` entries from the cluster plan that have not fired yet.
+    /// Only the cluster layer can execute these: a rank outage exceeds the
+    /// per-backend kill budget and crosses its id space.
+    pending_rank_kills: Vec<RankKill>,
+    /// Which ranks have died (whole-rank failure domain).
+    rank_dead: Vec<bool>,
+    /// Cluster-level operation counter driving `rank=R@OP` schedules.
+    /// Advances only while rank kills are pending, so fault-free clusters
+    /// stay byte-identical to pre-rank-fault builds.
+    cluster_ops: u64,
+    /// Whole-rank deaths injected so far.
+    rank_deaths: u64,
+    /// Hub for `rank_dead` fault events (stored by `attach_metrics`).
+    hub: Option<Arc<MetricsHub>>,
 }
 
 impl<B: PimBackend> RankCluster<B> {
@@ -279,7 +308,16 @@ impl<B: PimBackend> RankCluster<B> {
             }
             ranks.push(B::allocate(spec.rank_nr_dpus(r), rank_config, cost)?);
         }
-        Ok(RankCluster::from_parts(spec, ranks))
+        let mut cluster = RankCluster::from_parts(spec, ranks);
+        if let Some(plan) = config.fault {
+            cluster.pending_rank_kills = plan
+                .rank_kills
+                .into_iter()
+                .flatten()
+                .filter(|k| k.rank < spec.ranks)
+                .collect();
+        }
+        Ok(cluster)
     }
 
     fn from_parts(spec: ClusterSpec, ranks: Vec<B>) -> RankCluster<B> {
@@ -298,6 +336,11 @@ impl<B: PimBackend> RankCluster<B> {
             route,
             inverse,
             phase: Phase::Setup,
+            pending_rank_kills: Vec::new(),
+            rank_dead: vec![false; spec.ranks],
+            cluster_ops: 0,
+            rank_deaths: 0,
+            hub: None,
         }
     }
 
@@ -319,6 +362,57 @@ impl<B: PimBackend> RankCluster<B> {
     /// The global id of `local` on `rank`.
     pub fn global_id(&self, rank: usize, local: usize) -> usize {
         self.inverse[rank][local] as usize
+    }
+
+    /// Whether `rank` has died (whole-rank failure domain).
+    pub fn is_rank_dead(&self, rank: usize) -> bool {
+        self.rank_dead.get(rank).copied().unwrap_or(false)
+    }
+
+    /// True while rank-level faults demand cluster-level bookkeeping:
+    /// either kills are still scheduled or a rank has already died. When
+    /// false every op takes the zero-overhead fast path, preserving the
+    /// R = 1 verbatim identity and fault-free byte-identity.
+    fn rank_faults_armed(&self) -> bool {
+        !self.pending_rank_kills.is_empty() || self.rank_deaths > 0
+    }
+
+    /// Advances the cluster op counter and fires any due `rank=R@OP`
+    /// schedules. `rank=R@count` entries fire at the first operation of
+    /// the Triangle Count phase.
+    fn rank_fault_step(&mut self) {
+        if self.pending_rank_kills.is_empty() {
+            return;
+        }
+        let op = self.cluster_ops;
+        self.cluster_ops += 1;
+        let counting = self.phase == Phase::TriangleCount;
+        let mut i = 0;
+        while i < self.pending_rank_kills.len() {
+            let kill = self.pending_rank_kills[i];
+            let due = if kill.at_op == RANK_AT_COUNT {
+                counting
+            } else {
+                kill.at_op <= op
+            };
+            if !due {
+                i += 1;
+                continue;
+            }
+            self.pending_rank_kills.remove(i);
+            if !self.rank_dead[kill.rank] {
+                self.rank_dead[kill.rank] = true;
+                self.rank_deaths += 1;
+                if let Some(hub) = &self.hub {
+                    hub.with_rank(kill.rank as u32).fault(
+                        "rank_dead",
+                        self.phase.metric_name(),
+                        op,
+                        None,
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -348,6 +442,12 @@ impl<B: PimBackend> PimBackend for RankCluster<B> {
                 allocated: self.route.len(),
             });
         };
+        // A dead rank's banks are unreachable — unlike a dead core, whose
+        // bank a recovery controller can still read from surviving rank
+        // hardware. Recovery must come from replicas or journals.
+        if self.rank_dead[r as usize] {
+            return Err(SimError::DpuDead { dpu: id });
+        }
         self.ranks[r as usize]
             .dpu(l as usize)
             .map_err(|e| remap_err(&self.inverse, self.route.len(), r as usize, e))
@@ -360,6 +460,9 @@ impl<B: PimBackend> PimBackend for RankCluster<B> {
                 allocated: self.route.len(),
             });
         };
+        if self.rank_dead[r as usize] {
+            return Err(SimError::DpuDead { dpu: id });
+        }
         let total = self.route.len();
         let inverse = &self.inverse;
         self.ranks[r as usize]
@@ -401,6 +504,7 @@ impl<B: PimBackend> PimBackend for RankCluster<B> {
     /// streams); with more, each rank gets a rank-scoped view of the hub
     /// so its events and series carry a `rank` label.
     fn attach_metrics(&mut self, hub: Arc<MetricsHub>) {
+        self.hub = Some(Arc::clone(&hub));
         if self.ranks.len() == 1 {
             self.ranks[0].attach_metrics(hub);
         } else {
@@ -426,8 +530,12 @@ impl<B: PimBackend> PimBackend for RankCluster<B> {
     }
 
     fn push(&mut self, writes: Vec<HostWrite>) -> SimResult<()> {
-        if self.ranks.len() == 1 {
+        let armed = self.rank_faults_armed();
+        if self.ranks.len() == 1 && !armed {
             return self.ranks[0].push(writes);
+        }
+        if armed {
+            self.rank_fault_step();
         }
         let mut per_rank: Vec<Vec<HostWrite>> = (0..self.ranks.len()).map(|_| Vec::new()).collect();
         for mut w in writes {
@@ -439,6 +547,18 @@ impl<B: PimBackend> PimBackend for RankCluster<B> {
             };
             w.dpu = l as usize;
             per_rank[r as usize].push(w);
+        }
+        // A write aimed at a dead rank fails the batch atomically (before
+        // any rank mutates), surfacing the victim's *global* id so the
+        // orchestrator can fail the partition over to a surviving rank.
+        for (r, batch) in per_rank.iter().enumerate() {
+            if self.rank_dead[r] {
+                if let Some(w) = batch.first() {
+                    return Err(SimError::DpuDead {
+                        dpu: self.inverse[r][w.dpu] as usize,
+                    });
+                }
+            }
         }
         let total = self.route.len();
         let inverse = &self.inverse;
@@ -453,12 +573,22 @@ impl<B: PimBackend> PimBackend for RankCluster<B> {
     }
 
     fn broadcast(&mut self, offset: u64, data: &[u8]) -> SimResult<()> {
-        if self.ranks.len() == 1 {
+        let armed = self.rank_faults_armed();
+        if self.ranks.len() == 1 && !armed {
             return self.ranks[0].broadcast(offset, data);
+        }
+        if armed {
+            self.rank_fault_step();
         }
         let total = self.route.len();
         let inverse = &self.inverse;
+        let dead = &self.rank_dead;
         for (r, b) in self.ranks.iter_mut().enumerate() {
+            // Dead ranks are skipped, mirroring how a single system's
+            // broadcast skips dead DPUs instead of failing.
+            if dead[r] {
+                continue;
+            }
             retry_transient(b, "broadcast", |b| b.broadcast(offset, data))
                 .map_err(|e| remap_err(inverse, total, r, e))?;
         }
@@ -466,13 +596,27 @@ impl<B: PimBackend> PimBackend for RankCluster<B> {
     }
 
     fn gather(&mut self, offset: u64, len: u64) -> SimResult<Vec<Vec<u8>>> {
-        if self.ranks.len() == 1 {
+        let armed = self.rank_faults_armed();
+        if self.ranks.len() == 1 && !armed {
             return self.ranks[0].gather(offset, len);
+        }
+        if armed {
+            self.rank_fault_step();
         }
         let total = self.route.len();
         let inverse = &self.inverse;
+        let dead = &self.rank_dead;
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); total];
         for (r, b) in self.ranks.iter_mut().enumerate() {
+            // Dead ranks answer with zeroed tombstones, mirroring how a
+            // single system gathers from dead DPUs; verified gathers catch
+            // them by checksum.
+            if dead[r] {
+                for &g in &inverse[r] {
+                    out[g as usize] = vec![0u8; len as usize];
+                }
+                continue;
+            }
             let locals = b
                 .gather(offset, len)
                 .map_err(|e| remap_err(inverse, total, r, e))?;
@@ -489,8 +633,20 @@ impl<B: PimBackend> PimBackend for RankCluster<B> {
         K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
         Self: Sized,
     {
-        if self.ranks.len() == 1 {
+        let armed = self.rank_faults_armed();
+        if self.ranks.len() == 1 && !armed {
             return self.ranks[0].execute_labeled(label, kernel);
+        }
+        if armed {
+            self.rank_fault_step();
+        }
+        // A strict launch cannot produce results for a dead rank's DPUs;
+        // fail atomically with the rank's first global id, before any
+        // surviving rank runs the kernel.
+        if let Some(r) = (0..self.ranks.len()).find(|&r| self.rank_dead[r]) {
+            return Err(SimError::DpuDead {
+                dpu: self.inverse[r][0] as usize,
+            });
         }
         let total = self.route.len();
         let inverse = &self.inverse;
@@ -514,13 +670,23 @@ impl<B: PimBackend> PimBackend for RankCluster<B> {
         K: Fn(&mut DpuContext<'_>) -> SimResult<R> + Sync,
         Self: Sized,
     {
-        if self.ranks.len() == 1 {
+        let armed = self.rank_faults_armed();
+        if self.ranks.len() == 1 && !armed {
             return self.ranks[0].execute_labeled_masked(label, kernel);
+        }
+        if armed {
+            self.rank_fault_step();
         }
         let total = self.route.len();
         let inverse = &self.inverse;
+        let dead = &self.rank_dead;
         let mut out: Vec<Option<R>> = (0..total).map(|_| None).collect();
         for (r, b) in self.ranks.iter_mut().enumerate() {
+            // A dead rank's slots stay `None` — exactly how masked callers
+            // learn about core deaths, now scaled to the rank domain.
+            if dead[r] {
+                continue;
+            }
             let mut failures = 0u32;
             let mut deaths = 0u32;
             let results = loop {
@@ -550,7 +716,9 @@ impl<B: PimBackend> PimBackend for RankCluster<B> {
 
     fn is_dpu_lost(&self, dpu: usize) -> bool {
         match self.route.get(dpu) {
-            Some(&(r, l)) => self.ranks[r as usize].is_dpu_lost(l as usize),
+            Some(&(r, l)) => {
+                self.rank_dead[r as usize] || self.ranks[r as usize].is_dpu_lost(l as usize)
+            }
             None => false,
         }
     }
@@ -563,7 +731,9 @@ impl<B: PimBackend> PimBackend for RankCluster<B> {
             total.corruptions += c.corruptions;
             total.launch_faults += c.launch_faults;
             total.dpu_deaths += c.dpu_deaths;
+            total.rank_deaths += c.rank_deaths;
         }
+        total.rank_deaths += self.rank_deaths;
         total
     }
 
@@ -832,5 +1002,166 @@ mod tests {
         assert!(cluster.is_dpu_lost(1));
         assert!(!cluster.is_dpu_lost(2));
         assert_eq!(cluster.fault_counters().dpu_deaths, 1);
+    }
+
+    #[test]
+    fn rank_death_masks_the_whole_rank_and_counts_once() {
+        let plan = FaultPlan::parse("seed=3,rank=0@1").unwrap();
+        let spec = ClusterSpec::new(4, 1, 2); // shards of 2, spares at 4, 5
+        let config = PimConfig {
+            fault: Some(plan),
+            ..PimConfig::tiny()
+        };
+        let mut cluster =
+            RankCluster::<FunctionalBackend>::allocate_cluster(spec, config, CostModel::default())
+                .unwrap();
+        // Op 0: everything alive — baseline data lands on every bank.
+        cluster.broadcast(0, &[1u8; 8]).unwrap();
+        // Op 1: rank 0 dies — its shard (globals 0, 1) and its spare
+        // (global 4) all mask to None; rank 1 keeps working.
+        let second = cluster
+            .execute_labeled_masked("probe", |ctx| {
+                let mut t = ctx.tasklet(0)?;
+                t.charge(1);
+                Ok(ctx.dpu_id())
+            })
+            .unwrap();
+        assert!(second[0].is_none() && second[1].is_none() && second[4].is_none());
+        assert!(second[2].is_some() && second[3].is_some() && second[5].is_some());
+        for g in [0usize, 1, 4] {
+            assert!(cluster.is_dpu_lost(g));
+            assert!(matches!(cluster.dpu(g), Err(SimError::DpuDead { .. })));
+        }
+        assert!(!cluster.is_dpu_lost(2));
+        assert!(cluster.is_rank_dead(0) && !cluster.is_rank_dead(1));
+        // One rank death, no per-core deaths; counted exactly once even
+        // though three DPUs went dark.
+        let counters = cluster.fault_counters();
+        assert_eq!(counters.rank_deaths, 1);
+        assert_eq!(counters.dpu_deaths, 0);
+        // Pushes to the dead rank fail atomically with a global id; the
+        // survivors still accept data.
+        let err = cluster
+            .push(vec![HostWrite {
+                dpu: 1,
+                offset: 0,
+                data: vec![7; 8],
+            }])
+            .unwrap_err();
+        assert_eq!(err, SimError::DpuDead { dpu: 1 });
+        cluster
+            .push(vec![HostWrite {
+                dpu: 2,
+                offset: 0,
+                data: vec![9; 8],
+            }])
+            .unwrap();
+        // Gathers answer zeroed tombstones for the dead rank.
+        let banks = cluster.gather(0, 8).unwrap();
+        assert_eq!(banks[1], vec![0u8; 8]);
+        assert_eq!(banks[2], vec![9u8; 8]);
+        assert_eq!(banks[3], vec![1u8; 8], "survivor baseline intact");
+        // Strict launches refuse to run while a rank is dark.
+        assert!(matches!(
+            cluster.execute_labeled("strict", |ctx| {
+                let mut t = ctx.tasklet(0)?;
+                t.charge(1);
+                Ok(())
+            }),
+            Err(SimError::DpuDead { .. })
+        ));
+    }
+
+    #[test]
+    fn system_report_captures_through_a_dead_rank_with_zeroed_rows() {
+        let plan = FaultPlan::parse("seed=3,rank=0@1").unwrap();
+        let spec = ClusterSpec::new(4, 1, 2);
+        let config = PimConfig {
+            fault: Some(plan),
+            ..PimConfig::tiny()
+        };
+        let mut cluster =
+            RankCluster::<FunctionalBackend>::allocate_cluster(spec, config, CostModel::default())
+                .unwrap();
+        cluster.broadcast(0, &[1u8; 8]).unwrap(); // op 0: all alive
+        cluster.gather(0, 8).unwrap(); // op 1: rank 0 dies
+        assert!(cluster.is_rank_dead(0));
+        // The dead rank's cores are unreachable, so the report must not
+        // panic trying to read their counters: their rows are zeroed
+        // tombstones and the id space stays dense.
+        let report = SystemReport::capture(&cluster);
+        assert_eq!(report.per_dpu.len(), cluster.nr_dpus());
+        for row in &report.per_dpu {
+            assert_eq!(row.dpu, report.per_dpu[row.dpu].dpu);
+            let lost = cluster.is_dpu_lost(row.dpu);
+            if lost {
+                assert_eq!((row.instructions, row.dma_bytes, row.mram_used), (0, 0, 0));
+            }
+        }
+        // Survivor rows keep their real MRAM occupancy from the broadcast.
+        assert!(report.per_dpu.iter().any(|r| r.mram_used > 0));
+        assert_eq!(report.fault_counters.rank_deaths, 1);
+    }
+
+    #[test]
+    fn rank_at_count_fires_on_the_first_count_phase_op() {
+        let plan = FaultPlan::parse("seed=3,rank=1@count").unwrap();
+        let spec = ClusterSpec::new(4, 0, 2);
+        let config = PimConfig {
+            fault: Some(plan),
+            ..PimConfig::tiny()
+        };
+        let mut cluster =
+            RankCluster::<FunctionalBackend>::allocate_cluster(spec, config, CostModel::default())
+                .unwrap();
+        // Many ops outside the Triangle Count phase: nothing fires.
+        cluster.set_phase(Phase::SampleCreation);
+        for _ in 0..8 {
+            cluster.broadcast(0, &[1u8; 4]).unwrap();
+        }
+        assert_eq!(cluster.fault_counters().rank_deaths, 0);
+        // The first op inside the count phase kills the rank.
+        cluster.set_phase(Phase::TriangleCount);
+        let banks = cluster.gather(0, 4).unwrap();
+        assert_eq!(cluster.fault_counters().rank_deaths, 1);
+        assert!(cluster.is_rank_dead(1));
+        assert_eq!(banks[3], vec![0u8; 4], "dead shard tombstoned");
+        assert_eq!(banks[0], vec![1u8; 4], "survivor data intact");
+    }
+
+    #[test]
+    fn rank_flaky_derives_into_the_target_ranks_transfer_rate() {
+        let plan = FaultPlan::parse("seed=5,transfer=100,rank_flaky=1:40000").unwrap();
+        let spec = ClusterSpec::new(4, 0, 2);
+        let p0 = spec.rank_fault_plan(&plan, 0);
+        let p1 = spec.rank_fault_plan(&plan, 1);
+        assert_eq!(p0.transfer_fail_ppm, 100, "other ranks keep the base rate");
+        assert_eq!(p1.transfer_fail_ppm, 40000, "flaky rank gets the max");
+        assert!(
+            !p0.has_rank_faults() && !p1.has_rank_faults(),
+            "rank entries never reach per-rank backends"
+        );
+        // The cluster's rank-local retry loop absorbs the flakiness: data
+        // lands despite a 4% transfer-fault rate on rank 1.
+        let config = PimConfig {
+            fault: Some(plan),
+            ..PimConfig::tiny()
+        };
+        let mut cluster =
+            RankCluster::<FunctionalBackend>::allocate_cluster(spec, config, CostModel::default())
+                .unwrap();
+        for round in 0..32u8 {
+            cluster.broadcast(0, &[round; 8]).unwrap();
+        }
+        // Inspect banks out-of-band (no fault path) so the check itself
+        // cannot trip the flaky interconnect.
+        for g in 0..cluster.nr_dpus() {
+            let bank = cluster.dpu(g).unwrap().host_read(0, 8).unwrap();
+            assert_eq!(bank, vec![31u8; 8]);
+        }
+        assert!(
+            cluster.fault_counters().transfer_faults > 0,
+            "a 4% rate over 32 broadcasts should have injected something"
+        );
     }
 }

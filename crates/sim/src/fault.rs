@@ -30,6 +30,16 @@ use serde::{Deserialize, Serialize};
 /// Maximum number of scheduled DPU deaths in one plan.
 pub const MAX_KILLS: usize = 8;
 
+/// Maximum number of rank-level entries (`rank=` / `rank_flaky=`) in one
+/// plan.
+pub const MAX_RANK_KILLS: usize = 4;
+
+/// Sentinel `at_op` meaning "fire at the first cluster operation of the
+/// Triangle Count phase" — spelled `rank=R@count` in the grammar. Rank
+/// deaths are decided by the cluster layer (which knows phases), not by
+/// per-backend [`FaultState`]s, so the sentinel costs nothing here.
+pub const RANK_AT_COUNT: u64 = u64::MAX;
+
 /// Fixed-point denominator for fault probabilities: parts per million.
 pub const PPM: u64 = 1_000_000;
 
@@ -55,6 +65,28 @@ pub struct DpuKill {
     pub at_op: u64,
 }
 
+/// A scheduled permanent rank outage: every DPU homed on the rank stops
+/// responding at once. Executed by the cluster layer (`pim_sim::RankCluster`),
+/// which is the only component that knows rank boundaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankKill {
+    /// Rank index to kill (cluster-relative, `0..ranks`).
+    pub rank: usize,
+    /// Cluster-level operation index at which the rank goes dark, or
+    /// [`RANK_AT_COUNT`] for "the first op of the Triangle Count phase".
+    pub at_op: u64,
+}
+
+/// A rank-wide transient fault load: transfers touching the rank fail with
+/// the given probability (retried by the cluster's rank-local retry loop).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankFlaky {
+    /// Rank index the flakiness applies to.
+    pub rank: usize,
+    /// Probability (ppm) that a transfer op on this rank fails transiently.
+    pub ppm: u32,
+}
+
 /// A deterministic fault-injection schedule. Parsed from a spec string (see
 /// [`FaultPlan::parse`]) or built directly; attached to a system via
 /// [`crate::PimConfig::fault`].
@@ -70,6 +102,12 @@ pub struct FaultPlan {
     pub launch_fail_ppm: u32,
     /// Scheduled permanent DPU deaths (dense prefix; `None` slots unused).
     pub kills: [Option<DpuKill>; MAX_KILLS],
+    /// Scheduled permanent rank outages (`rank=R@OP`; dense prefix).
+    /// Ignored by single systems — the cluster layer executes these.
+    pub rank_kills: [Option<RankKill>; MAX_RANK_KILLS],
+    /// Rank-wide transient transfer-fault loads (`rank_flaky=R:PPM`; dense
+    /// prefix). The cluster derives them into the target rank's plan.
+    pub rank_flaky: [Option<RankFlaky>; MAX_RANK_KILLS],
     /// Suggested proactive scrub cadence for the host (`scrub=N`): verify
     /// resident banks every `N` ingest chunks. The simulator injects
     /// nothing for this — it rides along in the plan so one spec string
@@ -86,6 +124,8 @@ impl Default for FaultPlan {
             corrupt_ppm: 0,
             launch_fail_ppm: 0,
             kills: [None; MAX_KILLS],
+            rank_kills: [None; MAX_RANK_KILLS],
+            rank_flaky: [None; MAX_RANK_KILLS],
             scrub: None,
         }
     }
@@ -96,15 +136,23 @@ impl FaultPlan {
     ///
     /// ```text
     /// seed=U64 | transfer=PPM | corrupt=PPM | launch=PPM | kill=DPU@OP
+    ///   | rank=R@OP | rank_flaky=R:PPM | scrub=N
     /// ```
     ///
-    /// `kill=` may repeat up to [`MAX_KILLS`] times. PPM values are parts
-    /// per million in `0..=1_000_000`. `scrub=N` (N ≥ 1) suggests a host
-    /// scrub cadence of every `N` ingest chunks. Example:
-    /// `seed=7,transfer=2000,corrupt=1000,kill=3@40,kill=9@95,scrub=4`.
+    /// `kill=` may repeat up to [`MAX_KILLS`] times; `rank=` and
+    /// `rank_flaky=` up to [`MAX_RANK_KILLS`] times each. `rank=R@OP`
+    /// schedules a permanent whole-rank outage at cluster op `OP`; the
+    /// special spelling `rank=R@count` fires at the first operation of the
+    /// Triangle Count phase. `rank_flaky=R:PPM` makes every transfer on
+    /// rank `R` fail transiently with the given probability. PPM values are
+    /// parts per million in `0..=1_000_000`. `scrub=N` (N ≥ 1) suggests a
+    /// host scrub cadence of every `N` ingest chunks. Example:
+    /// `seed=7,transfer=2000,kill=3@40,rank=1@count,rank_flaky=2:5000`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         let mut nr_kills = 0usize;
+        let mut nr_rank_kills = 0usize;
+        let mut nr_rank_flaky = 0usize;
         for part in spec.split(',') {
             let part = part.trim();
             if part.is_empty() {
@@ -160,6 +208,45 @@ impl FaultPlan {
                     });
                     nr_kills += 1;
                 }
+                "rank" => {
+                    let (rank, op) = value
+                        .trim()
+                        .split_once('@')
+                        .ok_or_else(|| format!("fault spec: rank wants R@OP, got `{value}`"))?;
+                    if nr_rank_kills == MAX_RANK_KILLS {
+                        return Err(format!("fault spec: more than {MAX_RANK_KILLS} rank kills"));
+                    }
+                    let at_op = match op {
+                        "count" => RANK_AT_COUNT,
+                        n => n
+                            .parse()
+                            .map_err(|_| format!("fault spec: bad rank op index `{n}`"))?,
+                    };
+                    plan.rank_kills[nr_rank_kills] = Some(RankKill {
+                        rank: rank
+                            .parse()
+                            .map_err(|_| format!("fault spec: bad rank id `{rank}`"))?,
+                        at_op,
+                    });
+                    nr_rank_kills += 1;
+                }
+                "rank_flaky" => {
+                    let (rank, p) = value.trim().split_once(':').ok_or_else(|| {
+                        format!("fault spec: rank_flaky wants R:PPM, got `{value}`")
+                    })?;
+                    if nr_rank_flaky == MAX_RANK_KILLS {
+                        return Err(format!(
+                            "fault spec: more than {MAX_RANK_KILLS} rank_flaky entries"
+                        ));
+                    }
+                    plan.rank_flaky[nr_rank_flaky] = Some(RankFlaky {
+                        rank: rank
+                            .parse()
+                            .map_err(|_| format!("fault spec: bad rank_flaky rank id `{rank}`"))?,
+                        ppm: ppm(p)?,
+                    });
+                    nr_rank_flaky += 1;
+                }
                 other => return Err(format!("fault spec: unknown key `{other}`")),
             }
         }
@@ -181,6 +268,14 @@ impl FaultPlan {
             && self.corrupt_ppm == 0
             && self.launch_fail_ppm == 0
             && self.kills.iter().all(Option::is_none)
+            && !self.has_rank_faults()
+    }
+
+    /// True when the plan carries rank-level entries (`rank=` /
+    /// `rank_flaky=`), which only the cluster layer can execute.
+    pub fn has_rank_faults(&self) -> bool {
+        self.rank_kills.iter().any(Option::is_some)
+            || self.rank_flaky.iter().any(|f| f.is_some_and(|f| f.ppm > 0))
     }
 }
 
@@ -194,6 +289,16 @@ impl fmt::Display for FaultPlan {
         )?;
         for kill in self.kills.iter().flatten() {
             write!(f, ",kill={}@{}", kill.dpu, kill.at_op)?;
+        }
+        for kill in self.rank_kills.iter().flatten() {
+            if kill.at_op == RANK_AT_COUNT {
+                write!(f, ",rank={}@count", kill.rank)?;
+            } else {
+                write!(f, ",rank={}@{}", kill.rank, kill.at_op)?;
+            }
+        }
+        for flaky in self.rank_flaky.iter().flatten() {
+            write!(f, ",rank_flaky={}:{}", flaky.rank, flaky.ppm)?;
         }
         if let Some(n) = self.scrub {
             write!(f, ",scrub={n}")?;
@@ -214,12 +319,19 @@ pub struct FaultCounters {
     pub launch_faults: u64,
     /// DPUs that died permanently.
     pub dpu_deaths: u64,
+    /// Whole ranks that died permanently (`rank=R@OP`; counted by the
+    /// cluster layer on top of any per-DPU deaths).
+    pub rank_deaths: u64,
 }
 
 impl FaultCounters {
     /// Total number of injected events.
     pub fn total(&self) -> u64 {
-        self.transfer_faults + self.corruptions + self.launch_faults + self.dpu_deaths
+        self.transfer_faults
+            + self.corruptions
+            + self.launch_faults
+            + self.dpu_deaths
+            + self.rank_deaths
     }
 }
 
@@ -391,11 +503,49 @@ mod tests {
         assert!(FaultPlan::parse("transfer=2000000").is_err());
         assert!(FaultPlan::parse("kill=3").is_err());
         assert!(FaultPlan::parse("kill=a@b").is_err());
+        assert!(FaultPlan::parse("rank=1").is_err());
+        assert!(FaultPlan::parse("rank=x@3").is_err());
+        assert!(FaultPlan::parse("rank=1@soon").is_err());
+        assert!(FaultPlan::parse("rank_flaky=1@200").is_err());
+        assert!(FaultPlan::parse("rank_flaky=1:2000000").is_err());
         let nine_kills = (0..9)
             .map(|i| format!("kill={i}@0"))
             .collect::<Vec<_>>()
             .join(",");
         assert!(FaultPlan::parse(&nine_kills).is_err());
+        let five_ranks = (0..5)
+            .map(|i| format!("rank={i}@0"))
+            .collect::<Vec<_>>()
+            .join(",");
+        assert!(FaultPlan::parse(&five_ranks).is_err());
+    }
+
+    #[test]
+    fn rank_grammar_round_trips_through_display_and_serde() {
+        let spec = "seed=7,rank=1@count,rank=2@40,rank_flaky=3:5000";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(
+            plan.rank_kills[0],
+            Some(RankKill {
+                rank: 1,
+                at_op: RANK_AT_COUNT
+            })
+        );
+        assert_eq!(plan.rank_kills[1], Some(RankKill { rank: 2, at_op: 40 }));
+        assert_eq!(plan.rank_flaky[0], Some(RankFlaky { rank: 3, ppm: 5000 }));
+        assert!(plan.has_rank_faults());
+        assert!(!plan.is_inert());
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn rank_flaky_with_zero_ppm_stays_inert() {
+        let plan = FaultPlan::parse("rank_flaky=0:0").unwrap();
+        assert!(!plan.has_rank_faults());
+        assert!(plan.is_inert());
     }
 
     #[test]
@@ -451,11 +601,12 @@ mod tests {
             corruptions: 2,
             launch_faults: 3,
             dpu_deaths: 4,
+            rank_deaths: 5,
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: FaultCounters = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
-        assert_eq!(c.total(), 10);
+        assert_eq!(c.total(), 15);
     }
 
     #[test]

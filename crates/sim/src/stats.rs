@@ -8,7 +8,6 @@
 //! §4.1 phases ([`PhaseKernelCycles`]).
 
 use crate::backend::PimBackend;
-use crate::dpu::Dpu;
 use crate::fault::FaultCounters;
 use crate::phase::Phase;
 use crate::trace::TraceEvent;
@@ -155,14 +154,23 @@ impl SystemReport {
     /// aggregates are populated.
     pub fn capture<B: PimBackend>(sys: &B) -> SystemReport {
         let per_dpu: Vec<DpuActivity> = (0..sys.nr_dpus())
-            .map(|id| {
-                let d: &Dpu = sys.dpu(id).expect("id in range");
-                DpuActivity {
+            .map(|id| match sys.dpu(id) {
+                Ok(d) => DpuActivity {
                     dpu: id,
                     instructions: d.lifetime_instructions(),
                     dma_bytes: d.lifetime_dma_bytes(),
                     mram_used: d.mram_used(),
-                }
+                },
+                // A dead rank's cores are unreachable (`SimError::DpuDead`)
+                // and their lifetime counters are gone with the hardware;
+                // the report keeps a zeroed row so ids stay dense, the
+                // same tombstone shape gather uses for dead ranks.
+                Err(_) => DpuActivity {
+                    dpu: id,
+                    instructions: 0,
+                    dma_bytes: 0,
+                    mram_used: 0,
+                },
             })
             .collect();
         let total_instructions: u64 = per_dpu.iter().map(|d| d.instructions).sum();

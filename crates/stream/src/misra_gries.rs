@@ -98,6 +98,42 @@ impl MisraGries {
         entries.truncate(t);
         entries
     }
+
+    /// A deterministic dump of the summary's entries, sorted by item id —
+    /// suitable for serialization (HashMap iteration order is not stable
+    /// across processes, so checkpoints must not persist `entries()` raw).
+    pub fn snapshot(&self) -> Vec<(u32, u64)> {
+        let mut entries: Vec<(u32, u64)> = self.entries().collect();
+        entries.sort_unstable_by_key(|&(item, _)| item);
+        entries
+    }
+
+    /// Rebuilds a summary from a [`snapshot`](Self::snapshot) plus the
+    /// stream position it was taken at. Entries beyond `capacity` or with
+    /// zero counts are rejected as corrupt.
+    pub fn from_snapshot(
+        capacity: usize,
+        items_seen: u64,
+        entries: &[(u32, u64)],
+    ) -> Result<Self, String> {
+        if entries.len() > capacity {
+            return Err(format!(
+                "snapshot holds {} entries but capacity is {capacity}",
+                entries.len()
+            ));
+        }
+        let mut mg = MisraGries::new(capacity);
+        mg.items_seen = items_seen;
+        for &(item, count) in entries {
+            if count == 0 {
+                return Err(format!("snapshot entry for item {item} has a zero count"));
+            }
+            if mg.counts.insert(item, count).is_some() {
+                return Err(format!("snapshot repeats item {item}"));
+            }
+        }
+        Ok(mg)
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +224,34 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         MisraGries::new(0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let mut mg = MisraGries::new(4);
+        for i in 0..500u32 {
+            mg.offer(i % 9);
+        }
+        let snap = mg.snapshot();
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "sorted by id");
+        let back = MisraGries::from_snapshot(mg.capacity(), mg.items_seen(), &snap).unwrap();
+        assert_eq!(back.items_seen(), mg.items_seen());
+        assert_eq!(back.snapshot(), snap);
+        for i in 0..9 {
+            assert_eq!(back.estimate(i), mg.estimate(i));
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        assert!(MisraGries::from_snapshot(1, 3, &[(1, 1), (2, 2)])
+            .unwrap_err()
+            .contains("capacity"));
+        assert!(MisraGries::from_snapshot(4, 3, &[(1, 0)])
+            .unwrap_err()
+            .contains("zero count"));
+        assert!(MisraGries::from_snapshot(4, 3, &[(1, 1), (1, 2)])
+            .unwrap_err()
+            .contains("repeats"));
     }
 }

@@ -5,8 +5,8 @@
 //! hardware shape.
 
 use pim_graph::{triangle, CooGraph, Edge};
-use pim_sim::{FaultPlan, PimConfig};
-use pim_tc::{TcConfig, TcError, TcSession};
+use pim_sim::{FaultPlan, PimConfig, RankCluster, TimedBackend};
+use pim_tc::{SessionCheckpoint, TcConfig, TcError, TcSession};
 use proptest::prelude::*;
 
 /// One fuzz operation.
@@ -130,6 +130,12 @@ proptest! {
                 .build()
                 .unwrap()
         };
+        // Config validation rejects kills beyond the allocated cores
+        // (partitions + per-rank spares) — clamp the generated id into
+        // the actual budget, which shrinks with the color count.
+        let probe = builder(None, true, 2);
+        let allocated = probe.nr_dpus() + probe.effective_ranks() as usize * 2;
+        let kill_dpu = kill_dpu % allocated;
         let spec = format!("seed={fseed},kill={kill_dpu}@{kill_op}");
         let plan = FaultPlan::parse(&spec).unwrap();
 
@@ -150,6 +156,87 @@ proptest! {
             got.resident_samples().unwrap(),
             want.resident_samples().unwrap(),
             "{}", &spec
+        );
+    }
+
+    /// Killing the process mid-stream is invisible too: a session
+    /// checkpointed at a random chunk boundary, torn down, restored from
+    /// the on-disk snapshot, and fed the remaining chunks must end
+    /// bit-identical to the one-shot run *and* the never-interrupted
+    /// chunked run — estimate, reports, and resident sample sets.
+    #[test]
+    fn checkpointed_resume_matches_one_shot_and_chunked(
+        pairs in prop::collection::vec((0u16..60, 0u16..60), 1..150),
+        chunk in 1usize..40,
+        colors in 1u32..4,
+        seed in any::<u64>(),
+        cut in 0usize..16,
+    ) {
+        let mut sent = std::collections::HashSet::new();
+        let mut edges = Vec::new();
+        for (u, v) in pairs {
+            if u == v {
+                continue;
+            }
+            let e = Edge::new(u as u32, v as u32).normalized();
+            if sent.insert((e.u, e.v)) {
+                edges.push(e);
+            }
+        }
+        let config = TcConfig::builder()
+            .colors(colors)
+            .seed(seed)
+            .pim(PimConfig {
+                total_dpus: 256,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            })
+            .stage_edges(64)
+            .build()
+            .unwrap();
+        let start = || TcSession::<RankCluster<TimedBackend>>::start_cluster(&config).unwrap();
+
+        let mut one_shot = start();
+        one_shot.append(&edges).unwrap();
+        let w = one_shot.count().unwrap();
+
+        let chunks: Vec<&[Edge]> = edges.chunks(chunk).collect();
+        let mut chunked = start();
+        for c in &chunks {
+            chunked.append(c).unwrap();
+        }
+        let rc = chunked.count().unwrap();
+
+        // Checkpoint after `cut` chunks, tear the session down (the
+        // process-kill stand-in), restore from disk, and finish the rest.
+        let cut = cut % (chunks.len() + 1);
+        let dir = std::env::temp_dir().join(format!(
+            "pim_tc_fuzz_ckpt_{seed:x}_{colors}_{chunk}_{cut}"
+        ));
+        let mut first = start();
+        for c in &chunks[..cut] {
+            first.append(c).unwrap();
+        }
+        first.checkpoint(cut as u64).unwrap().save(&dir).unwrap();
+        drop(first);
+        let snap = SessionCheckpoint::load(&dir).unwrap();
+        prop_assert_eq!(snap.watermark, cut as u64);
+        let mut resumed =
+            TcSession::<RankCluster<TimedBackend>>::restore_cluster(&snap, None).unwrap();
+        for c in &chunks[cut..] {
+            resumed.append(c).unwrap();
+        }
+        let rr = resumed.count().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        prop_assert_eq!(rc.estimate.to_bits(), w.estimate.to_bits(), "chunked vs one-shot");
+        prop_assert_eq!(rr.estimate.to_bits(), w.estimate.to_bits(), "resumed vs one-shot");
+        prop_assert_eq!(&rr.dpu_reports, &rc.dpu_reports, "resumed vs chunked reports");
+        prop_assert_eq!(rr.edges_routed, rc.edges_routed);
+        prop_assert_eq!(
+            resumed.resident_samples().unwrap(),
+            chunked.resident_samples().unwrap(),
+            "resumed resident samples diverged"
         );
     }
 
