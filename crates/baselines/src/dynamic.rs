@@ -42,6 +42,14 @@ pub struct DynamicCheckpoint {
     pub stop_after: u64,
 }
 
+/// Per-update observer for the PIM dynamic drivers: invoked after every
+/// counted update with that update's timing and the session's trace so
+/// far. Passing an observer turns tracing on for the session, so the
+/// trace grows monotonically across calls — the live-telemetry plane uses
+/// this to publish a chrome-trace-so-far and to run the watchdog between
+/// updates.
+pub type UpdateObserver<'a> = &'a mut dyn FnMut(&UpdateTiming, &pim_sim::Trace);
+
 /// Per-update timing for one system.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct UpdateTiming {
@@ -126,10 +134,25 @@ pub fn pim_dynamic_metered(
     config: &TcConfig,
     hub: Option<Arc<MetricsHub>>,
 ) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
+    pim_dynamic_metered_observed(batches, config, hub, None)
+}
+
+/// [`pim_dynamic_metered`] with an optional per-update
+/// [`UpdateObserver`]: when present, tracing is enabled and the observer
+/// runs after every counted update — before the next batch is appended —
+/// with the update's timing and the trace accumulated so far.
+pub fn pim_dynamic_metered_observed(
+    batches: &[Vec<Edge>],
+    config: &TcConfig,
+    hub: Option<Arc<MetricsHub>>,
+    observer: Option<UpdateObserver<'_>>,
+) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
     match config.backend {
-        ExecBackend::Timed => pim_dynamic_metered_in::<TimedBackend>(batches, config, hub),
+        ExecBackend::Timed => {
+            pim_dynamic_metered_observed_in::<TimedBackend>(batches, config, hub, observer)
+        }
         ExecBackend::Functional => {
-            pim_dynamic_metered_in::<FunctionalBackend>(batches, config, hub)
+            pim_dynamic_metered_observed_in::<FunctionalBackend>(batches, config, hub, observer)
         }
     }
 }
@@ -145,7 +168,20 @@ pub fn pim_dynamic_metered_in<B: PimBackend>(
     config: &TcConfig,
     hub: Option<Arc<MetricsHub>>,
 ) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
+    pim_dynamic_metered_observed_in::<B>(batches, config, hub, None)
+}
+
+/// [`pim_dynamic_metered_observed`] on a caller-chosen execution engine.
+pub fn pim_dynamic_metered_observed_in<B: PimBackend>(
+    batches: &[Vec<Edge>],
+    config: &TcConfig,
+    hub: Option<Arc<MetricsHub>>,
+    mut observer: Option<UpdateObserver<'_>>,
+) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
     let mut session = TcSession::<RankCluster<B>>::start_cluster_metered(config, hub)?;
+    if observer.is_some() {
+        session.enable_tracing();
+    }
     let mut out = Vec::with_capacity(batches.len());
     let mut prev_total = 0.0;
     for (update, batch) in batches.iter().enumerate() {
@@ -156,12 +192,16 @@ pub fn pim_dynamic_metered_in<B: PimBackend>(
         let total = result.times.without_setup();
         let secs = total - prev_total;
         prev_total = total;
-        out.push(UpdateTiming {
+        let timing = UpdateTiming {
             update,
             secs,
             cumulative_secs: total,
             triangles: result.estimate,
-        });
+        };
+        if let Some(obs) = observer.as_mut() {
+            obs(&timing, session.trace());
+        }
+        out.push(timing);
     }
     let report = session.system_report();
     Ok((out, report))
@@ -180,13 +220,25 @@ pub fn pim_dynamic_checkpointed(
     ckpt: &DynamicCheckpoint,
     hub: Option<Arc<MetricsHub>>,
 ) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
+    pim_dynamic_checkpointed_observed(batches, config, ckpt, hub, None)
+}
+
+/// [`pim_dynamic_checkpointed`] with an optional per-update
+/// [`UpdateObserver`] (see [`pim_dynamic_metered_observed`]).
+pub fn pim_dynamic_checkpointed_observed(
+    batches: &[Vec<Edge>],
+    config: &TcConfig,
+    ckpt: &DynamicCheckpoint,
+    hub: Option<Arc<MetricsHub>>,
+    observer: Option<UpdateObserver<'_>>,
+) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
     match config.backend {
-        ExecBackend::Timed => {
-            pim_dynamic_checkpointed_in::<TimedBackend>(batches, config, ckpt, hub)
-        }
-        ExecBackend::Functional => {
-            pim_dynamic_checkpointed_in::<FunctionalBackend>(batches, config, ckpt, hub)
-        }
+        ExecBackend::Timed => pim_dynamic_checkpointed_observed_in::<TimedBackend>(
+            batches, config, ckpt, hub, observer,
+        ),
+        ExecBackend::Functional => pim_dynamic_checkpointed_observed_in::<FunctionalBackend>(
+            batches, config, ckpt, hub, observer,
+        ),
     }
 }
 
@@ -196,6 +248,18 @@ pub fn pim_dynamic_checkpointed_in<B: PimBackend>(
     config: &TcConfig,
     ckpt: &DynamicCheckpoint,
     hub: Option<Arc<MetricsHub>>,
+) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
+    pim_dynamic_checkpointed_observed_in::<B>(batches, config, ckpt, hub, None)
+}
+
+/// [`pim_dynamic_checkpointed_observed`] on a caller-chosen execution
+/// engine.
+pub fn pim_dynamic_checkpointed_observed_in<B: PimBackend>(
+    batches: &[Vec<Edge>],
+    config: &TcConfig,
+    ckpt: &DynamicCheckpoint,
+    hub: Option<Arc<MetricsHub>>,
+    mut observer: Option<UpdateObserver<'_>>,
 ) -> Result<(Vec<UpdateTiming>, SystemReport), TcError> {
     let (mut session, start_from) = if ckpt.resume && SessionCheckpoint::exists(&ckpt.dir) {
         let snap = SessionCheckpoint::load(&ckpt.dir)?;
@@ -210,6 +274,9 @@ pub fn pim_dynamic_checkpointed_in<B: PimBackend>(
             0,
         )
     };
+    if observer.is_some() {
+        session.enable_tracing();
+    }
     let mut out = Vec::with_capacity(batches.len().saturating_sub(start_from));
     let mut prev_total = 0.0;
     for (update, batch) in batches.iter().enumerate().skip(start_from) {
@@ -218,12 +285,16 @@ pub fn pim_dynamic_checkpointed_in<B: PimBackend>(
         let total = result.times.without_setup();
         let secs = total - prev_total;
         prev_total = total;
-        out.push(UpdateTiming {
+        let timing = UpdateTiming {
             update,
             secs,
             cumulative_secs: total,
             triangles: result.estimate,
-        });
+        };
+        if let Some(obs) = observer.as_mut() {
+            obs(&timing, session.trace());
+        }
+        out.push(timing);
         let counted = (update + 1) as u64;
         if ckpt.every > 0 && counted.is_multiple_of(ckpt.every) {
             session.checkpoint(counted)?.save(&ckpt.dir)?;

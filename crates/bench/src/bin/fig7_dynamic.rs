@@ -7,11 +7,13 @@
 //! *entire accumulated graph* per update, while GPU and PIM integrate the
 //! update into their resident representations and win on cumulative time.
 
-use pim_baselines::dynamic::{cpu_dynamic, gpu_dynamic, pim_dynamic};
+use pim_baselines::dynamic::{cpu_dynamic, gpu_dynamic, pim_dynamic_metered};
 use pim_baselines::GpuModel;
 use pim_bench::{fmt_secs, pim_config, Harness, MdTable};
 use pim_graph::datasets::DatasetId;
+use pim_metrics::{HealthSink, HealthState, MetricsHub, MetricsServer};
 use serde::Serialize;
+use std::sync::Arc;
 
 const COLORS: u32 = 11;
 const UPDATES: usize = 10;
@@ -36,7 +38,39 @@ fn main() {
         .misra_gries(1024, 64)
         .build()
         .unwrap();
-    let pim = pim_dynamic(&batches, &config).unwrap();
+
+    // PIM_TC_SERVE_METRICS=ADDR exposes the PIM run's live registry over
+    // HTTP while it executes (GET /metrics, /healthz) and writes the
+    // final scrape next to the figure — the CI scrape-smoke job curls it
+    // mid-run and lints the snapshot. Rows are identical either way.
+    let serve = std::env::var("PIM_TC_SERVE_METRICS")
+        .ok()
+        .filter(|s| !s.is_empty());
+    let (hub, mut server) = match &serve {
+        Some(addr) => {
+            let hub = Arc::new(MetricsHub::new());
+            let health = Arc::new(HealthState::new());
+            hub.add_sink(Box::new(HealthSink::new(Arc::clone(&health))));
+            let server = MetricsServer::start(addr, Arc::clone(&hub), health)
+                .expect("PIM_TC_SERVE_METRICS: cannot start exporter");
+            eprintln!(
+                "[fig7] serving live telemetry on http://{}/metrics",
+                server.addr()
+            );
+            (Some(hub), Some(server))
+        }
+        None => (None, None),
+    };
+    let (pim, _report) = pim_dynamic_metered(&batches, &config, hub.clone()).unwrap();
+    if let Some(hub) = &hub {
+        std::fs::create_dir_all(&harness.results_dir).expect("create results dir");
+        let snap = harness.results_dir.join("fig7_dynamic.prom");
+        std::fs::write(&snap, hub.render_prometheus()).expect("write prom snapshot");
+        eprintln!("[fig7] final scrape written to {}", snap.display());
+    }
+    if let Some(server) = &mut server {
+        server.shutdown();
+    }
 
     let mut rows: Vec<Row> = Vec::new();
     let mut table = MdTable::new([

@@ -40,6 +40,8 @@ const VALUED: &[&str] = &[
     "scrub-interval",
     "metrics-out",
     "metrics-format",
+    "serve-metrics",
+    "watchdog-straggler",
     "checkpoint",
     "checkpoint-every",
     "stop-after",

@@ -2,7 +2,10 @@
 
 use crate::args::Args;
 use pim_graph::{gen, io, prep, stats, CooGraph};
-use pim_metrics::{JsonlSink, MemorySink, MetricsHub};
+use pim_metrics::{
+    HealthSink, HealthState, JsonlSink, MemorySink, MetricsHub, MetricsServer, Watchdog,
+    WatchdogConfig,
+};
 use pim_tc::TcConfig;
 use std::path::Path;
 use std::sync::Arc;
@@ -54,6 +57,15 @@ usage:
       Prometheus text exposition instead. Aggregating the JSONL stream
       (`pimtc metrics-summary`) reconciles exactly with the run's own
       report totals.
+      --serve-metrics ADDR (or PIM_TC_SERVE_METRICS; e.g. 127.0.0.1:9464,
+      port 0 picks a free port) starts an in-process HTTP exporter for
+      the run: GET /metrics is the live Prometheus scrape, /healthz the
+      run phase + progress watermark + raised anomalies as JSON, /trace
+      the chrome-trace-so-far. The straggler/imbalance watchdog runs
+      between ops whenever live telemetry is on: --watchdog-straggler K
+      tunes the slowest-DPU threshold (default 4.0 x p50);
+      --watchdog-fail turns any raised anomaly (straggler, core/rank
+      death, retry spike, stall) into a non-zero exit for CI.
 
   pimtc stats <graph-or-kind> [--ranks N] [--json] [generator options]
       Graph characteristics — |V|, |E|, triangles, degrees, clustering —
@@ -95,11 +107,19 @@ usage:
       are data-derived and identical to timed; no modeled seconds) and
       the chrome trace is skipped. See docs/OBSERVABILITY.md.
 
-  pimtc metrics-summary <metrics.jsonl>
+  pimtc metrics-summary <metrics.jsonl> [--by-rank]
       Validate a --metrics-out jsonl capture (every line must parse,
-      sequence numbers strictly increasing) and print aggregated
-      totals: transfers, launches, faults, retries, stream/reservoir
-      state, and modeled seconds.
+      sequence numbers strictly increasing and gap-free) and print
+      aggregated totals: transfers, launches, faults, retries, raised
+      anomalies, stream/reservoir state, and modeled seconds. --by-rank
+      adds a per-rank breakdown (transfers, retries, faults, deaths,
+      kernel cycles) for rank-labeled streams from sharded runs.
+
+  pimtc prom-lint <metrics.prom>
+      Validate a Prometheus text exposition (a --metrics-format prom
+      capture or a /metrics scrape): TYPE lines, sample grammar, label
+      escaping, and histogram bucket invariants. Exits non-zero with the
+      first offending line on failure.
 
   pimtc convert <in> <out>
       Convert between the text and binary edge-list formats (direction
@@ -119,6 +139,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "dynamic" => cmd_dynamic(&args),
         "profile" => cmd_profile(&args),
         "metrics-summary" => cmd_metrics_summary(&args),
+        "prom-lint" => cmd_prom_lint(&args),
         "convert" => cmd_convert(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -236,46 +257,103 @@ fn build_config_with_default_colors(
     builder.build().map_err(|e| e.to_string())
 }
 
-/// The `--metrics-out` capture for one run: a live hub plus where (and
-/// in which format) its output lands when the run finishes.
+/// The live telemetry plane for one run: a metrics hub plus everything
+/// that consumes it — the `--metrics-out` capture, the `--serve-metrics`
+/// HTTP exporter, and the straggler/imbalance watchdog (see
+/// docs/OBSERVABILITY.md §"Live telemetry").
 struct MetricsPlane {
     hub: Arc<MetricsHub>,
-    out: String,
+    /// `--metrics-out` destination, if any.
+    out: Option<String>,
     prom: bool,
+    /// The in-process `/metrics` + `/healthz` + `/trace` server, if
+    /// `--serve-metrics` (or `PIM_TC_SERVE_METRICS`) asked for one.
+    server: Option<MetricsServer>,
+    watchdog: Watchdog,
+    /// `--watchdog-fail`: turn any raised anomaly into a non-zero exit.
+    watchdog_fail: bool,
 }
 
 impl MetricsPlane {
-    /// Finalizes the capture: flushes the JSONL stream, or renders the
-    /// registry as Prometheus text.
-    fn finish(&self) -> Result<(), String> {
-        if self.prom {
-            std::fs::write(&self.out, self.hub.render_prometheus())
-                .map_err(|e| format!("cannot write {}: {e}", self.out))?;
-        } else {
-            self.hub
-                .flush()
-                .map_err(|e| format!("--metrics-out: {e}"))?;
+    /// Runs one watchdog pass over the live registry. Raised anomalies
+    /// are emitted on the hub (stream + registry + `/healthz`) and echoed
+    /// to stderr.
+    fn watch(&mut self) {
+        for a in self.watchdog.check() {
+            eprintln!("watchdog: {}: {}", a.kind, a.detail);
         }
-        eprintln!("metrics written to {}", self.out);
+    }
+
+    /// Pushes the chrome-trace-so-far to the live `/trace` endpoint
+    /// (no-op without a server).
+    fn publish_trace(&self, chrome: &serde_json::Value) {
+        if let Some(server) = &self.server {
+            server.update_trace(serde_json::to_string(chrome).unwrap());
+        }
+    }
+
+    /// Per-update hook for dynamic runs: refresh `/trace`, then run the
+    /// watchdog between ops.
+    fn on_update(&mut self, trace: &pim_sim::Trace) {
+        if self.server.is_some() {
+            self.publish_trace(&trace.to_chrome_trace());
+        }
+        self.watch();
+    }
+
+    /// Finalizes the plane: flushes the JSONL stream (or renders the
+    /// registry as Prometheus text), stops the HTTP server, and — under
+    /// `--watchdog-fail` — fails the run if the watchdog raised anything.
+    fn finish(&mut self) -> Result<(), String> {
+        if let Some(out) = &self.out {
+            if self.prom {
+                std::fs::write(out, self.hub.render_prometheus())
+                    .map_err(|e| format!("cannot write {out}: {e}"))?;
+            } else {
+                self.hub
+                    .flush()
+                    .map_err(|e| format!("--metrics-out: {e}"))?;
+            }
+            eprintln!("metrics written to {out}");
+        }
+        if let Some(server) = &mut self.server {
+            server.shutdown();
+        }
+        if self.watchdog_fail && !self.watchdog.fired().is_empty() {
+            return Err(format!("--watchdog-fail: {}", self.watchdog.summary()));
+        }
         Ok(())
     }
 }
 
-/// Resolves `--metrics-out` / `--metrics-format` into a live capture.
+/// Resolves `--metrics-out` / `--metrics-format` / `--serve-metrics` /
+/// `--watchdog-*` into a live telemetry plane. `PIM_TC_SERVE_METRICS` is
+/// the environment fallback for `--serve-metrics`.
 fn metrics_plane(args: &Args) -> Result<Option<MetricsPlane>, String> {
-    let Some(out) = args.get::<String>("metrics-out")? else {
-        if args.get::<String>("metrics-format")?.is_some() {
-            return Err("--metrics-format needs --metrics-out FILE".into());
-        }
-        return Ok(None);
+    let out = args.get::<String>("metrics-out")?;
+    if out.is_none() && args.get::<String>("metrics-format")?.is_some() {
+        return Err("--metrics-format needs --metrics-out FILE".into());
+    }
+    let serve = match args.get::<String>("serve-metrics")? {
+        Some(addr) => Some(addr),
+        None => std::env::var("PIM_TC_SERVE_METRICS")
+            .ok()
+            .filter(|s| !s.is_empty()),
     };
+    let watchdog_fail = args.flag("watchdog-fail");
+    let straggler = args.get::<f64>("watchdog-straggler")?;
+    if out.is_none() && serve.is_none() && !watchdog_fail && straggler.is_none() {
+        return Ok(None);
+    }
     let format = args.get_or("metrics-format", "jsonl".to_string())?;
     let hub = Arc::new(MetricsHub::new());
     let prom = match format.as_str() {
         "jsonl" => {
-            let sink = JsonlSink::create(Path::new(&out))
-                .map_err(|e| format!("--metrics-out: cannot create {out}: {e}"))?;
-            hub.add_sink(Box::new(sink));
+            if let Some(out) = &out {
+                let sink = JsonlSink::create(Path::new(out))
+                    .map_err(|e| format!("--metrics-out: cannot create {out}: {e}"))?;
+                hub.add_sink(Box::new(sink));
+            }
             false
         }
         "prom" => true,
@@ -285,7 +363,32 @@ fn metrics_plane(args: &Args) -> Result<Option<MetricsPlane>, String> {
             ))
         }
     };
-    Ok(Some(MetricsPlane { hub, out, prom }))
+    let server = match serve {
+        Some(addr) => {
+            let health = Arc::new(HealthState::new());
+            hub.add_sink(Box::new(HealthSink::new(Arc::clone(&health))));
+            let server = MetricsServer::start(&addr, Arc::clone(&hub), health)
+                .map_err(|e| format!("--serve-metrics: {e}"))?;
+            eprintln!("serving live telemetry on http://{}/metrics", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+    let watchdog = Watchdog::new(
+        Arc::clone(&hub),
+        WatchdogConfig {
+            straggler_factor: straggler.unwrap_or(4.0),
+            ..WatchdogConfig::default()
+        },
+    );
+    Ok(Some(MetricsPlane {
+        hub,
+        out,
+        prom,
+        server,
+        watchdog,
+        watchdog_fail,
+    }))
 }
 
 /// Resolves `--faults` into a plan: an inline spec string, a path to a
@@ -322,13 +425,24 @@ fn cmd_count(args: &Args) -> Result<(), String> {
     let mut graph = load(path)?;
     prep::preprocess(&mut graph, 0);
     let config = build_config(args, &graph)?;
-    let plane = metrics_plane(args)?;
+    let mut plane = metrics_plane(args)?;
     let result = match &plane {
+        // With a live server, run traced so `/trace` can serve the final
+        // timeline alongside the scrape.
+        Some(p) if p.server.is_some() => {
+            pim_tc::count_triangles_profiled_metered(&graph, &config, Some(Arc::clone(&p.hub))).map(
+                |profile| {
+                    p.publish_trace(&profile.trace.to_chrome_trace());
+                    profile.result
+                },
+            )
+        }
         Some(p) => pim_tc::count_triangles_metered(&graph, &config, Arc::clone(&p.hub)),
         None => pim_tc::count_triangles(&graph, &config),
     }
     .map_err(|e| e.to_string())?;
-    if let Some(p) = &plane {
+    if let Some(p) = plane.as_mut() {
+        p.watch();
         p.finish()?;
     }
     if args.flag("json") {
@@ -522,8 +636,24 @@ fn cmd_dynamic(args: &Args) -> Result<(), String> {
     prep::preprocess(&mut graph, 0);
     let config = build_config(args, &graph)?;
     let batches = graph.split_batches(batches_n);
-    let plane = metrics_plane(args)?;
+    let mut plane = metrics_plane(args)?;
     let hub = plane.as_ref().map(|p| Arc::clone(&p.hub));
+    // Between-update hook: refresh `/trace`, run the watchdog. Only wired
+    // when something consumes it (server or watchdog flags) — observers
+    // turn on tracing, which plain --metrics-out runs don't need.
+    let want_observer = plane
+        .as_ref()
+        .is_some_and(|p| p.server.is_some() || p.watchdog_fail);
+    let mut on_update = |_t: &pim_baselines::dynamic::UpdateTiming, trace: &pim_sim::Trace| {
+        if let Some(p) = plane.as_mut() {
+            p.on_update(trace);
+        }
+    };
+    let observer: Option<pim_baselines::dynamic::UpdateObserver> = if want_observer {
+        Some(&mut on_update)
+    } else {
+        None
+    };
     let (timings, _report) = if let Some(dir) = args.get::<String>("checkpoint")? {
         let ckpt = pim_baselines::dynamic::DynamicCheckpoint {
             dir: std::path::PathBuf::from(dir),
@@ -531,12 +661,17 @@ fn cmd_dynamic(args: &Args) -> Result<(), String> {
             resume: args.flag("resume"),
             stop_after: args.get_or("stop-after", 0u64)?,
         };
-        pim_baselines::dynamic::pim_dynamic_checkpointed(&batches, &config, &ckpt, hub)
+        pim_baselines::dynamic::pim_dynamic_checkpointed_observed(
+            &batches, &config, &ckpt, hub, observer,
+        )
     } else {
-        pim_baselines::dynamic::pim_dynamic_metered(&batches, &config, hub)
+        pim_baselines::dynamic::pim_dynamic_metered_observed(&batches, &config, hub, observer)
     }
     .map_err(|e| e.to_string())?;
-    if let Some(p) = &plane {
+    if let Some(p) = plane.as_mut() {
+        // No trailing watchdog pass: the run is over, so the watermark is
+        // legitimately frozen and a final check would misread it as a
+        // stall. Per-update checks already ran above.
         p.finish()?;
     }
     if args.flag("json") {
@@ -580,7 +715,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     // The metrics hub also powers the functional kernel table, so a
     // functional profile always runs one (with an in-memory sink) even
     // without --metrics-out.
-    let plane = metrics_plane(args)?;
+    let mut plane = metrics_plane(args)?;
     let functional = config.backend == pim_tc::ExecBackend::Functional;
     let hub = match (&plane, functional) {
         (Some(p), _) => Some(Arc::clone(&p.hub)),
@@ -597,9 +732,6 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     };
     let profile = pim_tc::count_triangles_profiled_metered(&graph, &config, hub)
         .map_err(|e| e.to_string())?;
-    if let Some(p) = &plane {
-        p.finish()?;
-    }
 
     let result = &profile.result;
     let report = &profile.report;
@@ -688,10 +820,24 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     print_fault_section(&report.fault_counters, retries);
 
     if !functional {
-        let chrome = profile.trace.to_chrome_trace();
+        // At R>1 export every rank's own timeline as its own chrome-trace
+        // process group; a single-rank run keeps the flat layout.
+        let chrome = if config.effective_ranks() > 1 {
+            let refs: Vec<&pim_sim::Trace> = profile.rank_traces.iter().collect();
+            pim_sim::to_chrome_trace_cluster(&refs)
+        } else {
+            profile.trace.to_chrome_trace()
+        };
+        if let Some(p) = &plane {
+            p.publish_trace(&chrome);
+        }
         std::fs::write(&out, serde_json::to_string(&chrome).unwrap())
             .map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("chrome trace written to {out}");
+    }
+    if let Some(p) = plane.as_mut() {
+        p.watch();
+        p.finish()?;
     }
     Ok(())
 }
@@ -716,6 +862,16 @@ fn print_fault_section(fc: &pim_sim::FaultCounters, retries: u64) {
             println!("  {label:<21} {n}");
         }
     }
+}
+
+fn cmd_prom_lint(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional(0)
+        .ok_or("prom-lint: missing exposition file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    pim_metrics::lint_prometheus(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: OK");
+    Ok(())
 }
 
 fn cmd_metrics_summary(args: &Args) -> Result<(), String> {
@@ -770,6 +926,36 @@ fn cmd_metrics_summary(args: &Args) -> Result<(), String> {
         println!("faults:");
         for (kind, n) in &s.faults {
             println!("  {kind:<13} {n}");
+        }
+    }
+    if !s.anomalies.is_empty() {
+        println!("anomalies:");
+        for (kind, n) in &s.anomalies {
+            println!("  {kind:<13} {n}");
+        }
+    }
+    if args.flag("by-rank") {
+        if s.by_rank.is_empty() {
+            println!("by-rank:        no rank-scoped events (single-rank stream)");
+        } else {
+            println!("by-rank:");
+            println!(
+                "  rank   events   xfer ops   xfer bytes   retries   faults   deaths   launches   kernel cycles"
+            );
+            for (rank, a) in &s.by_rank {
+                println!(
+                    "  {:>4} {:>8} {:>10} {:>12} {:>9} {:>8} {:>8} {:>10} {:>15}",
+                    rank,
+                    a.events,
+                    a.transfer_ops,
+                    a.transfer_bytes,
+                    a.retries,
+                    a.faults,
+                    a.deaths,
+                    a.launches,
+                    a.kernel_cycles
+                );
+            }
         }
     }
     if s.failovers > 0 {
@@ -1368,6 +1554,186 @@ mod tests {
         std::fs::write(&path, [0xFFu8, 0xFE, 0x00, 0x80]).unwrap();
         let err = run(&["metrics-summary", &path]).unwrap_err();
         assert!(err.contains("cannot read"), "got: {err}");
+    }
+
+    #[test]
+    fn serve_metrics_runs_end_to_end_and_rejects_bad_addresses() {
+        let path = tmp("s1.txt");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "100",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        // Port 0 binds a free port; the run serves, finishes, and shuts
+        // the exporter down cleanly on all three serving subcommands.
+        run(&[
+            "count",
+            &path,
+            "--colors",
+            "2",
+            "--serve-metrics",
+            "127.0.0.1:0",
+        ])
+        .unwrap();
+        run(&[
+            "dynamic",
+            &path,
+            "--batches",
+            "2",
+            "--colors",
+            "2",
+            "--serve-metrics",
+            "127.0.0.1:0",
+        ])
+        .unwrap();
+        let err = run(&["count", &path, "--serve-metrics", "not-an-addr"]).unwrap_err();
+        assert!(err.contains("--serve-metrics"), "got: {err}");
+    }
+
+    #[test]
+    fn watchdog_fail_flags_injected_faults_and_stays_quiet_clean() {
+        let path = tmp("w1.txt");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "100",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        // Clean run: nothing fires, exit stays zero. (This graph's sort
+        // kernel has a natural ~4x max/p50 skew on 4 cores, so give the
+        // straggler check headroom — the point here is deaths/stalls.)
+        run(&[
+            "count",
+            &path,
+            "--colors",
+            "2",
+            "--watchdog-fail",
+            "--watchdog-straggler",
+            "8",
+        ])
+        .unwrap();
+        // An injected covered core death is an anomaly under
+        // --watchdog-fail: the command errors (non-zero process exit).
+        let err = run(&[
+            "count",
+            &path,
+            "--colors",
+            "3",
+            "--faults",
+            "seed=3,kill=2@3",
+            "--spares",
+            "2",
+            "--watchdog-fail",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--watchdog-fail"), "got: {err}");
+        assert!(err.contains("dpu_death"), "got: {err}");
+        // Without the flag the same faulted run still succeeds.
+        run(&[
+            "count",
+            &path,
+            "--colors",
+            "3",
+            "--faults",
+            "seed=3,kill=2@3",
+            "--spares",
+            "2",
+            "--watchdog-straggler",
+            "4.0",
+        ])
+        .unwrap();
+        // Dynamic drives the watchdog between updates.
+        let err = run(&[
+            "dynamic",
+            &path,
+            "--batches",
+            "2",
+            "--colors",
+            "3",
+            "--faults",
+            "seed=3,kill=2@3",
+            "--spares",
+            "2",
+            "--watchdog-fail",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--watchdog-fail"), "got: {err}");
+    }
+
+    #[test]
+    fn prom_lint_accepts_captures_and_rejects_corruption() {
+        let path = tmp("pl1.txt");
+        let metrics = tmp("pl1.prom");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "80",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        run(&[
+            "count",
+            &path,
+            "--colors",
+            "2",
+            "--metrics-out",
+            &metrics,
+            "--metrics-format",
+            "prom",
+        ])
+        .unwrap();
+        run(&["prom-lint", &metrics]).unwrap();
+        let bad = tmp("pl1.bad.prom");
+        std::fs::write(&bad, "pim_thing{label=\"x\" 3\n").unwrap();
+        assert!(run(&["prom-lint", &bad]).is_err());
+        assert!(run(&["prom-lint", "/nonexistent.prom"]).is_err());
+    }
+
+    #[test]
+    fn metrics_summary_by_rank_breaks_down_sharded_streams() {
+        let path = tmp("br1.txt");
+        let metrics = tmp("br1.jsonl");
+        run(&[
+            "generate",
+            "er",
+            &path,
+            "--nodes",
+            "120",
+            "--probability",
+            "0.1",
+        ])
+        .unwrap();
+        run(&[
+            "dynamic",
+            &path,
+            "--batches",
+            "2",
+            "--colors",
+            "3",
+            "--ranks",
+            "2",
+            "--metrics-out",
+            &metrics,
+        ])
+        .unwrap();
+        run(&["metrics-summary", &metrics, "--by-rank"]).unwrap();
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let events = pim_metrics::parse_jsonl(&text).unwrap();
+        let s = pim_metrics::summarize(&events);
+        assert_eq!(s.by_rank.len(), 2, "both ranks must appear");
+        assert!(s.by_rank.values().all(|a| a.events > 0));
     }
 
     #[test]

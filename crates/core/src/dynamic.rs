@@ -226,6 +226,13 @@ impl<B: PimBackend> TcSession<RankCluster<B>> {
     pub fn cluster_report(&self) -> ClusterReport {
         ClusterReport::capture(&self.sys)
     }
+
+    /// Each rank's recorded trace in rank order (clones; empty unless
+    /// tracing was enabled). Feed to [`pim_sim::to_chrome_trace_cluster`]
+    /// to export an R>1 run with per-rank process groups.
+    pub fn rank_traces(&self) -> Vec<pim_sim::Trace> {
+        self.sys.rank_traces().into_iter().cloned().collect()
+    }
 }
 
 impl<B: PimBackend> TcSession<B> {

@@ -130,6 +130,10 @@ pub struct RunProfile {
     /// Per-DPU attribution: activity counters, per-launch cycle
     /// distributions, and transfer-bandwidth utilization.
     pub report: pim_sim::SystemReport,
+    /// Each rank's own timeline in rank order. At `ranks = 1` this is a
+    /// single trace identical to [`RunProfile::trace`]; at R>1 feed it to
+    /// [`pim_sim::to_chrome_trace_cluster`] for per-rank process groups.
+    pub rank_traces: Vec<pim_sim::Trace>,
 }
 
 /// Like [`count_triangles`], but runs with tracing enabled and returns
@@ -216,9 +220,11 @@ pub fn count_triangles_profiled_metered_in<B: PimBackend>(
     let result = session.count()?;
     let trace = session.trace().clone();
     let report = session.system_report();
+    let rank_traces = session.rank_traces();
     Ok(RunProfile {
         result,
         trace,
         report,
+        rank_traces,
     })
 }

@@ -440,6 +440,14 @@ impl MetricsSink for JsonlSink {
     }
 }
 
+/// Flush on drop so a stream is not silently truncated when the sink is
+/// dropped without an explicit `flush()` (early return, panic unwind).
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,5 +548,22 @@ mod tests {
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         assert_eq!(text.lines().count(), 1);
         assert_eq!(Event::parse(text.lines().next().unwrap()).unwrap().seq, 7);
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let dir = std::env::temp_dir().join(format!("pim_jsonl_drop_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+        {
+            // Dropped without an explicit flush(): the BufWriter still has
+            // the line buffered at this point.
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.record(&sample_event());
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert_eq!(Event::parse(text.lines().next().unwrap()).unwrap().seq, 7);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

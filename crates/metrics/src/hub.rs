@@ -9,7 +9,10 @@
 //! completeness by checking `seq` monotonicity alone.
 
 use crate::event::{Event, FieldValue, MetricsSink};
-use crate::registry::{Counter, Gauge, Histogram, Registry, LAUNCH_CYCLE_BUCKETS};
+use crate::registry::{
+    nearest_rank_percentile, Counter, Gauge, Histogram, Registry, DMA_BYTES_BUCKETS,
+    LAUNCH_CYCLE_BUCKETS,
+};
 use std::sync::{Arc, Mutex};
 
 /// Observations for one kernel launch, emitted by a backend after the
@@ -214,14 +217,26 @@ impl MetricsHub {
 
     /// The histogram `name`, rank-labeled when this view is rank-scoped.
     fn hist(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.hist_with(name, &[], bounds)
+    }
+
+    /// The histogram `name{labels}`, plus a `rank` label when scoped.
+    fn hist_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
         match self.rank {
-            None => self.inner.registry.histogram_with(name, &[], bounds),
-            Some(_) => self.inner.registry.histogram_with(
-                name,
-                &[("rank", self.rank_str.as_str())],
-                bounds,
-            ),
+            None => self.inner.registry.histogram_with(name, labels, bounds),
+            Some(_) => {
+                let mut all = labels.to_vec();
+                all.push(("rank", self.rank_str.as_str()));
+                self.inner.registry.histogram_with(name, &all, bounds)
+            }
         }
+    }
+
+    /// The most recently assigned event sequence number (0 before any
+    /// event). A watchdog compares this across checks to detect a stalled
+    /// run: no new events means no transfers, launches, or chunks landed.
+    pub fn last_seq(&self) -> u64 {
+        self.inner.state.lock().expect("hub poisoned").seq
     }
 
     /// System allocation: `nr_dpus` ranks brought up in `seconds`.
@@ -299,6 +314,102 @@ impl MetricsHub {
                 ("dma_bytes".into(), FieldValue::U64(obs.dma_bytes)),
                 ("seconds".into(), FieldValue::F64(obs.seconds)),
                 ("ok".into(), FieldValue::Bool(obs.ok)),
+            ],
+        );
+    }
+
+    /// The per-DPU cycle/DMA distribution of one kernel launch, streamed
+    /// live so imbalance is visible mid-run rather than only in the final
+    /// `SystemReport`.
+    ///
+    /// `per_dpu_cycles` and `per_dpu_dma_bytes` must cover every core in
+    /// launch order with dead cores as zeros — the same vectors the trace's
+    /// `Kernel` events carry — so the emitted p50/p99/imbalance match the
+    /// simulator's `LaunchProfile` (fig6) exactly: mean over the full
+    /// vector, nearest-rank percentiles, `imbalance = max/mean` (1.0 when
+    /// the mean is zero).
+    ///
+    /// Registry side effects (rank-labeled when this view is rank-scoped):
+    /// each cycle count is observed into `pim_hist_dpu_cycles{label}` and
+    /// each DMA byte count into `pim_hist_dpu_dma_bytes{label}`; the
+    /// gauges `pim_hist_last_{max,p50,p99}_cycles{label}` and
+    /// `pim_hist_last_imbalance{label}` snapshot the most recent launch
+    /// for the watchdog's straggler check.
+    pub fn launch_hist(
+        &self,
+        label: &str,
+        phase: &'static str,
+        per_dpu_cycles: &[u64],
+        per_dpu_dma_bytes: &[u64],
+    ) {
+        let max_cycles = per_dpu_cycles.iter().copied().max().unwrap_or(0);
+        let mean_cycles = if per_dpu_cycles.is_empty() {
+            0.0
+        } else {
+            per_dpu_cycles.iter().sum::<u64>() as f64 / per_dpu_cycles.len() as f64
+        };
+        let mut sorted = per_dpu_cycles.to_vec();
+        sorted.sort_unstable();
+        let p50 = nearest_rank_percentile(&sorted, 50.0);
+        let p99 = nearest_rank_percentile(&sorted, 99.0);
+        let imbalance = if mean_cycles > 0.0 {
+            max_cycles as f64 / mean_cycles
+        } else {
+            1.0
+        };
+        let dma_bytes: u64 = per_dpu_dma_bytes.iter().sum();
+
+        let cycles_hist = self.hist_with(
+            "pim_hist_dpu_cycles",
+            &[("label", label)],
+            &LAUNCH_CYCLE_BUCKETS,
+        );
+        for &c in per_dpu_cycles {
+            cycles_hist.observe(c);
+        }
+        let dma_hist = self.hist_with(
+            "pim_hist_dpu_dma_bytes",
+            &[("label", label)],
+            &DMA_BYTES_BUCKETS,
+        );
+        for &b in per_dpu_dma_bytes {
+            dma_hist.observe(b);
+        }
+        self.gge_with("pim_hist_last_max_cycles", &[("label", label)])
+            .set(max_cycles as f64);
+        self.gge_with("pim_hist_last_p50_cycles", &[("label", label)])
+            .set(p50 as f64);
+        self.gge_with("pim_hist_last_p99_cycles", &[("label", label)])
+            .set(p99 as f64);
+        self.gge_with("pim_hist_last_imbalance", &[("label", label)])
+            .set(imbalance);
+        self.emit(
+            "hist",
+            vec![
+                ("label".into(), FieldValue::Str(label.into())),
+                ("phase".into(), FieldValue::Str(phase.into())),
+                ("dpus".into(), FieldValue::U64(per_dpu_cycles.len() as u64)),
+                ("max_cycles".into(), FieldValue::U64(max_cycles)),
+                ("mean_cycles".into(), FieldValue::F64(mean_cycles)),
+                ("p50_cycles".into(), FieldValue::U64(p50)),
+                ("p99_cycles".into(), FieldValue::U64(p99)),
+                ("imbalance".into(), FieldValue::F64(imbalance)),
+                ("dma_bytes".into(), FieldValue::U64(dma_bytes)),
+            ],
+        );
+    }
+
+    /// A watchdog anomaly: a structured `anomaly` event plus a
+    /// `pim_anomalies_total{kind}` counter bump, so raised anomalies are
+    /// visible on the stream, the scrape, and `/healthz` alike.
+    pub fn anomaly(&self, kind: &str, detail: &str) {
+        self.ctr_with("pim_anomalies_total", &[("kind", kind)])
+            .inc();
+        self.emit(
+            "anomaly",
+            vec![
+                ("anomaly_kind".into(), FieldValue::Str(kind.into())),
+                ("detail".into(), FieldValue::Str(detail.into())),
             ],
         );
     }
@@ -533,6 +644,108 @@ mod tests {
         hub.transfer("push", "setup", 1, 100, 0.0, true);
         assert!(sink.events()[0].get("rank").is_none());
         assert!(!hub.render_prometheus().contains("rank"));
+    }
+
+    #[test]
+    fn launch_hist_streams_launch_profile_math() {
+        let hub = MetricsHub::new();
+        let sink = MemorySink::new();
+        hub.add_sink(Box::new(sink.clone()));
+        // One dead core (zero cycles) included, as the launch sites do.
+        hub.launch_hist(
+            "count",
+            "triangle_count",
+            &[1100, 2200, 3300, 4400],
+            &[10, 20, 30, 40],
+        );
+        let e = &sink.events()[0];
+        assert_eq!(e.kind, "hist");
+        assert_eq!(e.u64_field("dpus"), 4);
+        assert_eq!(e.u64_field("max_cycles"), 4400);
+        assert_eq!(e.u64_field("p50_cycles"), 2200);
+        assert_eq!(e.u64_field("p99_cycles"), 4400);
+        assert!((e.f64_field("mean_cycles") - 2750.0).abs() < 1e-9);
+        assert!((e.f64_field("imbalance") - 1.6).abs() < 1e-12);
+        assert_eq!(e.u64_field("dma_bytes"), 100);
+        let reg = hub.registry();
+        let h = reg.histogram_with(
+            "pim_hist_dpu_cycles",
+            &[("label", "count")],
+            &LAUNCH_CYCLE_BUCKETS,
+        );
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 11000);
+        assert_eq!(
+            reg.gauge_with("pim_hist_last_max_cycles", &[("label", "count")])
+                .get(),
+            4400.0
+        );
+        assert_eq!(
+            reg.gauge_with("pim_hist_last_p50_cycles", &[("label", "count")])
+                .get(),
+            2200.0
+        );
+        assert_eq!(
+            reg.gauge_with("pim_hist_last_imbalance", &[("label", "count")])
+                .get(),
+            1.6
+        );
+    }
+
+    #[test]
+    fn launch_hist_all_dead_reports_unit_imbalance() {
+        let hub = MetricsHub::new();
+        let sink = MemorySink::new();
+        hub.add_sink(Box::new(sink.clone()));
+        hub.launch_hist("count", "triangle_count", &[0, 0], &[0, 0]);
+        let e = &sink.events()[0];
+        assert_eq!(e.u64_field("max_cycles"), 0);
+        assert_eq!(e.f64_field("imbalance"), 1.0);
+    }
+
+    #[test]
+    fn rank_scoped_launch_hist_labels_series_and_events() {
+        let hub = MetricsHub::new();
+        let sink = MemorySink::new();
+        hub.add_sink(Box::new(sink.clone()));
+        let r1 = hub.with_rank(1);
+        r1.launch_hist("count", "triangle_count", &[100, 300], &[8, 8]);
+        assert_eq!(sink.events()[0].u64_field("rank"), 1);
+        let text = hub.render_prometheus();
+        assert!(
+            text.contains("pim_hist_dpu_cycles_count{label=\"count\",rank=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pim_hist_last_max_cycles{label=\"count\",rank=\"1\"} 300"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn anomaly_bumps_counter_and_emits_event() {
+        let hub = MetricsHub::new();
+        let sink = MemorySink::new();
+        hub.add_sink(Box::new(sink.clone()));
+        hub.anomaly("straggler", "count: max 9000 > 4x p50 1000");
+        let e = &sink.events()[0];
+        assert_eq!(e.kind, "anomaly");
+        assert_eq!(e.str_field("anomaly_kind"), "straggler");
+        assert_eq!(
+            hub.registry()
+                .counter_with("pim_anomalies_total", &[("kind", "straggler")])
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn last_seq_tracks_emitted_events() {
+        let hub = MetricsHub::new();
+        assert_eq!(hub.last_seq(), 0);
+        hub.phase_change("setup");
+        hub.phase_change("triangle_count");
+        assert_eq!(hub.last_seq(), 2);
     }
 
     #[test]

@@ -20,20 +20,35 @@
 //! * [`summary`] — aggregation of a recorded stream back into totals,
 //!   used by `pimtc metrics-summary` and by the equivalence tests that
 //!   pin the stream's aggregates against `SystemReport`.
+//! * [`exporter`] — the live telemetry plane: an in-process HTTP server
+//!   ([`MetricsServer`]) serving `/metrics`, `/healthz`, and `/trace`
+//!   from one background thread, plus the in-tree Prometheus text lint
+//!   ([`lint_prometheus`]).
+//! * [`watchdog`] — a [`Watchdog`] polled between ops that raises
+//!   structured `anomaly` events (straggler DPU, stalled progress,
+//!   retry-rate spike, core/rank death) from the live registry.
 //!
 //! The crate is dependency-free (std only): events are rendered to JSON
-//! lines by hand and re-parsed by a small flat-object parser, so it can be
-//! embedded anywhere in the stack without a serde dependency edge.
+//! lines by hand and re-parsed by a small flat-object parser, and the
+//! exporter speaks just enough HTTP/1.1 over a std `TcpListener`, so it
+//! can be embedded anywhere in the stack without a dependency edge.
 //!
-//! See `docs/OBSERVABILITY.md` for the event schema and metric name /
-//! label conventions.
+//! See `docs/OBSERVABILITY.md` for the event schema, metric name / label
+//! conventions, and the live telemetry endpoints.
 
 pub mod event;
+pub mod exporter;
 pub mod hub;
 pub mod registry;
 pub mod summary;
+pub mod watchdog;
 
 pub use event::{Event, FieldValue, JsonlSink, MemorySink, MetricsSink};
+pub use exporter::{lint_prometheus, HealthSink, HealthState, MetricsServer};
 pub use hub::{ChunkObs, LaunchObs, MetricsHub};
-pub use registry::{Counter, Gauge, Histogram, Registry, LAUNCH_CYCLE_BUCKETS};
-pub use summary::{parse_jsonl, summarize, StreamSummary};
+pub use registry::{
+    nearest_rank_percentile, Counter, Gauge, Histogram, Registry, DMA_BYTES_BUCKETS,
+    LAUNCH_CYCLE_BUCKETS,
+};
+pub use summary::{parse_jsonl, summarize, RankAgg, StreamSummary};
+pub use watchdog::{Anomaly, Watchdog, WatchdogConfig};

@@ -23,6 +23,24 @@ use std::sync::{Arc, Mutex};
 pub const LAUNCH_CYCLE_BUCKETS: [u64; 6] =
     [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
 
+/// Fixed bucket upper bounds (in bytes) for the per-DPU
+/// `pim_hist_dpu_dma_bytes` histogram: decades from 1e2 to 1e7.
+pub const DMA_BYTES_BUCKETS: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Nearest-rank percentile over an ascending-sorted slice: the value at
+/// rank `ceil(p/100 * n)` (1-based, clamped), or 0 when empty.
+///
+/// This is the exact definition used by the simulator's `LaunchProfile`
+/// (fig6 p50/p99), shared here so per-DPU histogram events on the metric
+/// stream reconcile bit-for-bit with the final `SystemReport`.
+pub fn nearest_rank_percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// A monotonically increasing atomic counter.
 #[derive(Clone, Debug, Default)]
 pub struct Counter(Arc<AtomicU64>);
@@ -276,6 +294,47 @@ impl Registry {
         }
     }
 
+    /// Every counter series under `name` as `(label string, value)` pairs
+    /// in deterministic label order (`""` for the unlabeled series).
+    /// Empty when the family does not exist or is not a counter family.
+    pub fn counter_values(&self, name: &str) -> Vec<(String, u64)> {
+        let families = self.families.lock().expect("registry poisoned");
+        let Some(family) = families.get(name) else {
+            return Vec::new();
+        };
+        family
+            .series
+            .iter()
+            .filter_map(|(labels, series)| match series {
+                Series::Counter(c) => Some((labels.clone(), c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every gauge series under `name` as `(label string, value)` pairs in
+    /// deterministic label order. Empty when absent or not a gauge family.
+    pub fn gauge_values(&self, name: &str) -> Vec<(String, f64)> {
+        let families = self.families.lock().expect("registry poisoned");
+        let Some(family) = families.get(name) else {
+            return Vec::new();
+        };
+        family
+            .series
+            .iter()
+            .filter_map(|(labels, series)| match series {
+                Series::Gauge(g) => Some((labels.clone(), g.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The sum of every counter series under `name` (0 when absent): the
+    /// family total regardless of how it is labeled (`op`, `rank`, ...).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counter_values(name).iter().map(|(_, v)| *v).sum()
+    }
+
     /// Renders every metric in the Prometheus text exposition format,
     /// deterministically ordered (names sorted, then label sets sorted).
     pub fn render_prometheus(&self) -> String {
@@ -409,6 +468,52 @@ mod tests {
         );
         assert!(text.contains("cycles_sum{rank=\"1\"} 55"), "{text}");
         assert!(text.contains("cycles_count{rank=\"1\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn read_apis_enumerate_series_deterministically() {
+        let reg = Registry::new();
+        reg.counter_with("faults", &[("kind", "kill")]).add(2);
+        reg.counter_with("faults", &[("kind", "corrupt")]).add(1);
+        reg.counter("bytes").add(100);
+        reg.gauge_with("p50", &[("label", "count")]).set(42.0);
+        assert_eq!(
+            reg.counter_values("faults"),
+            vec![
+                ("{kind=\"corrupt\"}".to_string(), 1),
+                ("{kind=\"kill\"}".to_string(), 2),
+            ]
+        );
+        assert_eq!(reg.counter_total("faults"), 3);
+        assert_eq!(reg.counter_values("bytes"), vec![(String::new(), 100)]);
+        assert_eq!(
+            reg.gauge_values("p50"),
+            vec![("{label=\"count\"}".to_string(), 42.0)]
+        );
+        assert!(reg.counter_values("missing").is_empty());
+        assert_eq!(reg.counter_total("missing"), 0);
+        // A gauge family yields no counter values and vice versa.
+        assert!(reg.counter_values("p50").is_empty());
+        assert!(reg.gauge_values("faults").is_empty());
+    }
+
+    #[test]
+    fn nearest_rank_percentile_matches_launch_profile_definition() {
+        assert_eq!(nearest_rank_percentile(&[], 50.0), 0);
+        assert_eq!(nearest_rank_percentile(&[7], 50.0), 7);
+        assert_eq!(nearest_rank_percentile(&[7], 99.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank_percentile(&v, 50.0), 50);
+        assert_eq!(nearest_rank_percentile(&v, 99.0), 99);
+        assert_eq!(nearest_rank_percentile(&v, 100.0), 100);
+        assert_eq!(
+            nearest_rank_percentile(&[1100, 2200, 3300, 4400], 50.0),
+            2200
+        );
+        assert_eq!(
+            nearest_rank_percentile(&[1100, 2200, 3300, 4400], 99.0),
+            4400
+        );
     }
 
     #[test]

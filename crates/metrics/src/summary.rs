@@ -24,6 +24,30 @@ pub struct TransferAgg {
     pub seconds: f64,
 }
 
+/// Per-rank aggregates recovered from a rank-labeled stream (R > 1).
+///
+/// Populated only for events carrying a `rank` field — an unscoped
+/// single-rank stream yields an empty map.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankAgg {
+    /// Events attributed to this rank.
+    pub events: u64,
+    /// Transfer operations (including failed ones).
+    pub transfer_ops: u64,
+    /// Bytes moved by successful transfers.
+    pub transfer_bytes: u64,
+    /// Retry spans (`retry:<op>` host labels).
+    pub retries: u64,
+    /// Injected faults of every kind.
+    pub faults: u64,
+    /// Core deaths: `kill` plus `rank_dead` faults.
+    pub deaths: u64,
+    /// Kernel launches (including killed ones).
+    pub launches: u64,
+    /// Sum of per-launch critical-path (max) cycles.
+    pub kernel_cycles: u64,
+}
+
 /// Aggregates for one kernel label.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct LaunchAgg {
@@ -92,6 +116,11 @@ pub struct StreamSummary {
     pub scrub_repaired: u64,
     /// Allocation seconds (summed over `alloc` events — one per rank).
     pub alloc_seconds: f64,
+    /// Watchdog anomaly counts per kind (`straggler` / `stall` /
+    /// `retry_spike` / `dpu_death` / `rank_death`).
+    pub anomalies: BTreeMap<String, u64>,
+    /// Per-rank breakdown, keyed by rank id (empty for unscoped streams).
+    pub by_rank: BTreeMap<u64, RankAgg>,
 }
 
 impl StreamSummary {
@@ -132,22 +161,44 @@ impl StreamSummary {
 }
 
 /// Parses a JSONL metrics capture, enforcing stream integrity: every
-/// non-empty line must parse as an event and sequence numbers must be
-/// strictly increasing. Errors name the offending line (1-based).
+/// non-empty line must parse as an event, sequence numbers must be
+/// strictly increasing, and — since the hub assigns consecutive sequence
+/// numbers — any gap between adjacent events means lines were lost.
+/// Errors name the offending line (1-based); a final line that fails to
+/// parse is flagged as a possibly truncated tail (a writer cut off
+/// mid-line) rather than silently accepting the partial stream.
 pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .collect();
+    let last_lineno = lines.last().map(|(n, _)| *n);
     let mut events = Vec::new();
     let mut last_seq = 0u64;
-    for (lineno, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let event = Event::parse(line).map_err(|e| format!("line {}: {}", lineno + 1, e))?;
+    for (lineno, line) in lines {
+        let event = Event::parse(line).map_err(|e| {
+            if Some(lineno) == last_lineno {
+                format!("line {}: {} (possibly truncated tail)", lineno + 1, e)
+            } else {
+                format!("line {}: {}", lineno + 1, e)
+            }
+        })?;
         if event.seq <= last_seq {
             return Err(format!(
                 "line {}: seq {} not strictly increasing (previous {})",
                 lineno + 1,
                 event.seq,
                 last_seq
+            ));
+        }
+        if last_seq > 0 && event.seq > last_seq + 1 {
+            return Err(format!(
+                "line {}: seq gap — {} follows {} ({} events missing from the stream)",
+                lineno + 1,
+                event.seq,
+                last_seq,
+                event.seq - last_seq - 1
             ));
         }
         last_seq = event.seq;
@@ -230,7 +281,39 @@ pub fn summarize(events: &[Event]) -> StreamSummary {
                 s.scrub_sweeps += 1;
                 s.scrub_repaired += e.u64_field("repaired");
             }
+            "anomaly" => {
+                let kind = e.str_field("anomaly_kind").to_string();
+                *s.anomalies.entry(kind).or_default() += 1;
+            }
             _ => {}
+        }
+        // Rank-scoped hubs stamp every event with a `rank` field; fold those
+        // into the per-rank breakdown alongside the cluster-wide totals.
+        if let Some(rank) = e.get("rank").and_then(|v| v.as_u64()) {
+            let agg = s.by_rank.entry(rank).or_default();
+            agg.events += 1;
+            match e.kind.as_str() {
+                "transfer" => {
+                    agg.transfer_ops += 1;
+                    if e.get("ok").and_then(|v| v.as_bool()).unwrap_or(true) {
+                        agg.transfer_bytes += e.u64_field("bytes");
+                    }
+                }
+                "host" if e.str_field("label").starts_with("retry:") => {
+                    agg.retries += 1;
+                }
+                "fault" => {
+                    agg.faults += 1;
+                    if matches!(e.str_field("fault_kind"), "kill" | "rank_dead") {
+                        agg.deaths += 1;
+                    }
+                }
+                "launch" => {
+                    agg.launches += 1;
+                    agg.kernel_cycles += e.u64_field("max_cycles");
+                }
+                _ => {}
+            }
         }
     }
     s
@@ -303,5 +386,72 @@ mod tests {
         let bad = "{\"seq\":1,\"kind\":\"phase\",\"to\":\"setup\"}\nnot json\n";
         let err = parse_jsonl(bad).unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn seq_gaps_are_reported_not_skipped() {
+        let gappy = "{\"seq\":1,\"kind\":\"phase\",\"to\":\"setup\"}\n{\"seq\":4,\"kind\":\"phase\",\"to\":\"triangle_count\"}\n";
+        let err = parse_jsonl(gappy).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("seq gap"), "{err}");
+        assert!(err.contains("2 events missing"), "{err}");
+        // A stream that starts above seq 1 is not a gap: tools may trim the
+        // head of a capture, and the first event carries no predecessor.
+        let trimmed = "{\"seq\":5,\"kind\":\"phase\",\"to\":\"setup\"}\n{\"seq\":6,\"kind\":\"phase\",\"to\":\"x\"}\n";
+        assert_eq!(parse_jsonl(trimmed).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn truncated_tail_is_called_out() {
+        let cut = "{\"seq\":1,\"kind\":\"phase\",\"to\":\"setup\"}\n{\"seq\":2,\"kind\":\"tra";
+        let err = parse_jsonl(cut).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("truncated tail"), "{err}");
+        // A malformed line in the middle is a plain parse error.
+        let mid = "{bad\n{\"seq\":2,\"kind\":\"phase\",\"to\":\"x\"}\n";
+        let err = parse_jsonl(mid).unwrap_err();
+        assert!(!err.contains("truncated tail"), "{err}");
+    }
+
+    #[test]
+    fn anomalies_are_counted_by_kind() {
+        let stream = "{\"seq\":1,\"kind\":\"anomaly\",\"anomaly_kind\":\"straggler\",\"detail\":\"x\"}\n{\"seq\":2,\"kind\":\"anomaly\",\"anomaly_kind\":\"straggler\",\"detail\":\"y\"}\n{\"seq\":3,\"kind\":\"anomaly\",\"anomaly_kind\":\"stall\",\"detail\":\"z\"}\n";
+        let s = summarize(&parse_jsonl(stream).unwrap());
+        assert_eq!(s.anomalies["straggler"], 2);
+        assert_eq!(s.anomalies["stall"], 1);
+    }
+
+    #[test]
+    fn rank_labeled_stream_builds_per_rank_breakdown() {
+        let stream = concat!(
+            "{\"seq\":1,\"kind\":\"transfer\",\"op\":\"push\",\"phase\":\"setup\",\"writes\":4,\"bytes\":100,\"seconds\":0.0,\"ok\":true,\"rank\":0}\n",
+            "{\"seq\":2,\"kind\":\"transfer\",\"op\":\"push\",\"phase\":\"setup\",\"writes\":4,\"bytes\":200,\"seconds\":0.0,\"ok\":true,\"rank\":1}\n",
+            "{\"seq\":3,\"kind\":\"launch\",\"label\":\"count\",\"phase\":\"triangle_count\",\"dpus\":4,\"max_cycles\":1000,\"mean_cycles\":900.0,\"instructions\":10,\"dma_bytes\":8,\"seconds\":0.0,\"ok\":true,\"rank\":1}\n",
+            "{\"seq\":4,\"kind\":\"fault\",\"fault_kind\":\"kill\",\"phase\":\"triangle_count\",\"op\":3,\"dpu\":2,\"rank\":1}\n",
+            "{\"seq\":5,\"kind\":\"fault\",\"fault_kind\":\"rank_dead\",\"phase\":\"triangle_count\",\"op\":4,\"rank\":0}\n",
+            "{\"seq\":6,\"kind\":\"host\",\"label\":\"retry:receive\",\"phase\":\"triangle_count\",\"seconds\":0.0001,\"rank\":0}\n",
+        );
+        let s = summarize(&parse_jsonl(stream).unwrap());
+        assert_eq!(s.by_rank.len(), 2);
+        let r0 = &s.by_rank[&0];
+        assert_eq!(r0.events, 3);
+        assert_eq!(r0.transfer_bytes, 100);
+        assert_eq!(r0.retries, 1);
+        assert_eq!(r0.deaths, 1); // rank_dead
+        let r1 = &s.by_rank[&1];
+        assert_eq!(r1.transfer_bytes, 200);
+        assert_eq!(r1.launches, 1);
+        assert_eq!(r1.kernel_cycles, 1000);
+        assert_eq!(r1.faults, 1);
+        assert_eq!(r1.deaths, 1); // kill
+                                  // The cluster-wide totals still see everything.
+        assert_eq!(s.transfer_bytes(), 300);
+    }
+
+    #[test]
+    fn unscoped_stream_has_empty_by_rank() {
+        let s = summarize(&parse_jsonl(STREAM).unwrap());
+        assert!(s.by_rank.is_empty());
+        assert!(s.anomalies.is_empty());
     }
 }

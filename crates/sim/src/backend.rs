@@ -722,6 +722,27 @@ impl PimBackend for FunctionalBackend {
                 seconds: 0.0,
                 ok: true,
             });
+            // Same per-DPU distribution stream as the timed backend (the
+            // cycle observations are data-derived, so both backends emit
+            // identical hist events for the same run).
+            let per_dpu_cycles: Vec<u64> = results.iter().map(|(_, c)| *c).collect();
+            let per_dpu_dma: Vec<u64> = self
+                .dpus
+                .iter()
+                .map(|d| {
+                    if is_dead(d.id()) {
+                        0
+                    } else {
+                        d.kernel_dma_bytes
+                    }
+                })
+                .collect();
+            hub.launch_hist(
+                label,
+                self.phase.metric_name(),
+                &per_dpu_cycles,
+                &per_dpu_dma,
+            );
         }
         Ok(results.into_iter().map(|(r, _)| r).collect())
     }

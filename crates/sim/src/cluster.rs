@@ -359,6 +359,13 @@ impl<B: PimBackend> RankCluster<B> {
         &self.ranks
     }
 
+    /// Each rank's recorded trace, rank order (empty traces unless tracing
+    /// was enabled). Feed to [`crate::to_chrome_trace_cluster`] to export
+    /// an R>1 run with per-rank process groups.
+    pub fn rank_traces(&self) -> Vec<&Trace> {
+        self.ranks.iter().map(|b| b.trace()).collect()
+    }
+
     /// The global id of `local` on `rank`.
     pub fn global_id(&self, rank: usize, local: usize) -> usize {
         self.inverse[rank][local] as usize

@@ -56,4 +56,4 @@ pub use stats::{
     DpuActivity, LaunchProfile, PhaseKernelCycles, SystemReport, CYCLE_HISTOGRAM_BUCKETS,
 };
 pub use system::{HostWrite, PimSystem};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{to_chrome_trace_cluster, Trace, TraceEvent};

@@ -67,13 +67,11 @@ pub struct PhaseKernelCycles {
     pub seconds: f64,
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice.
+/// Nearest-rank percentile of an ascending-sorted slice. Delegates to the
+/// shared definition in `pim-metrics` so per-DPU histogram events on the
+/// live metric stream reconcile bit-for-bit with this report's p50/p99.
 fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    pim_metrics::nearest_rank_percentile(sorted, p)
 }
 
 impl LaunchProfile {

@@ -629,6 +629,28 @@ impl PimSystem {
                 seconds,
                 ok: true,
             });
+            // Stream the full per-DPU distribution (dead cores as zeros —
+            // the same vectors the trace's Kernel events carry) so the
+            // hist event's p50/p99/imbalance reconcile exactly with the
+            // final report's LaunchProfile.
+            let per_dpu_cycles: Vec<u64> = results.iter().map(|(_, c)| *c).collect();
+            let per_dpu_dma: Vec<u64> = self
+                .dpus
+                .iter()
+                .map(|d| {
+                    if is_dead(d.id()) {
+                        0
+                    } else {
+                        d.kernel_dma_bytes
+                    }
+                })
+                .collect();
+            hub.launch_hist(
+                label,
+                self.phase.metric_name(),
+                &per_dpu_cycles,
+                &per_dpu_dma,
+            );
         }
         if self.trace.is_enabled() {
             // The per-kernel counters were reset at launch, so right now

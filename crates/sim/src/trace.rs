@@ -239,16 +239,34 @@ impl Trace {
     pub fn to_chrome_trace(&self) -> serde_json::Value {
         use serde_json::Value;
         let mut events: Vec<Value> = Vec::new();
+        self.append_chrome_events(1, None, &mut events);
+        obj(vec![
+            ("traceEvents", Value::Array(events)),
+            ("displayTimeUnit", Value::Str("ms".into())),
+        ])
+    }
+
+    /// Appends this timeline's Chrome trace events under process `pid`.
+    /// When `rank` is set, the per-phase track metadata additionally
+    /// carries the rank id (used by [`to_chrome_trace_cluster`]).
+    fn append_chrome_events(
+        &self,
+        pid: u64,
+        rank: Option<u64>,
+        events: &mut Vec<serde_json::Value>,
+    ) {
+        use serde_json::Value;
         for (phase, tid) in PHASE_TRACKS {
+            let mut args = vec![("name", Value::Str(format!("{phase:?}")))];
+            if let Some(r) = rank {
+                args.push(("rank", Value::U64(r)));
+            }
             events.push(obj(vec![
                 ("name", Value::Str("thread_name".into())),
                 ("ph", Value::Str("M".into())),
-                ("pid", Value::U64(1)),
+                ("pid", Value::U64(pid)),
                 ("tid", Value::U64(tid)),
-                (
-                    "args",
-                    obj(vec![("name", Value::Str(format!("{phase:?}")))]),
-                ),
+                ("args", obj(args)),
             ]));
         }
 
@@ -298,7 +316,7 @@ impl Trace {
                     events.push(obj(vec![
                         ("name", Value::Str(format!("phase:{to:?}"))),
                         ("ph", Value::Str("i".into())),
-                        ("pid", Value::U64(1)),
+                        ("pid", Value::U64(pid)),
                         ("tid", Value::U64(tid)),
                         ("ts", Value::F64(clock_us)),
                         ("s", Value::Str("g".into())),
@@ -313,7 +331,7 @@ impl Trace {
                     events.push(obj(vec![
                         ("name", Value::Str(format!("fault:{kind}"))),
                         ("ph", Value::Str("i".into())),
-                        ("pid", Value::U64(1)),
+                        ("pid", Value::U64(pid)),
                         ("tid", Value::U64(tid)),
                         ("ts", Value::F64(clock_us)),
                         ("s", Value::Str("g".into())),
@@ -325,7 +343,7 @@ impl Trace {
             events.push(obj(vec![
                 ("name", Value::Str(name)),
                 ("ph", Value::Str("X".into())),
-                ("pid", Value::U64(1)),
+                ("pid", Value::U64(pid)),
                 ("tid", Value::U64(tid)),
                 ("ts", Value::F64(clock_us)),
                 ("dur", Value::F64(dur_us)),
@@ -347,19 +365,45 @@ impl Trace {
                 events.push(obj(vec![
                     ("name", Value::Str("dpu_utilization_pct".into())),
                     ("ph", Value::Str("C".into())),
-                    ("pid", Value::U64(1)),
+                    ("pid", Value::U64(pid)),
                     ("ts", Value::F64(clock_us)),
                     ("args", obj(vec![("utilization", Value::F64(utilization))])),
                 ]));
             }
             clock_us += dur_us;
         }
-
-        obj(vec![
-            ("traceEvents", Value::Array(events)),
-            ("displayTimeUnit", Value::Str("ms".into())),
-        ])
     }
+}
+
+/// Exports several ranks' timelines as one Chrome trace, grouping each
+/// rank's per-phase tracks under its own process (`pid = rank + 1`, named
+/// `"rank N"` via `process_name` metadata, with the rank id repeated in
+/// every track's metadata args). This keeps an R>1 cluster trace readable:
+/// tracks are grouped per rank instead of flattened into one process with
+/// global ids.
+pub fn to_chrome_trace_cluster(traces: &[&Trace]) -> serde_json::Value {
+    use serde_json::Value;
+    let mut events: Vec<Value> = Vec::new();
+    for (r, trace) in traces.iter().enumerate() {
+        let pid = r as u64 + 1;
+        events.push(obj(vec![
+            ("name", Value::Str("process_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::U64(pid)),
+            (
+                "args",
+                obj(vec![
+                    ("name", Value::Str(format!("rank {r}"))),
+                    ("rank", Value::U64(r as u64)),
+                ]),
+            ),
+        ]));
+        trace.append_chrome_events(pid, Some(r as u64), &mut events);
+    }
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ])
 }
 
 #[cfg(test)]
@@ -558,5 +602,62 @@ mod tests {
             thread_names,
             vec!["Setup", "SampleCreation", "TriangleCount"]
         );
+    }
+
+    #[test]
+    fn cluster_chrome_trace_groups_tracks_per_rank() {
+        let sys0 = traced_system();
+        let sys1 = traced_system();
+        let chrome = to_chrome_trace_cluster(&[sys0.trace(), sys1.trace()]);
+        let events = chrome.get("traceEvents").unwrap().as_array().unwrap();
+
+        // One process_name metadata event per rank, pid = rank + 1, with
+        // the rank id in the metadata args.
+        let process_names: Vec<(u64, &str, u64)> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("process_name"))
+            .map(|e| {
+                (
+                    e.get("pid").unwrap().as_f64().unwrap() as u64,
+                    e.get("args")
+                        .unwrap()
+                        .get("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap(),
+                    e.get("args")
+                        .unwrap()
+                        .get("rank")
+                        .unwrap()
+                        .as_f64()
+                        .unwrap() as u64,
+                )
+            })
+            .collect();
+        assert_eq!(process_names, vec![(1, "rank 0", 0), (2, "rank 1", 1)]);
+
+        // Every non-metadata event lands in one of the rank processes, and
+        // both ranks have kernel spans under their own pid.
+        for pid in [1u64, 2] {
+            assert!(events.iter().any(|e| {
+                e.get("pid").unwrap().as_f64() == Some(pid as f64)
+                    && e.get("name").unwrap().as_str() == Some("kernel:probe")
+            }));
+        }
+        // Track metadata carries the rank.
+        let rank_tagged = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .all(|e| e.get("args").unwrap().get("rank").is_some());
+        assert!(rank_tagged, "cluster tracks must carry rank metadata");
+
+        // The single-trace export is unchanged by the refactor: no rank
+        // metadata, everything under pid 1.
+        let solo = sys0.trace().to_chrome_trace();
+        let solo_events = solo.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(solo_events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .all(|e| e.get("args").unwrap().get("rank").is_none()));
     }
 }

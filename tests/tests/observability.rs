@@ -4,9 +4,15 @@
 //! on both execution backends.
 
 use pim_graph::gen;
-use pim_metrics::{summarize, MemorySink, MetricsHub};
+use pim_metrics::{
+    lint_prometheus, summarize, HealthSink, HealthState, MemorySink, MetricsHub, MetricsServer,
+    Watchdog, WatchdogConfig,
+};
 use pim_sim::{FaultPlan, PimConfig};
 use pim_tc::{ExecBackend, TcConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn faulted_config() -> TcConfig {
@@ -154,4 +160,243 @@ fn dynamic_metric_stream_reconciles_with_the_report_on_both_backends() {
             ExecBackend::Functional => assert_eq!(s.total_seconds(), 0.0),
         }
     }
+}
+
+fn tiny_config(backend: ExecBackend) -> TcConfig {
+    let mut config = TcConfig::builder()
+        .colors(2)
+        .pim(PimConfig {
+            total_dpus: 512,
+            mram_capacity: 1 << 20,
+            ..PimConfig::tiny()
+        })
+        .stage_edges(256)
+        .build()
+        .unwrap();
+    config.backend = backend;
+    config.ranks = 1;
+    config
+}
+
+/// The fig6 reproducibility claim for the stream: every `hist` event must
+/// carry exactly the per-launch p50/p99/max/imbalance the final
+/// `SystemReport` attributes to that launch — the distribution figures
+/// are recoverable from the live stream alone, on both backends.
+#[test]
+fn hist_events_reconcile_with_launch_profiles_on_both_backends() {
+    let g = gen::erdos_renyi(150, 0.1, 7);
+    let capture = |backend: ExecBackend| {
+        let config = tiny_config(backend);
+        let hub = Arc::new(MetricsHub::new());
+        let sink = MemorySink::new();
+        hub.add_sink(Box::new(sink.clone()));
+        let profile =
+            pim_tc::count_triangles_profiled_metered(&g, &config, Some(Arc::clone(&hub))).unwrap();
+        let hists: Vec<(String, u64, u64, u64, f64)> = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind == "hist")
+            .map(|h| {
+                (
+                    h.str_field("label").to_string(),
+                    h.u64_field("max_cycles"),
+                    h.u64_field("p50_cycles"),
+                    h.u64_field("p99_cycles"),
+                    h.f64_field("imbalance"),
+                )
+            })
+            .collect();
+        (profile, hists)
+    };
+
+    // Timed: every hist event matches its launch's recorded profile.
+    let (profile, timed_hists) = capture(ExecBackend::Timed);
+    assert_eq!(
+        timed_hists.len(),
+        profile.report.launches.len(),
+        "one hist event per recorded launch"
+    );
+    for ((label, max, p50, p99, imb), l) in timed_hists.iter().zip(&profile.report.launches) {
+        assert_eq!(label, &l.label);
+        assert_eq!(*max, l.max_cycles);
+        assert_eq!(*p50, l.p50_cycles);
+        assert_eq!(*p99, l.p99_cycles);
+        assert!(
+            (imb - l.imbalance).abs() < 1e-12,
+            "stream imbalance {imb} vs report {}",
+            l.imbalance
+        );
+    }
+
+    // Functional: the engine records no LaunchProfiles (no modeled
+    // clock), but its cycle counts are data-derived — the hist stream is
+    // event-for-event identical to the timed one.
+    let (_, functional_hists) = capture(ExecBackend::Functional);
+    assert_eq!(
+        functional_hists, timed_hists,
+        "functional hist stream must mirror the timed one"
+    );
+}
+
+/// Minimal HTTP/1.1 GET against the in-process exporter; the server
+/// closes the connection after each response.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Sums every sample of an (optionally labeled) counter family in a
+/// Prometheus exposition.
+fn scrape_counter_total(text: &str, name: &str) -> u64 {
+    text.lines()
+        .filter(|l| {
+            l.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with(' ') || rest.starts_with('{'))
+        })
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+        .map(|v| v as u64)
+        .sum()
+}
+
+/// A live `/metrics` scrape taken at any point during the run must be
+/// parseable Prometheus text whose counters never exceed — and at the end
+/// exactly equal — the run's own `SystemReport` totals; `/healthz` must
+/// track phase and progress.
+#[test]
+fn live_scrape_reconciles_with_the_system_report_on_both_backends() {
+    let g = gen::erdos_renyi(150, 0.1, 11);
+    for backend in [ExecBackend::Timed, ExecBackend::Functional] {
+        let config = tiny_config(backend);
+        let hub = Arc::new(MetricsHub::new());
+        let health = Arc::new(HealthState::new());
+        hub.add_sink(Box::new(HealthSink::new(Arc::clone(&health))));
+        let mut server =
+            MetricsServer::start("127.0.0.1:0", Arc::clone(&hub), Arc::clone(&health)).unwrap();
+        let addr = server.addr();
+
+        // Concurrent scraper: every mid-run snapshot lints and its
+        // transfer-bytes counter is monotone non-decreasing.
+        let stop = Arc::new(AtomicBool::new(false));
+        let scraper = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                let mut scrapes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, body) = http_get(addr, "/metrics");
+                    assert_eq!(status, 200);
+                    lint_prometheus(&body).expect("mid-run scrape must lint");
+                    let bytes = scrape_counter_total(&body, "pim_transfer_bytes_total");
+                    assert!(bytes >= last, "counter went backwards: {bytes} < {last}");
+                    last = bytes;
+                    scrapes += 1;
+                }
+                (last, scrapes)
+            })
+        };
+
+        let profile =
+            pim_tc::count_triangles_profiled_metered(&g, &config, Some(Arc::clone(&hub))).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        let (mid_run_bytes, scrapes) = scraper.join().unwrap();
+        assert!(scrapes > 0, "{backend:?}: the scraper must have run");
+
+        // End-of-run scrape: counters reconcile exactly with the report.
+        let (status, body) = http_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        lint_prometheus(&body).unwrap();
+        assert_eq!(
+            scrape_counter_total(&body, "pim_transfer_bytes_total"),
+            profile.report.total_transfer_bytes,
+            "{backend:?}"
+        );
+        assert_eq!(
+            scrape_counter_total(&body, "pim_instructions_total"),
+            profile.report.total_instructions,
+            "{backend:?}"
+        );
+        assert!(
+            mid_run_bytes <= profile.report.total_transfer_bytes,
+            "{backend:?}: a mid-run scrape can never exceed the final total"
+        );
+
+        let (status, healthz) = http_get(addr, "/healthz");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&healthz).unwrap();
+        assert_eq!(
+            doc.get("phase").and_then(|v| v.as_str()),
+            Some("triangle_count"),
+            "{backend:?}: {healthz}"
+        );
+        assert!(doc.get("last_seq").and_then(|v| v.as_u64()).unwrap() > 0);
+        assert!(doc.get("edges_ingested").and_then(|v| v.as_u64()).unwrap() > 0);
+
+        server.shutdown();
+    }
+}
+
+/// The watchdog raises `dpu_death` / `rank_death` on injected permanent
+/// faults and stays silent on the same workload fault-free.
+#[test]
+fn watchdog_fires_on_injected_faults_and_stays_silent_clean() {
+    let g = gen::erdos_renyi(150, 0.1, 3);
+    // Headroom over this workload's natural max/p50 skew: the signal
+    // under test is injected deaths, not data imbalance.
+    let lenient = WatchdogConfig {
+        straggler_factor: 16.0,
+        ..WatchdogConfig::default()
+    };
+
+    // Clean run: no anomalies at all.
+    let config = tiny_config(ExecBackend::Timed);
+    let hub = Arc::new(MetricsHub::new());
+    let mut dog = Watchdog::new(Arc::clone(&hub), lenient.clone());
+    pim_tc::count_triangles_metered(&g, &config, Arc::clone(&hub)).unwrap();
+    assert!(
+        dog.check().is_empty(),
+        "clean run must raise nothing: {:?}",
+        dog.fired()
+    );
+
+    // A covered core death fires `dpu_death` exactly once.
+    let mut config = tiny_config(ExecBackend::Timed);
+    config.pim.fault = Some(FaultPlan::parse("seed=3,kill=1@3").unwrap());
+    config.spare_dpus = 2;
+    let hub = Arc::new(MetricsHub::new());
+    let mut dog = Watchdog::new(Arc::clone(&hub), lenient.clone());
+    pim_tc::count_triangles_metered(&g, &config, Arc::clone(&hub)).unwrap();
+    let fired = dog.check();
+    assert!(
+        fired.iter().any(|a| a.kind == "dpu_death"),
+        "got: {fired:?}"
+    );
+
+    // A whole-rank outage on a 2-rank cluster fires `rank_death`.
+    let mut config = tiny_config(ExecBackend::Timed);
+    config.ranks = 2;
+    config.pim.fault = Some(FaultPlan::parse("seed=3,rank=1@count").unwrap());
+    config.spare_dpus = 4;
+    // Whole-rank recovery re-derives the lost partitions from replayable
+    // RNG journals (docs/ROBUSTNESS.md).
+    config.journal = true;
+    let hub = Arc::new(MetricsHub::new());
+    let mut dog = Watchdog::new(Arc::clone(&hub), lenient);
+    pim_tc::count_triangles_metered(&g, &config, Arc::clone(&hub)).unwrap();
+    let fired = dog.check();
+    assert!(
+        fired.iter().any(|a| a.kind == "rank_death"),
+        "got: {fired:?}"
+    );
 }
