@@ -1,0 +1,304 @@
+//! `serve_load` — load generator for the multi-tenant session daemon.
+//!
+//! Starts an in-process [`pim_server::Server`], then hammers it from N
+//! client threads over real sockets. Each thread runs R tenant sessions
+//! back to back (create → append×K → query-count → close), with a mixed
+//! fleet of color counts and a deliberate slice of oversized asks that
+//! the admission controller must turn away. Per-op wall-clock latencies
+//! are collected socket-side and reported as p50/p99 alongside the
+//! daemon's own admission counters.
+//!
+//! `PIM_TC_PROFILE=test` shrinks the fleet for smoke runs; the default
+//! paper profile drives hundreds of concurrent sessions. Results land in
+//! `results/serve_load.{md,json}` (override the directory with
+//! `PIM_TC_RESULTS`). See `docs/SERVING.md`.
+
+use pim_bench::{Harness, MdTable};
+use pim_graph::datasets::Profile;
+use pim_server::{ServeConfig, Server};
+use pim_sim::PimConfig;
+use serde::Serialize;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Fleet shape at one profile.
+struct Shape {
+    threads: usize,
+    sessions_per_thread: usize,
+    batches: usize,
+    edges_per_batch: usize,
+}
+
+impl Shape {
+    fn for_profile(profile: Profile) -> Shape {
+        match profile {
+            Profile::Test => Shape {
+                threads: 8,
+                sessions_per_thread: 3,
+                batches: 3,
+                edges_per_batch: 40,
+            },
+            _ => Shape {
+                threads: 32,
+                sessions_per_thread: 10,
+                batches: 5,
+                edges_per_batch: 120,
+            },
+        }
+    }
+}
+
+/// One measured operation.
+struct Sample {
+    op: &'static str,
+    latency: Duration,
+}
+
+/// Latency summary for one verb.
+#[derive(Serialize)]
+struct OpStats {
+    op: String,
+    count: usize,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+/// The persisted record.
+#[derive(Serialize)]
+struct Record {
+    threads: usize,
+    sessions_attempted: usize,
+    admitted: u64,
+    rejected: u64,
+    ops: Vec<OpStats>,
+    elapsed_secs: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// A deterministic loop-free edge batch; tenants get disjoint streams.
+fn batch(tenant: usize, round: usize, n: usize) -> String {
+    let mut state = (tenant as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(round as u64 + 1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut pairs = Vec::with_capacity(n);
+    while pairs.len() < n {
+        let (u, v) = (next() % 400, next() % 400);
+        if u != v {
+            pairs.push(format!("[{u},{v}]"));
+        }
+    }
+    format!("[{}]", pairs.join(","))
+}
+
+fn call(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    frame: &str,
+) -> (Value, Duration) {
+    let start = Instant::now();
+    writeln!(writer, "{frame}").expect("write frame");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    let latency = start.elapsed();
+    let v = serde_json::from_str(&line).expect("response is JSON");
+    (v, latency)
+}
+
+fn is_ok(v: &Value) -> bool {
+    v.get("ok").and_then(Value::as_bool) == Some(true)
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let shape = Shape::for_profile(harness.profile);
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            ranks: 4,
+            pim: PimConfig {
+                total_dpus: 96,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            },
+            queue_depth: 16,
+            workers: 8,
+            max_frame: 1 << 20,
+            drain_dir: None,
+        },
+    )
+    .expect("start daemon");
+    let addr = server.addr();
+    eprintln!(
+        "[serve_load] daemon on {addr}: {} threads x {} sessions",
+        shape.threads, shape.sessions_per_thread
+    );
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for thread in 0..shape.threads {
+        let (batches, per_batch, rounds) = (
+            shape.batches,
+            shape.edges_per_batch,
+            shape.sessions_per_thread,
+        );
+        handles.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("set nodelay");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = stream;
+            let mut samples = Vec::new();
+            let mut rejected = 0u64;
+            for round in 0..rounds {
+                // Every 7th ask is deliberately oversized (C = 9 needs
+                // 165 cores per rank; each rank has 96): admission must
+                // bounce it, and that path is part of the measured load.
+                let oversized = (thread + round) % 7 == 6;
+                let colors = if oversized { 9 } else { 1 + (thread + round) % 3 };
+                let frame = format!(
+                    r#"{{"op":"create-session","colors":{colors},"seed":{},"backend":"functional"}}"#,
+                    thread * 1000 + round
+                );
+                let (v, lat) = call(&mut reader, &mut writer, &frame);
+                samples.push(Sample {
+                    op: "create-session",
+                    latency: lat,
+                });
+                if !is_ok(&v) {
+                    assert!(oversized, "unexpected rejection: {v:?}");
+                    rejected += 1;
+                    continue;
+                }
+                assert!(!oversized, "oversized ask was admitted: {v:?}");
+                let id = v.get("session").and_then(Value::as_u64).expect("session id");
+                for b in 0..batches {
+                    let frame = format!(
+                        r#"{{"op":"append-edges","session":{id},"edges":{}}}"#,
+                        batch(thread * rounds + round, b, per_batch)
+                    );
+                    let (v, lat) = call(&mut reader, &mut writer, &frame);
+                    assert!(is_ok(&v), "append failed: {v:?}");
+                    samples.push(Sample {
+                        op: "append-edges",
+                        latency: lat,
+                    });
+                }
+                let (v, lat) = call(
+                    &mut reader,
+                    &mut writer,
+                    &format!(r#"{{"op":"query-count","session":{id}}}"#),
+                );
+                assert!(is_ok(&v), "count failed: {v:?}");
+                samples.push(Sample {
+                    op: "query-count",
+                    latency: lat,
+                });
+                let (v, lat) = call(
+                    &mut reader,
+                    &mut writer,
+                    &format!(r#"{{"op":"close","session":{id}}}"#),
+                );
+                assert!(is_ok(&v), "close failed: {v:?}");
+                samples.push(Sample {
+                    op: "close",
+                    latency: lat,
+                });
+            }
+            (samples, rejected)
+        }));
+    }
+
+    let mut samples = Vec::new();
+    let mut rejected_seen = 0u64;
+    for h in handles {
+        let (s, r) = h.join().expect("load thread panicked");
+        samples.extend(s);
+        rejected_seen += r;
+    }
+    let elapsed = started.elapsed();
+
+    // The daemon's own verdict counters, over one last stats call.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let (stats, _) = call(&mut reader, &mut writer, r#"{"op":"stats"}"#);
+    let admitted = stats.get("admitted").and_then(Value::as_u64).unwrap_or(0);
+    let rejected = stats.get("rejected").and_then(Value::as_u64).unwrap_or(0);
+    assert_eq!(
+        rejected, rejected_seen,
+        "daemon and clients agree on rejections"
+    );
+    assert_eq!(
+        stats.get("leased_dpus").and_then(Value::as_u64),
+        Some(0),
+        "all leases returned"
+    );
+    drop(server);
+
+    let mut ops = Vec::new();
+    for op in ["create-session", "append-edges", "query-count", "close"] {
+        let mut lat: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.op == op)
+            .map(|s| s.latency.as_micros() as u64)
+            .collect();
+        lat.sort_unstable();
+        ops.push(OpStats {
+            op: op.to_string(),
+            count: lat.len(),
+            p50_us: percentile(&lat, 50.0),
+            p99_us: percentile(&lat, 99.0),
+            max_us: lat.last().copied().unwrap_or(0),
+        });
+    }
+
+    let attempted = shape.threads * shape.sessions_per_thread;
+    let mut md = String::new();
+    md.push_str("# serve_load — multi-tenant daemon under concurrent load\n\n");
+    md.push_str(&format!(
+        "{} client threads x {} sessions each ({} asks; {} admitted, {} rejected \
+         by admission) against a 4-rank x 96-core daemon; {:.2}s wall.\n\n",
+        shape.threads,
+        shape.sessions_per_thread,
+        attempted,
+        admitted,
+        rejected,
+        elapsed.as_secs_f64()
+    ));
+    let mut table = MdTable::new(["op", "count", "p50 (us)", "p99 (us)", "max (us)"]);
+    for o in &ops {
+        table.row([
+            o.op.clone(),
+            o.count.to_string(),
+            o.p50_us.to_string(),
+            o.p99_us.to_string(),
+            o.max_us.to_string(),
+        ]);
+    }
+    md.push_str(&table.render());
+
+    let record = Record {
+        threads: shape.threads,
+        sessions_attempted: attempted,
+        admitted,
+        rejected,
+        ops,
+        elapsed_secs: elapsed.as_secs_f64(),
+    };
+    harness.save("serve_load", &md, &record);
+}

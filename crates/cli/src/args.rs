@@ -45,6 +45,11 @@ const VALUED: &[&str] = &[
     "checkpoint",
     "checkpoint-every",
     "stop-after",
+    "rank-dpus",
+    "workers",
+    "queue-depth",
+    "max-frame",
+    "drain-dir",
 ];
 
 impl Args {

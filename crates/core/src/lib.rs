@@ -49,7 +49,10 @@ pub use config::{ExecBackend, MisraGriesConfig, TcConfig, TcConfigBuilder};
 pub use dynamic::{ScrubOutcome, TcSession};
 pub use error::{PimTcError, TcError};
 pub use kernel::count::IntersectStrategy;
-pub use planner::{auto_ranks, max_colors, min_ranks, plan_capacity, CapacityPlan};
+pub use planner::{
+    auto_ranks, max_colors, min_ranks, plan_capacity, session_footprint, CapacityPlan,
+    SessionFootprint,
+};
 pub use result::{DpuReport, TcResult};
 pub use triplets::{ColorTriplet, TripletAssignment};
 

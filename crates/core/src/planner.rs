@@ -188,6 +188,79 @@ pub fn auto_ranks(stats: &GraphStats, pim: &PimConfig) -> Result<u32, TcError> {
     Ok(best.0)
 }
 
+/// The physical resources one session configuration demands of a cluster.
+///
+/// Where [`plan_capacity`] works *forward* (graph statistics → a
+/// configuration), [`session_footprint`] works *backward*: given a fully
+/// resolved [`TcConfig`], how many cores on how many ranks will
+/// [`TcSession::start_cluster`](crate::dynamic::TcSession) actually claim,
+/// and does the per-bank MRAM budget hold? The serving layer's admission
+/// controller sums these against the machine it owns before letting a
+/// tenant in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionFootprint {
+    /// Color count the session partitions by.
+    pub colors: u32,
+    /// Color-triplet partitions `C(C+2,3)` the session allocates.
+    pub partitions: u64,
+    /// Ranks the partitions are sharded over (after clamping).
+    pub ranks: u32,
+    /// Spare cores reserved on every rank for failover.
+    pub spares: u32,
+    /// Cores claimed per rank: `ceil(partitions / ranks) + spares`.
+    pub per_rank_dpus: u64,
+    /// Total cores claimed across all ranks.
+    pub total_dpus: u64,
+    /// Largest reservoir one MRAM bank can hold under this config's
+    /// staging/remap/local overheads.
+    pub bank_capacity: u64,
+    /// Reservoir capacity the session will actually run with (the
+    /// configured value, or the bank maximum when unset).
+    pub sample_capacity: u64,
+}
+
+/// Computes the [`SessionFootprint`] of `config`, validating the MRAM
+/// layout along the way. Errors mirror [`TcConfig::validate`]: an
+/// infeasible bank (staging + remap overheads leave no sample room, or an
+/// explicit `sample_capacity` exceeding the bank maximum) is a
+/// [`TcError::Config`].
+pub fn session_footprint(config: &TcConfig) -> Result<SessionFootprint, TcError> {
+    if config.colors < 1 {
+        return Err(TcError::Config("colors must be >= 1".into()));
+    }
+    let partitions = nr_triplets(config.colors) as u64;
+    let ranks = config.effective_ranks();
+    let spares = config.spare_dpus;
+    let per_rank_dpus = partitions.div_ceil(ranks as u64) + spares as u64;
+    let remap_cap = config.misra_gries.map(|m| m.t as u64).unwrap_or(0);
+    let local_nodes = config.local_nodes.map(|n| n as u64).unwrap_or(0);
+    let bank_capacity = MramLayout::compute_with_locals(
+        config.pim.mram_capacity,
+        config.stage_edges,
+        remap_cap,
+        local_nodes,
+        None,
+    )?
+    .capacity;
+    let layout = MramLayout::compute_with_locals(
+        config.pim.mram_capacity,
+        config.stage_edges,
+        remap_cap,
+        local_nodes,
+        config.sample_capacity,
+    )?;
+    Ok(SessionFootprint {
+        colors: config.colors,
+        partitions,
+        ranks,
+        spares,
+        per_rank_dpus,
+        total_dpus: per_rank_dpus * ranks as u64,
+        bank_capacity,
+        sample_capacity: layout.capacity,
+    })
+}
+
 /// Suggests Misra-Gries parameters when the degree distribution is skewed
 /// enough (hubs dominate per-core loads); `t` is capped by the
 /// WRAM-resident remap-table limit [`TcConfig::validate`] enforces.
@@ -290,6 +363,39 @@ mod tests {
         let mg = mg.unwrap();
         assert!(mg.t <= pim.wram_per_tasklet() / 16);
         assert!(plan_capacity(&flat, &pim, 1).unwrap().misra_gries.is_none());
+    }
+
+    #[test]
+    fn footprint_matches_cluster_arithmetic() {
+        let cfg = TcConfig::builder()
+            .colors(4)
+            .ranks(2)
+            .spare_dpus(1)
+            .pim(PimConfig::tiny())
+            .build()
+            .unwrap();
+        let fp = session_footprint(&cfg).unwrap();
+        // C = 4 → C(6,3) = 20 partitions, 10 per rank + 1 spare.
+        assert_eq!(fp.partitions, 20);
+        assert_eq!(fp.ranks, 2);
+        assert_eq!(fp.per_rank_dpus, 11);
+        assert_eq!(fp.total_dpus, 22);
+        assert!(fp.sample_capacity >= 3);
+        assert!(fp.sample_capacity <= fp.bank_capacity);
+    }
+
+    #[test]
+    fn footprint_rejects_infeasible_banks() {
+        // sample_capacity beyond the bank maximum is a config error that
+        // names the limit, exactly like TcConfig::validate.
+        let mut cfg = TcConfig::builder()
+            .colors(2)
+            .pim(PimConfig::tiny())
+            .build()
+            .unwrap();
+        cfg.sample_capacity = Some(u64::MAX / 16);
+        let err = session_footprint(&cfg).unwrap_err();
+        assert!(format!("{err}").contains("exceeds"), "{err}");
     }
 
     #[test]

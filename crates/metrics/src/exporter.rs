@@ -279,12 +279,9 @@ fn handle_conn(
         Ok(text) => text.lines().next().unwrap_or("").to_string(),
         Err(_) => String::new(),
     };
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
+    let (method, path) = parse_request_line(&request_line);
     if method != "GET" {
-        respond(
+        respond_http(
             &mut stream,
             405,
             "Method Not Allowed",
@@ -293,10 +290,10 @@ fn handle_conn(
         );
         return;
     }
-    match path {
+    match path.as_str() {
         "/metrics" => {
             let body = hub.render_prometheus();
-            respond(
+            respond_http(
                 &mut stream,
                 200,
                 "OK",
@@ -306,7 +303,7 @@ fn handle_conn(
         }
         "/healthz" => {
             let body = health.render_json();
-            respond(&mut stream, 200, "OK", "application/json", &body);
+            respond_http(&mut stream, 200, "OK", "application/json", &body);
         }
         "/trace" => {
             let body = trace_json
@@ -314,10 +311,10 @@ fn handle_conn(
                 .expect("trace poisoned")
                 .clone()
                 .unwrap_or_else(|| "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}".to_string());
-            respond(&mut stream, 200, "OK", "application/json", &body);
+            respond_http(&mut stream, 200, "OK", "application/json", &body);
         }
         _ => {
-            respond(
+            respond_http(
                 &mut stream,
                 404,
                 "Not Found",
@@ -328,7 +325,29 @@ fn handle_conn(
     }
 }
 
-fn respond(stream: &mut TcpStream, status: u16, reason: &str, content_type: &str, body: &str) {
+/// Splits an HTTP request line into `(method, path)`, stripping any query
+/// string from the path. Both come back empty on a malformed line. Shared
+/// with daemons (e.g. `pimtc serve`) that mount the exporter's endpoints
+/// on their own listener.
+pub fn parse_request_line(line: &str) -> (String, String) {
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path).to_string();
+    (method, path)
+}
+
+/// Writes one complete `Connection: close` HTTP/1.1 response. Errors are
+/// swallowed: the peer hanging up mid-response is its own problem. Public
+/// so daemons multiplexing HTTP and other protocols on one listener can
+/// reuse the exporter's response framing.
+pub fn respond_http<W: Write>(
+    stream: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) {
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()

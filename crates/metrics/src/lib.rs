@@ -44,7 +44,9 @@ pub mod summary;
 pub mod watchdog;
 
 pub use event::{Event, FieldValue, JsonlSink, MemorySink, MetricsSink};
-pub use exporter::{lint_prometheus, HealthSink, HealthState, MetricsServer};
+pub use exporter::{
+    lint_prometheus, parse_request_line, respond_http, HealthSink, HealthState, MetricsServer,
+};
 pub use hub::{ChunkObs, LaunchObs, MetricsHub};
 pub use registry::{
     nearest_rank_percentile, Counter, Gauge, Histogram, Registry, DMA_BYTES_BUCKETS,

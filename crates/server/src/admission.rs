@@ -1,0 +1,230 @@
+//! Admission control: does this session fit the machine the daemon owns?
+//!
+//! A `create-session` request resolves to a full `TcConfig`; the
+//! [`AdmissionController`] turns that into a
+//! [`pim_tc::planner::SessionFootprint`] (partitions, ranks, spares,
+//! cores per rank, MRAM layout) and checks it against the cluster budget:
+//!
+//! 1. the MRAM layout must be feasible per bank (the same arithmetic
+//!    `plan_capacity` and `TcConfig::validate` use) — binding limit
+//!    `mram`;
+//! 2. the session's rank spread must fit the machine's rank count —
+//!    binding limit `ranks`;
+//! 3. a contiguous block of `per_rank_dpus` cores must be free on that
+//!    many ranks of the [`LeaseLedger`] — binding limit `dpus`.
+//!
+//! Rejections always name the binding limit, so a load generator (or an
+//! operator) can tell "shrink C" apart from "add ranks".
+
+use crate::scheduler::{Lease, LeaseLedger};
+use pim_tc::planner::{session_footprint, SessionFootprint};
+use pim_tc::{TcConfig, TcError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Why a session was turned away. `limit` is one of `"mram"`, `"ranks"`,
+/// `"dpus"`, or `"config"`; `message` spells out the arithmetic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rejection {
+    /// The binding limit.
+    pub limit: &'static str,
+    /// Human-readable detail naming the numbers involved.
+    pub message: String,
+}
+
+impl Rejection {
+    /// Formats the rejection for a protocol error message.
+    pub fn to_message(&self) -> String {
+        format!("rejected ({} limit): {}", self.limit, self.message)
+    }
+}
+
+/// The admission controller: a lease ledger plus admit/reject counters.
+pub struct AdmissionController {
+    ledger: Mutex<LeaseLedger>,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl AdmissionController {
+    /// A controller for `nr_ranks` ranks of `rank_dpus` cores each.
+    pub fn new(nr_ranks: u32, rank_dpus: usize) -> AdmissionController {
+        AdmissionController {
+            ledger: Mutex::new(LeaseLedger::new(nr_ranks, rank_dpus)),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Sessions admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Sessions rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Cores currently leased out.
+    pub fn leased_dpus(&self) -> usize {
+        self.ledger.lock().expect("ledger poisoned").leased_dpus()
+    }
+
+    /// Total cores in the machine.
+    pub fn total_dpus(&self) -> usize {
+        self.ledger.lock().expect("ledger poisoned").total_dpus()
+    }
+
+    /// True when no leases are outstanding.
+    pub fn ledger_is_empty(&self) -> bool {
+        self.ledger.lock().expect("ledger poisoned").is_empty()
+    }
+
+    /// Every outstanding lease.
+    pub fn leases(&self) -> Vec<Lease> {
+        self.ledger.lock().expect("ledger poisoned").snapshot()
+    }
+
+    /// Audits the ledger's disjointness invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.ledger
+            .lock()
+            .expect("ledger poisoned")
+            .check_invariants()
+    }
+
+    /// Admits `session` under `config`, leasing its cores, or rejects it
+    /// naming the binding limit. On success the returned footprint's
+    /// `per_rank_dpus` is exactly what each granted lease spans.
+    pub fn admit(
+        &self,
+        session: u64,
+        config: &TcConfig,
+    ) -> Result<(SessionFootprint, Vec<Lease>), Rejection> {
+        let footprint = session_footprint(config).map_err(|e| {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            classify_config_error(&e)
+        })?;
+        let mut ledger = self.ledger.lock().expect("ledger poisoned");
+        if footprint.ranks > ledger.nr_ranks() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection {
+                limit: "ranks",
+                message: format!(
+                    "session shards over {} ranks but the cluster has {}",
+                    footprint.ranks,
+                    ledger.nr_ranks()
+                ),
+            });
+        }
+        if footprint.per_rank_dpus > ledger.rank_dpus() as u64 {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection {
+                limit: "dpus",
+                message: format!(
+                    "session needs {} cores per rank ({} partitions / {} ranks + {} spares) \
+                     but each rank has {}",
+                    footprint.per_rank_dpus,
+                    footprint.partitions,
+                    footprint.ranks,
+                    footprint.spares,
+                    ledger.rank_dpus()
+                ),
+            });
+        }
+        match ledger.try_lease(session, footprint.ranks, footprint.per_rank_dpus as usize) {
+            Some(leases) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok((footprint, leases))
+            }
+            None => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(Rejection {
+                    limit: "dpus",
+                    message: format!(
+                        "no {} contiguous free cores on {} ranks ({} of {} cores leased out)",
+                        footprint.per_rank_dpus,
+                        footprint.ranks,
+                        ledger.leased_dpus(),
+                        ledger.total_dpus()
+                    ),
+                })
+            }
+        }
+    }
+
+    /// Releases every lease `session` holds; returns freed cores.
+    pub fn release(&self, session: u64) -> usize {
+        self.ledger
+            .lock()
+            .expect("ledger poisoned")
+            .release(session)
+    }
+}
+
+/// Maps a footprint error to its binding limit: MRAM-layout failures
+/// (bank too small, capacity over the bank maximum) are `mram`; anything
+/// else is a plain `config` rejection.
+fn classify_config_error(e: &TcError) -> Rejection {
+    let message = e.to_string();
+    let limit = if message.contains("MRAM") || message.contains("bank") {
+        "mram"
+    } else {
+        "config"
+    };
+    Rejection { limit, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::PimConfig;
+
+    fn config(colors: u32, ranks: u32) -> TcConfig {
+        TcConfig::builder()
+            .colors(colors)
+            .ranks(ranks)
+            .pim(PimConfig::tiny())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn admits_until_cores_run_out_then_names_the_limit() {
+        // 1 rank × 12 cores; C = 3 needs C(5,3) = 10 cores.
+        let ctrl = AdmissionController::new(1, 12);
+        let (fp, leases) = ctrl.admit(1, &config(3, 1)).unwrap();
+        assert_eq!(fp.per_rank_dpus, 10);
+        assert_eq!(leases.len(), 1);
+        let rej = ctrl.admit(2, &config(3, 1)).unwrap_err();
+        assert_eq!(rej.limit, "dpus");
+        assert!(rej.to_message().contains("dpus"), "{rej:?}");
+        assert_eq!(ctrl.admitted(), 1);
+        assert_eq!(ctrl.rejected(), 1);
+        ctrl.release(1);
+        assert!(ctrl.ledger_is_empty());
+        ctrl.admit(2, &config(3, 1)).unwrap();
+    }
+
+    #[test]
+    fn oversized_rank_spread_and_per_rank_blocks_are_named() {
+        let ctrl = AdmissionController::new(2, 64);
+        let rej = ctrl.admit(1, &config(3, 3)).unwrap_err();
+        assert_eq!(rej.limit, "ranks");
+        let ctrl = AdmissionController::new(1, 4);
+        let rej = ctrl.admit(1, &config(3, 1)).unwrap_err();
+        assert_eq!(rej.limit, "dpus");
+        assert!(rej.message.contains("10"), "{rej:?}");
+    }
+
+    #[test]
+    fn infeasible_mram_is_an_mram_rejection() {
+        let ctrl = AdmissionController::new(1, 64);
+        let mut cfg = config(2, 1);
+        cfg.sample_capacity = Some(u64::MAX / 16);
+        let rej = ctrl.admit(1, &cfg).unwrap_err();
+        assert_eq!(rej.limit, "mram");
+        assert!(ctrl.ledger_is_empty());
+    }
+}

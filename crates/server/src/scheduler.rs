@@ -1,0 +1,257 @@
+//! The partition scheduler: leasing disjoint DPU ranges to tenants.
+//!
+//! The daemon models the physical machine as `R` ranks of `D` cores each.
+//! Every admitted session claims one contiguous block of cores on each of
+//! the ranks it shards over (`per_rank_dpus` from the session's
+//! [`pim_tc::planner::SessionFootprint`]); the [`LeaseLedger`] hands those
+//! blocks out first-fit from the least-loaded ranks and guarantees — and
+//! can audit, via [`LeaseLedger::check_invariants`] — that no two tenants
+//! ever overlap on a core.
+
+use serde::{Deserialize, Serialize};
+
+/// One contiguous block of cores on one rank, leased to one session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lease {
+    /// The tenant holding the block.
+    pub session: u64,
+    /// Physical rank index in `[0, nr_ranks)`.
+    pub rank: u32,
+    /// First core of the block (rank-local index).
+    pub start: usize,
+    /// Cores in the block.
+    pub len: usize,
+}
+
+impl Lease {
+    /// One past the last core of the block.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// Per-rank interval ledger of every outstanding lease.
+#[derive(Clone, Debug)]
+pub struct LeaseLedger {
+    /// Outstanding leases per rank, kept sorted by `start`.
+    ranks: Vec<Vec<Lease>>,
+    /// Cores per rank.
+    rank_dpus: usize,
+}
+
+impl LeaseLedger {
+    /// An empty ledger for `nr_ranks` ranks of `rank_dpus` cores each.
+    pub fn new(nr_ranks: u32, rank_dpus: usize) -> LeaseLedger {
+        LeaseLedger {
+            ranks: vec![Vec::new(); nr_ranks.max(1) as usize],
+            rank_dpus,
+        }
+    }
+
+    /// Ranks in the machine.
+    pub fn nr_ranks(&self) -> u32 {
+        self.ranks.len() as u32
+    }
+
+    /// Cores per rank.
+    pub fn rank_dpus(&self) -> usize {
+        self.rank_dpus
+    }
+
+    /// Total cores across all ranks.
+    pub fn total_dpus(&self) -> usize {
+        self.ranks.len() * self.rank_dpus
+    }
+
+    /// Cores currently leased out.
+    pub fn leased_dpus(&self) -> usize {
+        self.ranks
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|l| l.len)
+            .sum()
+    }
+
+    /// True when no leases are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.iter().all(Vec::is_empty)
+    }
+
+    /// Largest contiguous free block on rank `rank`.
+    fn largest_gap(&self, rank: usize) -> usize {
+        let mut cursor = 0usize;
+        let mut best = 0usize;
+        for lease in &self.ranks[rank] {
+            best = best.max(lease.start.saturating_sub(cursor));
+            cursor = cursor.max(lease.end());
+        }
+        best.max(self.rank_dpus.saturating_sub(cursor))
+    }
+
+    /// First-fit start offset for a block of `len` cores on rank `rank`,
+    /// or `None` when no gap is large enough.
+    fn first_fit(&self, rank: usize, len: usize) -> Option<usize> {
+        let mut cursor = 0usize;
+        for lease in &self.ranks[rank] {
+            if lease.start.saturating_sub(cursor) >= len {
+                return Some(cursor);
+            }
+            cursor = cursor.max(lease.end());
+        }
+        if self.rank_dpus.saturating_sub(cursor) >= len {
+            Some(cursor)
+        } else {
+            None
+        }
+    }
+
+    /// Leases one block of `per_rank` cores on each of `ranks_wanted`
+    /// distinct ranks to `session`. Blocks land on the ranks with the
+    /// largest free gaps (ties to the lower rank index, so placement is
+    /// deterministic). Returns `None` — and changes nothing — when fewer
+    /// than `ranks_wanted` ranks have a gap that large.
+    pub fn try_lease(
+        &mut self,
+        session: u64,
+        ranks_wanted: u32,
+        per_rank: usize,
+    ) -> Option<Vec<Lease>> {
+        if ranks_wanted == 0 || per_rank == 0 || ranks_wanted as usize > self.ranks.len() {
+            return None;
+        }
+        let mut candidates: Vec<(usize, usize)> = (0..self.ranks.len())
+            .map(|r| (r, self.largest_gap(r)))
+            .filter(|&(_, gap)| gap >= per_rank)
+            .collect();
+        if candidates.len() < ranks_wanted as usize {
+            return None;
+        }
+        // Most-free ranks first; lower index on ties.
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut granted = Vec::with_capacity(ranks_wanted as usize);
+        for &(rank, _) in candidates.iter().take(ranks_wanted as usize) {
+            let start = self
+                .first_fit(rank, per_rank)
+                .expect("gap-filtered rank must fit");
+            let lease = Lease {
+                session,
+                rank: rank as u32,
+                start,
+                len: per_rank,
+            };
+            let pos = self.ranks[rank]
+                .iter()
+                .position(|l| l.start > start)
+                .unwrap_or(self.ranks[rank].len());
+            self.ranks[rank].insert(pos, lease);
+            granted.push(lease);
+        }
+        granted.sort_by_key(|l| l.rank);
+        Some(granted)
+    }
+
+    /// Releases every lease `session` holds; returns how many cores came
+    /// back.
+    pub fn release(&mut self, session: u64) -> usize {
+        let mut freed = 0;
+        for rank in &mut self.ranks {
+            rank.retain(|l| {
+                if l.session == session {
+                    freed += l.len;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        freed
+    }
+
+    /// Every outstanding lease, rank-major then start-ordered.
+    pub fn snapshot(&self) -> Vec<Lease> {
+        self.ranks.iter().flat_map(|r| r.iter().copied()).collect()
+    }
+
+    /// Audits the ledger: every lease in bounds, non-empty, and disjoint
+    /// from its rank neighbors. The concurrency stress test calls this
+    /// after every admission mix.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (rank, leases) in self.ranks.iter().enumerate() {
+            let mut prev_end = 0usize;
+            let mut prev: Option<&Lease> = None;
+            for lease in leases {
+                if lease.len == 0 {
+                    return Err(format!("rank {rank}: empty lease for {}", lease.session));
+                }
+                if lease.end() > self.rank_dpus {
+                    return Err(format!(
+                        "rank {rank}: lease {:?} exceeds the {}–core rank",
+                        lease, self.rank_dpus
+                    ));
+                }
+                if lease.start < prev_end {
+                    return Err(format!(
+                        "rank {rank}: lease {:?} overlaps {:?}",
+                        lease,
+                        prev.expect("overlap implies a predecessor")
+                    ));
+                }
+                prev_end = lease.end();
+                prev = Some(lease);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_are_disjoint_and_deterministic() {
+        let mut ledger = LeaseLedger::new(2, 10);
+        let a = ledger.try_lease(1, 2, 4).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!((a[0].rank, a[0].start), (0, 0));
+        assert_eq!((a[1].rank, a[1].start), (1, 0));
+        let b = ledger.try_lease(2, 1, 6).unwrap();
+        assert_eq!((b[0].rank, b[0].start, b[0].len), (0, 4, 6));
+        ledger.check_invariants().unwrap();
+        assert_eq!(ledger.leased_dpus(), 14);
+        // Rank 0 is full; a 5-core two-rank ask cannot be satisfied.
+        assert!(ledger.try_lease(3, 2, 5).is_none());
+        // ...but a one-rank ask fits on rank 1.
+        let c = ledger.try_lease(3, 1, 5).unwrap();
+        assert_eq!((c[0].rank, c[0].start), (1, 4));
+        ledger.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_reopens_gaps_and_empties_the_ledger() {
+        let mut ledger = LeaseLedger::new(1, 8);
+        ledger.try_lease(1, 1, 3).unwrap();
+        ledger.try_lease(2, 1, 3).unwrap();
+        assert!(ledger.try_lease(3, 1, 3).is_none());
+        assert_eq!(ledger.release(1), 3);
+        // The freed block in front is reused first-fit.
+        let c = ledger.try_lease(3, 1, 3).unwrap();
+        assert_eq!(c[0].start, 0);
+        ledger.check_invariants().unwrap();
+        ledger.release(2);
+        ledger.release(3);
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.leased_dpus(), 0);
+    }
+
+    #[test]
+    fn failed_leases_change_nothing() {
+        let mut ledger = LeaseLedger::new(2, 4);
+        ledger.try_lease(1, 1, 3).unwrap();
+        let before = ledger.snapshot();
+        assert!(ledger.try_lease(2, 2, 3).is_none());
+        assert!(ledger.try_lease(2, 3, 1).is_none());
+        assert!(ledger.try_lease(2, 1, 0).is_none());
+        assert_eq!(ledger.snapshot(), before);
+    }
+}

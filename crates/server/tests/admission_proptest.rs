@@ -1,0 +1,165 @@
+//! Property battery for the admission controller: arbitrary mixes of
+//! session asks (colors, sample capacity, rank spread, spares) against
+//! arbitrary machine shapes. The controller must (1) only admit sets
+//! that fit the cluster's triplet/DPU budget, with disjoint in-bounds
+//! leases matching the footprint `session_footprint` computes; (2) name
+//! the binding limit on every rejection; and (3) leave the ledger empty
+//! after every admit/release round-trip.
+
+use pim_server::AdmissionController;
+use pim_sim::PimConfig;
+use pim_tc::planner::session_footprint;
+use pim_tc::TcConfig;
+use proptest::prelude::*;
+
+/// One session ask, pre-resolution.
+#[derive(Clone, Debug)]
+struct Ask {
+    colors: u32,
+    ranks: u32,
+    spares: u32,
+    /// `Some(huge)` asks for an MRAM-infeasible reservoir.
+    capacity: Option<u64>,
+}
+
+fn ask_strategy() -> impl Strategy<Value = Ask> {
+    (
+        1u32..5,
+        1u32..4,
+        0u32..3,
+        prop_oneof![
+            8 => Just(None),
+            1 => Just(Some(u64::MAX / 16)),
+        ],
+    )
+        .prop_map(|(colors, ranks, spares, capacity)| Ask {
+            colors,
+            ranks,
+            spares,
+            capacity,
+        })
+}
+
+fn config_for(ask: &Ask) -> TcConfig {
+    // Spare-core recovery needs a redundant replica, i.e. C >= 2.
+    let spares = if ask.colors >= 2 { ask.spares } else { 0 };
+    let mut cfg = TcConfig::builder()
+        .colors(ask.colors)
+        .ranks(ask.ranks)
+        .spare_dpus(spares)
+        .pim(PimConfig {
+            total_dpus: 1 << 20, // capacity is admission's call, not validation's
+            mram_capacity: 1 << 20,
+            ..PimConfig::tiny()
+        })
+        .build()
+        .unwrap();
+    cfg.sample_capacity = ask.capacity;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn admitted_sets_fit_and_round_trips_empty_the_ledger(
+        asks in prop::collection::vec(ask_strategy(), 1..12),
+        machine_ranks in 1u32..5,
+        rank_dpus in 4usize..96,
+    ) {
+        let ctrl = AdmissionController::new(machine_ranks, rank_dpus);
+        let mut admitted_ids = Vec::new();
+        let mut expected_leased = 0usize;
+        for (i, ask) in asks.iter().enumerate() {
+            let id = i as u64 + 1;
+            let cfg = config_for(ask);
+            match ctrl.admit(id, &cfg) {
+                Ok((fp, leases)) => {
+                    // The grant matches the planner's footprint exactly.
+                    let want = session_footprint(&cfg).unwrap();
+                    prop_assert_eq!(fp, want);
+                    prop_assert_eq!(leases.len() as u32, fp.ranks);
+                    for lease in &leases {
+                        prop_assert_eq!(lease.session, id);
+                        prop_assert_eq!(lease.len as u64, fp.per_rank_dpus);
+                        prop_assert!(lease.end() <= rank_dpus, "lease in bounds");
+                    }
+                    // Distinct ranks per session.
+                    let mut ranks: Vec<u32> = leases.iter().map(|l| l.rank).collect();
+                    ranks.dedup();
+                    prop_assert_eq!(ranks.len() as u32, fp.ranks);
+                    expected_leased += fp.total_dpus as usize;
+                    admitted_ids.push(id);
+                }
+                Err(rej) => {
+                    prop_assert!(
+                        ["mram", "ranks", "dpus", "config"].contains(&rej.limit),
+                        "unnamed limit: {:?}", rej
+                    );
+                    prop_assert!(!rej.message.is_empty());
+                    // The verdict is honest: an mram ask really was
+                    // infeasible, a ranks ask really over-sharded.
+                    match rej.limit {
+                        "mram" => prop_assert!(ask.capacity.is_some(), "{:?}", rej),
+                        "ranks" => prop_assert!(
+                            cfg.effective_ranks() > machine_ranks, "{:?}", rej
+                        ),
+                        "dpus" => prop_assert!(
+                            rej.message.contains("cores"),
+                            "dpus rejection names the arithmetic: {:?}", rej
+                        ),
+                        _ => {}
+                    }
+                }
+            }
+            // Budget and disjointness hold after every decision.
+            prop_assert_eq!(ctrl.leased_dpus(), expected_leased);
+            prop_assert!(ctrl.leased_dpus() <= ctrl.total_dpus());
+            let audit = ctrl.check_invariants();
+            prop_assert!(audit.is_ok(), "ledger invariant broken: {:?}", audit);
+        }
+        prop_assert_eq!(ctrl.admitted() + ctrl.rejected(), asks.len() as u64);
+        // Release everything: the ledger must drain to empty.
+        for id in admitted_ids {
+            ctrl.release(id);
+        }
+        prop_assert!(ctrl.ledger_is_empty());
+        prop_assert_eq!(ctrl.leased_dpus(), 0);
+    }
+
+    /// Rejection never mutates the ledger: the same ask that failed on a
+    /// full machine succeeds after the blockers release, with the exact
+    /// footprint the planner predicts.
+    #[test]
+    fn rejection_then_release_then_admit_is_clean(
+        ask in ask_strategy(),
+        machine_ranks in 1u32..4,
+    ) {
+        // Shape the ask into a feasible one: no reservoir override, rank
+        // spread within the machine (the vendored proptest has no
+        // `prop_assume`).
+        let mut ask = ask;
+        ask.capacity = None;
+        ask.ranks = ask.ranks.min(machine_ranks);
+        let cfg = config_for(&ask);
+        let fp = session_footprint(&cfg).unwrap();
+        // Size each rank so exactly one copy of the ask fits per
+        // `fp.ranks` ranks: `floor(machine_ranks / fp.ranks)` copies fill
+        // the machine, the next one must bounce.
+        let ctrl = AdmissionController::new(machine_ranks, fp.per_rank_dpus as usize);
+        let fits = (machine_ranks / fp.ranks) as u64;
+        let blockers: Vec<u64> = (0..fits).map(|i| 100 + i).collect();
+        for &b in &blockers {
+            ctrl.admit(b, &cfg).unwrap();
+        }
+        let before = ctrl.leases();
+        let rej = ctrl.admit(1, &cfg).unwrap_err();
+        prop_assert_eq!(rej.limit, "dpus");
+        prop_assert_eq!(ctrl.leases(), before, "rejection mutated the ledger");
+        for b in blockers {
+            ctrl.release(b);
+        }
+        let (granted, _) = ctrl.admit(1, &cfg).unwrap();
+        prop_assert_eq!(granted, fp);
+    }
+}

@@ -61,6 +61,14 @@ impl PimConfig {
     pub fn wram_per_tasklet(&self) -> usize {
         self.wram_capacity / self.nr_tasklets.max(1)
     }
+
+    /// The same machine with a different core count. Used by the serving
+    /// layer to carve a leased slice of the physical machine into a
+    /// per-tenant cluster: every per-DPU capacity stays identical, only
+    /// `total_dpus` changes.
+    pub fn with_dpus(self, total_dpus: usize) -> Self {
+        PimConfig { total_dpus, ..self }
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +89,14 @@ mod tests {
     fn wram_split_is_even() {
         let c = PimConfig::default();
         assert_eq!(c.wram_per_tasklet(), 4096);
+    }
+
+    #[test]
+    fn with_dpus_changes_only_the_core_count() {
+        let c = PimConfig::tiny().with_dpus(17);
+        assert_eq!(c.total_dpus, 17);
+        assert_eq!(c.mram_capacity, PimConfig::tiny().mram_capacity);
+        assert_eq!(c.wram_capacity, PimConfig::tiny().wram_capacity);
+        assert_eq!(c.nr_tasklets, PimConfig::tiny().nr_tasklets);
     }
 }

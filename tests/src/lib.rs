@@ -1,1 +1,75 @@
 //! Integration-test-only package; see the `tests/` directory targets.
+//!
+//! Also hosts [`ServeClient`], a tiny blocking line-protocol client the
+//! `pimtc serve` test battery uses to drive a [`pim_server::Server`]
+//! over real sockets.
+
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking client for the serve protocol: one JSON frame out, one
+/// JSON frame back.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a listening server.
+    pub fn connect(addr: SocketAddr) -> ServeClient {
+        let stream = TcpStream::connect(addr).expect("connect to serve daemon");
+        stream.set_nodelay(true).expect("set nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("set read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        ServeClient {
+            reader,
+            writer: stream,
+        }
+    }
+
+    /// Sends one frame and returns the raw response line.
+    pub fn call_raw(&mut self, frame: &str) -> String {
+        writeln!(self.writer, "{frame}").expect("write frame");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        line
+    }
+
+    /// Sends one frame and parses the response as JSON.
+    pub fn call(&mut self, frame: &str) -> Value {
+        let line = self.call_raw(frame);
+        serde_json::from_str(&line)
+            .unwrap_or_else(|e| panic!("response is not JSON ({e:?}): {line:?}"))
+    }
+
+    /// Sends raw bytes with no trailing newline (for torn-frame and
+    /// disconnect tests), then drops the connection.
+    pub fn send_partial_and_disconnect(mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("write partial frame");
+        self.writer.flush().ok();
+    }
+}
+
+/// True when a response frame carries `"ok": true`.
+pub fn is_ok(v: &Value) -> bool {
+    v.get("ok").and_then(Value::as_bool) == Some(true)
+}
+
+/// The error code of a failed response frame, if any.
+pub fn err_code(v: &Value) -> Option<String> {
+    v.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_str)
+        .map(str::to_string)
+}
+
+/// A `u64` field of a response frame.
+pub fn field_u64(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing u64 field {key:?} in {v:?}"))
+}

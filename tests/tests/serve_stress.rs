@@ -1,0 +1,238 @@
+//! Concurrency battery for the `pimtc serve` daemon: N client threads
+//! hammer one server (create → append×K → query → close). Two
+//! invariants must hold no matter how the fair-share workers interleave
+//! the tenants:
+//!
+//! 1. **isolation** — every session's final count is bit-identical to a
+//!    fresh single-tenant `TcSession` started from the same resolved
+//!    config and fed the same edge batches;
+//! 2. **disjointness** — while all tenants are live, no two sessions'
+//!    DPU leases overlap on any (rank, core) (the scheduler invariant).
+
+use pim_server::{ServeConfig, Server};
+use pim_sim::{FunctionalBackend, PimBackend, PimConfig, RankCluster, TimedBackend};
+use pim_tc::{ExecBackend, TcConfig, TcSession};
+use pim_tc_integration::{field_u64, is_ok, ServeClient};
+use serde_json::Value;
+use std::sync::{Arc, Barrier};
+
+const TENANTS: usize = 6;
+const BATCHES: usize = 4;
+
+/// Deterministic per-tenant edge stream: normalized, loop-free,
+/// deduplicated — exactly the form the server's host-side prep passes
+/// through untouched, so the isolated replay sees identical input.
+fn tenant_batches(tenant: usize) -> Vec<Vec<pim_graph::Edge>> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (tenant as u64).wrapping_mul(0xd134_2543_de82_ef95);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    while edges.len() < 120 {
+        let (u, v) = (next() % 50, next() % 50);
+        if u == v {
+            continue;
+        }
+        let e = pim_graph::Edge::new(u, v).normalized();
+        if seen.insert((e.u, e.v)) {
+            edges.push(e);
+        }
+    }
+    edges
+        .chunks(edges.len().div_ceil(BATCHES))
+        .map(<[pim_graph::Edge]>::to_vec)
+        .collect()
+}
+
+fn edges_json(batch: &[pim_graph::Edge]) -> String {
+    let pairs: Vec<String> = batch.iter().map(|e| format!("[{},{}]", e.u, e.v)).collect();
+    format!("[{}]", pairs.join(","))
+}
+
+fn isolated_count<B: PimBackend>(
+    config: &TcConfig,
+    batches: &[Vec<pim_graph::Edge>],
+) -> (u64, u64) {
+    let mut session = TcSession::<RankCluster<B>>::start_cluster(config).unwrap();
+    for batch in batches {
+        session.append(batch).unwrap();
+    }
+    let r = session.count().unwrap();
+    (r.estimate.to_bits(), r.rounded())
+}
+
+#[test]
+fn concurrent_tenants_are_bit_identical_to_isolated_sessions() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            ranks: 2,
+            pim: PimConfig {
+                total_dpus: 64,
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            },
+            queue_depth: 2, // tiny queue: the run exercises backpressure
+            workers: 3,     // fewer workers than tenants: turns interleave
+            max_frame: 1 << 20,
+            drain_dir: None,
+        },
+    )
+    .unwrap();
+    let server = Arc::new(server);
+    // All tenants + the main thread meet twice: once with every session
+    // live (so main can audit lease disjointness), once to release them
+    // into the append/query/close phase.
+    let all_live = Arc::new(Barrier::new(TENANTS + 1));
+    let audited = Arc::new(Barrier::new(TENANTS + 1));
+
+    let mut handles = Vec::new();
+    for tenant in 0..TENANTS {
+        let addr = server.addr();
+        let all_live = Arc::clone(&all_live);
+        let audited = Arc::clone(&audited);
+        handles.push(std::thread::spawn(move || {
+            let mut c = ServeClient::connect(addr);
+            // A mixed fleet: tenants differ in colors, seeds, backends.
+            let colors = 1 + (tenant % 3);
+            let backend = if tenant % 3 == 0 {
+                "timed"
+            } else {
+                "functional"
+            };
+            let created = c.call(&format!(
+                r#"{{"op":"create-session","colors":{colors},"seed":{},"backend":"{backend}"}}"#,
+                1000 + tenant
+            ));
+            assert!(is_ok(&created), "tenant {tenant}: {created:?}");
+            let id = field_u64(&created, "session");
+            let config_json = serde_json::to_string(created.get("config").unwrap()).unwrap();
+            all_live.wait();
+            audited.wait();
+            let batches = tenant_batches(tenant);
+            for (i, batch) in batches.iter().enumerate() {
+                let v = c.call(&format!(
+                    r#"{{"op":"append-edges","session":{id},"edges":{}}}"#,
+                    edges_json(batch)
+                ));
+                assert!(is_ok(&v), "tenant {tenant}: {v:?}");
+                // Per-session serialization: ops apply in submission
+                // order, so the watermark is exactly the batch index.
+                assert_eq!(field_u64(&v, "seq"), i as u64 + 1, "tenant {tenant}");
+            }
+            let counted = c.call(&format!(r#"{{"op":"query-count","session":{id}}}"#));
+            assert!(is_ok(&counted), "tenant {tenant}: {counted:?}");
+            let bits = field_u64(&counted, "estimate_bits");
+            let triangles = field_u64(&counted, "triangles");
+            assert!(is_ok(
+                &c.call(&format!(r#"{{"op":"close","session":{id}}}"#))
+            ));
+            (config_json, batches, bits, triangles)
+        }));
+    }
+
+    // Every session is live: audit the scheduler invariant.
+    all_live.wait();
+    server.check_lease_invariants().expect("leases disjoint");
+    let leases = server.leases();
+    let tenants_live: std::collections::HashSet<u64> = leases.iter().map(|l| l.session).collect();
+    assert_eq!(tenants_live.len(), TENANTS, "every tenant holds a lease");
+    for a in &leases {
+        for b in &leases {
+            if a.session != b.session && a.rank == b.rank {
+                assert!(
+                    a.end() <= b.start || b.end() <= a.start,
+                    "cross-tenant overlap: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+    audited.wait();
+
+    let mut results = Vec::new();
+    for h in handles {
+        results.push(h.join().expect("tenant thread panicked"));
+    }
+    assert!(server.leases().is_empty(), "close released every lease");
+
+    // Replay each tenant in isolation from its echoed config; counts
+    // must match bit for bit.
+    for (tenant, (config_json, batches, bits, triangles)) in results.into_iter().enumerate() {
+        let config: TcConfig = serde_json::from_str(&config_json)
+            .unwrap_or_else(|e| panic!("tenant {tenant}: config does not re-parse: {e:?}"));
+        let (want_bits, want_triangles) = match config.backend {
+            ExecBackend::Timed => isolated_count::<TimedBackend>(&config, &batches),
+            ExecBackend::Functional => isolated_count::<FunctionalBackend>(&config, &batches),
+        };
+        assert_eq!(
+            bits, want_bits,
+            "tenant {tenant}: multi-tenant estimate diverged from isolated"
+        );
+        assert_eq!(triangles, want_triangles, "tenant {tenant}");
+    }
+}
+
+#[test]
+fn lease_churn_under_concurrent_create_close_stays_disjoint() {
+    // Tenants churn: create and close repeatedly while others do the
+    // same. After every successful create the ledger must still be
+    // disjoint; at the end it must be empty.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            ranks: 2,
+            pim: PimConfig {
+                total_dpus: 24, // tight: some creates will be rejected
+                mram_capacity: 1 << 20,
+                ..PimConfig::tiny()
+            },
+            queue_depth: 4,
+            workers: 2,
+            max_frame: 1 << 16,
+            drain_dir: None,
+        },
+    )
+    .unwrap();
+    let server = Arc::new(server);
+    let mut handles = Vec::new();
+    for tenant in 0..4 {
+        let addr = server.addr();
+        let server = Arc::clone(&server);
+        handles.push(std::thread::spawn(move || {
+            let mut c = ServeClient::connect(addr);
+            let mut admitted = 0u32;
+            for round in 0..8 {
+                let colors = 1 + ((tenant + round) % 3);
+                let v = c.call(&format!(
+                    r#"{{"op":"create-session","colors":{colors},"backend":"functional"}}"#
+                ));
+                if is_ok(&v) {
+                    admitted += 1;
+                    server.check_lease_invariants().expect("leases disjoint");
+                    let id = field_u64(&v, "session");
+                    let closed = c.call(&format!(r#"{{"op":"close","session":{id}}}"#));
+                    assert!(is_ok(&closed), "{closed:?}");
+                } else {
+                    // Rejections must be admission verdicts naming a
+                    // limit, not internal errors.
+                    let code = v
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Value::as_str)
+                        .unwrap()
+                        .to_string();
+                    assert_eq!(code, "admission", "{v:?}");
+                }
+            }
+            admitted
+        }));
+    }
+    let admitted: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(admitted > 0, "churn must admit something");
+    assert!(server.leases().is_empty(), "ledger drains to empty");
+    server.check_lease_invariants().unwrap();
+}

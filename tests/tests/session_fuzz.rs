@@ -5,8 +5,10 @@
 //! hardware shape.
 
 use pim_graph::{triangle, CooGraph, Edge};
+use pim_server::{ServeConfig, Server};
 use pim_sim::{FaultPlan, PimConfig, RankCluster, TimedBackend};
 use pim_tc::{SessionCheckpoint, TcConfig, TcError, TcSession};
+use pim_tc_integration::{field_u64, is_ok, ServeClient};
 use proptest::prelude::*;
 
 /// One fuzz operation.
@@ -237,6 +239,153 @@ proptest! {
             resumed.resident_samples().unwrap(),
             chunked.resident_samples().unwrap(),
             "resumed resident samples diverged"
+        );
+    }
+
+    /// Chaos arm for the serving layer: two tenants share one daemon; a
+    /// whole-rank outage is injected into the victim's cluster
+    /// (`rank=1@count`, journaled with spares) while the neighbor stays
+    /// clean. The victim must recover bit-identically to a fault-free
+    /// isolated run of its own resolved config — and the neighbor's
+    /// count *and* latency-visible op sequence must be exactly what an
+    /// isolated single-tenant session produces, as if the outage never
+    /// happened next door.
+    #[test]
+    fn serve_hosted_rank_outage_recovers_without_touching_the_neighbor(
+        victim_pairs in prop::collection::vec((0u16..50, 0u16..50), 1..120),
+        neighbor_pairs in prop::collection::vec((0u16..50, 0u16..50), 1..120),
+        chunk in 1usize..30,
+        seed in any::<u64>(),
+        fseed in 0u64..1_000,
+        colors in 2u32..4,
+    ) {
+        let prep = |pairs: &[(u16, u16)]| {
+            let mut sent = std::collections::HashSet::new();
+            let mut edges = Vec::new();
+            for &(u, v) in pairs {
+                if u == v {
+                    continue;
+                }
+                let e = Edge::new(u as u32, v as u32).normalized();
+                if sent.insert((e.u, e.v)) {
+                    edges.push(e);
+                }
+            }
+            edges
+        };
+        let victim_edges = prep(&victim_pairs);
+        let neighbor_edges = prep(&neighbor_pairs);
+        // Rank 1's partitions re-home onto rank 0's spares: the spare
+        // pool must cover ceil(partitions / 2) lost partitions.
+        let spares = match colors {
+            2 => 2,  // C(4,3) = 4 partitions, 2 per rank
+            _ => 5,  // C(5,3) = 10 partitions, 5 per rank
+        };
+
+        let mut server = Server::start(
+            "127.0.0.1:0",
+            ServeConfig {
+                ranks: 2,
+                pim: PimConfig {
+                    total_dpus: 32,
+                    mram_capacity: 1 << 20,
+                    ..PimConfig::tiny()
+                },
+                queue_depth: 8,
+                workers: 2,
+                max_frame: 1 << 20,
+                drain_dir: None,
+            },
+        )
+        .unwrap();
+        let mut c = ServeClient::connect(server.addr());
+
+        let created = c.call(&format!(
+            r#"{{"op":"create-session","colors":{colors},"seed":{seed},"ranks":2,"spares":{spares},"journal":true,"faults":"seed={fseed},rank=1@count"}}"#
+        ));
+        prop_assert!(is_ok(&created), "victim create: {created:?}");
+        let victim = field_u64(&created, "session");
+        let victim_config = serde_json::to_string(created.get("config").unwrap()).unwrap();
+
+        let created = c.call(&format!(
+            r#"{{"op":"create-session","colors":{colors},"seed":{}}}"#,
+            seed ^ 0x5a5a
+        ));
+        prop_assert!(is_ok(&created), "neighbor create: {created:?}");
+        let neighbor = field_u64(&created, "session");
+        let neighbor_config = serde_json::to_string(created.get("config").unwrap()).unwrap();
+
+        // Interleave the two tenants' appends chunk by chunk.
+        let edges_json = |batch: &[Edge]| {
+            let pairs: Vec<String> =
+                batch.iter().map(|e| format!("[{},{}]", e.u, e.v)).collect();
+            format!("[{}]", pairs.join(","))
+        };
+        let vchunks: Vec<&[Edge]> = victim_edges.chunks(chunk).collect();
+        let nchunks: Vec<&[Edge]> = neighbor_edges.chunks(chunk).collect();
+        let mut nseq = 0u64;
+        for i in 0..vchunks.len().max(nchunks.len()) {
+            if let Some(batch) = vchunks.get(i) {
+                let v = c.call(&format!(
+                    r#"{{"op":"append-edges","session":{victim},"edges":{}}}"#,
+                    edges_json(batch)
+                ));
+                prop_assert!(is_ok(&v), "victim append: {v:?}");
+            }
+            if let Some(batch) = nchunks.get(i) {
+                let v = c.call(&format!(
+                    r#"{{"op":"append-edges","session":{neighbor},"edges":{}}}"#,
+                    edges_json(batch)
+                ));
+                prop_assert!(is_ok(&v), "neighbor append: {v:?}");
+                nseq += 1;
+                // The neighbor's op sequence advances one per own op —
+                // the victim's outage injects nothing into it.
+                prop_assert_eq!(field_u64(&v, "seq"), nseq);
+            }
+        }
+        // The count op fires the victim's rank kill; journaled recovery
+        // must still answer.
+        let vcount = c.call(&format!(r#"{{"op":"query-count","session":{victim}}}"#));
+        prop_assert!(is_ok(&vcount), "victim count under outage: {vcount:?}");
+        let ncount = c.call(&format!(r#"{{"op":"query-count","session":{neighbor}}}"#));
+        prop_assert!(is_ok(&ncount), "neighbor count: {ncount:?}");
+        prop_assert_eq!(field_u64(&ncount, "seq"), nseq + 1);
+        server.finish();
+
+        // Victim: bit-identical to a fault-free isolated run.
+        let mut config: TcConfig = serde_json::from_str(&victim_config).unwrap();
+        prop_assert!(config.pim.fault.is_some(), "victim config carries the plan");
+        config.pim.fault = None;
+        let mut want = TcSession::<RankCluster<TimedBackend>>::start_cluster(&config).unwrap();
+        want.append(&victim_edges).unwrap();
+        let w = want.count().unwrap();
+        prop_assert_eq!(
+            field_u64(&vcount, "estimate_bits"),
+            w.estimate.to_bits(),
+            "victim diverged from fault-free isolated run"
+        );
+        prop_assert_eq!(
+            field_u64(&vcount, "triangles"),
+            triangle::count_exact(&{
+                let mut g = CooGraph::new();
+                for e in &victim_edges {
+                    g.push(*e);
+                }
+                g
+            })
+        );
+
+        // Neighbor: bit-identical to its own isolated run.
+        let config: TcConfig = serde_json::from_str(&neighbor_config).unwrap();
+        prop_assert!(config.pim.fault.is_none());
+        let mut want = TcSession::<RankCluster<TimedBackend>>::start_cluster(&config).unwrap();
+        want.append(&neighbor_edges).unwrap();
+        let w = want.count().unwrap();
+        prop_assert_eq!(
+            field_u64(&ncount, "estimate_bits"),
+            w.estimate.to_bits(),
+            "neighbor affected by the victim's outage"
         );
     }
 
